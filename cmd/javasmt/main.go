@@ -1,0 +1,100 @@
+// Command javasmt runs one Java benchmark on the simulated Hyper-Threading
+// processor and prints its performance counters — the equivalent of one
+// Brink & Abyss measurement session from the paper.
+//
+// Usage:
+//
+//	javasmt -bench compress -ht
+//	javasmt -bench MolDyn -threads 8 -scale small -ht
+//	javasmt -bench jack -ht -partition dynamic
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"javasmt/internal/bench"
+	"javasmt/internal/core"
+	"javasmt/internal/counters"
+	"javasmt/internal/harness"
+)
+
+func parseScale(s string) (bench.Scale, error) {
+	switch strings.ToLower(s) {
+	case "tiny":
+		return bench.Tiny, nil
+	case "small":
+		return bench.Small, nil
+	case "medium":
+		return bench.Medium, nil
+	}
+	return 0, fmt.Errorf("unknown scale %q (tiny|small|medium)", s)
+}
+
+func main() {
+	var (
+		name      = flag.String("bench", "compress", "benchmark name (see -list)")
+		list      = flag.Bool("list", false, "list benchmarks and exit")
+		threads   = flag.Int("threads", 1, "Java threads for multithreaded benchmarks")
+		scaleStr  = flag.String("scale", "tiny", "input scale: tiny|small|medium")
+		ht        = flag.Bool("ht", false, "enable Hyper-Threading")
+		partition = flag.String("partition", "static", "resource partition: static|dynamic")
+		tcShared  = flag.Bool("tc-shared-tags", false, "ablation: share trace-cache lines across contexts")
+		noVerify  = flag.Bool("no-verify", false, "skip result verification against the Go mirror")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Print(harness.Table1())
+		return
+	}
+	b, ok := bench.ByName(*name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "javasmt: unknown benchmark %q; use -list\n", *name)
+		os.Exit(2)
+	}
+	scale, err := parseScale(*scaleStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "javasmt:", err)
+		os.Exit(2)
+	}
+	opts := harness.Options{
+		HT:           *ht,
+		Threads:      *threads,
+		Scale:        scale,
+		Verify:       !*noVerify,
+		TCSharedTags: *tcShared,
+	}
+	if *partition == "dynamic" {
+		opts.Partition = core.DynamicPartition
+	} else if *partition != "static" {
+		fmt.Fprintf(os.Stderr, "javasmt: unknown partition %q\n", *partition)
+		os.Exit(2)
+	}
+
+	res, err := harness.Run(b, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "javasmt:", err)
+		os.Exit(1)
+	}
+
+	f := &res.Counters
+	fmt.Printf("benchmark    %s (threads=%d scale=%v ht=%v partition=%s)\n",
+		b.Name, *threads, scale, *ht, *partition)
+	fmt.Printf("cycles       %d\n", res.Cycles)
+	fmt.Printf("uops         %d\n", f.Get(counters.Instructions))
+	fmt.Printf("IPC          %.3f   CPI %.3f\n", f.IPC(), f.CPI())
+	fmt.Printf("OS cycles    %.2f%%  DT mode %.2f%%  GCs %d\n",
+		f.OSCyclePercent(), f.DTModePercent(), res.GCCount)
+	p := f.RetirementProfile()
+	fmt.Printf("retire 0/1/2/3  %.3f / %.3f / %.3f / %.3f\n", p[0], p[1], p[2], p[3])
+	fmt.Printf("TC miss/1k   %.3f\n", f.PerKiloInstr(counters.TCMisses))
+	fmt.Printf("L1D miss/1k  %.3f\n", f.PerKiloInstr(counters.L1DMisses))
+	fmt.Printf("L2 miss/1k   %.3f\n", f.PerKiloInstr(counters.L2Misses))
+	fmt.Printf("ITLB miss/1k %.3f\n", f.PerKiloInstr(counters.ITLBMisses))
+	fmt.Printf("BTB missrate %.4f\n", f.Rate(counters.BTBMisses, counters.Branches))
+	fmt.Println()
+	fmt.Println(f.Report(nil))
+}

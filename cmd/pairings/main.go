@@ -1,0 +1,79 @@
+// Command pairings runs multiprogramming experiments: a single pair with
+// detailed output, or the full 9x9 cross product (Figures 8, 9, 11).
+//
+//	pairings -a jack -b mpegaudio
+//	pairings -all -runs 6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"javasmt/internal/bench"
+	"javasmt/internal/counters"
+	"javasmt/internal/harness"
+)
+
+func main() {
+	var (
+		aName = flag.String("a", "compress", "first benchmark")
+		bName = flag.String("b", "mpegaudio", "second benchmark")
+		all   = flag.Bool("all", false, "run the full 9x9 cross product")
+		runs  = flag.Int("runs", 6, "averaged runs per program (paper: 12)")
+		small = flag.Bool("small", false, "use the small scale instead of tiny")
+		quiet = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	opts := harness.DefaultPairOptions()
+	opts.Runs = *runs
+	if *small {
+		opts.Scale = bench.Small
+	}
+	progress := func(msg string) {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "... %s\n", msg)
+		}
+	}
+
+	if *all {
+		p, err := harness.RunPairings(opts, progress)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(p.Fig8())
+		fmt.Println(p.Fig9())
+		fmt.Println(p.Fig11())
+		return
+	}
+
+	a, ok := bench.ByName(*aName)
+	if !ok {
+		fatal(fmt.Errorf("unknown benchmark %q", *aName))
+	}
+	b, ok := bench.ByName(*bName)
+	if !ok {
+		fatal(fmt.Errorf("unknown benchmark %q", *bName))
+	}
+	res, err := harness.RunPair(a, b, opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("pair            %s + %s\n", res.A, res.B)
+	fmt.Printf("solo cycles     %s=%.0f  %s=%.0f\n", res.A, res.SoloA, res.B, res.SoloB)
+	fmt.Printf("paired cycles   %s=%.0f (%d runs)  %s=%.0f (%d runs)\n",
+		res.A, res.TimeA, res.RunsA, res.B, res.TimeB, res.RunsB)
+	fmt.Printf("speedups        %s=%.3f  %s=%.3f\n", res.A, res.SpeedupA(), res.B, res.SpeedupB())
+	fmt.Printf("combined C_AB   %.3f  (1 = perfect time sharing, 2 = perfect SMP)\n", res.CombinedSpeedup())
+	f := &res.Counters
+	fmt.Printf("interval: TC/1k %.2f  L1D/1k %.2f  L2/1k %.2f  BTB %.4f  DT %.1f%%\n",
+		f.PerKiloInstr(counters.TCMisses), f.PerKiloInstr(counters.L1DMisses),
+		f.PerKiloInstr(counters.L2Misses), f.Rate(counters.BTBMisses, counters.Branches),
+		f.DTModePercent())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pairings:", err)
+	os.Exit(1)
+}

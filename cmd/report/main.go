@@ -1,0 +1,133 @@
+// Command report regenerates the paper's tables and figures on the
+// simulated machine. By default it produces everything; individual
+// figures can be selected with flags.
+//
+//	report                  # all tables and figures (several minutes)
+//	report -table2 -fig1    # only the selected items
+//	report -scale small     # larger inputs (slower, closer to the paper)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"javasmt/internal/bench"
+	"javasmt/internal/harness"
+)
+
+func main() {
+	var (
+		scaleStr = flag.String("scale", "tiny", "input scale: tiny|small|medium")
+		runs     = flag.Int("runs", 6, "averaged runs per program in pairing experiments (paper: 12)")
+		quiet    = flag.Bool("q", false, "suppress progress output")
+	)
+	sel := map[string]*bool{}
+	for _, name := range []string{"table1", "table2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12"} {
+		sel[name] = flag.Bool(name, false, "render "+name)
+	}
+	flag.Parse()
+
+	scale := bench.Tiny
+	switch strings.ToLower(*scaleStr) {
+	case "tiny":
+	case "small":
+		scale = bench.Small
+	case "medium":
+		scale = bench.Medium
+	default:
+		fmt.Fprintf(os.Stderr, "report: unknown scale %q\n", *scaleStr)
+		os.Exit(2)
+	}
+
+	all := true
+	for _, v := range sel {
+		if *v {
+			all = false
+		}
+	}
+	want := func(name string) bool { return all || *sel[name] }
+	progress := func(msg string) {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "... %s\n", msg)
+		}
+	}
+
+	if want("table1") {
+		fmt.Println(harness.Table1())
+	}
+
+	needChar := want("table2") || want("fig1") || want("fig2") || want("fig3") ||
+		want("fig4") || want("fig5") || want("fig6") || want("fig7")
+	if needChar {
+		c, err := harness.RunCharacterization(scale, progress)
+		if err != nil {
+			fatal(err)
+		}
+		if want("table2") {
+			fmt.Println(c.Table2())
+		}
+		if want("fig1") {
+			fmt.Println(c.Fig1())
+		}
+		if want("fig2") {
+			fmt.Println(c.Fig2())
+		}
+		if want("fig3") {
+			fmt.Println(c.Fig3())
+		}
+		if want("fig4") {
+			fmt.Println(c.Fig4())
+		}
+		if want("fig5") {
+			fmt.Println(c.Fig5())
+		}
+		if want("fig6") {
+			fmt.Println(c.Fig6())
+		}
+		if want("fig7") {
+			fmt.Println(c.Fig7())
+		}
+	}
+
+	if want("fig8") || want("fig9") || want("fig11") {
+		opts := harness.DefaultPairOptions()
+		opts.Scale = scale
+		opts.Runs = *runs
+		p, err := harness.RunPairings(opts, progress)
+		if err != nil {
+			fatal(err)
+		}
+		if want("fig8") {
+			fmt.Println(p.Fig8())
+		}
+		if want("fig9") {
+			fmt.Println(p.Fig9())
+		}
+		if want("fig11") {
+			fmt.Println(p.Fig11())
+		}
+	}
+
+	if want("fig10") {
+		rows, err := harness.RunFig10(scale, progress)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(harness.RenderFig10(rows))
+	}
+
+	if want("fig12") {
+		rows, err := harness.RunFig12(scale, []int{1, 2, 4, 8, 16}, progress)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(harness.RenderFig12(rows))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "report:", err)
+	os.Exit(1)
+}

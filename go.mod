@@ -1,0 +1,3 @@
+module javasmt
+
+go 1.22

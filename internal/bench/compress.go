@@ -1,0 +1,393 @@
+package bench
+
+import (
+	"fmt"
+
+	"javasmt/internal/bytecode"
+	"javasmt/internal/jvm"
+)
+
+// compress — "Java port of the SPEC95 compress program using modified LZW
+// method". This is a real LZW codec: compression builds a (prefix, char)
+// dictionary in an open-addressing hash table; decompression rebuilds it
+// and the program verifies round-trip equality itself. Like the original
+// it is a tight integer loop with hash-table probes and serial dependency
+// chains.
+//
+// Globals: 0 = round-trip valid (must equal iterations), 1 = compressed
+// length of the last iteration, 2 = running checksum of emitted codes,
+// 3 = iterations completed.
+const (
+	lzwNSym    = 64
+	lzwHSize   = 2048 // power of two, open addressing
+	lzwDictMax = 1024
+)
+
+// compressParams returns (symbols, iterations) per scale.
+func compressParams(s Scale) (int32, int32) {
+	return s.pick(2000, 12000, 48000), s.pick(2, 3, 4)
+}
+
+// Compress returns the benchmark descriptor.
+func Compress() *Benchmark {
+	return &Benchmark{
+		Name:        "compress",
+		Description: "Java port of the SPEC95 compress program using modified LZW method",
+		Input:       "-s100 -m1 -M1 (scaled)",
+		Build:       buildCompress,
+		Verify:      verifyCompress,
+	}
+}
+
+func buildCompress(_ int, scale Scale, base uint64) *bytecode.Program {
+	n, iters := compressParams(scale)
+	pb := bytecode.NewProgram("compress")
+	pb.Globals(4, 0)
+
+	genIdx := compressGen(pb, n)
+	cmpIdx := compressCompress(pb)
+	expIdx := compressExpand(pb)
+	decIdx := compressDecompress(pb, expIdx)
+	eqIdx := compressEqual(pb)
+
+	// main: in = gen(); out/codes arrays; loop iterations.
+	b := bytecode.NewMethod("main", 0, scratchLocals)
+	const (
+		lIn, lCodes, lBack, lIter, lM, lK, lI = 0, 1, 2, 3, 4, 5, 6
+		lChk                                  = 7
+	)
+	b.Op(bytecode.Call, genIdx).Store(lIn)
+	b.Const(n+16).Op(bytecode.NewArray, bytecode.KindInt).Store(lCodes)
+	b.Const(n+16).Op(bytecode.NewArray, bytecode.KindInt).Store(lBack)
+	b.Const(0).Store(lChk)
+	forConst(b, lIter, iters, func() {
+		// m = compress(in, codes, n)
+		b.Load(lIn).Load(lCodes).Const(n)
+		b.Op(bytecode.Call, cmpIdx).Store(lM)
+		// checksum += codes[j] mixing
+		forVar(b, lI, lM, func() {
+			b.Load(lCodes).Load(lI).Op(bytecode.ALoad)
+			emitMix(b, lChk)
+		})
+		// k = decompress(codes, m, back)
+		b.Load(lCodes).Load(lM).Load(lBack)
+		b.Op(bytecode.Call, decIdx).Store(lK)
+		// valid += equal(in, back, n, k)
+		b.Op(bytecode.GetStatic, 0)
+		b.Load(lIn).Load(lBack).Const(n).Load(lK)
+		b.Op(bytecode.Call, eqIdx)
+		b.Op(bytecode.Iadd).Op(bytecode.PutStatic, 0)
+		b.Load(lM).Op(bytecode.PutStatic, 1)
+		b.Op(bytecode.GetStatic, 3).Const(1).Op(bytecode.Iadd).Op(bytecode.PutStatic, 3)
+	})
+	b.Load(lChk).Op(bytecode.PutStatic, 2)
+	b.Op(bytecode.Ret)
+	pb.Entry(pb.Add(b.Finish()))
+	return pb.MustLink(base)
+}
+
+// compressGen builds gen(): int[] — the synthetic corpus: skewed symbols
+// min(r1, r2) so LZW finds repeats, exactly mirrored in Go by
+// compressInputGo.
+func compressGen(pb *bytecode.ProgramBuilder, n int32) int32 {
+	b := bytecode.NewMethod("genInput", 0, scratchLocals).ReturnsRef()
+	const (
+		lArr, lI, lSeed, lA, lB = 0, 1, 2, 3, 4
+	)
+	b.Const(n).Op(bytecode.NewArray, bytecode.KindInt).Store(lArr)
+	b.Const(12345).Store(lSeed)
+	forConst(b, lI, n, func() {
+		emitLCGInt(b, lSeed, lzwNSym)
+		b.Store(lA)
+		emitLCGInt(b, lSeed, lzwNSym)
+		b.Store(lB)
+		big := b.NewLabel()
+		store := b.NewLabel()
+		b.Load(lA).Load(lB)
+		b.Br(bytecode.IfGt, big)
+		b.Load(lArr).Load(lI).Load(lA).Op(bytecode.AStore)
+		b.Br(bytecode.Goto, store)
+		b.Bind(big)
+		b.Load(lArr).Load(lI).Load(lB).Op(bytecode.AStore)
+		b.Bind(store)
+	})
+	b.Load(lArr).Op(bytecode.RetVal)
+	return pb.Add(b.Finish())
+}
+
+// compressInputGo mirrors genInput.
+func compressInputGo(n int32) []int64 {
+	in := make([]int64, n)
+	seed := int64(12345)
+	for i := range in {
+		seed = lcgNextGo(seed)
+		a := lcgIntGo(seed, lzwNSym)
+		seed = lcgNextGo(seed)
+		c := lcgIntGo(seed, lzwNSym)
+		if a <= c {
+			in[i] = a
+		} else {
+			in[i] = c
+		}
+	}
+	return in
+}
+
+// compressCompress builds compress(in, out, n): int — LZW encode.
+func compressCompress(pb *bytecode.ProgramBuilder) int32 {
+	b := bytecode.NewMethod("compress", 3, scratchLocals).ArgRefs(0b011)
+	const (
+		lIn, lOut, lN                   = 0, 1, 2
+		lHP, lHC, lHV                   = 3, 4, 5 // hash prefix/char/value(code)
+		lNext, lW, lI, lC, lH, lPos, lF = 6, 7, 8, 9, 10, 11, 12
+	)
+	b.Const(lzwHSize).Op(bytecode.NewArray, bytecode.KindInt).Store(lHP)
+	b.Const(lzwHSize).Op(bytecode.NewArray, bytecode.KindInt).Store(lHC)
+	b.Const(lzwHSize).Op(bytecode.NewArray, bytecode.KindInt).Store(lHV)
+	b.Const(lzwNSym).Store(lNext)
+	b.Const(0).Store(lPos)
+	// w = in[0]
+	b.Load(lIn).Const(0).Op(bytecode.ALoad).Store(lW)
+	// for i = 1..n-1
+	loop, done := b.NewLabel(), b.NewLabel()
+	b.Const(1).Store(lI)
+	b.Bind(loop)
+	b.Load(lI).Load(lN)
+	b.Br(bytecode.IfGe, done)
+	{
+		b.Load(lIn).Load(lI).Op(bytecode.ALoad).Store(lC)
+		// h = (w*31 + c) & (HSIZE-1); probe
+		b.Load(lW).Const(31).Op(bytecode.Imul).Load(lC).Op(bytecode.Iadd)
+		b.Const(lzwHSize - 1).Op(bytecode.Iand).Store(lH)
+		probe, found, notfound, after := b.NewLabel(), b.NewLabel(), b.NewLabel(), b.NewLabel()
+		b.Bind(probe)
+		// empty slot? hv[h] == 0 -> notfound
+		b.Load(lHV).Load(lH).Op(bytecode.ALoad).Const(0)
+		b.Br(bytecode.IfEq, notfound)
+		// match? hp[h]==w && hc[h]==c -> found
+		miss := b.NewLabel()
+		b.Load(lHP).Load(lH).Op(bytecode.ALoad).Load(lW)
+		b.Br(bytecode.IfNe, miss)
+		b.Load(lHC).Load(lH).Op(bytecode.ALoad).Load(lC)
+		b.Br(bytecode.IfEq, found)
+		b.Bind(miss)
+		b.Load(lH).Const(1).Op(bytecode.Iadd).Const(lzwHSize - 1).Op(bytecode.Iand).Store(lH)
+		b.Br(bytecode.Goto, probe)
+
+		b.Bind(found)
+		b.Load(lHV).Load(lH).Op(bytecode.ALoad).Store(lW)
+		b.Br(bytecode.Goto, after)
+
+		b.Bind(notfound)
+		// out[pos++] = w
+		b.Load(lOut).Load(lPos).Load(lW).Op(bytecode.AStore)
+		b.Load(lPos).Const(1).Op(bytecode.Iadd).Store(lPos)
+		// insert if room: hv[h]=next, hp[h]=w, hc[h]=c, next++
+		full := b.NewLabel()
+		b.Load(lNext).Const(lzwDictMax)
+		b.Br(bytecode.IfGe, full)
+		b.Load(lHV).Load(lH).Load(lNext).Op(bytecode.AStore)
+		b.Load(lHP).Load(lH).Load(lW).Op(bytecode.AStore)
+		b.Load(lHC).Load(lH).Load(lC).Op(bytecode.AStore)
+		b.Load(lNext).Const(1).Op(bytecode.Iadd).Store(lNext)
+		b.Bind(full)
+		b.Load(lC).Store(lW)
+		b.Bind(after)
+		_ = lF
+	}
+	b.Load(lI).Const(1).Op(bytecode.Iadd).Store(lI)
+	b.Br(bytecode.Goto, loop)
+	b.Bind(done)
+	// out[pos++] = w
+	b.Load(lOut).Load(lPos).Load(lW).Op(bytecode.AStore)
+	b.Load(lPos).Const(1).Op(bytecode.Iadd).Store(lPos)
+	b.Load(lPos).Op(bytecode.RetVal)
+	return pb.Add(b.Finish())
+}
+
+// compressExpand builds expand(code, prefix, char, buf): int — walks the
+// dictionary chain writing symbols into buf in reverse and returns the
+// count; buf[0] after reversal... the caller re-reverses, so this returns
+// the chain length with buf holding [last..first].
+func compressExpand(pb *bytecode.ProgramBuilder) int32 {
+	b := bytecode.NewMethod("expand", 4, scratchLocals).ArgRefs(0b1110)
+	const (
+		lCode, lPre, lChr, lBuf, lSp = 0, 1, 2, 3, 4
+	)
+	b.Const(0).Store(lSp)
+	loop, base := b.NewLabel(), b.NewLabel()
+	b.Bind(loop)
+	b.Load(lCode).Const(lzwNSym)
+	b.Br(bytecode.IfLt, base)
+	b.Load(lBuf).Load(lSp).Load(lChr).Load(lCode).Op(bytecode.ALoad).Op(bytecode.AStore)
+	b.Load(lSp).Const(1).Op(bytecode.Iadd).Store(lSp)
+	b.Load(lPre).Load(lCode).Op(bytecode.ALoad).Store(lCode)
+	b.Br(bytecode.Goto, loop)
+	b.Bind(base)
+	b.Load(lBuf).Load(lSp).Load(lCode).Op(bytecode.AStore)
+	b.Load(lSp).Const(1).Op(bytecode.Iadd).Store(lSp)
+	b.Load(lSp).Op(bytecode.RetVal)
+	return pb.Add(b.Finish())
+}
+
+// compressDecompress builds decompress(codes, m, out): int — LZW decode
+// with the KwKwK case, verifying the encoder end to end.
+func compressDecompress(pb *bytecode.ProgramBuilder, expandIdx int32) int32 {
+	b := bytecode.NewMethod("decompress", 3, scratchLocals).ArgRefs(0b101)
+	const (
+		lCodes, lM, lOut                 = 0, 1, 2
+		lPre, lChr, lBuf                 = 3, 4, 5
+		lNext, lPrev, lI, lC, lPos, lLen = 6, 7, 8, 9, 10, 11
+		lJ, lFirst                       = 12, 13
+	)
+	b.Const(lzwDictMax).Op(bytecode.NewArray, bytecode.KindInt).Store(lPre)
+	b.Const(lzwDictMax).Op(bytecode.NewArray, bytecode.KindInt).Store(lChr)
+	b.Const(lzwDictMax).Op(bytecode.NewArray, bytecode.KindInt).Store(lBuf)
+	b.Const(lzwNSym).Store(lNext)
+	b.Const(0).Store(lPos)
+	// prev = codes[0]; out[pos++] = prev
+	b.Load(lCodes).Const(0).Op(bytecode.ALoad).Store(lPrev)
+	b.Load(lOut).Load(lPos).Load(lPrev).Op(bytecode.AStore)
+	b.Load(lPos).Const(1).Op(bytecode.Iadd).Store(lPos)
+	// for i = 1..m-1
+	loop, done := b.NewLabel(), b.NewLabel()
+	b.Const(1).Store(lI)
+	b.Bind(loop)
+	b.Load(lI).Load(lM)
+	b.Br(bytecode.IfGe, done)
+	{
+		b.Load(lCodes).Load(lI).Op(bytecode.ALoad).Store(lC)
+		known, emit := b.NewLabel(), b.NewLabel()
+		b.Load(lC).Load(lNext)
+		b.Br(bytecode.IfLt, known)
+		// KwKwK: expand prev, then append its first symbol.
+		b.Load(lPrev).Load(lPre).Load(lChr).Load(lBuf)
+		b.Op(bytecode.Call, expandIdx).Store(lLen)
+		// first = buf[len-1]; buf shifts: emulate append by writing
+		// buf[len] is free; we emit buf reversed then first again.
+		b.Load(lBuf).Load(lLen).Const(1).Op(bytecode.Isub).Op(bytecode.ALoad).Store(lFirst)
+		// emit reversed buf
+		forVar(b, lJ, lLen, func() {
+			b.Load(lOut).Load(lPos)
+			b.Load(lBuf)
+			b.Load(lLen).Const(1).Op(bytecode.Isub).Load(lJ).Op(bytecode.Isub)
+			b.Op(bytecode.ALoad)
+			b.Op(bytecode.AStore)
+			b.Load(lPos).Const(1).Op(bytecode.Iadd).Store(lPos)
+		})
+		// then the extra first symbol
+		b.Load(lOut).Load(lPos).Load(lFirst).Op(bytecode.AStore)
+		b.Load(lPos).Const(1).Op(bytecode.Iadd).Store(lPos)
+		b.Br(bytecode.Goto, emit)
+
+		b.Bind(known)
+		b.Load(lC).Load(lPre).Load(lChr).Load(lBuf)
+		b.Op(bytecode.Call, expandIdx).Store(lLen)
+		b.Load(lBuf).Load(lLen).Const(1).Op(bytecode.Isub).Op(bytecode.ALoad).Store(lFirst)
+		forVar(b, lJ, lLen, func() {
+			b.Load(lOut).Load(lPos)
+			b.Load(lBuf)
+			b.Load(lLen).Const(1).Op(bytecode.Isub).Load(lJ).Op(bytecode.Isub)
+			b.Op(bytecode.ALoad)
+			b.Op(bytecode.AStore)
+			b.Load(lPos).Const(1).Op(bytecode.Iadd).Store(lPos)
+		})
+
+		b.Bind(emit)
+		// dict insert: pre[next]=prev, chr[next]=first, next++ (if room)
+		full := b.NewLabel()
+		b.Load(lNext).Const(lzwDictMax)
+		b.Br(bytecode.IfGe, full)
+		b.Load(lPre).Load(lNext).Load(lPrev).Op(bytecode.AStore)
+		b.Load(lChr).Load(lNext).Load(lFirst).Op(bytecode.AStore)
+		b.Load(lNext).Const(1).Op(bytecode.Iadd).Store(lNext)
+		b.Bind(full)
+		b.Load(lC).Store(lPrev)
+	}
+	b.Load(lI).Const(1).Op(bytecode.Iadd).Store(lI)
+	b.Br(bytecode.Goto, loop)
+	b.Bind(done)
+	b.Load(lPos).Op(bytecode.RetVal)
+	return pb.Add(b.Finish())
+}
+
+// compressEqual builds equal(a, b, n, k): int — 1 when k==n and the
+// arrays match elementwise.
+func compressEqual(pb *bytecode.ProgramBuilder) int32 {
+	b := bytecode.NewMethod("equalArrays", 4, scratchLocals).ArgRefs(0b0011)
+	const (
+		lA, lB, lN, lK, lI = 0, 1, 2, 3, 4
+	)
+	bad := b.NewLabel()
+	b.Load(lN).Load(lK)
+	b.Br(bytecode.IfNe, bad)
+	loop, done := b.NewLabel(), b.NewLabel()
+	b.Const(0).Store(lI)
+	b.Bind(loop)
+	b.Load(lI).Load(lN)
+	b.Br(bytecode.IfGe, done)
+	b.Load(lA).Load(lI).Op(bytecode.ALoad)
+	b.Load(lB).Load(lI).Op(bytecode.ALoad)
+	b.Br(bytecode.IfNe, bad)
+	b.Load(lI).Const(1).Op(bytecode.Iadd).Store(lI)
+	b.Br(bytecode.Goto, loop)
+	b.Bind(done)
+	b.Const(1).Op(bytecode.RetVal)
+	b.Bind(bad)
+	b.Const(0).Op(bytecode.RetVal)
+	return pb.Add(b.Finish())
+}
+
+// lzwCompressGo mirrors the bytecode encoder exactly.
+func lzwCompressGo(in []int64) []int64 {
+	hp := make([]int64, lzwHSize)
+	hc := make([]int64, lzwHSize)
+	hv := make([]int64, lzwHSize)
+	next := int64(lzwNSym)
+	var out []int64
+	w := in[0]
+	for i := 1; i < len(in); i++ {
+		c := in[i]
+		h := (w*31 + c) & (lzwHSize - 1)
+		for {
+			if hv[h] == 0 {
+				out = append(out, w)
+				if next < lzwDictMax {
+					hv[h], hp[h], hc[h] = next, w, c
+					next++
+				}
+				w = c
+				break
+			}
+			if hp[h] == w && hc[h] == c {
+				w = hv[h]
+				break
+			}
+			h = (h + 1) & (lzwHSize - 1)
+		}
+	}
+	out = append(out, w)
+	return out
+}
+
+func verifyCompress(vm *jvm.VM, _ int, scale Scale) error {
+	n, iters := compressParams(scale)
+	in := compressInputGo(n)
+	codes := lzwCompressGo(in)
+	if got := int64(vm.Global(0)); got != int64(iters) {
+		return fmt.Errorf("compress: %d/%d iterations round-tripped", got, iters)
+	}
+	if got := int64(vm.Global(1)); got != int64(len(codes)) {
+		return fmt.Errorf("compress: compressed length %d, want %d", got, len(codes))
+	}
+	chk := int64(0)
+	for iter := int32(0); iter < iters; iter++ {
+		for _, c := range codes {
+			chk = mix64Go(chk, c)
+		}
+	}
+	if got := int64(vm.Global(2)); got != chk {
+		return fmt.Errorf("compress: code checksum %d, want %d", got, chk)
+	}
+	return nil
+}

@@ -1,0 +1,390 @@
+package bench
+
+import (
+	"fmt"
+
+	"javasmt/internal/bytecode"
+	"javasmt/internal/jvm"
+)
+
+// db — "performs a series of functions on a small database". The database
+// is an in-memory table of records (parallel key/payload arrays) with a
+// position index kept sorted by key: it is shell-sorted once at startup,
+// then a driver executes a random mix of lookups (binary search),
+// updates, inserts (with in-place index shifting) and deletes — the same
+// operation set the SPEC benchmark performs on its address database.
+// Data-dependent branches and scattered index traffic dominate, as on the
+// original.
+//
+// Globals: 0 = operations checksum, 1 = final record count, 2 = index
+// order violations (must be 0).
+func dbParams(s Scale) (records, ops int32) {
+	return s.pick(1200, 6000, 20000), s.pick(4000, 20000, 60000)
+}
+
+// DB returns the benchmark descriptor.
+func DB() *Benchmark {
+	return &Benchmark{
+		Name:        "db",
+		Description: "Performs a series of functions on a small database",
+		Input:       "-s100 -m1 -M1 (scaled)",
+		Build:       buildDB,
+		Verify:      verifyDB,
+	}
+}
+
+func buildDB(_ int, scale Scale, base uint64) *bytecode.Program {
+	records, ops := dbParams(scale)
+	capacity := records + ops // worst case all inserts
+	pb := bytecode.NewProgram("db")
+	pb.Globals(3, 0)
+
+	sortIdx := dbShellSort(pb)
+	findIdx := dbBinarySearch(pb)
+
+	b := bytecode.NewMethod("main", 0, scratchLocals)
+	const (
+		lKeys, lVals, lIdx, lCount = 0, 1, 2, 3
+		lSeed, lOp, lI, lK, lP     = 4, 5, 6, 7, 8
+		lChk, lR, lJ               = 9, 10, 11
+		// lSlot is the next free record slot: deletes drop index
+		// entries but never recycle slots, so a fresh insert cannot
+		// overwrite a record the index still references.
+		lSlot = 13
+	)
+	b.Const(capacity).Op(bytecode.NewArray, bytecode.KindInt).Store(lKeys)
+	b.Const(capacity).Op(bytecode.NewArray, bytecode.KindInt).Store(lVals)
+	b.Const(capacity).Op(bytecode.NewArray, bytecode.KindInt).Store(lIdx)
+	b.Const(777).Store(lSeed)
+	b.Const(0).Store(lChk)
+	// Populate: keys are pseudo-random, values derived; index = identity.
+	forConst(b, lI, records, func() {
+		emitLCGInt(b, lSeed, 1<<30)
+		b.Store(lK)
+		b.Load(lKeys).Load(lI).Load(lK).Op(bytecode.AStore)
+		b.Load(lVals).Load(lI).Load(lK).Const(7).Op(bytecode.Irem).Op(bytecode.AStore)
+		b.Load(lIdx).Load(lI).Load(lI).Op(bytecode.AStore)
+	})
+	b.Const(records).Store(lCount)
+	b.Const(records).Store(lSlot)
+	// Sort the index by key (shell sort).
+	b.Load(lKeys).Load(lIdx).Load(lCount).Op(bytecode.Call, sortIdx).Op(bytecode.Pop)
+
+	// Operation mix.
+	forConst(b, lOp, ops, func() {
+		emitLCGInt(b, lSeed, 100)
+		b.Store(lR)
+		lookup, update, insert, remove, after := b.NewLabel(), b.NewLabel(), b.NewLabel(), b.NewLabel(), b.NewLabel()
+		b.Load(lR).Const(50)
+		b.Br(bytecode.IfLt, lookup)
+		b.Load(lR).Const(75)
+		b.Br(bytecode.IfLt, update)
+		b.Load(lR).Const(90)
+		b.Br(bytecode.IfLt, insert)
+		b.Br(bytecode.Goto, remove)
+
+		// lookup: chk mix= find(random key)
+		b.Bind(lookup)
+		emitLCGInt(b, lSeed, 1<<30)
+		b.Store(lK)
+		b.Load(lKeys).Load(lIdx).Load(lCount).Load(lK)
+		b.Op(bytecode.Call, findIdx)
+		emitMix(b, lChk)
+		b.Br(bytecode.Goto, after)
+
+		// update: p = find; if p >= 0: vals[idx[p]] += 1; chk mix= p
+		b.Bind(update)
+		emitLCGInt(b, lSeed, 1<<30)
+		b.Store(lK)
+		b.Load(lKeys).Load(lIdx).Load(lCount).Load(lK)
+		b.Op(bytecode.Call, findIdx).Store(lP)
+		noUpd := b.NewLabel()
+		b.Load(lP).Const(0)
+		b.Br(bytecode.IfLt, noUpd)
+		b.Load(lVals).Load(lIdx).Load(lP).Op(bytecode.ALoad)
+		b.Load(lVals).Load(lIdx).Load(lP).Op(bytecode.ALoad).Op(bytecode.ALoad)
+		b.Const(1).Op(bytecode.Iadd)
+		b.Op(bytecode.AStore)
+		b.Bind(noUpd)
+		b.Load(lP)
+		emitMix(b, lChk)
+		b.Br(bytecode.Goto, after)
+
+		// insert: new key into a fresh slot; shift index to keep sorted.
+		b.Bind(insert)
+		emitLCGInt(b, lSeed, 1<<30)
+		b.Store(lK)
+		b.Load(lKeys).Load(lSlot).Load(lK).Op(bytecode.AStore)
+		b.Load(lVals).Load(lSlot).Load(lK).Const(13).Op(bytecode.Irem).Op(bytecode.AStore)
+		// find insertion point p = first index with key > k (linear from
+		// binary-search hint): use find's insertion encoding (-pos-1).
+		b.Load(lKeys).Load(lIdx).Load(lCount).Load(lK)
+		b.Op(bytecode.Call, findIdx).Store(lP)
+		neg := b.NewLabel()
+		haveP := b.NewLabel()
+		b.Load(lP).Const(0)
+		b.Br(bytecode.IfLt, neg)
+		b.Br(bytecode.Goto, haveP)
+		b.Bind(neg)
+		b.Const(-1).Load(lP).Op(bytecode.Isub).Store(lP) // p = -p-1
+		b.Bind(haveP)
+		// shift idx[p..count) right by one
+		shiftLoop, shiftDone := b.NewLabel(), b.NewLabel()
+		b.Load(lCount).Store(lJ)
+		b.Bind(shiftLoop)
+		b.Load(lJ).Load(lP)
+		b.Br(bytecode.IfLe, shiftDone)
+		b.Load(lIdx).Load(lJ)
+		b.Load(lIdx).Load(lJ).Const(1).Op(bytecode.Isub).Op(bytecode.ALoad)
+		b.Op(bytecode.AStore)
+		b.Load(lJ).Const(1).Op(bytecode.Isub).Store(lJ)
+		b.Br(bytecode.Goto, shiftLoop)
+		b.Bind(shiftDone)
+		b.Load(lIdx).Load(lP).Load(lSlot).Op(bytecode.AStore)
+		b.Load(lSlot).Const(1).Op(bytecode.Iadd).Store(lSlot)
+		b.Load(lCount).Const(1).Op(bytecode.Iadd).Store(lCount)
+		b.Load(lK)
+		emitMix(b, lChk)
+		b.Br(bytecode.Goto, after)
+
+		// remove: delete the record at a random index position (shift
+		// index left); the record slot itself is tombstoned.
+		b.Bind(remove)
+		noDel := b.NewLabel()
+		b.Load(lCount).Const(2)
+		b.Br(bytecode.IfLt, noDel)
+		emitLCGNext(b, lSeed)
+		b.Load(lSeed).Const(17).Op(bytecode.Ishr).Const(0x7FFFFFFF).Op(bytecode.Iand)
+		b.Load(lCount).Op(bytecode.Irem).Store(lP)
+		// chk mix= keys[idx[p]]
+		b.Load(lKeys).Load(lIdx).Load(lP).Op(bytecode.ALoad).Op(bytecode.ALoad)
+		emitMix(b, lChk)
+		// shift idx[p..count-1) left
+		delLoop, delDone := b.NewLabel(), b.NewLabel()
+		b.Bind(delLoop)
+		b.Load(lP).Load(lCount).Const(1).Op(bytecode.Isub)
+		b.Br(bytecode.IfGe, delDone)
+		b.Load(lIdx).Load(lP)
+		b.Load(lIdx).Load(lP).Const(1).Op(bytecode.Iadd).Op(bytecode.ALoad)
+		b.Op(bytecode.AStore)
+		b.Load(lP).Const(1).Op(bytecode.Iadd).Store(lP)
+		b.Br(bytecode.Goto, delLoop)
+		b.Bind(delDone)
+		b.Load(lCount).Const(1).Op(bytecode.Isub).Store(lCount)
+		b.Bind(noDel)
+		b.Br(bytecode.Goto, after)
+
+		b.Bind(after)
+	})
+
+	// Publish: checksum, count, and a sortedness audit of the index.
+	b.Load(lChk).Op(bytecode.PutStatic, 0)
+	b.Load(lCount).Op(bytecode.PutStatic, 1)
+	violations, vloop, vdone := int32(12), b.NewLabel(), b.NewLabel()
+	b.Const(0).Store(violations)
+	b.Const(1).Store(lI)
+	b.Bind(vloop)
+	b.Load(lI).Load(lCount)
+	b.Br(bytecode.IfGe, vdone)
+	ok := b.NewLabel()
+	b.Load(lKeys).Load(lIdx).Load(lI).Const(1).Op(bytecode.Isub).Op(bytecode.ALoad).Op(bytecode.ALoad)
+	b.Load(lKeys).Load(lIdx).Load(lI).Op(bytecode.ALoad).Op(bytecode.ALoad)
+	b.Br(bytecode.IfLe, ok)
+	b.Load(violations).Const(1).Op(bytecode.Iadd).Store(violations)
+	b.Bind(ok)
+	b.Load(lI).Const(1).Op(bytecode.Iadd).Store(lI)
+	b.Br(bytecode.Goto, vloop)
+	b.Bind(vdone)
+	b.Load(violations).Op(bytecode.PutStatic, 2)
+	b.Op(bytecode.Ret)
+	pb.Entry(pb.Add(b.Finish()))
+	return pb.MustLink(base)
+}
+
+// dbShellSort builds shellSort(keys, idx, n): int — sorts idx by keys.
+func dbShellSort(pb *bytecode.ProgramBuilder) int32 {
+	b := bytecode.NewMethod("shellSort", 3, scratchLocals).ArgRefs(0b011)
+	const (
+		lKeys, lIdx, lN, lGap, lI, lJ, lTmp = 0, 1, 2, 3, 4, 5, 6
+	)
+	gapLoop, gapDone := b.NewLabel(), b.NewLabel()
+	b.Load(lN).Const(2).Op(bytecode.Idiv).Store(lGap)
+	b.Bind(gapLoop)
+	b.Load(lGap).Const(0)
+	b.Br(bytecode.IfLe, gapDone)
+	{
+		iLoop, iDone := b.NewLabel(), b.NewLabel()
+		b.Load(lGap).Store(lI)
+		b.Bind(iLoop)
+		b.Load(lI).Load(lN)
+		b.Br(bytecode.IfGe, iDone)
+		{
+			b.Load(lIdx).Load(lI).Op(bytecode.ALoad).Store(lTmp)
+			b.Load(lI).Store(lJ)
+			jLoop, jDone := b.NewLabel(), b.NewLabel()
+			b.Bind(jLoop)
+			b.Load(lJ).Load(lGap)
+			b.Br(bytecode.IfLt, jDone)
+			// keys[idx[j-gap]] <= keys[tmp] -> stop
+			b.Load(lKeys).Load(lIdx).Load(lJ).Load(lGap).Op(bytecode.Isub).Op(bytecode.ALoad).Op(bytecode.ALoad)
+			b.Load(lKeys).Load(lTmp).Op(bytecode.ALoad)
+			b.Br(bytecode.IfLe, jDone)
+			b.Load(lIdx).Load(lJ)
+			b.Load(lIdx).Load(lJ).Load(lGap).Op(bytecode.Isub).Op(bytecode.ALoad)
+			b.Op(bytecode.AStore)
+			b.Load(lJ).Load(lGap).Op(bytecode.Isub).Store(lJ)
+			b.Br(bytecode.Goto, jLoop)
+			b.Bind(jDone)
+			b.Load(lIdx).Load(lJ).Load(lTmp).Op(bytecode.AStore)
+		}
+		b.Load(lI).Const(1).Op(bytecode.Iadd).Store(lI)
+		b.Br(bytecode.Goto, iLoop)
+		b.Bind(iDone)
+	}
+	b.Load(lGap).Const(2).Op(bytecode.Idiv).Store(lGap)
+	b.Br(bytecode.Goto, gapLoop)
+	b.Bind(gapDone)
+	b.Const(0).Op(bytecode.RetVal)
+	return pb.Add(b.Finish())
+}
+
+// dbBinarySearch builds find(keys, idx, n, k): int — the position of k in
+// the sorted index, or -(insertion point)-1 when absent (Java
+// Arrays.binarySearch encoding).
+func dbBinarySearch(pb *bytecode.ProgramBuilder) int32 {
+	b := bytecode.NewMethod("find", 4, scratchLocals).ArgRefs(0b0011)
+	const (
+		lKeys, lIdx, lN, lK, lLo, lHi, lMid, lV = 0, 1, 2, 3, 4, 5, 6, 7
+	)
+	b.Const(0).Store(lLo)
+	b.Load(lN).Const(1).Op(bytecode.Isub).Store(lHi)
+	loop, miss := b.NewLabel(), b.NewLabel()
+	b.Bind(loop)
+	b.Load(lLo).Load(lHi)
+	b.Br(bytecode.IfGt, miss)
+	b.Load(lLo).Load(lHi).Op(bytecode.Iadd).Const(2).Op(bytecode.Idiv).Store(lMid)
+	b.Load(lKeys).Load(lIdx).Load(lMid).Op(bytecode.ALoad).Op(bytecode.ALoad).Store(lV)
+	lt, gt := b.NewLabel(), b.NewLabel()
+	b.Load(lV).Load(lK)
+	b.Br(bytecode.IfLt, lt)
+	b.Load(lV).Load(lK)
+	b.Br(bytecode.IfGt, gt)
+	b.Load(lMid).Op(bytecode.RetVal)
+	b.Bind(lt)
+	b.Load(lMid).Const(1).Op(bytecode.Iadd).Store(lLo)
+	b.Br(bytecode.Goto, loop)
+	b.Bind(gt)
+	b.Load(lMid).Const(1).Op(bytecode.Isub).Store(lHi)
+	b.Br(bytecode.Goto, loop)
+	b.Bind(miss)
+	b.Const(-1).Load(lLo).Op(bytecode.Isub).Op(bytecode.RetVal) // -lo-1
+	return pb.Add(b.Finish())
+}
+
+// dbGo mirrors the whole benchmark.
+func dbGo(records, ops int32) (chk, count, violations int64) {
+	capacity := records + ops
+	keys := make([]int64, capacity)
+	vals := make([]int64, capacity)
+	idx := make([]int64, capacity)
+	seed := int64(777)
+	for i := int32(0); i < records; i++ {
+		seed = lcgNextGo(seed)
+		k := lcgIntGo(seed, 1<<30)
+		keys[i] = k
+		vals[i] = k % 7
+		idx[i] = int64(i)
+	}
+	n := int64(records)
+	slot := int64(records)
+	// Shell sort.
+	for gap := n / 2; gap > 0; gap /= 2 {
+		for i := gap; i < n; i++ {
+			tmp := idx[i]
+			j := i
+			for j >= gap && keys[idx[j-gap]] > keys[tmp] {
+				idx[j] = idx[j-gap]
+				j -= gap
+			}
+			idx[j] = tmp
+		}
+	}
+	find := func(k int64) int64 {
+		lo, hi := int64(0), n-1
+		for lo <= hi {
+			mid := (lo + hi) / 2
+			v := keys[idx[mid]]
+			switch {
+			case v < k:
+				lo = mid + 1
+			case v > k:
+				hi = mid - 1
+			default:
+				return mid
+			}
+		}
+		return -lo - 1
+	}
+	for op := int32(0); op < ops; op++ {
+		seed = lcgNextGo(seed)
+		r := lcgIntGo(seed, 100)
+		switch {
+		case r < 50:
+			seed = lcgNextGo(seed)
+			k := lcgIntGo(seed, 1<<30)
+			chk = mix64Go(chk, find(k))
+		case r < 75:
+			seed = lcgNextGo(seed)
+			k := lcgIntGo(seed, 1<<30)
+			p := find(k)
+			if p >= 0 {
+				vals[idx[p]]++
+			}
+			chk = mix64Go(chk, p)
+		case r < 90:
+			seed = lcgNextGo(seed)
+			k := lcgIntGo(seed, 1<<30)
+			keys[slot] = k
+			vals[slot] = k % 13
+			p := find(k)
+			if p < 0 {
+				p = -p - 1
+			}
+			copy(idx[p+1:n+1], idx[p:n])
+			idx[p] = slot
+			slot++
+			n++
+			chk = mix64Go(chk, k)
+		default:
+			if n < 2 {
+				break
+			}
+			seed = lcgNextGo(seed)
+			p := ((seed >> 17) & 0x7FFFFFFF) % n
+			chk = mix64Go(chk, keys[idx[p]])
+			copy(idx[p:n-1], idx[p+1:n])
+			n--
+		}
+	}
+	for i := int64(1); i < n; i++ {
+		if keys[idx[i-1]] > keys[idx[i]] {
+			violations++
+		}
+	}
+	return chk, n, violations
+}
+
+func verifyDB(vm *jvm.VM, _ int, scale Scale) error {
+	records, ops := dbParams(scale)
+	chk, count, violations := dbGo(records, ops)
+	if got := int64(vm.Global(2)); got != violations || violations != 0 {
+		return fmt.Errorf("db: %d index order violations (mirror %d)", got, violations)
+	}
+	if got := int64(vm.Global(1)); got != count {
+		return fmt.Errorf("db: record count %d, want %d", got, count)
+	}
+	if got := int64(vm.Global(0)); got != chk {
+		return fmt.Errorf("db: checksum %d, want %d", got, chk)
+	}
+	return nil
+}

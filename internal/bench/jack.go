@@ -1,0 +1,474 @@
+package bench
+
+import (
+	"fmt"
+
+	"javasmt/internal/bytecode"
+	"javasmt/internal/jvm"
+)
+
+// jack — "a Java parser generator that is based on an earlier version of
+// JavaCC". Like a real parser generator, the build step takes a grammar
+// (deterministically derived from the scale) and *generates code from
+// it*: one derivation method and one parse method per nonterminal, plus
+// big dispatch methods, exactly the shape of JavaCC output. At run time
+// the program computes the grammar's FIRST sets to a fixpoint from baked
+// production tables, generates a token stream by grammar expansion, and
+// parses it back with the generated recursive-descent parser — repeated
+// over several passes (the SPEC harness runs jack 16 times). The result
+// is the suite's largest, branchiest instruction footprint: the paper's
+// worst "bad partner".
+//
+// Globals: 0 = checksum, 1 = tokens generated, 2 = parse nodes,
+// 3 = parse errors (must be 0), 4 = FIRST-set checksum.
+const (
+	jkTerms    = 32
+	jkGenDepth = 10
+)
+
+func jackParams(s Scale) (nts, passes int32) {
+	return s.pick(46, 50, 56), s.pick(5, 10, 16)
+}
+
+// jack globals.
+const (
+	jkgChk, jkgTokens, jkgNodes, jkgErrors, jkgFirstChk = 0, 1, 2, 3, 4
+	jkgTok, jkgNTok, jkgPos, jkgSeed                    = 5, 6, 7, 8
+	jkGlobals                                           = 9
+	jkGlobalRefs                                        = 1 << jkgTok
+)
+
+// jackGrammar is the build-time grammar: for each nonterminal, two
+// alternatives; alternative 0 is all-terminal (guaranteeing bounded
+// derivations) and both alternatives start with distinct terminals
+// (making the generated parser deterministic). Symbols: 0..jkTerms-1 are
+// terminals; jkTerms+n is nonterminal n.
+type jackGrammar struct {
+	nts  int32
+	alt0 [][]int32
+	alt1 [][]int32
+}
+
+func makeJackGrammar(nts int32) *jackGrammar {
+	g := &jackGrammar{nts: nts}
+	seed := int64(911)
+	rnd := func(bound int64) int64 {
+		seed = lcgNextGo(seed)
+		return lcgIntGo(seed, bound)
+	}
+	for n := int32(0); n < nts; n++ {
+		// Distinct leading terminals per NT keep the parser LL(1).
+		lead0 := (2 * n) % jkTerms
+		lead1 := (2*n + 1) % jkTerms
+		s0 := []int32{lead0}
+		for k := rnd(2) + 2; k > 0; k-- {
+			s0 = append(s0, int32(rnd(jkTerms)))
+		}
+		s1 := []int32{lead1}
+		for k := rnd(3) + 3; k > 0; k-- {
+			if rnd(100) < 60 {
+				s1 = append(s1, jkTerms+int32(rnd(int64(nts))))
+			} else {
+				s1 = append(s1, int32(rnd(jkTerms)))
+			}
+		}
+		g.alt0 = append(g.alt0, s0)
+		g.alt1 = append(g.alt1, s1)
+	}
+	return g
+}
+
+// Jack returns the benchmark descriptor.
+func Jack() *Benchmark {
+	return &Benchmark{
+		Name:        "jack",
+		Description: "A Java parser generator that is based on an earlier version of JavaCC",
+		Input:       "-s100 -m1 -M1 (scaled)",
+		Build:       buildJack,
+		Verify:      verifyJack,
+	}
+}
+
+func buildJack(_ int, scale Scale, base uint64) *bytecode.Program {
+	nts, passes := jackParams(scale)
+	g := makeJackGrammar(nts)
+	pb := bytecode.NewProgram("jack")
+	pb.Globals(jkGlobals, jkGlobalRefs)
+
+	emitIdx := jkEmit(pb)
+	matchIdx := jkMatch(pb)
+
+	// Per-NT methods are mutually recursive through the dispatchers:
+	// register placeholders for the dispatchers first.
+	genDispatch := pb.Add(jkPlaceholder("genAny", 2))
+	parseDispatch := pb.Add(jkPlaceholder("parseAny", 1))
+
+	genIdxs := make([]int32, nts)
+	parseIdxs := make([]int32, nts)
+	for n := int32(0); n < nts; n++ {
+		genIdxs[n] = jkGenNT(pb, g, n, emitIdx, genDispatch)
+		parseIdxs[n] = jkParseNT(pb, g, n, matchIdx, parseDispatch)
+	}
+	jkPatchDispatch(pb, genDispatch, "genAny", 2, genIdxs, true)
+	jkPatchDispatch(pb, parseDispatch, "parseAny", 1, parseIdxs, false)
+
+	firstIdx := jkFirstSets(pb, g)
+
+	b := bytecode.NewMethod("main", 0, scratchLocals)
+	const (
+		lPass, lChk, lI, lN = 0, 1, 2, 3
+	)
+	maxTok := int32(1) << 16
+	b.Const(0).Store(lChk)
+	// Phase 1: FIRST sets from the baked production tables.
+	b.Op(bytecode.Call, firstIdx)
+	forConst(b, lPass, passes, func() {
+		b.Const(maxTok).Op(bytecode.NewArray, bytecode.KindInt).Op(bytecode.PutStatic, jkgTok)
+		b.Const(0).Op(bytecode.PutStatic, jkgNTok)
+		b.Const(0).Op(bytecode.PutStatic, jkgPos)
+		b.Load(lPass).Const(131).Op(bytecode.Imul).Const(9973).Op(bytecode.Iadd).Op(bytecode.PutStatic, jkgSeed)
+		// Phase 2: derive a token stream from the start symbol.
+		b.Const(0).Const(jkGenDepth).Op(bytecode.Call, genDispatch)
+		b.Op(bytecode.GetStatic, jkgTokens).Op(bytecode.GetStatic, jkgNTok).Op(bytecode.Iadd).Op(bytecode.PutStatic, jkgTokens)
+		// Phase 3: parse it back with the generated parser.
+		b.Const(0).Op(bytecode.Call, parseDispatch)
+		// Mix the token stream into the checksum.
+		b.Op(bytecode.GetStatic, jkgNTok).Store(lN)
+		forVar(b, lI, lN, func() {
+			b.Op(bytecode.GetStatic, jkgTok).Load(lI).Op(bytecode.ALoad)
+			emitMix(b, lChk)
+		})
+	})
+	b.Load(lChk).Op(bytecode.PutStatic, jkgChk)
+	b.Op(bytecode.Ret)
+	pb.Entry(pb.Add(b.Finish()))
+	return pb.MustLink(base)
+}
+
+// jkPlaceholder registers an empty method with the given arg count so
+// mutually recursive groups can be wired before their bodies exist.
+func jkPlaceholder(name string, nargs int) *bytecode.Method {
+	b := bytecode.NewMethod(name, nargs, nargs)
+	b.Op(bytecode.Ret)
+	return b.Finish()
+}
+
+// jkEmit builds emit(t): appends a token.
+func jkEmit(pb *bytecode.ProgramBuilder) int32 {
+	b := bytecode.NewMethod("emit", 1, scratchLocals)
+	const lT, lN = 0, 1
+	b.Op(bytecode.GetStatic, jkgNTok).Store(lN)
+	b.Op(bytecode.GetStatic, jkgTok).Load(lN).Load(lT).Op(bytecode.AStore)
+	b.Load(lN).Const(1).Op(bytecode.Iadd).Op(bytecode.PutStatic, jkgNTok)
+	b.Op(bytecode.Ret)
+	return pb.Add(b.Finish())
+}
+
+// jkMatch builds match(t): consumes the current token, counting a parse
+// error if it is not t.
+func jkMatch(pb *bytecode.ProgramBuilder) int32 {
+	b := bytecode.NewMethod("match", 1, scratchLocals)
+	const lT = 0
+	ok := b.NewLabel()
+	b.Op(bytecode.GetStatic, jkgTok).Op(bytecode.GetStatic, jkgPos).Op(bytecode.ALoad)
+	b.Load(lT)
+	b.Br(bytecode.IfEq, ok)
+	b.Op(bytecode.GetStatic, jkgErrors).Const(1).Op(bytecode.Iadd).Op(bytecode.PutStatic, jkgErrors)
+	b.Bind(ok)
+	b.Op(bytecode.GetStatic, jkgPos).Const(1).Op(bytecode.Iadd).Op(bytecode.PutStatic, jkgPos)
+	b.Op(bytecode.Ret)
+	return pb.Add(b.Finish())
+}
+
+// jkRand pushes a bounded pseudo-random value using the shared seed
+// global (same idiom as javac).
+func jkRand(b *mb, bound int32) {
+	const lTmp = 62
+	b.Op(bytecode.GetStatic, jkgSeed).Store(lTmp)
+	emitLCGInt(b, lTmp, bound)
+	b.Load(lTmp).Op(bytecode.PutStatic, jkgSeed)
+}
+
+// jkGenNT builds gen<NT n>(depth): emits one derivation of n. Terminal
+// symbols are emitted; nonterminals recurse through the dispatcher with
+// depth-1. At depth 0 the all-terminal alternative is forced.
+func jkGenNT(pb *bytecode.ProgramBuilder, g *jackGrammar, n int32, emitIdx, genDispatch int32) int32 {
+	b := bytecode.NewMethod(fmt.Sprintf("gen_%d", n), 1, scratchLocals)
+	const lDepth = 0
+	alt0 := b.NewLabel()
+	done := b.NewLabel()
+	b.Load(lDepth).Const(0)
+	b.Br(bytecode.IfLe, alt0)
+	jkRand(b, 100)
+	b.Const(40)
+	b.Br(bytecode.IfLt, alt0)
+	for _, sym := range g.alt1[n] {
+		if sym < jkTerms {
+			b.Const(sym).Op(bytecode.Call, emitIdx)
+		} else {
+			b.Const(sym - jkTerms)
+			b.Load(lDepth).Const(1).Op(bytecode.Isub)
+			b.Op(bytecode.Call, genDispatch)
+		}
+	}
+	b.Br(bytecode.Goto, done)
+	b.Bind(alt0)
+	for _, sym := range g.alt0[n] {
+		b.Const(sym).Op(bytecode.Call, emitIdx)
+	}
+	b.Bind(done)
+	b.Op(bytecode.Ret)
+	return pb.Add(b.Finish())
+}
+
+// jkParseNT builds parse<NT n>(): inspects the current token to select
+// the alternative (the leading terminals are distinct by construction)
+// and consumes it, recursing through the dispatcher for nonterminals —
+// the exact shape of JavaCC-generated parse methods.
+func jkParseNT(pb *bytecode.ProgramBuilder, g *jackGrammar, n int32, matchIdx, parseDispatch int32) int32 {
+	b := bytecode.NewMethod(fmt.Sprintf("parse_%d", n), 0, scratchLocals)
+	lead1 := g.alt1[n][0]
+	useAlt1, done := b.NewLabel(), b.NewLabel()
+	b.Op(bytecode.GetStatic, jkgNodes).Const(1).Op(bytecode.Iadd).Op(bytecode.PutStatic, jkgNodes)
+	b.Op(bytecode.GetStatic, jkgTok).Op(bytecode.GetStatic, jkgPos).Op(bytecode.ALoad)
+	b.Const(lead1)
+	b.Br(bytecode.IfEq, useAlt1)
+	for _, sym := range g.alt0[n] {
+		b.Const(sym).Op(bytecode.Call, matchIdx)
+	}
+	b.Br(bytecode.Goto, done)
+	b.Bind(useAlt1)
+	for _, sym := range g.alt1[n] {
+		if sym < jkTerms {
+			b.Const(sym).Op(bytecode.Call, matchIdx)
+		} else {
+			b.Const(sym-jkTerms).Op(bytecode.Call, parseDispatch)
+		}
+	}
+	b.Bind(done)
+	b.Op(bytecode.Ret)
+	return pb.Add(b.Finish())
+}
+
+// jkPatchDispatch fills a dispatcher: a long if-chain over the NT id,
+// virtually dispatching to each per-NT method.
+func jkPatchDispatch(pb *bytecode.ProgramBuilder, self int32, name string, nargs int, targets []int32, passDepth bool) {
+	b := bytecode.NewMethod(name, nargs, scratchLocals)
+	for n, tgt := range targets {
+		skip := b.NewLabel()
+		b.Load(0).Const(int32(n))
+		b.Br(bytecode.IfNe, skip)
+		if passDepth {
+			b.Load(1)
+		}
+		b.Op(bytecode.CallVirt, tgt)
+		b.Op(bytecode.Ret)
+		b.Bind(skip)
+	}
+	b.Op(bytecode.Ret)
+	jcReplace(pb, self, b.Finish())
+}
+
+// jkFirstSets builds firstSets(): computes FIRST for every nonterminal to
+// a fixpoint from baked production tables and publishes a checksum. Sets
+// are bitmasks over the 32 terminals.
+func jkFirstSets(pb *bytecode.ProgramBuilder, g *jackGrammar) int32 {
+	b := bytecode.NewMethod("firstSets", 0, scratchLocals)
+	const (
+		lFirst, lRhs, lOff, lChanged, lN, lI, lSym, lBefore, lChk = 0, 1, 2, 3, 4, 5, 6, 7, 8
+	)
+	nts := g.nts
+	// Bake the grammar tables: flat RHS array + per-alternative offsets.
+	var flat []int32
+	var offs []int32
+	for n := int32(0); n < nts; n++ {
+		for _, alt := range [][]int32{g.alt0[n], g.alt1[n]} {
+			offs = append(offs, int32(len(flat)))
+			flat = append(flat, alt...)
+			flat = append(flat, -1) // alternative terminator
+		}
+	}
+	b.Const(int32(len(flat))).Op(bytecode.NewArray, bytecode.KindInt).Store(lRhs)
+	for i, v := range flat {
+		b.Load(lRhs).Const(int32(i)).Const(v).Op(bytecode.AStore)
+	}
+	b.Const(int32(len(offs))).Op(bytecode.NewArray, bytecode.KindInt).Store(lOff)
+	for i, v := range offs {
+		b.Load(lOff).Const(int32(i)).Const(v).Op(bytecode.AStore)
+	}
+	b.Const(nts).Op(bytecode.NewArray, bytecode.KindInt).Store(lFirst)
+	// Fixpoint: FIRST(n) |= bit(lead) or FIRST(lead NT) for each alt.
+	outer, fixed := b.NewLabel(), b.NewLabel()
+	b.Bind(outer)
+	b.Const(0).Store(lChanged)
+	forConst(b, lN, nts, func() {
+		b.Load(lFirst).Load(lN).Op(bytecode.ALoad).Store(lBefore)
+		forConst(b, lI, 2, func() {
+			// sym = rhs[off[2n+i]]
+			b.Load(lRhs)
+			b.Load(lOff)
+			b.Load(lN).Const(2).Op(bytecode.Imul).Load(lI).Op(bytecode.Iadd)
+			b.Op(bytecode.ALoad)
+			b.Op(bytecode.ALoad)
+			b.Store(lSym)
+			term := b.NewLabel()
+			merged := b.NewLabel()
+			b.Load(lSym).Const(jkTerms)
+			b.Br(bytecode.IfLt, term)
+			// Nonterminal: union in its FIRST.
+			b.Load(lFirst).Load(lN)
+			b.Load(lFirst).Load(lN).Op(bytecode.ALoad)
+			b.Load(lFirst).Load(lSym).Const(jkTerms).Op(bytecode.Isub).Op(bytecode.ALoad)
+			b.Op(bytecode.Ior)
+			b.Op(bytecode.AStore)
+			b.Br(bytecode.Goto, merged)
+			b.Bind(term)
+			b.Load(lFirst).Load(lN)
+			b.Load(lFirst).Load(lN).Op(bytecode.ALoad)
+			b.Const(1).Load(lSym).Op(bytecode.Ishl)
+			b.Op(bytecode.Ior)
+			b.Op(bytecode.AStore)
+			b.Bind(merged)
+		})
+		same := b.NewLabel()
+		b.Load(lFirst).Load(lN).Op(bytecode.ALoad).Load(lBefore)
+		b.Br(bytecode.IfEq, same)
+		b.Const(1).Store(lChanged)
+		b.Bind(same)
+	})
+	b.Load(lChanged).Const(0)
+	b.Br(bytecode.IfEq, fixed)
+	b.Br(bytecode.Goto, outer)
+	b.Bind(fixed)
+	b.Const(0).Store(lChk)
+	forConst(b, lN, nts, func() {
+		b.Load(lFirst).Load(lN).Op(bytecode.ALoad)
+		emitMix(b, lChk)
+	})
+	b.Load(lChk).Op(bytecode.PutStatic, jkgFirstChk)
+	b.Op(bytecode.Ret)
+	return pb.Add(b.Finish())
+}
+
+// --- Go mirror ---
+
+type jkMirror struct {
+	g      *jackGrammar
+	seed   int64
+	tok    []int64
+	pos    int
+	nodes  int64
+	errors int64
+}
+
+func (m *jkMirror) rand(bound int64) int64 {
+	m.seed = lcgNextGo(m.seed)
+	return lcgIntGo(m.seed, bound)
+}
+
+func (m *jkMirror) gen(n int32, depth int64) {
+	useAlt0 := depth <= 0
+	if !useAlt0 {
+		useAlt0 = m.rand(100) < 40
+	}
+	if useAlt0 {
+		for _, sym := range m.g.alt0[n] {
+			m.tok = append(m.tok, int64(sym))
+		}
+		return
+	}
+	for _, sym := range m.g.alt1[n] {
+		if sym < jkTerms {
+			m.tok = append(m.tok, int64(sym))
+		} else {
+			m.gen(sym-jkTerms, depth-1)
+		}
+	}
+}
+
+func (m *jkMirror) match(t int32) {
+	if m.pos >= len(m.tok) || m.tok[m.pos] != int64(t) {
+		m.errors++
+	}
+	m.pos++
+}
+
+func (m *jkMirror) parse(n int32) {
+	m.nodes++
+	cur := int64(-1)
+	if m.pos < len(m.tok) {
+		cur = m.tok[m.pos]
+	}
+	if cur == int64(m.g.alt1[n][0]) {
+		for _, sym := range m.g.alt1[n] {
+			if sym < jkTerms {
+				m.match(sym)
+			} else {
+				m.parse(sym - jkTerms)
+			}
+		}
+		return
+	}
+	for _, sym := range m.g.alt0[n] {
+		m.match(sym)
+	}
+}
+
+func jackGo(nts, passes int32) (chk, tokens, nodes, errors, firstChk int64) {
+	g := makeJackGrammar(nts)
+	// FIRST sets.
+	first := make([]int64, nts)
+	for changed := true; changed; {
+		changed = false
+		for n := int32(0); n < nts; n++ {
+			before := first[n]
+			for _, alt := range [][]int32{g.alt0[n], g.alt1[n]} {
+				sym := alt[0]
+				if sym < jkTerms {
+					first[n] |= 1 << uint(sym)
+				} else {
+					first[n] |= first[sym-jkTerms]
+				}
+			}
+			if first[n] != before {
+				changed = true
+			}
+		}
+	}
+	for n := int32(0); n < nts; n++ {
+		firstChk = mix64Go(firstChk, first[n])
+	}
+	for pass := int32(0); pass < passes; pass++ {
+		m := &jkMirror{g: g, seed: int64(pass)*131 + 9973}
+		m.gen(0, jkGenDepth)
+		tokens += int64(len(m.tok))
+		m.parse(0)
+		nodes += m.nodes
+		errors += m.errors
+		for _, t := range m.tok {
+			chk = mix64Go(chk, t)
+		}
+	}
+	return chk, tokens, nodes, errors, firstChk
+}
+
+func verifyJack(vm *jvm.VM, _ int, scale Scale) error {
+	nts, passes := jackParams(scale)
+	chk, tokens, nodes, errors, firstChk := jackGo(nts, passes)
+	if got := int64(vm.Global(jkgErrors)); got != errors || errors != 0 {
+		return fmt.Errorf("jack: %d parse errors (mirror %d)", got, errors)
+	}
+	if got := int64(vm.Global(jkgTokens)); got != tokens {
+		return fmt.Errorf("jack: %d tokens, want %d", got, tokens)
+	}
+	if got := int64(vm.Global(jkgNodes)); got != nodes {
+		return fmt.Errorf("jack: %d parse nodes, want %d", got, nodes)
+	}
+	if got := int64(vm.Global(jkgFirstChk)); got != firstChk {
+		return fmt.Errorf("jack: FIRST checksum %d, want %d", got, firstChk)
+	}
+	if got := int64(vm.Global(jkgChk)); got != chk {
+		return fmt.Errorf("jack: token checksum %d, want %d", got, chk)
+	}
+	return nil
+}

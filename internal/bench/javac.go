@@ -1,0 +1,941 @@
+package bench
+
+import (
+	"fmt"
+
+	"javasmt/internal/bytecode"
+	"javasmt/internal/jvm"
+)
+
+// javac — "the Java compiler from the JDK 1.0.2". A full (small)
+// compiler pipeline runs here: a grammar-driven source generator produces
+// a token stream of assignment statements, a recursive-descent parser
+// builds an AST of heap-allocated nodes, a constant-folding pass rewrites
+// it, a code generator emits stack-machine code, and an interpreter
+// executes that code to produce the program's observable results. The
+// profile matches the paper's javac: many small methods (large
+// instruction footprint — javac is a "bad partner"), heavy recursion,
+// allocation churn and data-dependent branching.
+//
+// Globals: 0 = variable checksum, 1 = tokens, 2 = AST nodes, 3 = folds.
+const (
+	jcNUM = iota
+	jcPLUS
+	jcMINUS
+	jcSTAR
+	jcSLASH
+	jcLPAREN
+	jcRPAREN
+	jcSEMI
+	jcIDENT
+	jcASSIGN
+	jcEOF
+)
+
+const (
+	jcVars     = 16
+	jcGenDepth = 4
+)
+
+func javacParams(s Scale) (stmts, iters int32) {
+	return s.pick(30, 150, 500), s.pick(2, 2, 3)
+}
+
+// Javac returns the benchmark descriptor.
+func Javac() *Benchmark {
+	return &Benchmark{
+		Name:        "javac",
+		Description: "The Java compiler from the JDK 1.0.2",
+		Input:       "-s100 -m1 -M1 (scaled)",
+		Build:       buildJavac,
+		Verify:      verifyJavac,
+	}
+}
+
+// javac globals.
+const (
+	jcgChk, jcgTokens, jcgNodes, jcgFolds = 0, 1, 2, 3
+	jcgTokKind, jcgTokVal                 = 4, 5
+	jcgPos, jcgSeed                       = 6, 7
+	jcgCodeOp, jcgCodeArg, jcgCodeLen     = 8, 9, 10
+	jcgNTok                               = 11
+	jcGlobals                             = 12
+	jcGlobalRefs                          = 1<<jcgTokKind | 1<<jcgTokVal | 1<<jcgCodeOp | 1<<jcgCodeArg
+)
+
+// Node class field slots.
+const (
+	jcfKind, jcfValue, jcfLeft, jcfRight = 0, 1, 2, 3
+)
+
+// Stack-machine opcodes emitted by the code generator.
+const (
+	jcOpPush = iota + 1
+	jcOpLoad
+	jcOpAdd
+	jcOpSub
+	jcOpMul
+	jcOpDiv
+	jcOpStore
+)
+
+func buildJavac(_ int, scale Scale, base uint64) *bytecode.Program {
+	stmts, iters := javacParams(scale)
+	pb := bytecode.NewProgram("javac")
+	pb.Globals(jcGlobals, jcGlobalRefs)
+	node := pb.Class("Node", 4, 1<<jcfLeft|1<<jcfRight)
+
+	emitTok := jcEmitTok(pb)
+	// Mutually recursive method groups register placeholders first to
+	// fix their indices, then are patched once callees exist.
+	genExprFwd := pb.Add(jcForwardGenExpr(node))
+	genTermIdx := jcGenTerm(pb, emitTok, genExprFwd)
+	jcPatchGenExpr(pb, genExprFwd, emitTok, genTermIdx)
+
+	newNodeIdx := jcNewNode(pb, node)
+	peekIdx := jcPeek(pb)
+	advanceIdx := jcAdvance(pb)
+	parseExprFwd := pb.Add(jcForwardParseExpr())
+	parseFactorIdx := jcParseFactor(pb, node, newNodeIdx, peekIdx, advanceIdx, parseExprFwd)
+	parseTermIdx := jcParseTerm(pb, newNodeIdx, peekIdx, advanceIdx, parseFactorIdx)
+	jcPatchParseExpr(pb, parseExprFwd, newNodeIdx, peekIdx, advanceIdx, parseTermIdx)
+
+	foldIdx := jcFold(pb, node, newNodeIdx)
+	// Semantic-check passes: real compilers run many distinct AST
+	// walks (type checking, reachability, constant-range checks, ...);
+	// each generated pass here is its own compiled method, giving javac
+	// the many-small-methods instruction footprint the paper observes.
+	var checkIdxs []int32
+	for k := 0; k < 90; k++ {
+		checkIdxs = append(checkIdxs, jcCheckPass(pb, k))
+	}
+	emitCodeIdx := jcEmitCode(pb)
+	genCodeFwd := pb.Add(jcForwardGenCode())
+	jcPatchGenCode(pb, genCodeFwd, emitCodeIdx)
+	evalIdx := jcEval(pb)
+
+	b := bytecode.NewMethod("main", 0, scratchLocals)
+	const (
+		lIter, lS, lVarsArr, lAST, lV, lI, lChk = 0, 1, 2, 3, 4, 5, 6
+	)
+	maxTok := stmts * 80
+	b.Const(0).Store(lChk)
+	forConst(b, lIter, iters, func() {
+		// Fresh token/code buffers per compile.
+		b.Const(maxTok).Op(bytecode.NewArray, bytecode.KindInt).Op(bytecode.PutStatic, jcgTokKind)
+		b.Const(maxTok).Op(bytecode.NewArray, bytecode.KindInt).Op(bytecode.PutStatic, jcgTokVal)
+		b.Const(maxTok*2).Op(bytecode.NewArray, bytecode.KindInt).Op(bytecode.PutStatic, jcgCodeOp)
+		b.Const(maxTok*2).Op(bytecode.NewArray, bytecode.KindInt).Op(bytecode.PutStatic, jcgCodeArg)
+		b.Const(0).Op(bytecode.PutStatic, jcgNTok)
+		b.Const(0).Op(bytecode.PutStatic, jcgCodeLen)
+		b.Const(0).Op(bytecode.PutStatic, jcgPos)
+		b.Load(lIter).Const(7717).Op(bytecode.Imul).Const(5551).Op(bytecode.Iadd).Op(bytecode.PutStatic, jcgSeed)
+		// Generate source: stmts assignments.
+		forConst(b, lS, stmts, func() {
+			// ident = expr ;
+			b.Const(jcIDENT)
+			jcEmitRand(b, jcVars)
+			b.Op(bytecode.Call, emitTok)
+			b.Const(jcASSIGN).Const(0).Op(bytecode.Call, emitTok)
+			b.Const(jcGenDepth).Op(bytecode.Call, genExprFwd)
+			b.Const(jcSEMI).Const(0).Op(bytecode.Call, emitTok)
+		})
+		b.Const(jcEOF).Const(0).Op(bytecode.Call, emitTok)
+		b.Op(bytecode.GetStatic, jcgTokens)
+		b.Op(bytecode.GetStatic, jcgNTok).Op(bytecode.Iadd)
+		b.Op(bytecode.PutStatic, jcgTokens)
+
+		// Parse + fold + codegen, statement by statement.
+		b.Const(jcVars).Op(bytecode.NewArray, bytecode.KindInt).Store(lVarsArr)
+		forConst(b, lS, stmts, func() {
+			// v = token value of the IDENT; skip IDENT and '='.
+			b.Op(bytecode.GetStatic, jcgTokVal).Op(bytecode.GetStatic, jcgPos).Op(bytecode.ALoad).Store(lV)
+			b.Op(bytecode.Call, advanceIdx)
+			b.Op(bytecode.Call, advanceIdx)
+			b.Op(bytecode.Call, parseExprFwd).Store(lAST)
+			// Each semantic pass walks the fresh AST and returns a
+			// diagnostic count, mixed into the program checksum.
+			for _, ci := range checkIdxs {
+				b.Load(lAST).Op(bytecode.CallVirt, ci)
+				emitMix(b, lChk)
+			}
+			b.Load(lAST).Op(bytecode.Call, foldIdx).Store(lAST)
+			b.Load(lAST).Op(bytecode.Call, genCodeFwd)
+			// STOREV v terminates the statement's code.
+			b.Const(jcOpStore).Load(lV).Op(bytecode.Call, emitCodeIdx)
+			b.Op(bytecode.Call, advanceIdx) // ';'
+		})
+		// Execute the generated code.
+		b.Load(lVarsArr).Op(bytecode.Call, evalIdx)
+		// Fold the variable state into the checksum.
+		forConst(b, lI, jcVars, func() {
+			b.Load(lVarsArr).Load(lI).Op(bytecode.ALoad)
+			emitMix(b, lChk)
+		})
+	})
+	b.Load(lChk).Op(bytecode.PutStatic, jcgChk)
+	b.Op(bytecode.Ret)
+	pb.Entry(pb.Add(b.Finish()))
+	return pb.MustLink(base)
+}
+
+// jcEmitRand pushes a bounded pseudo-random value using the shared seed
+// global (inline, because the seed lives in a global, not a local).
+func jcEmitRand(b *mb, bound int32) {
+	const lTmp = 62 // scratch local reserved in every javac method
+	b.Op(bytecode.GetStatic, jcgSeed).Store(lTmp)
+	emitLCGInt(b, lTmp, bound) // advances lTmp, pushes the bounded value
+	b.Load(lTmp).Op(bytecode.PutStatic, jcgSeed)
+	// The bounded value stays on the stack for the caller.
+}
+
+// jcEmitTok builds emitTok(kind, val): appends one token.
+func jcEmitTok(pb *bytecode.ProgramBuilder) int32 {
+	b := bytecode.NewMethod("emitTok", 2, scratchLocals)
+	const lKind, lVal, lN = 0, 1, 2
+	b.Op(bytecode.GetStatic, jcgNTok).Store(lN)
+	b.Op(bytecode.GetStatic, jcgTokKind).Load(lN).Load(lKind).Op(bytecode.AStore)
+	b.Op(bytecode.GetStatic, jcgTokVal).Load(lN).Load(lVal).Op(bytecode.AStore)
+	b.Load(lN).Const(1).Op(bytecode.Iadd).Op(bytecode.PutStatic, jcgNTok)
+	b.Op(bytecode.Ret)
+	return pb.Add(b.Finish())
+}
+
+// The generator methods are mutually recursive (genExpr -> genTerm ->
+// genFactor -> genExpr), so genExpr is registered first as a placeholder
+// and patched once genTerm's index is known. jcForwardGenExpr returns the
+// placeholder method whose Code is replaced by jcPatchGenExpr.
+func jcForwardGenExpr(node int32) *bytecode.Method {
+	b := bytecode.NewMethod("genExpr", 1, scratchLocals)
+	b.Op(bytecode.Ret)
+	_ = node
+	return b.Finish()
+}
+
+// jcPatchGenExpr fills in genExpr(depth): genTerm { (+|-) genTerm }*.
+func jcPatchGenExpr(pb *bytecode.ProgramBuilder, self int32, emitTok, genTerm int32) {
+	b := bytecode.NewMethod("genExpr", 1, scratchLocals)
+	const lDepth, lR = 0, 1
+	b.Load(lDepth).Op(bytecode.Call, genTerm)
+	loop, done := b.NewLabel(), b.NewLabel()
+	b.Bind(loop)
+	jcEmitRand(b, 100)
+	b.Store(lR)
+	b.Load(lR).Const(40)
+	b.Br(bytecode.IfGe, done)
+	plus := b.NewLabel()
+	after := b.NewLabel()
+	b.Load(lR).Const(20)
+	b.Br(bytecode.IfLt, plus)
+	b.Const(jcMINUS).Const(0).Op(bytecode.Call, emitTok)
+	b.Br(bytecode.Goto, after)
+	b.Bind(plus)
+	b.Const(jcPLUS).Const(0).Op(bytecode.Call, emitTok)
+	b.Bind(after)
+	b.Load(lDepth).Op(bytecode.Call, genTerm)
+	b.Br(bytecode.Goto, loop)
+	b.Bind(done)
+	b.Op(bytecode.Ret)
+	jcReplace(pb, self, b.Finish())
+}
+
+// jcGenTerm builds genTerm(depth): genFactor { (*|/) genFactor }*, with
+// genFactor inlined (NUM | IDENT | '(' genExpr(depth-1) ')').
+func jcGenTerm(pb *bytecode.ProgramBuilder, emitTok, genExpr int32) int32 {
+	factor := func(b *mb, lDepth, lR int32) {
+		leaf, num, doneF := b.NewLabel(), b.NewLabel(), b.NewLabel()
+		b.Load(lDepth).Const(0)
+		b.Br(bytecode.IfLe, leaf)
+		jcEmitRand(b, 100)
+		b.Store(lR)
+		b.Load(lR).Const(70)
+		b.Br(bytecode.IfLt, leaf)
+		// Parenthesized subexpression.
+		b.Const(jcLPAREN).Const(0).Op(bytecode.Call, emitTok)
+		b.Load(lDepth).Const(1).Op(bytecode.Isub).Op(bytecode.Call, genExpr)
+		b.Const(jcRPAREN).Const(0).Op(bytecode.Call, emitTok)
+		b.Br(bytecode.Goto, doneF)
+		b.Bind(leaf)
+		jcEmitRand(b, 100)
+		b.Store(lR)
+		b.Load(lR).Const(55)
+		b.Br(bytecode.IfLt, num)
+		b.Const(jcIDENT)
+		jcEmitRand(b, jcVars)
+		b.Op(bytecode.Call, emitTok)
+		b.Br(bytecode.Goto, doneF)
+		b.Bind(num)
+		b.Const(jcNUM)
+		jcEmitRand(b, 97)
+		b.Const(1).Op(bytecode.Iadd)
+		b.Op(bytecode.Call, emitTok)
+		b.Bind(doneF)
+	}
+	b := bytecode.NewMethod("genTerm", 1, scratchLocals)
+	const lDepth, lR = 0, 1
+	factor(b, lDepth, lR)
+	loop, done := b.NewLabel(), b.NewLabel()
+	b.Bind(loop)
+	jcEmitRand(b, 100)
+	b.Store(lR)
+	b.Load(lR).Const(35)
+	b.Br(bytecode.IfGe, done)
+	star := b.NewLabel()
+	after := b.NewLabel()
+	b.Load(lR).Const(15)
+	b.Br(bytecode.IfLt, star)
+	b.Const(jcSLASH).Const(0).Op(bytecode.Call, emitTok)
+	b.Br(bytecode.Goto, after)
+	b.Bind(star)
+	b.Const(jcSTAR).Const(0).Op(bytecode.Call, emitTok)
+	b.Bind(after)
+	factor(b, lDepth, lR)
+	b.Br(bytecode.Goto, loop)
+	b.Bind(done)
+	b.Op(bytecode.Ret)
+	return pb.Add(b.Finish())
+}
+
+// jcNewNode builds newNode(kind, value, left, right): Node.
+func jcNewNode(pb *bytecode.ProgramBuilder, node int32) int32 {
+	b := bytecode.NewMethod("newNode", 4, scratchLocals).ArgRefs(0b1100).ReturnsRef()
+	const lKind, lVal, lL, lR, lN = 0, 1, 2, 3, 4
+	b.Op(bytecode.New, node).Store(lN)
+	b.Load(lN).Load(lKind).Op(bytecode.PutField, jcfKind)
+	b.Load(lN).Load(lVal).Op(bytecode.PutField, jcfValue)
+	b.Load(lN).Load(lL).Op(bytecode.PutField, jcfLeft)
+	b.Load(lN).Load(lR).Op(bytecode.PutField, jcfRight)
+	b.Op(bytecode.GetStatic, jcgNodes).Const(1).Op(bytecode.Iadd).Op(bytecode.PutStatic, jcgNodes)
+	b.Load(lN).Op(bytecode.RetVal)
+	return pb.Add(b.Finish())
+}
+
+// jcPeek builds peek(): current token kind.
+func jcPeek(pb *bytecode.ProgramBuilder) int32 {
+	b := bytecode.NewMethod("peek", 0, scratchLocals)
+	b.Op(bytecode.GetStatic, jcgTokKind).Op(bytecode.GetStatic, jcgPos).Op(bytecode.ALoad)
+	b.Op(bytecode.RetVal)
+	return pb.Add(b.Finish())
+}
+
+// jcAdvance builds advance(): consumes one token.
+func jcAdvance(pb *bytecode.ProgramBuilder) int32 {
+	b := bytecode.NewMethod("advance", 0, scratchLocals)
+	b.Op(bytecode.GetStatic, jcgPos).Const(1).Op(bytecode.Iadd).Op(bytecode.PutStatic, jcgPos)
+	b.Op(bytecode.Ret)
+	return pb.Add(b.Finish())
+}
+
+func jcForwardParseExpr() *bytecode.Method {
+	b := bytecode.NewMethod("parseExpr", 0, scratchLocals).ReturnsRef()
+	b.Const(0).Op(bytecode.RetVal)
+	return b.Finish()
+}
+
+// jcParseFactor builds parseFactor(): NUM | IDENT | '(' expr ')'.
+func jcParseFactor(pb *bytecode.ProgramBuilder, node, newNode, peek, advance, parseExpr int32) int32 {
+	b := bytecode.NewMethod("parseFactor", 0, scratchLocals).ReturnsRef()
+	const lK, lV, lN = 0, 1, 2
+	_ = node
+	b.Op(bytecode.Call, peek).Store(lK)
+	paren, ident := b.NewLabel(), b.NewLabel()
+	b.Load(lK).Const(jcLPAREN)
+	b.Br(bytecode.IfEq, paren)
+	b.Load(lK).Const(jcIDENT)
+	b.Br(bytecode.IfEq, ident)
+	// NUM leaf.
+	b.Op(bytecode.GetStatic, jcgTokVal).Op(bytecode.GetStatic, jcgPos).Op(bytecode.ALoad).Store(lV)
+	b.Op(bytecode.Call, advance)
+	b.Const(jcNUM).Load(lV).Const(0).Const(0).Op(bytecode.Call, newNode)
+	b.Op(bytecode.RetVal)
+	b.Bind(ident)
+	b.Op(bytecode.GetStatic, jcgTokVal).Op(bytecode.GetStatic, jcgPos).Op(bytecode.ALoad).Store(lV)
+	b.Op(bytecode.Call, advance)
+	b.Const(jcIDENT).Load(lV).Const(0).Const(0).Op(bytecode.Call, newNode)
+	b.Op(bytecode.RetVal)
+	b.Bind(paren)
+	b.Op(bytecode.Call, advance)
+	b.Op(bytecode.Call, parseExpr).Store(lN)
+	b.Op(bytecode.Call, advance) // ')'
+	b.Load(lN).Op(bytecode.RetVal)
+	return pb.Add(b.Finish())
+}
+
+// jcParseTerm builds parseTerm(): factor { (*|/) factor }*.
+func jcParseTerm(pb *bytecode.ProgramBuilder, newNode, peek, advance, parseFactor int32) int32 {
+	b := bytecode.NewMethod("parseTerm", 0, scratchLocals).ReturnsRef()
+	const lLeft, lK = 0, 1
+	b.Op(bytecode.Call, parseFactor).Store(lLeft)
+	loop, done := b.NewLabel(), b.NewLabel()
+	b.Bind(loop)
+	b.Op(bytecode.Call, peek).Store(lK)
+	isOp := b.NewLabel()
+	b.Load(lK).Const(jcSTAR)
+	b.Br(bytecode.IfEq, isOp)
+	b.Load(lK).Const(jcSLASH)
+	b.Br(bytecode.IfEq, isOp)
+	b.Br(bytecode.Goto, done)
+	b.Bind(isOp)
+	b.Op(bytecode.Call, advance)
+	b.Load(lK).Const(0).Load(lLeft)
+	b.Op(bytecode.Call, parseFactor)
+	b.Op(bytecode.Call, newNode).Store(lLeft)
+	b.Br(bytecode.Goto, loop)
+	b.Bind(done)
+	b.Load(lLeft).Op(bytecode.RetVal)
+	return pb.Add(b.Finish())
+}
+
+// jcPatchParseExpr fills in parseExpr(): term { (+|-) term }*.
+func jcPatchParseExpr(pb *bytecode.ProgramBuilder, self, newNode, peek, advance, parseTerm int32) {
+	b := bytecode.NewMethod("parseExpr", 0, scratchLocals).ReturnsRef()
+	const lLeft, lK = 0, 1
+	b.Op(bytecode.Call, parseTerm).Store(lLeft)
+	loop, done := b.NewLabel(), b.NewLabel()
+	b.Bind(loop)
+	b.Op(bytecode.Call, peek).Store(lK)
+	isOp := b.NewLabel()
+	b.Load(lK).Const(jcPLUS)
+	b.Br(bytecode.IfEq, isOp)
+	b.Load(lK).Const(jcMINUS)
+	b.Br(bytecode.IfEq, isOp)
+	b.Br(bytecode.Goto, done)
+	b.Bind(isOp)
+	b.Op(bytecode.Call, advance)
+	b.Load(lK).Const(0).Load(lLeft)
+	b.Op(bytecode.Call, parseTerm)
+	b.Op(bytecode.Call, newNode).Store(lLeft)
+	b.Br(bytecode.Goto, loop)
+	b.Bind(done)
+	b.Load(lLeft).Op(bytecode.RetVal)
+	jcReplace(pb, self, b.Finish())
+}
+
+// jcFold builds fold(n): Node — constant-folds the AST bottom-up,
+// allocating replacement NUM nodes for foldable operators.
+func jcFold(pb *bytecode.ProgramBuilder, node, newNode int32) int32 {
+	_ = node
+	b := bytecode.NewMethod("fold", 1, scratchLocals).ArgRefs(0b1).ReturnsRef()
+	const lN, lL, lR, lK, lV = 0, 1, 2, 3, 4
+	leaf := b.NewLabel()
+	b.Load(lN).Op(bytecode.GetField, jcfLeft)
+	b.Br(bytecode.IfNull, leaf)
+	// Fold children (self-recursive: our own index is len(methods) when
+	// added; computed by the caller and patched via the placeholder
+	// trick being unnecessary here — recursion targets our own index,
+	// which equals the index this method receives at Add time. We use
+	// the helper jcSelfIndex to predict it.)
+	self := jcSelfIndex(pb)
+	b.Load(lN)
+	b.Load(lN).Op(bytecode.GetField, jcfLeft).Op(bytecode.Call, self).Op(bytecode.PutField, jcfLeft)
+	b.Load(lN)
+	b.Load(lN).Op(bytecode.GetField, jcfRight).Op(bytecode.Call, self).Op(bytecode.PutField, jcfRight)
+	// If both children are NUM leaves, fold.
+	noFold := b.NewLabel()
+	b.Load(lN).Op(bytecode.GetField, jcfLeft).Op(bytecode.GetField, jcfKind).Const(jcNUM)
+	b.Br(bytecode.IfNe, noFold)
+	b.Load(lN).Op(bytecode.GetField, jcfRight).Op(bytecode.GetField, jcfKind).Const(jcNUM)
+	b.Br(bytecode.IfNe, noFold)
+	b.Load(lN).Op(bytecode.GetField, jcfLeft).Op(bytecode.GetField, jcfValue).Store(lL)
+	b.Load(lN).Op(bytecode.GetField, jcfRight).Op(bytecode.GetField, jcfValue).Store(lR)
+	b.Load(lN).Op(bytecode.GetField, jcfKind).Store(lK)
+	sub, mul, div, have := b.NewLabel(), b.NewLabel(), b.NewLabel(), b.NewLabel()
+	b.Load(lK).Const(jcMINUS)
+	b.Br(bytecode.IfEq, sub)
+	b.Load(lK).Const(jcSTAR)
+	b.Br(bytecode.IfEq, mul)
+	b.Load(lK).Const(jcSLASH)
+	b.Br(bytecode.IfEq, div)
+	b.Load(lL).Load(lR).Op(bytecode.Iadd).Store(lV)
+	b.Br(bytecode.Goto, have)
+	b.Bind(sub)
+	b.Load(lL).Load(lR).Op(bytecode.Isub).Store(lV)
+	b.Br(bytecode.Goto, have)
+	b.Bind(mul)
+	b.Load(lL).Load(lR).Op(bytecode.Imul).Store(lV)
+	b.Br(bytecode.Goto, have)
+	b.Bind(div)
+	// Guarded division, as the generated language defines x/0 = x/1.
+	nz := b.NewLabel()
+	b.Load(lR).Const(0)
+	b.Br(bytecode.IfNe, nz)
+	b.Const(1).Store(lR)
+	b.Bind(nz)
+	b.Load(lL).Load(lR).Op(bytecode.Idiv).Store(lV)
+	b.Bind(have)
+	b.Op(bytecode.GetStatic, jcgFolds).Const(1).Op(bytecode.Iadd).Op(bytecode.PutStatic, jcgFolds)
+	b.Const(jcNUM).Load(lV).Const(0).Const(0).Op(bytecode.Call, newNode)
+	b.Op(bytecode.RetVal)
+	b.Bind(noFold)
+	b.Load(lN).Op(bytecode.RetVal)
+	b.Bind(leaf)
+	b.Load(lN).Op(bytecode.RetVal)
+	return pb.Add(b.Finish())
+}
+
+// jcCheckPass builds checkPass<k>(n): int — one semantic-analysis walk.
+// Pass k counts the nodes satisfying its own predicate: leaves whose
+// value exceeds a per-pass threshold and interior nodes of a per-pass
+// operator kind.
+func jcCheckPass(pb *bytecode.ProgramBuilder, k int) int32 {
+	kind, thresh := jcCheckParams(k)
+	b := bytecode.NewMethod(fmt.Sprintf("checkPass%d", k), 1, scratchLocals).ArgRefs(0b1)
+	const lN, lCnt = 0, 1
+	self := jcSelfIndex(pb)
+	leaf := b.NewLabel()
+	b.Load(lN).Op(bytecode.GetField, jcfLeft)
+	b.Br(bytecode.IfNull, leaf)
+	// Interior: count(left) + count(right) + (kind matches ? 1 : 0).
+	b.Load(lN).Op(bytecode.GetField, jcfLeft).Op(bytecode.Call, self)
+	b.Load(lN).Op(bytecode.GetField, jcfRight).Op(bytecode.Call, self)
+	b.Op(bytecode.Iadd).Store(lCnt)
+	skip := b.NewLabel()
+	b.Load(lN).Op(bytecode.GetField, jcfKind).Const(kind)
+	b.Br(bytecode.IfNe, skip)
+	b.Load(lCnt).Const(1).Op(bytecode.Iadd).Store(lCnt)
+	b.Bind(skip)
+	b.Load(lCnt).Op(bytecode.RetVal)
+	b.Bind(leaf)
+	hot := b.NewLabel()
+	b.Load(lN).Op(bytecode.GetField, jcfValue).Const(thresh)
+	b.Br(bytecode.IfGt, hot)
+	b.Const(0).Op(bytecode.RetVal)
+	b.Bind(hot)
+	b.Const(1).Op(bytecode.RetVal)
+	return pb.Add(b.Finish())
+}
+
+// jcCheckParams derives pass k's predicate parameters.
+func jcCheckParams(k int) (kind, thresh int32) {
+	kinds := []int32{jcPLUS, jcMINUS, jcSTAR, jcSLASH, jcIDENT}
+	return kinds[k%len(kinds)], int32(5 + 7*k)
+}
+
+// jcCheckPassGo mirrors checkPass<k>.
+func jcCheckPassGo(k int, n *jcNode) int64 {
+	kind, thresh := jcCheckParams(k)
+	if n.left == nil {
+		if n.value > int64(thresh) {
+			return 1
+		}
+		return 0
+	}
+	cnt := jcCheckPassGo(k, n.left) + jcCheckPassGo(k, n.right)
+	if n.kind == int64(kind) {
+		cnt++
+	}
+	return cnt
+}
+
+// jcEmitCode builds emitCode(op, arg): appends one stack-machine instr.
+func jcEmitCode(pb *bytecode.ProgramBuilder) int32 {
+	b := bytecode.NewMethod("emitCode", 2, scratchLocals)
+	const lOp, lArg, lN = 0, 1, 2
+	b.Op(bytecode.GetStatic, jcgCodeLen).Store(lN)
+	b.Op(bytecode.GetStatic, jcgCodeOp).Load(lN).Load(lOp).Op(bytecode.AStore)
+	b.Op(bytecode.GetStatic, jcgCodeArg).Load(lN).Load(lArg).Op(bytecode.AStore)
+	b.Load(lN).Const(1).Op(bytecode.Iadd).Op(bytecode.PutStatic, jcgCodeLen)
+	b.Op(bytecode.Ret)
+	return pb.Add(b.Finish())
+}
+
+func jcForwardGenCode() *bytecode.Method {
+	b := bytecode.NewMethod("genCode", 1, scratchLocals).ArgRefs(0b1)
+	b.Op(bytecode.Ret)
+	return b.Finish()
+}
+
+// jcPatchGenCode fills in genCode(n): post-order walk emitting code.
+func jcPatchGenCode(pb *bytecode.ProgramBuilder, self, emitCode int32) {
+	b := bytecode.NewMethod("genCode", 1, scratchLocals).ArgRefs(0b1)
+	const lN, lK = 0, 1
+	leaf := b.NewLabel()
+	b.Load(lN).Op(bytecode.GetField, jcfLeft)
+	b.Br(bytecode.IfNull, leaf)
+	b.Load(lN).Op(bytecode.GetField, jcfLeft).Op(bytecode.Call, self)
+	b.Load(lN).Op(bytecode.GetField, jcfRight).Op(bytecode.Call, self)
+	b.Load(lN).Op(bytecode.GetField, jcfKind).Store(lK)
+	sub, mul, div, fin := b.NewLabel(), b.NewLabel(), b.NewLabel(), b.NewLabel()
+	b.Load(lK).Const(jcMINUS)
+	b.Br(bytecode.IfEq, sub)
+	b.Load(lK).Const(jcSTAR)
+	b.Br(bytecode.IfEq, mul)
+	b.Load(lK).Const(jcSLASH)
+	b.Br(bytecode.IfEq, div)
+	b.Const(jcOpAdd).Const(0).Op(bytecode.Call, emitCode)
+	b.Br(bytecode.Goto, fin)
+	b.Bind(sub)
+	b.Const(jcOpSub).Const(0).Op(bytecode.Call, emitCode)
+	b.Br(bytecode.Goto, fin)
+	b.Bind(mul)
+	b.Const(jcOpMul).Const(0).Op(bytecode.Call, emitCode)
+	b.Br(bytecode.Goto, fin)
+	b.Bind(div)
+	b.Const(jcOpDiv).Const(0).Op(bytecode.Call, emitCode)
+	b.Bind(fin)
+	b.Op(bytecode.Ret)
+	b.Bind(leaf)
+	num := b.NewLabel()
+	b.Load(lN).Op(bytecode.GetField, jcfKind).Const(jcNUM)
+	b.Br(bytecode.IfEq, num)
+	b.Const(jcOpLoad).Load(lN).Op(bytecode.GetField, jcfValue).Op(bytecode.Call, emitCode)
+	b.Op(bytecode.Ret)
+	b.Bind(num)
+	b.Const(jcOpPush).Load(lN).Op(bytecode.GetField, jcfValue).Op(bytecode.Call, emitCode)
+	b.Op(bytecode.Ret)
+	jcReplace(pb, self, b.Finish())
+}
+
+// jcEval builds eval(vars): executes the generated stack code. Values are
+// kept within int64 by masking after multiplication.
+func jcEval(pb *bytecode.ProgramBuilder) int32 {
+	b := bytecode.NewMethod("eval", 1, scratchLocals).ArgRefs(0b1)
+	const (
+		lVars, lStack, lSp, lPc, lOp, lArg, lA, lB2, lLen = 0, 1, 2, 3, 4, 5, 6, 7, 8
+	)
+	b.Const(256).Op(bytecode.NewArray, bytecode.KindInt).Store(lStack)
+	b.Const(0).Store(lSp)
+	b.Op(bytecode.GetStatic, jcgCodeLen).Store(lLen)
+	forVar(b, lPc, lLen, func() {
+		b.Op(bytecode.GetStatic, jcgCodeOp).Load(lPc).Op(bytecode.ALoad).Store(lOp)
+		b.Op(bytecode.GetStatic, jcgCodeArg).Load(lPc).Op(bytecode.ALoad).Store(lArg)
+		push, load, store, binop, next := b.NewLabel(), b.NewLabel(), b.NewLabel(), b.NewLabel(), b.NewLabel()
+		b.Load(lOp).Const(jcOpPush)
+		b.Br(bytecode.IfEq, push)
+		b.Load(lOp).Const(jcOpLoad)
+		b.Br(bytecode.IfEq, load)
+		b.Load(lOp).Const(jcOpStore)
+		b.Br(bytecode.IfEq, store)
+		b.Br(bytecode.Goto, binop)
+
+		b.Bind(push)
+		b.Load(lStack).Load(lSp).Load(lArg).Op(bytecode.AStore)
+		b.Load(lSp).Const(1).Op(bytecode.Iadd).Store(lSp)
+		b.Br(bytecode.Goto, next)
+
+		b.Bind(load)
+		b.Load(lStack).Load(lSp)
+		b.Load(lVars).Load(lArg).Op(bytecode.ALoad)
+		b.Op(bytecode.AStore)
+		b.Load(lSp).Const(1).Op(bytecode.Iadd).Store(lSp)
+		b.Br(bytecode.Goto, next)
+
+		b.Bind(store)
+		b.Load(lSp).Const(1).Op(bytecode.Isub).Store(lSp)
+		b.Load(lVars).Load(lArg)
+		b.Load(lStack).Load(lSp).Op(bytecode.ALoad)
+		b.Op(bytecode.AStore)
+		b.Br(bytecode.Goto, next)
+
+		b.Bind(binop)
+		b.Load(lSp).Const(1).Op(bytecode.Isub).Store(lSp)
+		b.Load(lStack).Load(lSp).Op(bytecode.ALoad).Store(lB2)
+		b.Load(lSp).Const(1).Op(bytecode.Isub).Store(lSp)
+		b.Load(lStack).Load(lSp).Op(bytecode.ALoad).Store(lA)
+		sub, mul, div, have := b.NewLabel(), b.NewLabel(), b.NewLabel(), b.NewLabel()
+		b.Load(lOp).Const(jcOpSub)
+		b.Br(bytecode.IfEq, sub)
+		b.Load(lOp).Const(jcOpMul)
+		b.Br(bytecode.IfEq, mul)
+		b.Load(lOp).Const(jcOpDiv)
+		b.Br(bytecode.IfEq, div)
+		b.Load(lA).Load(lB2).Op(bytecode.Iadd).Store(lA)
+		b.Br(bytecode.Goto, have)
+		b.Bind(sub)
+		b.Load(lA).Load(lB2).Op(bytecode.Isub).Store(lA)
+		b.Br(bytecode.Goto, have)
+		b.Bind(mul)
+		b.Load(lA).Load(lB2).Op(bytecode.Imul)
+		b.Const(0xFFFFF).Op(bytecode.Iand).Store(lA) // keep values bounded
+		b.Br(bytecode.Goto, have)
+		b.Bind(div)
+		nz := b.NewLabel()
+		b.Load(lB2).Const(0)
+		b.Br(bytecode.IfNe, nz)
+		b.Const(1).Store(lB2)
+		b.Bind(nz)
+		b.Load(lA).Load(lB2).Op(bytecode.Idiv).Store(lA)
+		b.Bind(have)
+		b.Load(lStack).Load(lSp).Load(lA).Op(bytecode.AStore)
+		b.Load(lSp).Const(1).Op(bytecode.Iadd).Store(lSp)
+		b.Bind(next)
+	})
+	b.Op(bytecode.Ret)
+	return pb.Add(b.Finish())
+}
+
+// jcSelfIndex predicts the index the next-added method will get,
+// enabling direct self-recursion.
+func jcSelfIndex(pb *bytecode.ProgramBuilder) int32 { return pb.Count() }
+
+// jcReplace swaps a placeholder method's body for the real one.
+func jcReplace(pb *bytecode.ProgramBuilder, idx int32, m *bytecode.Method) { pb.Replace(idx, m) }
+
+// --- Go mirror ---
+
+type jcNode struct {
+	kind, value int64
+	left, right *jcNode
+}
+
+type jcMirror struct {
+	seed            int64
+	tokKind, tokVal []int64
+	pos             int
+	codeOp, codeArg []int64
+	tokens, nodes   int64
+	folds           int64
+}
+
+func (m *jcMirror) rand(bound int64) int64 {
+	m.seed = lcgNextGo(m.seed)
+	return lcgIntGo(m.seed, bound)
+}
+
+func (m *jcMirror) emitTok(kind, val int64) {
+	m.tokKind = append(m.tokKind, kind)
+	m.tokVal = append(m.tokVal, val)
+}
+
+func (m *jcMirror) genExpr(depth int64) {
+	m.genTerm(depth)
+	for {
+		r := m.rand(100)
+		if r >= 40 {
+			return
+		}
+		if r < 20 {
+			m.emitTok(jcPLUS, 0)
+		} else {
+			m.emitTok(jcMINUS, 0)
+		}
+		m.genTerm(depth)
+	}
+}
+
+func (m *jcMirror) genFactor(depth int64) {
+	if depth > 0 {
+		if r := m.rand(100); r >= 70 {
+			m.emitTok(jcLPAREN, 0)
+			m.genExpr(depth - 1)
+			m.emitTok(jcRPAREN, 0)
+			return
+		}
+	}
+	if r := m.rand(100); r >= 55 {
+		m.emitTok(jcIDENT, m.rand(jcVars))
+	} else {
+		m.emitTok(jcNUM, m.rand(97)+1)
+	}
+}
+
+func (m *jcMirror) genTerm(depth int64) {
+	m.genFactor(depth)
+	for {
+		r := m.rand(100)
+		if r >= 35 {
+			return
+		}
+		if r < 15 {
+			m.emitTok(jcSTAR, 0)
+		} else {
+			m.emitTok(jcSLASH, 0)
+		}
+		m.genFactor(depth)
+	}
+}
+
+func (m *jcMirror) newNode(kind, value int64, l, r *jcNode) *jcNode {
+	m.nodes++
+	return &jcNode{kind: kind, value: value, left: l, right: r}
+}
+
+func (m *jcMirror) peek() int64 { return m.tokKind[m.pos] }
+
+func (m *jcMirror) parseFactor() *jcNode {
+	switch m.peek() {
+	case jcLPAREN:
+		m.pos++
+		n := m.parseExpr()
+		m.pos++
+		return n
+	case jcIDENT:
+		v := m.tokVal[m.pos]
+		m.pos++
+		return m.newNode(jcIDENT, v, nil, nil)
+	default:
+		v := m.tokVal[m.pos]
+		m.pos++
+		return m.newNode(jcNUM, v, nil, nil)
+	}
+}
+
+func (m *jcMirror) parseTerm() *jcNode {
+	left := m.parseFactor()
+	for {
+		k := m.peek()
+		if k != jcSTAR && k != jcSLASH {
+			return left
+		}
+		m.pos++
+		left = m.newNode(k, 0, left, m.parseFactor())
+	}
+}
+
+func (m *jcMirror) parseExpr() *jcNode {
+	left := m.parseTerm()
+	for {
+		k := m.peek()
+		if k != jcPLUS && k != jcMINUS {
+			return left
+		}
+		m.pos++
+		left = m.newNode(k, 0, left, m.parseTerm())
+	}
+}
+
+func (m *jcMirror) fold(n *jcNode) *jcNode {
+	if n.left == nil {
+		return n
+	}
+	n.left = m.fold(n.left)
+	n.right = m.fold(n.right)
+	if n.left.kind != jcNUM || n.right.kind != jcNUM {
+		return n
+	}
+	l, r := n.left.value, n.right.value
+	var v int64
+	switch n.kind {
+	case jcMINUS:
+		v = l - r
+	case jcSTAR:
+		v = l * r
+	case jcSLASH:
+		if r == 0 {
+			r = 1
+		}
+		v = l / r
+	default:
+		v = l + r
+	}
+	m.folds++
+	return m.newNode(jcNUM, v, nil, nil)
+}
+
+func (m *jcMirror) genCode(n *jcNode) {
+	if n.left == nil {
+		if n.kind == jcNUM {
+			m.codeOp = append(m.codeOp, jcOpPush)
+			m.codeArg = append(m.codeArg, n.value)
+		} else {
+			m.codeOp = append(m.codeOp, jcOpLoad)
+			m.codeArg = append(m.codeArg, n.value)
+		}
+		return
+	}
+	m.genCode(n.left)
+	m.genCode(n.right)
+	op := int64(jcOpAdd)
+	switch n.kind {
+	case jcMINUS:
+		op = jcOpSub
+	case jcSTAR:
+		op = jcOpMul
+	case jcSLASH:
+		op = jcOpDiv
+	}
+	m.codeOp = append(m.codeOp, op)
+	m.codeArg = append(m.codeArg, 0)
+}
+
+func javacGo(stmts, iters int32) (chk, tokens, nodes, folds int64) {
+	chkAcc := int64(0)
+	var totTokens, totNodes, totFolds int64
+	for iter := int32(0); iter < iters; iter++ {
+		m := &jcMirror{seed: int64(iter)*7717 + 5551}
+		for s := int32(0); s < stmts; s++ {
+			m.emitTok(jcIDENT, m.rand(jcVars))
+			m.emitTok(jcASSIGN, 0)
+			m.genExpr(jcGenDepth)
+			m.emitTok(jcSEMI, 0)
+		}
+		m.emitTok(jcEOF, 0)
+		m.tokens = int64(len(m.tokKind))
+		vars := make([]int64, jcVars)
+		for s := int32(0); s < stmts; s++ {
+			v := m.tokVal[m.pos]
+			m.pos += 2
+			ast := m.parseExpr()
+			for k := 0; k < 90; k++ {
+				chkAcc = mix64Go(chkAcc, jcCheckPassGo(k, ast))
+			}
+			ast = m.fold(ast)
+			m.genCode(ast)
+			m.codeOp = append(m.codeOp, jcOpStore)
+			m.codeArg = append(m.codeArg, v)
+			m.pos++
+		}
+		// Eval.
+		stack := make([]int64, 256)
+		sp := 0
+		for pc := range m.codeOp {
+			op, arg := m.codeOp[pc], m.codeArg[pc]
+			switch op {
+			case jcOpPush:
+				stack[sp] = arg
+				sp++
+			case jcOpLoad:
+				stack[sp] = vars[arg]
+				sp++
+			case jcOpStore:
+				sp--
+				vars[arg] = stack[sp]
+			default:
+				sp--
+				b2 := stack[sp]
+				sp--
+				a := stack[sp]
+				switch op {
+				case jcOpSub:
+					a -= b2
+				case jcOpMul:
+					a = (a * b2) & 0xFFFFF
+				case jcOpDiv:
+					if b2 == 0 {
+						b2 = 1
+					}
+					a /= b2
+				default:
+					a += b2
+				}
+				stack[sp] = a
+				sp++
+			}
+		}
+		for i := 0; i < jcVars; i++ {
+			chkAcc = mix64Go(chkAcc, vars[i])
+		}
+		totTokens += m.tokens
+		totNodes += m.nodes
+		totFolds += m.folds
+	}
+	return chkAcc, totTokens, totNodes, totFolds
+}
+
+func verifyJavac(vm *jvm.VM, _ int, scale Scale) error {
+	stmts, iters := javacParams(scale)
+	chk, tokens, nodes, folds := javacGo(stmts, iters)
+	if got := int64(vm.Global(jcgTokens)); got != tokens {
+		return fmt.Errorf("javac: %d tokens, want %d", got, tokens)
+	}
+	if got := int64(vm.Global(jcgNodes)); got != nodes {
+		return fmt.Errorf("javac: %d AST nodes, want %d", got, nodes)
+	}
+	if got := int64(vm.Global(jcgFolds)); got != folds {
+		return fmt.Errorf("javac: %d folds, want %d", got, folds)
+	}
+	if got := int64(vm.Global(jcgChk)); got != chk {
+		return fmt.Errorf("javac: checksum %d, want %d", got, chk)
+	}
+	return nil
+}

@@ -1,0 +1,336 @@
+package bench
+
+import (
+	"fmt"
+
+	"javasmt/internal/bytecode"
+	"javasmt/internal/jvm"
+)
+
+// jess — "a Java expert shell system based on NASA's CLIPS expert
+// system". The engine here is a forward-chaining rule system over a
+// working memory of (subject, relation, object) facts: each of 96 rules
+// joins two relations and asserts derived facts, with a hash-set
+// duplicate check, iterated to fixpoint. Like the real jess — whose Rete
+// network compiles into many distinct match routines — every rule's
+// matcher is its own generated method, giving the benchmark the large,
+// branchy instruction footprint that makes jess one of the paper's three
+// "bad partner" programs (Figure 9).
+//
+// Globals: 0 = fact-key checksum, 1 = final fact count, 2 = passes run.
+const (
+	jessRels  = 8
+	jessRules = 96
+	jessHCap  = 8192
+	jessPass  = 3
+)
+
+func jessParams(s Scale) (v, initial, cap int32) {
+	return s.pick(14, 24, 40), s.pick(42, 72, 120), s.pick(350, 900, 2200)
+}
+
+// jessRule returns rule k's (in1, in2, out) relations; derived relations
+// (3..7) feed back into later joins so chains actually cascade.
+func jessRule(k int) (in1, in2, out int32) {
+	return int32(k % 4), int32((k / 3) % 4), int32(3 + k%5)
+}
+
+// Jess returns the benchmark descriptor.
+func Jess() *Benchmark {
+	return &Benchmark{
+		Name:        "jess",
+		Description: "A Java expert shell system based on NASA's CLIPS expert system",
+		Input:       "-s100 -m1 -M1 (scaled)",
+		Build:       buildJess,
+		Verify:      verifyJess,
+	}
+}
+
+// Jess globals.
+const (
+	jgChk, jgCount, jgPasses          = 0, 1, 2
+	jgFactS, jgFactR, jgFactO, jgHash = 3, 4, 5, 6
+	jgN, jgAdded                      = 7, 8
+	// jgLists is a ref-array of per-relation fact-index arrays (the
+	// engine's alpha memories); jgListCnt their lengths. Both are
+	// rebuilt at each pass start, so matchers join pass-start
+	// snapshots — as Rete activations would.
+	jgLists, jgListCnt = 9, 10
+	jessGlobals        = 11
+	jessGlobalRefs     = 1<<jgFactS | 1<<jgFactR | 1<<jgFactO | 1<<jgHash | 1<<jgLists | 1<<jgListCnt
+)
+
+func buildJess(_ int, scale Scale, base uint64) *bytecode.Program {
+	v, initial, factCap := jessParams(scale)
+	pb := bytecode.NewProgram("jess")
+	pb.Globals(jessGlobals, jessGlobalRefs)
+
+	assertIdx := jessAssert(pb, v, factCap)
+	rebuildIdx := jessRebuildLists(pb, factCap)
+	var ruleIdxs []int32
+	for k := 0; k < jessRules; k++ {
+		ruleIdxs = append(ruleIdxs, jessMatcher(pb, k, assertIdx))
+	}
+
+	b := bytecode.NewMethod("main", 0, scratchLocals)
+	const (
+		lI, lSeed, lS, lR, lO, lPass = 0, 1, 2, 3, 4, 5
+	)
+	// Working memory.
+	for _, g := range []int32{jgFactS, jgFactR, jgFactO} {
+		b.Const(factCap).Op(bytecode.NewArray, bytecode.KindInt).Op(bytecode.PutStatic, g)
+	}
+	b.Const(jessHCap).Op(bytecode.NewArray, bytecode.KindInt).Op(bytecode.PutStatic, jgHash)
+	b.Const(0).Op(bytecode.PutStatic, jgN)
+	// Seed facts over the base relations 0..2.
+	b.Const(31337).Store(lSeed)
+	forConst(b, lI, initial, func() {
+		emitLCGInt(b, lSeed, v)
+		b.Store(lS)
+		emitLCGInt(b, lSeed, 3)
+		b.Store(lR)
+		emitLCGInt(b, lSeed, v)
+		b.Store(lO)
+		b.Load(lS).Load(lR).Load(lO)
+		b.Op(bytecode.Call, assertIdx).Op(bytecode.Pop)
+	})
+	// Alpha-memory arrays.
+	b.Const(jessRels).Op(bytecode.NewArray, bytecode.KindRef).Op(bytecode.PutStatic, jgLists)
+	b.Const(jessRels).Op(bytecode.NewArray, bytecode.KindInt).Op(bytecode.PutStatic, jgListCnt)
+	forConst(b, lI, jessRels, func() {
+		b.Op(bytecode.GetStatic, jgLists).Load(lI)
+		b.Const(factCap).Op(bytecode.NewArray, bytecode.KindInt)
+		b.Op(bytecode.AStore)
+	})
+	// Fixpoint passes: fact-driven propagation, as in a Rete network —
+	// every fact is pushed through every rule's matcher, so the whole
+	// generated match network stays hot in the front end.
+	done := b.NewLabel()
+	const lFact, lSnap = 8, 9
+	forConst(b, lPass, jessPass, func() {
+		b.Const(0).Op(bytecode.PutStatic, jgAdded)
+		b.Op(bytecode.Call, rebuildIdx)
+		b.Op(bytecode.GetStatic, jgN).Store(lSnap)
+		forVar(b, lFact, lSnap, func() {
+			for _, r := range ruleIdxs {
+				b.Load(lFact).Op(bytecode.Call, r)
+			}
+		})
+		b.Op(bytecode.GetStatic, jgPasses).Const(1).Op(bytecode.Iadd).Op(bytecode.PutStatic, jgPasses)
+		b.Op(bytecode.GetStatic, jgAdded).Const(0)
+		b.Br(bytecode.IfEq, done)
+	})
+	b.Bind(done)
+	// Checksum over working memory in insertion order.
+	const lChk, lN = 6, 7
+	b.Const(0).Store(lChk)
+	b.Op(bytecode.GetStatic, jgN).Store(lN)
+	forVar(b, lI, lN, func() {
+		b.Op(bytecode.GetStatic, jgFactS).Load(lI).Op(bytecode.ALoad)
+		b.Const(v * jessRels).Op(bytecode.Imul)
+		b.Op(bytecode.GetStatic, jgFactR).Load(lI).Op(bytecode.ALoad)
+		b.Const(v).Op(bytecode.Imul).Op(bytecode.Iadd)
+		b.Op(bytecode.GetStatic, jgFactO).Load(lI).Op(bytecode.ALoad)
+		b.Op(bytecode.Iadd)
+		emitMix(b, lChk)
+	})
+	b.Load(lChk).Op(bytecode.PutStatic, jgChk)
+	b.Op(bytecode.GetStatic, jgN).Op(bytecode.PutStatic, jgCount)
+	b.Op(bytecode.Ret)
+	pb.Entry(pb.Add(b.Finish()))
+	return pb.MustLink(base)
+}
+
+// jessAssert builds assert(s, r, o): int — hash-deduplicated insertion
+// into working memory; returns 1 when a new fact was added.
+func jessAssert(pb *bytecode.ProgramBuilder, v, factCap int32) int32 {
+	b := bytecode.NewMethod("assertFact", 3, scratchLocals)
+	const (
+		lS, lR, lO, lKey, lH, lN = 0, 1, 2, 3, 4, 5
+	)
+	// key = (s*rels + r)*v + o + 1 (0 marks an empty hash slot)
+	b.Load(lS).Const(jessRels).Op(bytecode.Imul).Load(lR).Op(bytecode.Iadd)
+	b.Const(v).Op(bytecode.Imul).Load(lO).Op(bytecode.Iadd)
+	b.Const(1).Op(bytecode.Iadd).Store(lKey)
+	// h = key*2654435761 & (HCAP-1)
+	b.Load(lKey)
+	emitConst64(b, 2654435761)
+	b.Op(bytecode.Imul)
+	b.Const(jessHCap - 1).Op(bytecode.Iand).Store(lH)
+	probe, empty, dup := b.NewLabel(), b.NewLabel(), b.NewLabel()
+	b.Bind(probe)
+	b.Op(bytecode.GetStatic, jgHash).Load(lH).Op(bytecode.ALoad).Const(0)
+	b.Br(bytecode.IfEq, empty)
+	b.Op(bytecode.GetStatic, jgHash).Load(lH).Op(bytecode.ALoad).Load(lKey)
+	b.Br(bytecode.IfEq, dup)
+	b.Load(lH).Const(1).Op(bytecode.Iadd).Const(jessHCap - 1).Op(bytecode.Iand).Store(lH)
+	b.Br(bytecode.Goto, probe)
+
+	b.Bind(empty)
+	// Capacity saturation keeps the run bounded (and deterministic).
+	full := b.NewLabel()
+	b.Op(bytecode.GetStatic, jgN).Const(factCap)
+	b.Br(bytecode.IfGe, full)
+	b.Op(bytecode.GetStatic, jgHash).Load(lH).Load(lKey).Op(bytecode.AStore)
+	b.Op(bytecode.GetStatic, jgN).Store(lN)
+	b.Op(bytecode.GetStatic, jgFactS).Load(lN).Load(lS).Op(bytecode.AStore)
+	b.Op(bytecode.GetStatic, jgFactR).Load(lN).Load(lR).Op(bytecode.AStore)
+	b.Op(bytecode.GetStatic, jgFactO).Load(lN).Load(lO).Op(bytecode.AStore)
+	b.Load(lN).Const(1).Op(bytecode.Iadd).Op(bytecode.PutStatic, jgN)
+	b.Op(bytecode.GetStatic, jgAdded).Const(1).Op(bytecode.Iadd).Op(bytecode.PutStatic, jgAdded)
+	b.Const(1).Op(bytecode.RetVal)
+	b.Bind(full)
+	b.Const(0).Op(bytecode.RetVal)
+	b.Bind(dup)
+	b.Const(0).Op(bytecode.RetVal)
+	return pb.Add(b.Finish())
+}
+
+// jessRebuildLists builds rebuildLists(): refills the per-relation alpha
+// memories from the working memory at pass start.
+func jessRebuildLists(pb *bytecode.ProgramBuilder, factCap int32) int32 {
+	_ = factCap
+	b := bytecode.NewMethod("rebuildLists", 0, scratchLocals)
+	const (
+		lI, lN, lR, lC = 0, 1, 2, 3
+	)
+	forConst(b, lI, jessRels, func() {
+		b.Op(bytecode.GetStatic, jgListCnt).Load(lI).Const(0).Op(bytecode.AStore)
+	})
+	b.Op(bytecode.GetStatic, jgN).Store(lN)
+	forVar(b, lI, lN, func() {
+		b.Op(bytecode.GetStatic, jgFactR).Load(lI).Op(bytecode.ALoad).Store(lR)
+		b.Op(bytecode.GetStatic, jgListCnt).Load(lR).Op(bytecode.ALoad).Store(lC)
+		b.Op(bytecode.GetStatic, jgLists).Load(lR).Op(bytecode.ALoad)
+		b.Load(lC).Load(lI).Op(bytecode.AStore)
+		b.Op(bytecode.GetStatic, jgListCnt).Load(lR)
+		b.Load(lC).Const(1).Op(bytecode.Iadd)
+		b.Op(bytecode.AStore)
+	})
+	b.Op(bytecode.Ret)
+	return pb.Add(b.Finish())
+}
+
+// jessMatcher builds matchRule<k>(fi): one Rete activation — if fact fi
+// matches rule k's first input relation, join it against the alpha
+// memory of the second input and assert the derived facts.
+func jessMatcher(pb *bytecode.ProgramBuilder, k int, assertIdx int32) int32 {
+	in1, in2, out := jessRule(k)
+	b := bytecode.NewMethod(fmt.Sprintf("matchRule%d", k), 1, scratchLocals)
+	const (
+		lFi, lL2, lN2, lJ, lFj, lOi = 0, 1, 2, 3, 4, 5
+	)
+	reject := b.NewLabel()
+	b.Op(bytecode.GetStatic, jgFactR).Load(lFi).Op(bytecode.ALoad).Const(in1)
+	b.Br(bytecode.IfNe, reject)
+	b.Op(bytecode.GetStatic, jgLists).Const(in2).Op(bytecode.ALoad).Store(lL2)
+	b.Op(bytecode.GetStatic, jgListCnt).Const(in2).Op(bytecode.ALoad).Store(lN2)
+	b.Op(bytecode.GetStatic, jgFactO).Load(lFi).Op(bytecode.ALoad).Store(lOi)
+	forVar(b, lJ, lN2, func() {
+		skip := b.NewLabel()
+		b.Load(lL2).Load(lJ).Op(bytecode.ALoad).Store(lFj)
+		b.Op(bytecode.GetStatic, jgFactS).Load(lFj).Op(bytecode.ALoad)
+		b.Load(lOi)
+		b.Br(bytecode.IfNe, skip)
+		b.Op(bytecode.GetStatic, jgFactS).Load(lFi).Op(bytecode.ALoad)
+		b.Const(out)
+		b.Op(bytecode.GetStatic, jgFactO).Load(lFj).Op(bytecode.ALoad)
+		b.Op(bytecode.Call, assertIdx).Op(bytecode.Pop)
+		b.Bind(skip)
+	})
+	b.Bind(reject)
+	b.Op(bytecode.Ret)
+	return pb.Add(b.Finish())
+}
+
+// jessGo mirrors the engine.
+func jessGo(v, initial, factCap int32) (chk, count, passes int64) {
+	type wm struct {
+		s, r, o []int64
+		hash    []int64
+		n       int64
+		added   int64
+	}
+	m := &wm{
+		s:    make([]int64, factCap),
+		r:    make([]int64, factCap),
+		o:    make([]int64, factCap),
+		hash: make([]int64, jessHCap),
+	}
+	assert := func(s, r, o int64) {
+		key := (s*jessRels+r)*int64(v) + o + 1
+		h := (key * 2654435761) & (jessHCap - 1)
+		for {
+			switch m.hash[h] {
+			case 0:
+				if m.n >= int64(factCap) {
+					return
+				}
+				m.hash[h] = key
+				m.s[m.n], m.r[m.n], m.o[m.n] = s, r, o
+				m.n++
+				m.added++
+				return
+			case key:
+				return
+			}
+			h = (h + 1) & (jessHCap - 1)
+		}
+	}
+	seed := int64(31337)
+	for i := int32(0); i < initial; i++ {
+		seed = lcgNextGo(seed)
+		s := lcgIntGo(seed, int64(v))
+		seed = lcgNextGo(seed)
+		r := lcgIntGo(seed, 3)
+		seed = lcgNextGo(seed)
+		o := lcgIntGo(seed, int64(v))
+		assert(s, r, o)
+	}
+	for pass := 0; pass < jessPass; pass++ {
+		m.added = 0
+		// Pass-start alpha memories.
+		lists := make([][]int64, jessRels)
+		for i := int64(0); i < m.n; i++ {
+			lists[m.r[i]] = append(lists[m.r[i]], i)
+		}
+		snap := m.n
+		for fi := int64(0); fi < snap; fi++ {
+			for k := 0; k < jessRules; k++ {
+				in1, in2, out := jessRule(k)
+				if m.r[fi] != int64(in1) {
+					continue
+				}
+				for _, fj := range lists[in2] {
+					if m.s[fj] != m.o[fi] {
+						continue
+					}
+					assert(m.s[fi], int64(out), m.o[fj])
+				}
+			}
+		}
+		passes++
+		if m.added == 0 {
+			break
+		}
+	}
+	for i := int64(0); i < m.n; i++ {
+		chk = mix64Go(chk, m.s[i]*int64(v)*jessRels+m.r[i]*int64(v)+m.o[i])
+	}
+	return chk, m.n, passes
+}
+
+func verifyJess(vm *jvm.VM, _ int, scale Scale) error {
+	v, initial, factCap := jessParams(scale)
+	chk, count, passes := jessGo(v, initial, factCap)
+	if got := int64(vm.Global(jgPasses)); got != passes {
+		return fmt.Errorf("jess: %d passes, want %d", got, passes)
+	}
+	if got := int64(vm.Global(jgCount)); got != count {
+		return fmt.Errorf("jess: %d facts, want %d", got, count)
+	}
+	if got := int64(vm.Global(jgChk)); got != chk {
+		return fmt.Errorf("jess: checksum %d, want %d", got, chk)
+	}
+	return nil
+}

@@ -1,0 +1,351 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"javasmt/internal/bytecode"
+	"javasmt/internal/jvm"
+)
+
+// MolDyn — "an N-body program modeling particles interacting under a
+// Lennard-Jones potential" (Java Grande). The O(N²) force loop evaluates
+// the LJ force with a cutoff; rows are striped across Java threads, and —
+// exactly as in the JGF original — every worker accumulates into its own
+// *replicated* force arrays which the main thread reduces after the join.
+// That replication is why the paper sees MolDyn's L1 data misses blow up
+// as the thread count grows past the hardware contexts (Figures 4, 12).
+//
+// Globals: 0 = kinetic-energy checksum (float bits), 1 = position
+// checksum (float bits), 2 = steps completed.
+func moldynParams(s Scale) (n, steps int32) {
+	return s.pick(160, 320, 560), s.pick(2, 3, 4)
+}
+
+const (
+	mdDt     = 0.0005
+	mdCutoff = 4.0 // squared cutoff radius
+	mdBox    = 8.0
+)
+
+// MolDyn returns the benchmark descriptor.
+func MolDyn() *Benchmark {
+	return &Benchmark{
+		Name:          "MolDyn",
+		Description:   "An N-body program modeling particles interacting under a Lennard-Jones potential",
+		Input:         "N = 2,048 (scaled)",
+		Multithreaded: true,
+		Build:         buildMolDyn,
+		Verify:        verifyMolDyn,
+	}
+}
+
+func buildMolDyn(threads int, scale Scale, base uint64) *bytecode.Program {
+	n, steps := moldynParams(scale)
+	nt := int32(threads)
+	pb := bytecode.NewProgram("MolDyn")
+	pb.Globals(3, 0)
+
+	initIdx := mdInit(pb, n)
+	workerIdx := mdWorker(pb, n, nt)
+
+	b := bytecode.NewMethod("main", 0, scratchLocals)
+	const (
+		lX, lY, lZ, lVX, lVY, lVZ  = 0, 1, 2, 3, 4, 5
+		lFXs, lFYs, lFZs           = 6, 7, 8
+		lTids, lStep, lW, lI, lAcc = 9, 10, 11, 12, 13
+		lFx                        = 14
+	)
+	// Position/velocity arrays.
+	for _, v := range []int32{lX, lY, lZ, lVX, lVY, lVZ} {
+		b.Const(n).Op(bytecode.NewArray, bytecode.KindFloat).Store(v)
+	}
+	b.Load(lX).Load(lY).Load(lZ).Load(lVX).Load(lVY).Load(lVZ)
+	b.Op(bytecode.Call, initIdx)
+	// Replicated per-worker force arrays.
+	for _, v := range []int32{lFXs, lFYs, lFZs} {
+		b.Const(nt).Op(bytecode.NewArray, bytecode.KindRef).Store(v)
+		forConst(b, lW, nt, func() {
+			b.Load(v).Load(lW)
+			b.Const(n).Op(bytecode.NewArray, bytecode.KindFloat)
+			b.Op(bytecode.AStore)
+		})
+	}
+	b.Const(nt).Op(bytecode.NewArray, bytecode.KindInt).Store(lTids)
+
+	forConst(b, lStep, steps, func() {
+		// Fan out the force computation.
+		forConst(b, lW, nt, func() {
+			b.Load(lTids).Load(lW)
+			b.Load(lX).Load(lY).Load(lZ)
+			b.Load(lFXs).Load(lW).Op(bytecode.ALoad)
+			b.Load(lFYs).Load(lW).Op(bytecode.ALoad)
+			b.Load(lFZs).Load(lW).Op(bytecode.ALoad)
+			b.Load(lW)
+			b.Op(bytecode.ThreadStart, workerIdx)
+			b.Op(bytecode.AStore)
+		})
+		forConst(b, lW, nt, func() {
+			b.Load(lTids).Load(lW).Op(bytecode.ALoad).Op(bytecode.ThreadJoin)
+		})
+		// Reduce forces and integrate: per axis, v += F*dt; pos += v*dt.
+		axes := [][3]int32{{lFXs, lVX, lX}, {lFYs, lVY, lY}, {lFZs, lVZ, lZ}}
+		for _, ax := range axes {
+			fs, vel, pos := ax[0], ax[1], ax[2]
+			forConst(b, lI, n, func() {
+				b.FConst(0).Store(lAcc)
+				forConst(b, lFx, nt, func() {
+					b.Load(lAcc)
+					b.Load(fs).Load(lFx).Op(bytecode.ALoad)
+					b.Load(lI).Op(bytecode.ALoad)
+					b.Op(bytecode.Fadd).Store(lAcc)
+				})
+				b.Load(vel).Load(lI)
+				b.Load(vel).Load(lI).Op(bytecode.ALoad)
+				b.Load(lAcc).FConst(mdDt).Op(bytecode.Fmul)
+				b.Op(bytecode.Fadd)
+				b.Op(bytecode.AStore)
+				b.Load(pos).Load(lI)
+				b.Load(pos).Load(lI).Op(bytecode.ALoad)
+				b.Load(vel).Load(lI).Op(bytecode.ALoad).FConst(mdDt).Op(bytecode.Fmul)
+				b.Op(bytecode.Fadd)
+				b.Op(bytecode.AStore)
+			})
+		}
+		b.Op(bytecode.GetStatic, 2).Const(1).Op(bytecode.Iadd).Op(bytecode.PutStatic, 2)
+	})
+
+	// Checksums: kinetic energy and position sums.
+	b.FConst(0).Store(lAcc)
+	forConst(b, lI, n, func() {
+		for _, vel := range []int32{lVX, lVY, lVZ} {
+			b.Load(lAcc)
+			b.Load(vel).Load(lI).Op(bytecode.ALoad)
+			b.Load(vel).Load(lI).Op(bytecode.ALoad)
+			b.Op(bytecode.Fmul).Op(bytecode.Fadd).Store(lAcc)
+		}
+	})
+	b.Load(lAcc).Op(bytecode.PutStatic, 0)
+	b.FConst(0).Store(lAcc)
+	forConst(b, lI, n, func() {
+		for _, pos := range []int32{lX, lY, lZ} {
+			b.Load(lAcc)
+			b.Load(pos).Load(lI).Op(bytecode.ALoad)
+			b.Op(bytecode.Fadd).Store(lAcc)
+		}
+	})
+	b.Load(lAcc).Op(bytecode.PutStatic, 1)
+	b.Op(bytecode.Ret)
+	pb.Entry(pb.Add(b.Finish()))
+	return pb.MustLink(base)
+}
+
+// mdInit builds init(x,y,z,vx,vy,vz): lattice positions, LCG velocities.
+func mdInit(pb *bytecode.ProgramBuilder, n int32) int32 {
+	b := bytecode.NewMethod("mdInit", 6, scratchLocals).ArgRefs(0b111111)
+	const (
+		lX, lY, lZ, lVX, lVY, lVZ = 0, 1, 2, 3, 4, 5
+		lI, lSeed                 = 6, 7
+	)
+	side := int32(math.Ceil(math.Cbrt(float64(n))))
+	b.Const(424242).Store(lSeed)
+	forConst(b, lI, n, func() {
+		// Lattice coordinates i%side, (i/side)%side, i/side².
+		b.Load(lX).Load(lI)
+		b.Load(lI).Const(side).Op(bytecode.Irem).Op(bytecode.I2f)
+		b.FConst(mdBox / float64(side)).Op(bytecode.Fmul)
+		b.Op(bytecode.AStore)
+		b.Load(lY).Load(lI)
+		b.Load(lI).Const(side).Op(bytecode.Idiv).Const(side).Op(bytecode.Irem).Op(bytecode.I2f)
+		b.FConst(mdBox / float64(side)).Op(bytecode.Fmul)
+		b.Op(bytecode.AStore)
+		b.Load(lZ).Load(lI)
+		b.Load(lI).Const(side * side).Op(bytecode.Idiv).Op(bytecode.I2f)
+		b.FConst(mdBox / float64(side)).Op(bytecode.Fmul)
+		b.Op(bytecode.AStore)
+		for _, vel := range []int32{lVX, lVY, lVZ} {
+			b.Load(vel).Load(lI)
+			emitLCGInt(b, lSeed, 2001)
+			b.Const(1000).Op(bytecode.Isub).Op(bytecode.I2f)
+			b.FConst(0.0001).Op(bytecode.Fmul)
+			b.Op(bytecode.AStore)
+		}
+	})
+	b.Op(bytecode.Ret)
+	return pb.Add(b.Finish())
+}
+
+// mdWorker builds worker(tids... ) — worker(x,y,z,fx,fy,fz,tid): zero its
+// replicated force arrays, then accumulate LJ pair forces for rows
+// i ≡ tid (mod nt).
+func mdWorker(pb *bytecode.ProgramBuilder, n, nt int32) int32 {
+	b := bytecode.NewMethod("mdWorker", 7, scratchLocals).ArgRefs(0b0111111)
+	const (
+		lX, lY, lZ, lFX, lFY, lFZ, lTid = 0, 1, 2, 3, 4, 5, 6
+		lI, lJ                          = 7, 8
+		lDX, lDY, lDZ, lR2, lInv, lInv3 = 9, 10, 11, 12, 13, 14
+		lF                              = 15
+	)
+	forConst(b, lI, n, func() {
+		for _, fa := range []int32{lFX, lFY, lFZ} {
+			b.Load(fa).Load(lI).FConst(0).Op(bytecode.AStore)
+		}
+	})
+	// for i = tid; i < n; i += nt
+	iLoop, iDone := b.NewLabel(), b.NewLabel()
+	b.Load(lTid).Store(lI)
+	b.Bind(iLoop)
+	b.Load(lI).Const(n)
+	b.Br(bytecode.IfGe, iDone)
+	{
+		// for j = i+1; j < n; j++
+		jLoop, jDone := b.NewLabel(), b.NewLabel()
+		b.Load(lI).Const(1).Op(bytecode.Iadd).Store(lJ)
+		b.Bind(jLoop)
+		b.Load(lJ).Const(n)
+		b.Br(bytecode.IfGe, jDone)
+		{
+			for _, d := range [][3]int32{{lX, lDX, 0}, {lY, lDY, 0}, {lZ, lDZ, 0}} {
+				arr, dst := d[0], d[1]
+				b.Load(arr).Load(lI).Op(bytecode.ALoad)
+				b.Load(arr).Load(lJ).Op(bytecode.ALoad)
+				b.Op(bytecode.Fsub).Store(dst)
+			}
+			b.Load(lDX).Load(lDX).Op(bytecode.Fmul)
+			b.Load(lDY).Load(lDY).Op(bytecode.Fmul).Op(bytecode.Fadd)
+			b.Load(lDZ).Load(lDZ).Op(bytecode.Fmul).Op(bytecode.Fadd)
+			b.Store(lR2)
+			skip := b.NewLabel()
+			b.Load(lR2).FConst(mdCutoff)
+			b.Br(bytecode.IfFGt, skip)
+			// inv = 1/r2; inv3 = inv^3; f = 48*inv3*(inv3-0.5)*inv
+			b.FConst(1.0).Load(lR2).Op(bytecode.Fdiv).Store(lInv)
+			b.Load(lInv).Load(lInv).Op(bytecode.Fmul).Load(lInv).Op(bytecode.Fmul).Store(lInv3)
+			b.FConst(48.0).Load(lInv3).Op(bytecode.Fmul)
+			b.Load(lInv3).FConst(0.5).Op(bytecode.Fsub).Op(bytecode.Fmul)
+			b.Load(lInv).Op(bytecode.Fmul)
+			b.Store(lF)
+			for _, d := range [][2]int32{{lFX, lDX}, {lFY, lDY}, {lFZ, lDZ}} {
+				fa, delta := d[0], d[1]
+				// fa[i] += f*delta
+				b.Load(fa).Load(lI)
+				b.Load(fa).Load(lI).Op(bytecode.ALoad)
+				b.Load(lF).Load(delta).Op(bytecode.Fmul)
+				b.Op(bytecode.Fadd)
+				b.Op(bytecode.AStore)
+				// fa[j] -= f*delta
+				b.Load(fa).Load(lJ)
+				b.Load(fa).Load(lJ).Op(bytecode.ALoad)
+				b.Load(lF).Load(delta).Op(bytecode.Fmul)
+				b.Op(bytecode.Fsub)
+				b.Op(bytecode.AStore)
+			}
+			b.Bind(skip)
+		}
+		b.Load(lJ).Const(1).Op(bytecode.Iadd).Store(lJ)
+		b.Br(bytecode.Goto, jLoop)
+		b.Bind(jDone)
+	}
+	b.Load(lI).Const(nt).Op(bytecode.Iadd).Store(lI)
+	b.Br(bytecode.Goto, iLoop)
+	b.Bind(iDone)
+	b.Op(bytecode.Ret)
+	return pb.Add(b.Finish())
+}
+
+// mdGo mirrors the benchmark for the given thread count.
+func mdGo(n, steps int32, threads int) (ke, possum float64) {
+	nt := threads
+	side := int(math.Ceil(math.Cbrt(float64(n))))
+	N := int(n)
+	x := make([]float64, N)
+	y := make([]float64, N)
+	z := make([]float64, N)
+	vx := make([]float64, N)
+	vy := make([]float64, N)
+	vz := make([]float64, N)
+	seed := int64(424242)
+	spacing := mdBox / float64(side)
+	for i := 0; i < N; i++ {
+		x[i] = float64(i%side) * spacing
+		y[i] = float64((i/side)%side) * spacing
+		z[i] = float64(i/(side*side)) * spacing
+		for _, v := range []*[]float64{&vx, &vy, &vz} {
+			seed = lcgNextGo(seed)
+			(*v)[i] = float64(lcgIntGo(seed, 2001)-1000) * 0.0001
+		}
+	}
+	fx := make([][]float64, nt)
+	fy := make([][]float64, nt)
+	fz := make([][]float64, nt)
+	for w := 0; w < nt; w++ {
+		fx[w] = make([]float64, N)
+		fy[w] = make([]float64, N)
+		fz[w] = make([]float64, N)
+	}
+	for s := int32(0); s < steps; s++ {
+		for w := 0; w < nt; w++ {
+			for i := range fx[w] {
+				fx[w][i], fy[w][i], fz[w][i] = 0, 0, 0
+			}
+			for i := w; i < N; i += nt {
+				for j := i + 1; j < N; j++ {
+					dx, dy, dz := x[i]-x[j], y[i]-y[j], z[i]-z[j]
+					r2 := dx*dx + dy*dy + dz*dz
+					if r2 > mdCutoff {
+						continue
+					}
+					inv := 1.0 / r2
+					inv3 := inv * inv * inv
+					f := 48.0 * inv3 * (inv3 - 0.5) * inv
+					fx[w][i] += f * dx
+					fx[w][j] -= f * dx
+					fy[w][i] += f * dy
+					fy[w][j] -= f * dy
+					fz[w][i] += f * dz
+					fz[w][j] -= f * dz
+				}
+			}
+		}
+		reduce := func(fs [][]float64, vel, pos []float64) {
+			for i := 0; i < N; i++ {
+				acc := 0.0
+				for w := 0; w < nt; w++ {
+					acc += fs[w][i]
+				}
+				vel[i] += acc * mdDt
+				pos[i] += vel[i] * mdDt
+			}
+		}
+		reduce(fx, vx, x)
+		reduce(fy, vy, y)
+		reduce(fz, vz, z)
+	}
+	// Accumulate one term at a time, matching the bytecode's FP order.
+	for i := 0; i < N; i++ {
+		ke += vx[i] * vx[i]
+		ke += vy[i] * vy[i]
+		ke += vz[i] * vz[i]
+	}
+	for i := 0; i < N; i++ {
+		possum += x[i]
+		possum += y[i]
+		possum += z[i]
+	}
+	return ke, possum
+}
+
+func verifyMolDyn(vm *jvm.VM, threads int, scale Scale) error {
+	n, steps := moldynParams(scale)
+	if got := int64(vm.Global(2)); got != int64(steps) {
+		return fmt.Errorf("MolDyn: %d steps, want %d", got, steps)
+	}
+	ke, possum := mdGo(n, steps, threads)
+	if got := vm.GlobalFloat(0); math.Abs(got-ke) > 1e-9*(1+math.Abs(ke)) {
+		return fmt.Errorf("MolDyn: kinetic energy %v, want %v", got, ke)
+	}
+	if got := vm.GlobalFloat(1); math.Abs(got-possum) > 1e-9*(1+math.Abs(possum)) {
+		return fmt.Errorf("MolDyn: position sum %v, want %v", got, possum)
+	}
+	return nil
+}

@@ -1,0 +1,171 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"javasmt/internal/bytecode"
+	"javasmt/internal/jvm"
+)
+
+// MonteCarlo — "a product price deriving program based on Monte Carlo
+// techniques" (Java Grande). Each path evolves a price through T
+// geometric-Brownian steps whose normal increments come from the
+// Box-Muller transform; paths are partitioned across Java threads, each
+// accumulating a partial sum in its own cell, and the main thread joins
+// and reduces. FP-heavy with long-latency sqrt/log/exp per step and
+// fully independent parallel work — the paper's best-scaling shape.
+//
+// Globals: 0 = mean price (float bits), 1 = paths completed.
+const mcSteps = 40
+
+func mcParams(s Scale) int32 { return s.pick(60, 400, 2000) } // paths
+
+// MonteCarlo returns the benchmark descriptor.
+func MonteCarlo() *Benchmark {
+	return &Benchmark{
+		Name:          "MonteCarlo",
+		Description:   "A product price deriving program based on Monte Carlo techniques",
+		Input:         "N = 10,000 (scaled)",
+		Multithreaded: true,
+		Build:         buildMonteCarlo,
+		Verify:        verifyMonteCarlo,
+	}
+}
+
+func buildMonteCarlo(threads int, scale Scale, base uint64) *bytecode.Program {
+	paths := mcParams(scale)
+	pb := bytecode.NewProgram("MonteCarlo")
+	pb.Globals(2, 0)
+	// Per-path result objects, as the JGF original returns a result
+	// object per priced path.
+	result := pb.Class("PathResult", 1, 0)
+
+	workerIdx := mcWorker(pb, result)
+
+	b := bytecode.NewMethod("main", 0, scratchLocals)
+	const (
+		lRes, lTids, lW, lLo, lHi, lSum = 0, 1, 2, 3, 4, 5
+	)
+	nt := int32(threads)
+	b.Const(nt).Op(bytecode.NewArray, bytecode.KindFloat).Store(lRes)
+	b.Const(nt).Op(bytecode.NewArray, bytecode.KindInt).Store(lTids)
+	forConst(b, lW, nt, func() {
+		// lo = w*paths/nt ; hi = (w+1)*paths/nt
+		b.Load(lW).Const(paths).Op(bytecode.Imul).Const(nt).Op(bytecode.Idiv).Store(lLo)
+		b.Load(lW).Const(1).Op(bytecode.Iadd).Const(paths).Op(bytecode.Imul).Const(nt).Op(bytecode.Idiv).Store(lHi)
+		b.Load(lTids).Load(lW)
+		b.Load(lRes).Load(lW).Load(lLo).Load(lHi)
+		b.Op(bytecode.ThreadStart, workerIdx)
+		b.Op(bytecode.AStore)
+	})
+	forConst(b, lW, nt, func() {
+		b.Load(lTids).Load(lW).Op(bytecode.ALoad).Op(bytecode.ThreadJoin)
+	})
+	b.FConst(0).Store(lSum)
+	forConst(b, lW, nt, func() {
+		b.Load(lSum).Load(lRes).Load(lW).Op(bytecode.ALoad).Op(bytecode.Fadd).Store(lSum)
+	})
+	b.Load(lSum).Const(paths).Op(bytecode.I2f).Op(bytecode.Fdiv).Op(bytecode.PutStatic, 0)
+	b.Const(paths).Op(bytecode.PutStatic, 1)
+	b.Op(bytecode.Ret)
+	pb.Entry(pb.Add(b.Finish()))
+	return pb.MustLink(base)
+}
+
+// mcWorker builds worker(results, tid, lo, hi): prices paths [lo,hi) and
+// stores the partial sum in results[tid].
+func mcWorker(pb *bytecode.ProgramBuilder, result int32) int32 {
+	b := bytecode.NewMethod("worker", 4, scratchLocals).ArgRefs(0b0001)
+	const (
+		lRes, lTid, lLo, lHi = 0, 1, 2, 3
+		lP, lT, lSeed, lS    = 4, 5, 6, 7
+		lU1, lU2, lZ, lSum   = 8, 9, 10, 11
+		lObj                 = 12
+	)
+	b.FConst(0).Store(lSum)
+	forFromTo(b, lP, lLo, lHi, func() {
+		// seed = (p+1) * 2654435761 (fits in 48-bit LCG space)
+		b.Load(lP).Const(1).Op(bytecode.Iadd)
+		emitConst64(b, 2654435761)
+		b.Op(bytecode.Imul)
+		emitConst64(b, lcgMask)
+		b.Op(bytecode.Iand)
+		b.Store(lSeed)
+		b.FConst(1.0).Store(lS)
+		forConst(b, lT, mcSteps, func() {
+			// u1, u2 in (0,1]: ((bits & 0x7FFFFFFF)+1) / 2^31
+			for _, dst := range []int32{lU1, lU2} {
+				emitLCGNext(b, lSeed)
+				b.Load(lSeed).Const(17).Op(bytecode.Ishr)
+				b.Const(0x7FFFFFFF).Op(bytecode.Iand)
+				b.Const(1).Op(bytecode.Iadd)
+				b.Op(bytecode.I2f)
+				b.FConst(1.0 / (1 << 31)).Op(bytecode.Fmul)
+				b.Store(dst)
+			}
+			// z = sqrt(-2 ln u1) * cos(2 pi u2)
+			b.Load(lU1).Op(bytecode.Fmath, bytecode.MathLog)
+			b.FConst(-2.0).Op(bytecode.Fmul)
+			b.Op(bytecode.Fmath, bytecode.MathSqrt)
+			b.Load(lU2).FConst(2 * math.Pi).Op(bytecode.Fmul)
+			b.Op(bytecode.Fmath, bytecode.MathCos)
+			b.Op(bytecode.Fmul).Store(lZ)
+			// S *= exp(mu + sigma z)
+			b.Load(lS)
+			b.Load(lZ).FConst(0.05).Op(bytecode.Fmul).FConst(0.001).Op(bytecode.Fadd)
+			b.Op(bytecode.Fmath, bytecode.MathExp)
+			b.Op(bytecode.Fmul).Store(lS)
+		})
+		// Box the path result (JGF-style churn) and accumulate from it.
+		b.Op(bytecode.New, result).Store(lObj)
+		b.Load(lObj).Load(lS).Op(bytecode.PutField, 0)
+		b.Load(lSum).Load(lObj).Op(bytecode.GetField, 0).Op(bytecode.Fadd).Store(lSum)
+	})
+	b.Load(lRes).Load(lTid).Load(lSum).Op(bytecode.AStore)
+	b.Op(bytecode.Ret)
+	return pb.Add(b.Finish())
+}
+
+// mcGo mirrors the benchmark for the given thread count.
+func mcGo(paths int32, threads int) float64 {
+	nt := int32(threads)
+	partial := make([]float64, nt)
+	for w := int32(0); w < nt; w++ {
+		lo := int64(w) * int64(paths) / int64(nt)
+		hi := int64(w+1) * int64(paths) / int64(nt)
+		sum := 0.0
+		for p := lo; p < hi; p++ {
+			seed := ((p + 1) * 2654435761) & lcgMask
+			s := 1.0
+			for t := 0; t < mcSteps; t++ {
+				seed = lcgNextGo(seed)
+				u1 := float64(((seed>>17)&0x7FFFFFFF)+1) * (1.0 / (1 << 31))
+				seed = lcgNextGo(seed)
+				u2 := float64(((seed>>17)&0x7FFFFFFF)+1) * (1.0 / (1 << 31))
+				z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+				s *= math.Exp(0.001 + 0.05*z)
+			}
+			sum += s
+		}
+		partial[w] = sum
+	}
+	total := 0.0
+	for _, p := range partial {
+		total += p
+	}
+	return total / float64(paths)
+}
+
+func verifyMonteCarlo(vm *jvm.VM, threads int, scale Scale) error {
+	paths := mcParams(scale)
+	if got := int64(vm.Global(1)); got != int64(paths) {
+		return fmt.Errorf("MonteCarlo: %d paths, want %d", got, paths)
+	}
+	want := mcGo(paths, threads)
+	got := vm.GlobalFloat(0)
+	if math.Abs(got-want) > 1e-12*(1+math.Abs(want)) {
+		return fmt.Errorf("MonteCarlo: mean %v, want %v", got, want)
+	}
+	return nil
+}

@@ -1,0 +1,227 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"javasmt/internal/bytecode"
+	"javasmt/internal/jvm"
+)
+
+// mpegaudio — "an ISO MPEG Layer-3 audio decoder". The computational
+// heart of Layer-3 decoding is the 32-subband polyphase synthesis filter
+// bank: per frame, 32 subband samples are matrixed through a 64x32
+// cosine modulation into a sliding vector, then windowed by a 512-tap
+// filter into 32 PCM samples. That kernel is implemented here in full:
+// dense float multiply-accumulate loops with high ILP over a small data
+// set — which is exactly the micro-architectural character the paper's
+// mpegaudio exhibits (FP-bound, cache-friendly).
+//
+// Globals: 0 = PCM checksum (float bits), 1 = frames processed.
+const (
+	mpegBands  = 32
+	mpegMatrix = 64
+	mpegTaps   = 512
+	mpegVRing  = 1024
+)
+
+func mpegParams(s Scale) int32 { return s.pick(8, 60, 240) } // frames
+
+// Mpegaudio returns the benchmark descriptor.
+func Mpegaudio() *Benchmark {
+	return &Benchmark{
+		Name:        "mpegaudio",
+		Description: "An ISO MPEG Layer-3 audio decoder (polyphase synthesis filter bank)",
+		Input:       "-s100 -m1 -M1 (scaled)",
+		Build:       buildMpegaudio,
+		Verify:      verifyMpegaudio,
+	}
+}
+
+func buildMpegaudio(_ int, scale Scale, base uint64) *bytecode.Program {
+	frames := mpegParams(scale)
+	pb := bytecode.NewProgram("mpegaudio")
+	pb.Globals(2, 0)
+
+	cosIdx := mpegCosTable(pb)
+	winIdx := mpegWindowTable(pb)
+	frameIdx := mpegFrame(pb)
+
+	b := bytecode.NewMethod("main", 0, scratchLocals)
+	const (
+		lCos, lWin, lV, lS, lF, lPos, lSum, lK = 0, 1, 2, 3, 4, 5, 6, 7
+	)
+	b.Op(bytecode.Call, cosIdx).Store(lCos)
+	b.Op(bytecode.Call, winIdx).Store(lWin)
+	b.Const(mpegVRing).Op(bytecode.NewArray, bytecode.KindFloat).Store(lV)
+	b.Const(mpegBands).Op(bytecode.NewArray, bytecode.KindFloat).Store(lS)
+	b.Const(0).Store(lPos)
+	b.FConst(0).Store(lSum)
+	forConst(b, lF, frames, func() {
+		// Subband samples for this frame: s[k] = sin(0.02*(f*32+k)).
+		forConst(b, lK, mpegBands, func() {
+			b.Load(lS).Load(lK)
+			b.Load(lF).Const(mpegBands).Op(bytecode.Imul).Load(lK).Op(bytecode.Iadd)
+			b.Op(bytecode.I2f).FConst(0.02).Op(bytecode.Fmul)
+			b.Op(bytecode.Fmath, bytecode.MathSin)
+			b.Op(bytecode.AStore)
+		})
+		// sum += frame(cos, win, v, s, pos); pos advances by 64 mod ring.
+		b.Load(lSum)
+		b.Load(lCos).Load(lWin).Load(lV).Load(lS).Load(lPos)
+		b.Op(bytecode.Call, frameIdx)
+		b.Op(bytecode.Fadd).Store(lSum)
+		b.Load(lPos).Const(mpegMatrix).Op(bytecode.Iadd)
+		b.Const(mpegVRing - 1).Op(bytecode.Iand).Store(lPos)
+		b.Op(bytecode.GetStatic, 1).Const(1).Op(bytecode.Iadd).Op(bytecode.PutStatic, 1)
+	})
+	b.Load(lSum).Op(bytecode.PutStatic, 0)
+	b.Op(bytecode.Ret)
+	pb.Entry(pb.Add(b.Finish()))
+	return pb.MustLink(base)
+}
+
+// mpegCosTable builds cosTable(): float[64*32] with
+// n[i][k] = cos((16+i)*(2k+1)*pi/64).
+func mpegCosTable(pb *bytecode.ProgramBuilder) int32 {
+	b := bytecode.NewMethod("cosTable", 0, scratchLocals).ReturnsRef()
+	const (
+		lArr, lI, lK = 0, 1, 2
+	)
+	b.Const(mpegMatrix*mpegBands).Op(bytecode.NewArray, bytecode.KindFloat).Store(lArr)
+	forConst(b, lI, mpegMatrix, func() {
+		forConst(b, lK, mpegBands, func() {
+			b.Load(lArr)
+			b.Load(lI).Const(mpegBands).Op(bytecode.Imul).Load(lK).Op(bytecode.Iadd)
+			// (16+i)*(2k+1)*pi/64
+			b.Load(lI).Const(16).Op(bytecode.Iadd)
+			b.Load(lK).Const(2).Op(bytecode.Imul).Const(1).Op(bytecode.Iadd)
+			b.Op(bytecode.Imul).Op(bytecode.I2f)
+			b.FConst(math.Pi / 64).Op(bytecode.Fmul)
+			b.Op(bytecode.Fmath, bytecode.MathCos)
+			b.Op(bytecode.AStore)
+		})
+	})
+	b.Load(lArr).Op(bytecode.RetVal)
+	return pb.Add(b.Finish())
+}
+
+// mpegWindowTable builds window(): float[512] with
+// d[i] = sin(pi*i/512)*exp(-i/256).
+func mpegWindowTable(pb *bytecode.ProgramBuilder) int32 {
+	b := bytecode.NewMethod("windowTable", 0, scratchLocals).ReturnsRef()
+	const (
+		lArr, lI = 0, 1
+	)
+	b.Const(mpegTaps).Op(bytecode.NewArray, bytecode.KindFloat).Store(lArr)
+	forConst(b, lI, mpegTaps, func() {
+		b.Load(lArr).Load(lI)
+		b.Load(lI).Op(bytecode.I2f).FConst(math.Pi / mpegTaps).Op(bytecode.Fmul)
+		b.Op(bytecode.Fmath, bytecode.MathSin)
+		b.Load(lI).Op(bytecode.I2f).FConst(-1.0 / 256).Op(bytecode.Fmul)
+		b.Op(bytecode.Fmath, bytecode.MathExp)
+		b.Op(bytecode.Fmul)
+		b.Op(bytecode.AStore)
+	})
+	b.Load(lArr).Op(bytecode.RetVal)
+	return pb.Add(b.Finish())
+}
+
+// mpegFrame builds frame(cos, win, v, s, pos): float — one synthesis
+// step: matrixing (64x32 MACs) into the sliding vector, then 32 windowed
+// output samples (16 taps each), returning their sum.
+func mpegFrame(pb *bytecode.ProgramBuilder) int32 {
+	b := bytecode.NewMethod("frame", 5, scratchLocals).ArgRefs(0b01111)
+	const (
+		lCos, lWin, lV, lS, lPos         = 0, 1, 2, 3, 4
+		lI, lK, lAcc, lOut, lJ, lT, lIdx = 5, 6, 7, 8, 9, 10, 11
+	)
+	// Matrixing: v[(pos+i) & ring] = sum_k cos[i*32+k]*s[k]
+	forConst(b, lI, mpegMatrix, func() {
+		b.FConst(0).Store(lAcc)
+		forConst(b, lK, mpegBands, func() {
+			b.Load(lAcc)
+			b.Load(lCos)
+			b.Load(lI).Const(mpegBands).Op(bytecode.Imul).Load(lK).Op(bytecode.Iadd)
+			b.Op(bytecode.ALoad)
+			b.Load(lS).Load(lK).Op(bytecode.ALoad)
+			b.Op(bytecode.Fmul).Op(bytecode.Fadd).Store(lAcc)
+		})
+		b.Load(lV)
+		b.Load(lPos).Load(lI).Op(bytecode.Iadd).Const(mpegVRing - 1).Op(bytecode.Iand)
+		b.Load(lAcc)
+		b.Op(bytecode.AStore)
+	})
+	// Windowing: out = sum_j sum_t v[(pos+j+64t)&ring] * win[(j+32t)&511]
+	b.FConst(0).Store(lOut)
+	forConst(b, lJ, mpegBands, func() {
+		forConst(b, lT, 16, func() {
+			b.Load(lOut)
+			b.Load(lV)
+			b.Load(lPos).Load(lJ).Op(bytecode.Iadd)
+			b.Load(lT).Const(mpegMatrix).Op(bytecode.Imul).Op(bytecode.Iadd)
+			b.Const(mpegVRing - 1).Op(bytecode.Iand)
+			b.Op(bytecode.ALoad)
+			b.Load(lWin)
+			b.Load(lJ).Load(lT).Const(mpegBands).Op(bytecode.Imul).Op(bytecode.Iadd)
+			b.Const(mpegTaps - 1).Op(bytecode.Iand)
+			b.Op(bytecode.ALoad)
+			b.Op(bytecode.Fmul).Op(bytecode.Fadd).Store(lOut)
+		})
+	})
+	_ = lIdx
+	b.Load(lOut).Op(bytecode.RetVal)
+	return pb.Add(b.Finish())
+}
+
+// mpegGo mirrors the whole benchmark in Go.
+func mpegGo(frames int32) float64 {
+	cos := make([]float64, mpegMatrix*mpegBands)
+	for i := 0; i < mpegMatrix; i++ {
+		for k := 0; k < mpegBands; k++ {
+			cos[i*mpegBands+k] = math.Cos(float64((16+i)*(2*k+1)) * math.Pi / 64)
+		}
+	}
+	win := make([]float64, mpegTaps)
+	for i := range win {
+		win[i] = math.Sin(float64(i)*math.Pi/mpegTaps) * math.Exp(float64(i)*(-1.0/256))
+	}
+	v := make([]float64, mpegVRing)
+	s := make([]float64, mpegBands)
+	pos := 0
+	sum := 0.0
+	for f := int32(0); f < frames; f++ {
+		for k := 0; k < mpegBands; k++ {
+			s[k] = math.Sin(float64(int(f)*mpegBands+k) * 0.02)
+		}
+		for i := 0; i < mpegMatrix; i++ {
+			acc := 0.0
+			for k := 0; k < mpegBands; k++ {
+				acc += cos[i*mpegBands+k] * s[k]
+			}
+			v[(pos+i)&(mpegVRing-1)] = acc
+		}
+		out := 0.0
+		for j := 0; j < mpegBands; j++ {
+			for t := 0; t < 16; t++ {
+				out += v[(pos+j+t*mpegMatrix)&(mpegVRing-1)] * win[(j+t*mpegBands)&(mpegTaps-1)]
+			}
+		}
+		sum += out
+		pos = (pos + mpegMatrix) & (mpegVRing - 1)
+	}
+	return sum
+}
+
+func verifyMpegaudio(vm *jvm.VM, _ int, scale Scale) error {
+	frames := mpegParams(scale)
+	if got := int64(vm.Global(1)); got != int64(frames) {
+		return fmt.Errorf("mpegaudio: %d frames, want %d", got, frames)
+	}
+	want := mpegGo(frames)
+	got := vm.GlobalFloat(0)
+	if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+		return fmt.Errorf("mpegaudio: PCM checksum %v, want %v", got, want)
+	}
+	return nil
+}

@@ -1,0 +1,378 @@
+package bench
+
+import (
+	"fmt"
+
+	"javasmt/internal/bytecode"
+	"javasmt/internal/jvm"
+)
+
+// PseudoJBB — "a variant of SPECjbb2000 with fixed size of working set"
+// running a fixed number of transactions in multiple warehouses, so
+// execution time is comparable across configurations (the device the
+// paper adopts from the literature). Each warehouse is one Java thread
+// owning its stock, customer and order-ring data; transactions follow the
+// TPC-C-flavoured SPECjbb mix (NewOrder / Payment / OrderStatus /
+// Delivery / StockLevel plus a lightly-contended company audit).
+// NewOrder allocates order objects and line arrays and Delivery drops
+// them — the allocation churn that makes PseudoJBB the suite's GC-heavy
+// benchmark — and the item/stock tables give it the only working set
+// larger than the 1 MB L2, which is why its L2 and ITLB behaviour under
+// Hyper-Threading inverts the other benchmarks' (Figures 5, 6).
+//
+// Globals: 0 = combined checksum, 1 = transactions executed, 2 = ledger.
+const (
+	jbbCusts  = 256
+	jbbOrders = 256
+)
+
+func jbbParams(s Scale) (items, txPerWh int32) {
+	return s.pick(4096, 40960, 65536), s.pick(900, 3500, 9000)
+}
+
+// PseudoJBB returns the benchmark descriptor.
+func PseudoJBB() *Benchmark {
+	return &Benchmark{
+		Name:          "PseudoJBB",
+		Description:   "A variant of SPECjbb2000 with fixed size of working set",
+		Input:         "100,000 trans. (scaled)",
+		Multithreaded: true,
+		Build:         buildPseudoJBB,
+		Verify:        verifyPseudoJBB,
+	}
+}
+
+// Order class fields.
+const (
+	jbbOID, jbbOCust, jbbOTotal, jbbOLines = 0, 1, 2, 3
+)
+
+func buildPseudoJBB(threads int, scale Scale, base uint64) *bytecode.Program {
+	items, txPerWh := jbbParams(scale)
+	nt := int32(threads)
+	pb := bytecode.NewProgram("PseudoJBB")
+	pb.Globals(3, 0)
+	order := pb.Class("Order", 4, 1<<jbbOLines)
+	ledger := pb.Class("Ledger", 1, 0)
+
+	workerIdx := jbbWorker(pb, order, items, txPerWh)
+
+	b := bytecode.NewMethod("main", 0, scratchLocals)
+	const (
+		lPrices, lRes, lTids, lLedger, lW, lSeed, lI, lChk = 0, 1, 2, 3, 4, 5, 6, 7
+	)
+	b.Const(items).Op(bytecode.NewArray, bytecode.KindFloat).Store(lPrices)
+	b.Const(54321).Store(lSeed)
+	forConst(b, lI, items, func() {
+		b.Load(lPrices).Load(lI)
+		emitLCGInt(b, lSeed, 9900)
+		b.Const(100).Op(bytecode.Iadd).Op(bytecode.I2f)
+		b.FConst(0.01).Op(bytecode.Fmul)
+		b.Op(bytecode.AStore)
+	})
+	b.Op(bytecode.New, ledger).Store(lLedger)
+	b.Const(nt).Op(bytecode.NewArray, bytecode.KindInt).Store(lRes)
+	b.Const(nt).Op(bytecode.NewArray, bytecode.KindInt).Store(lTids)
+	forConst(b, lW, nt, func() {
+		b.Load(lTids).Load(lW)
+		b.Load(lPrices).Load(lRes).Load(lLedger).Load(lW)
+		b.Op(bytecode.ThreadStart, workerIdx)
+		b.Op(bytecode.AStore)
+	})
+	forConst(b, lW, nt, func() {
+		b.Load(lTids).Load(lW).Op(bytecode.ALoad).Op(bytecode.ThreadJoin)
+	})
+	b.Const(0).Store(lChk)
+	forConst(b, lW, nt, func() {
+		b.Load(lRes).Load(lW).Op(bytecode.ALoad)
+		emitMix(b, lChk)
+	})
+	b.Load(lLedger).Op(bytecode.GetField, 0)
+	emitMix(b, lChk)
+	b.Load(lChk).Op(bytecode.PutStatic, 0)
+	b.Const(txPerWh*nt).Op(bytecode.PutStatic, 1)
+	b.Load(lLedger).Op(bytecode.GetField, 0).Op(bytecode.PutStatic, 2)
+	b.Op(bytecode.Ret)
+	pb.Entry(pb.Add(b.Finish()))
+	return pb.MustLink(base)
+}
+
+// jbbWorker builds worker(prices, results, ledger, tid): one warehouse.
+func jbbWorker(pb *bytecode.ProgramBuilder, order int32, items, txPerWh int32) int32 {
+	b := bytecode.NewMethod("warehouse", 4, scratchLocals).ArgRefs(0b0111)
+	const (
+		lPrices, lRes, lLedger, lTid = 0, 1, 2, 3
+		lStock, lBal, lRing          = 4, 5, 6
+		lHead, lCount, lSeed, lChk   = 7, 8, 9, 10
+		lTx, lR, lI                  = 11, 12, 13
+		lLines, lNL, lItem, lQty     = 14, 15, 16, 17
+		lTotal, lOrd, lCust          = 18, 19, 20
+		lOld, lLow, lWin             = 21, 22, 23
+	)
+	b.Const(items).Op(bytecode.NewArray, bytecode.KindInt).Store(lStock)
+	forConst(b, lI, items, func() {
+		b.Load(lStock).Load(lI).Const(50).Op(bytecode.AStore)
+	})
+	b.Const(jbbCusts).Op(bytecode.NewArray, bytecode.KindFloat).Store(lBal)
+	b.Const(jbbOrders).Op(bytecode.NewArray, bytecode.KindRef).Store(lRing)
+	b.Const(0).Store(lHead)
+	b.Const(0).Store(lCount)
+	b.Const(0).Store(lChk)
+	// seed = (tid+1)*48271 + 1234
+	b.Load(lTid).Const(1).Op(bytecode.Iadd).Const(48271).Op(bytecode.Imul).Const(1234).Op(bytecode.Iadd).Store(lSeed)
+
+	forConst(b, lTx, txPerWh, func() {
+		emitLCGInt(b, lSeed, 100)
+		b.Store(lR)
+		newOrder, payment, status, delivery, stockLvl, audit, after :=
+			b.NewLabel(), b.NewLabel(), b.NewLabel(), b.NewLabel(), b.NewLabel(), b.NewLabel(), b.NewLabel()
+		b.Load(lR).Const(45)
+		b.Br(bytecode.IfLt, newOrder)
+		b.Load(lR).Const(85)
+		b.Br(bytecode.IfLt, payment)
+		b.Load(lR).Const(90)
+		b.Br(bytecode.IfLt, status)
+		b.Load(lR).Const(95)
+		b.Br(bytecode.IfLt, delivery)
+		b.Load(lR).Const(98)
+		b.Br(bytecode.IfLt, stockLvl)
+		b.Br(bytecode.Goto, audit)
+
+		// --- NewOrder ---
+		b.Bind(newOrder)
+		emitLCGInt(b, lSeed, 10)
+		b.Const(5).Op(bytecode.Iadd).Store(lNL)
+		b.Load(lNL).Op(bytecode.NewArray, bytecode.KindInt).Store(lLines)
+		b.FConst(0).Store(lTotal)
+		forVar(b, lI, lNL, func() {
+			emitLCGInt(b, lSeed, items)
+			b.Store(lItem)
+			emitLCGInt(b, lSeed, 5)
+			b.Const(1).Op(bytecode.Iadd).Store(lQty)
+			// stock[item] -= qty; restock when depleted
+			b.Load(lStock).Load(lItem)
+			b.Load(lStock).Load(lItem).Op(bytecode.ALoad)
+			b.Load(lQty).Op(bytecode.Isub)
+			b.Op(bytecode.AStore)
+			restocked := b.NewLabel()
+			b.Load(lStock).Load(lItem).Op(bytecode.ALoad).Const(0)
+			b.Br(bytecode.IfGe, restocked)
+			b.Load(lStock).Load(lItem)
+			b.Load(lStock).Load(lItem).Op(bytecode.ALoad)
+			b.Const(91).Op(bytecode.Iadd)
+			b.Op(bytecode.AStore)
+			b.Bind(restocked)
+			// total += prices[item] * qty
+			b.Load(lTotal)
+			b.Load(lPrices).Load(lItem).Op(bytecode.ALoad)
+			b.Load(lQty).Op(bytecode.I2f).Op(bytecode.Fmul)
+			b.Op(bytecode.Fadd).Store(lTotal)
+			b.Load(lLines).Load(lI).Load(lItem).Op(bytecode.AStore)
+		})
+		// Allocate the order and insert it into the ring.
+		b.Op(bytecode.New, order).Store(lOrd)
+		b.Load(lOrd).Load(lTx).Op(bytecode.PutField, jbbOID)
+		emitLCGInt(b, lSeed, jbbCusts)
+		b.Store(lCust)
+		b.Load(lOrd).Load(lCust).Op(bytecode.PutField, jbbOCust)
+		b.Load(lOrd).Load(lTotal).Op(bytecode.PutField, jbbOTotal)
+		b.Load(lOrd).Load(lLines).Op(bytecode.PutField, jbbOLines)
+		b.Load(lRing).Load(lHead).Const(jbbOrders).Op(bytecode.Irem).Load(lOrd).Op(bytecode.AStore)
+		b.Load(lHead).Const(1).Op(bytecode.Iadd).Store(lHead)
+		ringFull := b.NewLabel()
+		b.Load(lCount).Const(jbbOrders)
+		b.Br(bytecode.IfGe, ringFull)
+		b.Load(lCount).Const(1).Op(bytecode.Iadd).Store(lCount)
+		b.Bind(ringFull)
+		// chk mix= int(total*100)
+		b.Load(lTotal).FConst(100).Op(bytecode.Fmul).Op(bytecode.F2i)
+		emitMix(b, lChk)
+		b.Br(bytecode.Goto, after)
+
+		// --- Payment ---
+		b.Bind(payment)
+		emitLCGInt(b, lSeed, jbbCusts)
+		b.Store(lCust)
+		emitLCGInt(b, lSeed, items)
+		b.Store(lItem)
+		b.Load(lBal).Load(lCust)
+		b.Load(lBal).Load(lCust).Op(bytecode.ALoad)
+		b.Load(lPrices).Load(lItem).Op(bytecode.ALoad)
+		b.Op(bytecode.Fadd)
+		b.Op(bytecode.AStore)
+		b.Load(lBal).Load(lCust).Op(bytecode.ALoad).FConst(100).Op(bytecode.Fmul).Op(bytecode.F2i)
+		emitMix(b, lChk)
+		b.Br(bytecode.Goto, after)
+
+		// --- OrderStatus: read the newest live order ---
+		b.Bind(status)
+		noOrder := b.NewLabel()
+		b.Load(lCount).Const(0)
+		b.Br(bytecode.IfLe, noOrder)
+		b.Load(lRing)
+		b.Load(lHead).Const(1).Op(bytecode.Isub).Const(jbbOrders).Op(bytecode.Irem)
+		b.Op(bytecode.ALoad)
+		b.Op(bytecode.GetField, jbbOTotal).FConst(100).Op(bytecode.Fmul).Op(bytecode.F2i)
+		emitMix(b, lChk)
+		b.Bind(noOrder)
+		b.Br(bytecode.Goto, after)
+
+		// --- Delivery: retire up to 10 oldest orders ---
+		b.Bind(delivery)
+		forConst(b, lI, 10, func() {
+			empty := b.NewLabel()
+			b.Load(lCount).Const(0)
+			b.Br(bytecode.IfLe, empty)
+			// old = (head - count) mod ORDERS
+			b.Load(lHead).Load(lCount).Op(bytecode.Isub)
+			b.Const(jbbOrders).Op(bytecode.Iadd) // head-count can be negative only if count>head; head>=count always, but keep safe
+			b.Const(jbbOrders).Op(bytecode.Irem)
+			b.Store(lOld)
+			b.Load(lRing).Load(lOld).Op(bytecode.ALoad)
+			b.Op(bytecode.GetField, jbbOTotal).FConst(100).Op(bytecode.Fmul).Op(bytecode.F2i)
+			emitMix(b, lChk)
+			// Drop the reference: the order and its lines become garbage.
+			b.Load(lRing).Load(lOld).Const(0).Op(bytecode.AStore)
+			b.Load(lCount).Const(1).Op(bytecode.Isub).Store(lCount)
+			b.Bind(empty)
+		})
+		b.Br(bytecode.Goto, after)
+
+		// --- StockLevel: scan a 100-item window ---
+		b.Bind(stockLvl)
+		emitLCGInt(b, lSeed, items-100)
+		b.Store(lWin)
+		b.Const(0).Store(lLow)
+		forConst(b, lI, 100, func() {
+			enough := b.NewLabel()
+			b.Load(lStock).Load(lWin).Load(lI).Op(bytecode.Iadd).Op(bytecode.ALoad)
+			b.Const(25)
+			b.Br(bytecode.IfGe, enough)
+			b.Load(lLow).Const(1).Op(bytecode.Iadd).Store(lLow)
+			b.Bind(enough)
+		})
+		b.Load(lLow)
+		emitMix(b, lChk)
+		b.Br(bytecode.Goto, after)
+
+		// --- Company audit: the only cross-warehouse sync ---
+		b.Bind(audit)
+		b.Load(lLedger).Op(bytecode.MonEnter)
+		b.Load(lLedger)
+		b.Load(lLedger).Op(bytecode.GetField, 0)
+		b.Load(lChk).Const(0xFFFF).Op(bytecode.Iand).Op(bytecode.Iadd)
+		b.Op(bytecode.PutField, 0)
+		b.Load(lLedger).Op(bytecode.MonExit)
+		b.Br(bytecode.Goto, after)
+
+		b.Bind(after)
+	})
+	b.Load(lRes).Load(lTid).Load(lChk).Op(bytecode.AStore)
+	b.Op(bytecode.Ret)
+	return pb.Add(b.Finish())
+}
+
+// jbbGo mirrors one whole run.
+func jbbGo(items, txPerWh int32, threads int) (chk, tx, ledgerV int64) {
+	prices := make([]float64, items)
+	seed := int64(54321)
+	for i := range prices {
+		seed = lcgNextGo(seed)
+		prices[i] = float64(lcgIntGo(seed, 9900)+100) * 0.01
+	}
+	type orderRec struct{ total float64 }
+	var ledger int64
+	whChk := make([]int64, threads)
+	for tid := 0; tid < threads; tid++ {
+		stock := make([]int64, items)
+		for i := range stock {
+			stock[i] = 50
+		}
+		bal := make([]float64, jbbCusts)
+		ring := make([]*orderRec, jbbOrders)
+		head, count := int64(0), int64(0)
+		s := int64(tid+1)*48271 + 1234
+		rnd := func(bound int64) int64 {
+			s = lcgNextGo(s)
+			return lcgIntGo(s, bound)
+		}
+		var c int64
+		for t := int32(0); t < txPerWh; t++ {
+			r := rnd(100)
+			switch {
+			case r < 45:
+				nl := rnd(10) + 5
+				total := 0.0
+				for i := int64(0); i < nl; i++ {
+					item := rnd(int64(items))
+					qty := rnd(5) + 1
+					stock[item] -= qty
+					if stock[item] < 0 {
+						stock[item] += 91
+					}
+					total += prices[item] * float64(qty)
+				}
+				cust := rnd(jbbCusts)
+				_ = cust
+				ring[head%jbbOrders] = &orderRec{total: total}
+				head++
+				if count < jbbOrders {
+					count++
+				}
+				c = mix64Go(c, int64(total*100))
+			case r < 85:
+				cust := rnd(jbbCusts)
+				item := rnd(int64(items))
+				bal[cust] += prices[item]
+				c = mix64Go(c, int64(bal[cust]*100))
+			case r < 90:
+				if count > 0 {
+					c = mix64Go(c, int64(ring[(head-1)%jbbOrders].total*100))
+				}
+			case r < 95:
+				for i := 0; i < 10; i++ {
+					if count <= 0 {
+						continue
+					}
+					old := (head - count + jbbOrders) % jbbOrders
+					c = mix64Go(c, int64(ring[old].total*100))
+					ring[old] = nil
+					count--
+				}
+			case r < 98:
+				win := rnd(int64(items - 100))
+				low := int64(0)
+				for i := int64(0); i < 100; i++ {
+					if stock[win+i] < 25 {
+						low++
+					}
+				}
+				c = mix64Go(c, low)
+			default:
+				ledger += c & 0xFFFF
+			}
+		}
+		whChk[tid] = c
+	}
+	var out int64
+	for _, c := range whChk {
+		out = mix64Go(out, c)
+	}
+	out = mix64Go(out, ledger)
+	return out, int64(txPerWh) * int64(threads), ledger
+}
+
+func verifyPseudoJBB(vm *jvm.VM, threads int, scale Scale) error {
+	items, txPerWh := jbbParams(scale)
+	chk, tx, ledger := jbbGo(items, txPerWh, threads)
+	if got := int64(vm.Global(1)); got != tx {
+		return fmt.Errorf("PseudoJBB: %d transactions, want %d", got, tx)
+	}
+	if got := int64(vm.Global(2)); got != ledger {
+		return fmt.Errorf("PseudoJBB: ledger %d, want %d", got, ledger)
+	}
+	if got := int64(vm.Global(0)); got != chk {
+		return fmt.Errorf("PseudoJBB: checksum %d, want %d", got, chk)
+	}
+	return nil
+}

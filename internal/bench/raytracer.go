@@ -1,0 +1,330 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"javasmt/internal/bytecode"
+	"javasmt/internal/jvm"
+)
+
+// RayTracer — "a 3D raytracer, which renders 64 spheres with configurable
+// resolutions" (Java Grande). Primary rays are cast orthographically
+// through every pixel and intersected against all 64 spheres (real
+// quadratic solve with sqrt); hits are shaded by distance plus an
+// occlusion test along the shadow segment. As the paper notes, "each of
+// its threads maintains a copy of scene data as the temporary storage for
+// parallelization" — workers here copy the sphere arrays before
+// rendering their row stripes, which is what gives RayTracer its higher
+// OS/allocation activity and poorer DT-mode share.
+//
+// Globals: 0 = image checksum (float bits), 1 = rays traced.
+const rtSpheres = 64
+
+func rtParams(s Scale) int32 { return s.pick(16, 40, 80) } // image width
+
+// RayTracer returns the benchmark descriptor.
+func RayTracer() *Benchmark {
+	return &Benchmark{
+		Name:          "RayTracer",
+		Description:   "A 3D raytracer, which renders 64 spheres with configurable resolutions",
+		Input:         "N = 150 (scaled)",
+		Multithreaded: true,
+		Build:         buildRayTracer,
+		Verify:        verifyRayTracer,
+	}
+}
+
+func buildRayTracer(threads int, scale Scale, base uint64) *bytecode.Program {
+	w := rtParams(scale)
+	nt := int32(threads)
+	pb := bytecode.NewProgram("RayTracer")
+	pb.Globals(2, 0)
+	// Per-ray hit records, as the JGF original allocates Vec/Isect
+	// objects per intersection — the allocation churn behind RayTracer's
+	// memory/OS profile.
+	hit := pb.Class("HitRecord", 3, 0) // t, sphere, value
+
+	sceneIdx := rtScene(pb)
+	copyIdx := rtCopy(pb)
+	workerIdx := rtWorker(pb, w, nt, copyIdx, hit)
+
+	b := bytecode.NewMethod("main", 0, scratchLocals)
+	const (
+		lCX, lCY, lCZ, lR, lB     = 0, 1, 2, 3, 4
+		lRes, lTids, lW, lSum, lI = 5, 6, 7, 8, 9
+	)
+	for _, v := range []int32{lCX, lCY, lCZ, lR, lB} {
+		b.Const(rtSpheres).Op(bytecode.NewArray, bytecode.KindFloat).Store(v)
+	}
+	b.Load(lCX).Load(lCY).Load(lCZ).Load(lR).Load(lB)
+	b.Op(bytecode.Call, sceneIdx)
+	b.Const(nt).Op(bytecode.NewArray, bytecode.KindFloat).Store(lRes)
+	b.Const(nt).Op(bytecode.NewArray, bytecode.KindInt).Store(lTids)
+	forConst(b, lW, nt, func() {
+		b.Load(lTids).Load(lW)
+		b.Load(lCX).Load(lCY).Load(lCZ).Load(lR).Load(lB)
+		b.Load(lRes).Load(lW)
+		b.Op(bytecode.ThreadStart, workerIdx)
+		b.Op(bytecode.AStore)
+	})
+	forConst(b, lW, nt, func() {
+		b.Load(lTids).Load(lW).Op(bytecode.ALoad).Op(bytecode.ThreadJoin)
+	})
+	b.FConst(0).Store(lSum)
+	forConst(b, lI, nt, func() {
+		b.Load(lSum).Load(lRes).Load(lI).Op(bytecode.ALoad).Op(bytecode.Fadd).Store(lSum)
+	})
+	b.Load(lSum).Op(bytecode.PutStatic, 0)
+	b.Const(w*w).Op(bytecode.PutStatic, 1)
+	b.Op(bytecode.Ret)
+	pb.Entry(pb.Add(b.Finish()))
+	return pb.MustLink(base)
+}
+
+// rtScene builds scene(cx,cy,cz,r,bright): fills the master sphere arrays.
+func rtScene(pb *bytecode.ProgramBuilder) int32 {
+	b := bytecode.NewMethod("scene", 5, scratchLocals).ArgRefs(0b11111)
+	const (
+		lCX, lCY, lCZ, lR, lB, lI, lSeed = 0, 1, 2, 3, 4, 5, 6
+	)
+	b.Const(99991).Store(lSeed)
+	forConst(b, lI, rtSpheres, func() {
+		for _, v := range []int32{lCX, lCY, lCZ} {
+			b.Load(v).Load(lI)
+			emitLCGInt(b, lSeed, 8000)
+			b.Op(bytecode.I2f).FConst(0.001).Op(bytecode.Fmul)
+			b.Op(bytecode.AStore)
+		}
+		b.Load(lR).Load(lI)
+		emitLCGInt(b, lSeed, 500)
+		b.Op(bytecode.I2f).FConst(0.001).Op(bytecode.Fmul).FConst(0.3).Op(bytecode.Fadd)
+		b.Op(bytecode.AStore)
+		b.Load(lB).Load(lI)
+		emitLCGInt(b, lSeed, 1000)
+		b.Op(bytecode.I2f).FConst(0.001).Op(bytecode.Fmul)
+		b.Op(bytecode.AStore)
+	})
+	b.Op(bytecode.Ret)
+	return pb.Add(b.Finish())
+}
+
+// rtCopy builds copyArr(src): float[] — a worker-private scene copy.
+func rtCopy(pb *bytecode.ProgramBuilder) int32 {
+	b := bytecode.NewMethod("copyArr", 1, scratchLocals).ArgRefs(0b1).ReturnsRef()
+	const (
+		lSrc, lDst, lI, lN = 0, 1, 2, 3
+	)
+	b.Load(lSrc).Op(bytecode.ArrayLen).Store(lN)
+	b.Load(lN).Op(bytecode.NewArray, bytecode.KindFloat).Store(lDst)
+	forVar(b, lI, lN, func() {
+		b.Load(lDst).Load(lI)
+		b.Load(lSrc).Load(lI).Op(bytecode.ALoad)
+		b.Op(bytecode.AStore)
+	})
+	b.Load(lDst).Op(bytecode.RetVal)
+	return pb.Add(b.Finish())
+}
+
+// rtWorker builds worker(mcx,mcy,mcz,mr,mb,res,tid): copies the scene,
+// renders rows tid, tid+nt, ... and stores its pixel sum in res[tid].
+func rtWorker(pb *bytecode.ProgramBuilder, w, nt int32, copyIdx, hitClass int32) int32 {
+	b := bytecode.NewMethod("rtWorker", 7, scratchLocals).ArgRefs(0b0111111)
+	const (
+		lMCX, lMCY, lMCZ, lMR, lMB, lRes, lTid = 0, 1, 2, 3, 4, 5, 6
+		lCX, lCY, lCZ, lR, lB                  = 7, 8, 9, 10, 11
+		lPY, lPX, lS, lSum                     = 12, 13, 14, 15
+		lOX, lOY                               = 16, 17
+		lOCX, lOCY, lOCZ, lQB, lQC, lDisc      = 18, 19, 20, 21, 22, 23
+		lT, lTMin, lHit, lVal                  = 24, 25, 26, 27
+		lHX, lHY, lHZ, lMX, lMY, lMZ           = 28, 29, 30, 31, 32, 33
+		lDX2, lDY2, lDZ2                       = 34, 35, 36
+	)
+	// Private scene copies (the paper's per-thread scene data).
+	for i, pair := range [][2]int32{{lMCX, lCX}, {lMCY, lCY}, {lMCZ, lCZ}, {lMR, lR}, {lMB, lB}} {
+		_ = i
+		b.Load(pair[0]).Op(bytecode.Call, copyIdx).Store(pair[1])
+	}
+	b.FConst(0).Store(lSum)
+	scalePix := 8.0 / float64(w)
+	// for py = tid; py < w; py += nt
+	pyLoop, pyDone := b.NewLabel(), b.NewLabel()
+	b.Load(lTid).Store(lPY)
+	b.Bind(pyLoop)
+	b.Load(lPY).Const(w)
+	b.Br(bytecode.IfGe, pyDone)
+	{
+		forConst(b, lPX, w, func() {
+			// Ray origin (ox, oy, -10), direction (0,0,1).
+			b.Load(lPX).Op(bytecode.I2f).FConst(scalePix).Op(bytecode.Fmul).Store(lOX)
+			b.Load(lPY).Op(bytecode.I2f).FConst(scalePix).Op(bytecode.Fmul).Store(lOY)
+			b.FConst(1e30).Store(lTMin)
+			b.Const(-1).Store(lHit)
+			forConst(b, lS, rtSpheres, func() {
+				// oc = o - c ; quadratic: t² + qb·t + qc = 0 with
+				// qb = 2*ocz, qc = oc·oc - r².
+				b.Load(lOX).Load(lCX).Load(lS).Op(bytecode.ALoad).Op(bytecode.Fsub).Store(lOCX)
+				b.Load(lOY).Load(lCY).Load(lS).Op(bytecode.ALoad).Op(bytecode.Fsub).Store(lOCY)
+				b.FConst(-10.0).Load(lCZ).Load(lS).Op(bytecode.ALoad).Op(bytecode.Fsub).Store(lOCZ)
+				b.Load(lOCZ).FConst(2.0).Op(bytecode.Fmul).Store(lQB)
+				b.Load(lOCX).Load(lOCX).Op(bytecode.Fmul)
+				b.Load(lOCY).Load(lOCY).Op(bytecode.Fmul).Op(bytecode.Fadd)
+				b.Load(lOCZ).Load(lOCZ).Op(bytecode.Fmul).Op(bytecode.Fadd)
+				b.Load(lR).Load(lS).Op(bytecode.ALoad)
+				b.Load(lR).Load(lS).Op(bytecode.ALoad)
+				b.Op(bytecode.Fmul)
+				b.Op(bytecode.Fsub).Store(lQC)
+				// disc = qb² - 4qc
+				b.Load(lQB).Load(lQB).Op(bytecode.Fmul)
+				b.Load(lQC).FConst(4.0).Op(bytecode.Fmul)
+				b.Op(bytecode.Fsub).Store(lDisc)
+				miss := b.NewLabel()
+				b.Load(lDisc).FConst(0)
+				b.Br(bytecode.IfFLt, miss)
+				// t = (-qb - sqrt(disc)) / 2
+				b.FConst(0).Load(lQB).Op(bytecode.Fsub)
+				b.Load(lDisc).Op(bytecode.Fmath, bytecode.MathSqrt)
+				b.Op(bytecode.Fsub).FConst(0.5).Op(bytecode.Fmul).Store(lT)
+				b.Load(lT).FConst(0.001)
+				b.Br(bytecode.IfFLt, miss)
+				b.Load(lT).Load(lTMin)
+				b.Br(bytecode.IfFGt, miss)
+				b.Load(lT).Store(lTMin)
+				b.Load(lS).Store(lHit)
+				b.Bind(miss)
+			})
+			noHit := b.NewLabel()
+			pixelDone := b.NewLabel()
+			b.Load(lHit).Const(0)
+			b.Br(bytecode.IfLt, noHit)
+			// val = bright[hit] / (1 + 0.1*tmin)
+			b.Load(lB).Load(lHit).Op(bytecode.ALoad)
+			b.FConst(1.0).Load(lTMin).FConst(0.1).Op(bytecode.Fmul).Op(bytecode.Fadd)
+			b.Op(bytecode.Fdiv).Store(lVal)
+			// Shadow probe: midpoint between hit point and the light
+			// (4,4,-10); if inside any sphere, halve the value.
+			b.Load(lOX).Store(lHX)
+			b.Load(lOY).Store(lHY)
+			b.FConst(-10.0).Load(lTMin).Op(bytecode.Fadd).Store(lHZ)
+			b.Load(lHX).FConst(4.0).Op(bytecode.Fadd).FConst(0.5).Op(bytecode.Fmul).Store(lMX)
+			b.Load(lHY).FConst(4.0).Op(bytecode.Fadd).FConst(0.5).Op(bytecode.Fmul).Store(lMY)
+			b.Load(lHZ).FConst(-10.0).Op(bytecode.Fadd).FConst(0.5).Op(bytecode.Fmul).Store(lMZ)
+			// Materialize the hit as a heap record (JGF-style churn)
+			// and read the shading inputs back from it.
+			const lRec = 37
+			b.Op(bytecode.New, hitClass).Store(lRec)
+			b.Load(lRec).Load(lTMin).Op(bytecode.PutField, 0)
+			b.Load(lRec).Load(lHit).Op(bytecode.PutField, 1)
+			b.Load(lRec).Load(lVal).Op(bytecode.PutField, 2)
+			b.Load(lRec).Op(bytecode.GetField, 2).Store(lVal)
+			forConst(b, lS, rtSpheres, func() {
+				lit := b.NewLabel()
+				b.Load(lMX).Load(lCX).Load(lS).Op(bytecode.ALoad).Op(bytecode.Fsub).Store(lDX2)
+				b.Load(lMY).Load(lCY).Load(lS).Op(bytecode.ALoad).Op(bytecode.Fsub).Store(lDY2)
+				b.Load(lMZ).Load(lCZ).Load(lS).Op(bytecode.ALoad).Op(bytecode.Fsub).Store(lDZ2)
+				b.Load(lDX2).Load(lDX2).Op(bytecode.Fmul)
+				b.Load(lDY2).Load(lDY2).Op(bytecode.Fmul).Op(bytecode.Fadd)
+				b.Load(lDZ2).Load(lDZ2).Op(bytecode.Fmul).Op(bytecode.Fadd)
+				b.Load(lR).Load(lS).Op(bytecode.ALoad)
+				b.Load(lR).Load(lS).Op(bytecode.ALoad)
+				b.Op(bytecode.Fmul)
+				b.Br(bytecode.IfFGt, lit)
+				b.Load(lVal).FConst(0.5).Op(bytecode.Fmul).Store(lVal)
+				b.Bind(lit)
+			})
+			b.Load(lSum).Load(lVal).Op(bytecode.Fadd).Store(lSum)
+			b.Br(bytecode.Goto, pixelDone)
+			b.Bind(noHit)
+			b.Bind(pixelDone)
+		})
+	}
+	b.Load(lPY).Const(nt).Op(bytecode.Iadd).Store(lPY)
+	b.Br(bytecode.Goto, pyLoop)
+	b.Bind(pyDone)
+	b.Load(lRes).Load(lTid).Load(lSum).Op(bytecode.AStore)
+	b.Op(bytecode.Ret)
+	return pb.Add(b.Finish())
+}
+
+// rtGo mirrors the benchmark.
+func rtGo(w int32, threads int) float64 {
+	cx := make([]float64, rtSpheres)
+	cy := make([]float64, rtSpheres)
+	cz := make([]float64, rtSpheres)
+	r := make([]float64, rtSpheres)
+	br := make([]float64, rtSpheres)
+	seed := int64(99991)
+	for i := 0; i < rtSpheres; i++ {
+		for _, a := range []*[]float64{&cx, &cy, &cz} {
+			seed = lcgNextGo(seed)
+			(*a)[i] = float64(lcgIntGo(seed, 8000)) * 0.001
+		}
+		seed = lcgNextGo(seed)
+		r[i] = float64(lcgIntGo(seed, 500))*0.001 + 0.3
+		seed = lcgNextGo(seed)
+		br[i] = float64(lcgIntGo(seed, 1000)) * 0.001
+	}
+	scalePix := 8.0 / float64(w)
+	total := 0.0
+	for tid := 0; tid < threads; tid++ {
+		sum := 0.0
+		for py := int64(tid); py < int64(w); py += int64(threads) {
+			for px := int64(0); px < int64(w); px++ {
+				ox := float64(px) * scalePix
+				oy := float64(py) * scalePix
+				tMin := 1e30
+				hit := -1
+				for s := 0; s < rtSpheres; s++ {
+					ocx := ox - cx[s]
+					ocy := oy - cy[s]
+					ocz := -10.0 - cz[s]
+					qb := ocz * 2.0
+					qc := ocx*ocx + ocy*ocy + ocz*ocz - r[s]*r[s]
+					disc := qb*qb - qc*4.0
+					if disc < 0 {
+						continue
+					}
+					t := (0 - qb - math.Sqrt(disc)) * 0.5
+					if t < 0.001 || t > tMin {
+						continue
+					}
+					tMin = t
+					hit = s
+				}
+				if hit < 0 {
+					continue
+				}
+				val := br[hit] / (1.0 + tMin*0.1)
+				hx, hy, hz := ox, oy, -10.0+tMin
+				mx := (hx + 4.0) * 0.5
+				my := (hy + 4.0) * 0.5
+				mz := (hz + -10.0) * 0.5
+				for s := 0; s < rtSpheres; s++ {
+					dx := mx - cx[s]
+					dy := my - cy[s]
+					dz := mz - cz[s]
+					if dx*dx+dy*dy+dz*dz > r[s]*r[s] {
+						continue
+					}
+					val *= 0.5
+				}
+				sum += val
+			}
+		}
+		total += sum
+	}
+	return total
+}
+
+func verifyRayTracer(vm *jvm.VM, threads int, scale Scale) error {
+	w := rtParams(scale)
+	if got := int64(vm.Global(1)); got != int64(w)*int64(w) {
+		return fmt.Errorf("RayTracer: %d rays, want %d", got, int64(w)*int64(w))
+	}
+	want := rtGo(w, threads)
+	got := vm.GlobalFloat(0)
+	if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+		return fmt.Errorf("RayTracer: image checksum %v, want %v", got, want)
+	}
+	return nil
+}

@@ -1,0 +1,252 @@
+package bytecode
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// sumMethod builds: sum(n) { s=0; for i=0..n-1 { s+=i }; return s }
+func sumMethod() *Method {
+	b := NewMethod("sum", 1, 3) // 0=n, 1=s, 2=i
+	loop := b.NewLabel()
+	done := b.NewLabel()
+	b.Const(0).Store(1)
+	b.Const(0).Store(2)
+	b.Bind(loop)
+	b.Load(2).Load(0)
+	b.Br(IfGe, done)
+	b.Load(1).Load(2).Op(Iadd).Store(1)
+	b.Load(2).Const(1).Op(Iadd).Store(2)
+	b.Br(Goto, loop)
+	b.Bind(done)
+	b.Load(1)
+	b.Op(RetVal)
+	return b.Finish()
+}
+
+func mainCalling(callee int32) *Method {
+	b := NewMethod("main", 0, 1)
+	b.Const(10)
+	b.Op(Call, callee)
+	b.Op(Pop)
+	b.Op(Ret)
+	return b.Finish()
+}
+
+func linkedProgram(t *testing.T) *Program {
+	t.Helper()
+	pb := NewProgram("test")
+	sum := pb.Add(sumMethod())
+	main := pb.Add(mainCalling(sum))
+	pb.Entry(main)
+	p, err := pb.Link(0)
+	if err != nil {
+		t.Fatalf("Link: %v", err)
+	}
+	return p
+}
+
+func TestLinkAssignsDisjointAlignedCode(t *testing.T) {
+	p := linkedProgram(t)
+	m0, m1 := p.Methods[0], p.Methods[1]
+	if m0.CodeBase < UserCodeBase || m0.CodeBase >= UserCodeBase+6 {
+		t.Fatalf("first method base = %d, want trace-line-aligned base just above %d", m0.CodeBase, UserCodeBase)
+	}
+	if m0.CodeBase%6 != 0 || m1.CodeBase%6 != 0 {
+		t.Fatal("methods must be trace-line aligned")
+	}
+	if m1.CodeBase < m0.CodeBase+uint64(m0.UopLen) {
+		t.Fatal("method code ranges overlap")
+	}
+	if p.CodeUops == 0 {
+		t.Fatal("program code footprint not computed")
+	}
+	// Per-instruction offsets are strictly increasing by UopCost.
+	for i, ins := range m0.Code {
+		if got := m0.UopOff[i+1] - m0.UopOff[i]; got != uint32(UopCost(ins.Op)) {
+			t.Fatalf("instr %d (%v): offset delta %d != UopCost %d", i, ins.Op, got, UopCost(ins.Op))
+		}
+	}
+}
+
+func TestVerifyComputesMaxStack(t *testing.T) {
+	p := linkedProgram(t)
+	if ms := p.Methods[0].MaxStack; ms != 2 {
+		t.Fatalf("sum MaxStack = %d, want 2", ms)
+	}
+}
+
+func TestMethodByName(t *testing.T) {
+	p := linkedProgram(t)
+	if m, ok := p.MethodByName("sum"); !ok || m.Name != "sum" {
+		t.Fatal("MethodByName failed")
+	}
+	if _, ok := p.MethodByName("nope"); ok {
+		t.Fatal("unknown method must not resolve")
+	}
+}
+
+func TestFConstInterning(t *testing.T) {
+	b := NewMethod("f", 0, 0)
+	b.FConst(3.14).Op(Pop).FConst(3.14).Op(Pop).FConst(2.71).Op(Pop).Op(Ret)
+	m := b.Finish()
+	if len(m.FPool) != 2 {
+		t.Fatalf("fpool size = %d, want 2 (interned)", len(m.FPool))
+	}
+}
+
+func mustFail(t *testing.T, name string, build func(pb *ProgramBuilder)) {
+	t.Helper()
+	pb := NewProgram(name)
+	build(pb)
+	if _, err := pb.Link(0); err == nil {
+		t.Fatalf("%s: Link should have failed", name)
+	}
+}
+
+func TestVerifyRejections(t *testing.T) {
+	mustFail(t, "underflow", func(pb *ProgramBuilder) {
+		b := NewMethod("main", 0, 0)
+		b.Op(Iadd).Op(Pop).Op(Ret) // pops from empty stack
+		pb.Entry(pb.Add(b.Finish()))
+	})
+	mustFail(t, "fallthrough", func(pb *ProgramBuilder) {
+		b := NewMethod("main", 0, 0)
+		b.Const(1).Op(Pop) // no terminator
+		pb.Entry(pb.Add(b.Finish()))
+	})
+	mustFail(t, "bad-local", func(pb *ProgramBuilder) {
+		b := NewMethod("main", 0, 1)
+		b.Load(3).Op(Pop).Op(Ret)
+		pb.Entry(pb.Add(b.Finish()))
+	})
+	mustFail(t, "ret-nonempty", func(pb *ProgramBuilder) {
+		b := NewMethod("main", 0, 0)
+		b.Const(1).Op(Ret)
+		pb.Entry(pb.Add(b.Finish()))
+	})
+	mustFail(t, "mixed-returns", func(pb *ProgramBuilder) {
+		b := NewMethod("main", 0, 1)
+		done := b.NewLabel()
+		b.Load(0).Const(0)
+		b.Br(IfEq, done)
+		b.Const(1).Op(RetVal)
+		b.Bind(done)
+		b.Op(Ret)
+		pb.Entry(pb.Add(b.Finish()))
+	})
+	mustFail(t, "inconsistent-depth", func(pb *ProgramBuilder) {
+		b := NewMethod("main", 0, 1)
+		merge := b.NewLabel()
+		b.Load(0).Const(0)
+		b.Br(IfEq, merge) // path A reaches merge with depth 0
+		b.Const(7)        // path B reaches merge with depth 1
+		b.Bind(merge)
+		b.Op(Pop)
+		b.Op(Ret)
+		pb.Entry(pb.Add(b.Finish()))
+	})
+	mustFail(t, "bad-global", func(pb *ProgramBuilder) {
+		pb.Globals(2, 0)
+		b := NewMethod("main", 0, 0)
+		b.Op(GetStatic, 5).Op(Pop).Op(Ret)
+		pb.Entry(pb.Add(b.Finish()))
+	})
+	mustFail(t, "entry-with-args", func(pb *ProgramBuilder) {
+		pb.Entry(pb.Add(sumMethod()))
+	})
+	mustFail(t, "bad-entry", func(pb *ProgramBuilder) {
+		pb.Add(sumMethod())
+		pb.Entry(7)
+	})
+	mustFail(t, "empty", func(pb *ProgramBuilder) {})
+	mustFail(t, "dup-names", func(pb *ProgramBuilder) {
+		a := NewMethod("m", 0, 0)
+		a.Op(Ret)
+		c := NewMethod("m", 0, 0)
+		c.Op(Ret)
+		pb.Add(a.Finish())
+		pb.Entry(pb.Add(c.Finish()))
+	})
+	mustFail(t, "bad-call-target", func(pb *ProgramBuilder) {
+		b := NewMethod("main", 0, 0)
+		b.Op(Call, 9).Op(Ret)
+		pb.Entry(pb.Add(b.Finish()))
+	})
+	mustFail(t, "bad-array-kind", func(pb *ProgramBuilder) {
+		b := NewMethod("main", 0, 0)
+		b.Const(4).Op(NewArray, 9).Op(Pop).Op(Ret)
+		pb.Entry(pb.Add(b.Finish()))
+	})
+}
+
+func TestBuilderPanics(t *testing.T) {
+	assertPanics := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	assertPanics("locals<args", func() { NewMethod("m", 3, 1) })
+	assertPanics("branch-via-Op", func() { NewMethod("m", 0, 0).Op(Goto, 0) })
+	assertPanics("nonbranch-via-Br", func() {
+		b := NewMethod("m", 0, 0)
+		b.Br(Iadd, b.NewLabel())
+	})
+	assertPanics("unbound-label", func() {
+		b := NewMethod("m", 0, 0)
+		b.Br(Goto, b.NewLabel())
+		b.Finish()
+	})
+	assertPanics("double-bind", func() {
+		b := NewMethod("m", 0, 0)
+		l := b.NewLabel()
+		b.Bind(l)
+		b.Bind(l)
+	})
+	assertPanics("two-operands", func() { NewMethod("m", 0, 0).Op(Iconst, 1, 2) })
+}
+
+func TestDisassembleMentionsEverything(t *testing.T) {
+	p := linkedProgram(t)
+	d := p.Disassemble()
+	for _, want := range []string{"sum", "main", "iadd", "ifge", "retval", "call"} {
+		if !strings.Contains(d, want) {
+			t.Fatalf("disassembly missing %q:\n%s", want, d)
+		}
+	}
+}
+
+func TestOpNamesComplete(t *testing.T) {
+	for o := Op(0); int(o) < NumOps; o++ {
+		if strings.HasPrefix(o.String(), "op(") {
+			t.Fatalf("opcode %d lacks a name", o)
+		}
+		if UopCost(o) < 1 {
+			t.Fatalf("opcode %v has non-positive µop cost", o)
+		}
+	}
+}
+
+// Property: for any opcode, stackEffect pops/pushes are small and
+// non-negative, and branch ops never push.
+func TestStackEffectSanity(t *testing.T) {
+	f := func(raw uint8) bool {
+		o := Op(raw % uint8(NumOps))
+		pops, pushes := stackEffect(o)
+		if pops < 0 || pushes < 0 || pops > 3 || pushes > 2 {
+			return false
+		}
+		if isBranch(o) && pushes != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,279 @@
+// Package bytecode defines the stack-machine instruction set executed by
+// the JVM substrate (internal/jvm), together with a method builder,
+// program linker, verifier and disassembler.
+//
+// The ISA is a compact analogue of Java bytecode: typed arithmetic over a
+// value stack, local variable slots, objects with fields, arrays,
+// static/virtual calls, monitors and thread intrinsics. The ten paper
+// benchmarks (internal/bench) are real programs written against it, and
+// the interpreter translates each executed instruction into the µops the
+// SMT core consumes — so the instruction footprint, branch behaviour and
+// data traffic of every benchmark come from genuine program structure.
+package bytecode
+
+import "fmt"
+
+// Op is a bytecode opcode.
+type Op uint8
+
+// The instruction set.
+const (
+	// Nop does nothing.
+	Nop Op = iota
+
+	// Iconst pushes the immediate A as an int.
+	Iconst
+	// Fconst pushes the method's float pool entry A.
+	Fconst
+	// Iload pushes local slot A.
+	Iload
+	// Istore pops into local slot A.
+	Istore
+
+	// Integer arithmetic. Binary ops pop b, then a, and push the result.
+	Iadd
+	Isub
+	Imul
+	Idiv // panics (VM error) on division by zero in verified code paths
+	Irem
+	Ineg
+	Iand
+	Ior
+	Ixor
+	Ishl
+	Ishr
+
+	// Float arithmetic.
+	Fadd
+	Fsub
+	Fmul
+	Fdiv
+	Fneg
+	// Fmath applies the unary math intrinsic selected by A (see MathFn).
+	Fmath
+	// I2f and F2i convert the top of stack.
+	I2f
+	F2i
+
+	// Conditional branches pop b, then a, and jump to instruction index
+	// A when the comparison holds.
+	IfEq
+	IfNe
+	IfLt
+	IfLe
+	IfGt
+	IfGe
+	// IfFLt / IfFGt compare floats.
+	IfFLt
+	IfFGt
+	// IfNull / IfNonNull pop one reference.
+	IfNull
+	IfNonNull
+	// Goto jumps unconditionally to instruction index A.
+	Goto
+
+	// Dup duplicates the top of stack; Pop discards it; Swap exchanges
+	// the top two slots.
+	Dup
+	Pop
+	Swap
+
+	// New allocates an instance of class A and pushes the reference.
+	New
+	// GetField pops a reference and pushes field slot A.
+	GetField
+	// PutField pops a value then a reference and stores field slot A.
+	PutField
+	// GetStatic / PutStatic access global slot A.
+	GetStatic
+	PutStatic
+	// NewArray pops a length and pushes a new array; A selects the
+	// element kind (0 = int, 1 = float, 2 = reference).
+	NewArray
+	// ALoad pops an index then an array reference and pushes the element.
+	ALoad
+	// AStore pops a value, an index, then an array reference.
+	AStore
+	// ArrayLen pops an array reference and pushes its length.
+	ArrayLen
+
+	// Call invokes method A directly: the callee's declared arguments
+	// are popped (last argument on top) into its locals.
+	Call
+	// CallVirt is Call through a dispatch table — it costs an indirect
+	// branch in the front end, like Java virtual/interface dispatch.
+	CallVirt
+	// Ret returns void; RetVal returns the top of stack.
+	Ret
+	RetVal
+
+	// MonEnter / MonExit pop an object reference and acquire/release its
+	// monitor; contended acquisition blocks the thread in the OS.
+	MonEnter
+	MonExit
+	// ThreadStart pops the declared arguments of method A and spawns a
+	// new Java thread executing it, pushing the thread's id as an int.
+	ThreadStart
+	// ThreadJoin pops a thread id and blocks until that thread exits.
+	ThreadJoin
+
+	// Halt ends the thread (same as returning from its root frame).
+	Halt
+
+	numOps
+)
+
+// NumOps is the number of defined opcodes.
+const NumOps = int(numOps)
+
+// MathFn selects the intrinsic applied by Fmath.
+type MathFn = int32
+
+// Fmath intrinsic selectors.
+const (
+	MathSqrt MathFn = iota
+	MathSin
+	MathCos
+	MathExp
+	MathLog
+	MathAbs
+)
+
+var opNames = [...]string{
+	Nop: "nop", Iconst: "iconst", Fconst: "fconst", Iload: "iload", Istore: "istore",
+	Iadd: "iadd", Isub: "isub", Imul: "imul", Idiv: "idiv", Irem: "irem", Ineg: "ineg",
+	Iand: "iand", Ior: "ior", Ixor: "ixor", Ishl: "ishl", Ishr: "ishr",
+	Fadd: "fadd", Fsub: "fsub", Fmul: "fmul", Fdiv: "fdiv", Fneg: "fneg", Fmath: "fmath",
+	I2f: "i2f", F2i: "f2i",
+	IfEq: "ifeq", IfNe: "ifne", IfLt: "iflt", IfLe: "ifle", IfGt: "ifgt", IfGe: "ifge",
+	IfFLt: "ifflt", IfFGt: "iffgt", IfNull: "ifnull", IfNonNull: "ifnonnull", Goto: "goto",
+	Dup: "dup", Pop: "pop", Swap: "swap",
+	New: "new", GetField: "getfield", PutField: "putfield",
+	GetStatic: "getstatic", PutStatic: "putstatic",
+	NewArray: "newarray", ALoad: "aload", AStore: "astore", ArrayLen: "arraylen",
+	Call: "call", CallVirt: "callvirt", Ret: "ret", RetVal: "retval",
+	MonEnter: "monenter", MonExit: "monexit",
+	ThreadStart: "threadstart", ThreadJoin: "threadjoin",
+	Halt: "halt",
+}
+
+// String returns the opcode mnemonic.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Instr is one bytecode instruction; A's meaning depends on the opcode
+// (immediate, local slot, field slot, branch target, method index, ...).
+type Instr struct {
+	Op Op
+	A  int32
+}
+
+// String renders the instruction.
+func (i Instr) String() string {
+	switch i.Op {
+	case Nop, Iadd, Isub, Imul, Idiv, Irem, Ineg, Iand, Ior, Ixor, Ishl, Ishr,
+		Fadd, Fsub, Fmul, Fdiv, Fneg, I2f, F2i, Dup, Pop, Swap, ALoad, AStore,
+		ArrayLen, Ret, RetVal, MonEnter, MonExit, ThreadJoin, Halt, GetField, PutField:
+		if i.Op == GetField || i.Op == PutField {
+			return fmt.Sprintf("%s %d", i.Op, i.A)
+		}
+		return i.Op.String()
+	default:
+		return fmt.Sprintf("%s %d", i.Op, i.A)
+	}
+}
+
+// stackEffect returns how many slots op pops and pushes. Call/CallVirt/
+// ThreadStart depend on the callee and are handled specially by the
+// verifier.
+func stackEffect(op Op) (pops, pushes int) {
+	switch op {
+	case Nop, Goto, Halt, Ret:
+		return 0, 0
+	case Iconst, Fconst, Iload, GetStatic:
+		return 0, 1
+	case Istore, Pop, PutStatic, MonEnter, MonExit, ThreadJoin, RetVal:
+		return 1, 0
+	case Iadd, Isub, Imul, Idiv, Irem, Iand, Ior, Ixor, Ishl, Ishr,
+		Fadd, Fsub, Fmul, Fdiv:
+		return 2, 1
+	case Ineg, Fneg, Fmath, I2f, F2i, ArrayLen, NewArray, GetField:
+		return 1, 1
+	case IfEq, IfNe, IfLt, IfLe, IfGt, IfGe, IfFLt, IfFGt:
+		return 2, 0
+	case IfNull, IfNonNull:
+		return 1, 0
+	case Dup:
+		return 1, 2
+	case Swap:
+		return 2, 2
+	case New:
+		return 0, 1
+	case PutField:
+		return 2, 0
+	case ALoad:
+		return 2, 1
+	case AStore:
+		return 3, 0
+	default:
+		return 0, 0
+	}
+}
+
+// isBranch reports whether op's A operand is a branch target.
+func isBranch(op Op) bool {
+	switch op {
+	case IfEq, IfNe, IfLt, IfLe, IfGt, IfGe, IfFLt, IfFGt, IfNull, IfNonNull, Goto:
+		return true
+	}
+	return false
+}
+
+// UopCost returns the number of µops the interpreter emits for op. It is
+// the static code-layout unit: instruction i of a method occupies µop PCs
+// [offset(i), offset(i)+UopCost(op)). The costs approximate what a JIT
+// would emit for the construct on a P4-class machine.
+func UopCost(op Op) int {
+	switch op {
+	case Nop:
+		return 1
+	case Iconst, Fconst, Iload, Istore, Dup, Pop, Swap, Ineg, Fneg, I2f, F2i:
+		return 1
+	case Iadd, Isub, Iand, Ior, Ixor, Ishl, Ishr:
+		return 1
+	case Imul, Idiv, Irem:
+		return 1
+	case Fadd, Fsub, Fmul, Fdiv:
+		return 1
+	case Fmath:
+		return 3 // argument shuffling + the long-latency unit
+	case IfEq, IfNe, IfLt, IfLe, IfGt, IfGe, IfFLt, IfFGt, IfNull, IfNonNull:
+		return 2 // compare + branch
+	case Goto:
+		return 1
+	case GetField, GetStatic, ALoad:
+		return 2 // address generation + load
+	case PutField, PutStatic, AStore:
+		return 2 // address generation + store
+	case ArrayLen:
+		return 1
+	case New, NewArray:
+		return 4 // bump-pointer check, advance, header store
+	case Call, CallVirt:
+		return 3 // spill + (indirect) call
+	case Ret, RetVal:
+		return 2 // reload + return
+	case MonEnter, MonExit:
+		return 3 // lock word load + fenced update
+	case ThreadStart, ThreadJoin:
+		return 2 // runtime call stub (plus kernel µops at run time)
+	case Halt:
+		return 1
+	default:
+		return 1
+	}
+}

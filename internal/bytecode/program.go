@@ -1,0 +1,142 @@
+package bytecode
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ArrayKind selects array element representation for NewArray.
+const (
+	KindInt = iota
+	KindFloat
+	KindRef
+)
+
+// Class describes an object layout.
+type Class struct {
+	Name string
+	// NumFields is the number of one-slot fields.
+	NumFields int
+	// RefMask marks which field slots hold references (bit i = slot i);
+	// the garbage collector traces exactly these.
+	RefMask uint64
+}
+
+// Method is one compiled method.
+type Method struct {
+	Name string
+	// NArgs arguments arrive in local slots [0, NArgs); ArgRefMask marks
+	// which of them are references (for GC root scanning).
+	NArgs      int
+	ArgRefMask uint64
+	// NLocals is the total local slot count (>= NArgs).
+	NLocals int
+	// ReturnsRef marks a method whose return value is a reference.
+	ReturnsRef bool
+	Code       []Instr
+	// FPool holds float constants referenced by Fconst.
+	FPool []float64
+
+	// Linked layout (filled by Program.Link): CodeBase is the method's
+	// first µop PC; UopOff[i] is instruction i's µop offset within the
+	// method; UopLen is the method's total µop footprint.
+	CodeBase uint64
+	UopOff   []uint32
+	UopLen   uint32
+	// MaxStack is computed by the verifier.
+	MaxStack int
+	index    int
+}
+
+// Index returns the method's index within its linked program.
+func (m *Method) Index() int { return m.index }
+
+// Program is a linked set of classes, methods and globals — the unit the
+// JVM loads.
+type Program struct {
+	Name    string
+	Classes []Class
+	Methods []*Method
+	// NumGlobals is the static-field slot count; GlobalRefMask marks
+	// reference slots (GC roots).
+	NumGlobals    int
+	GlobalRefMask uint64
+	// Entry is the index of the main method (must take 0 args).
+	Entry int
+
+	// CodeUops is the total linked code footprint in µops.
+	CodeUops uint64
+	byName   map[string]int
+}
+
+// UserCodeBase is the µop PC where user programs are linked. It sits well
+// below simos.KernelCodeBase so user and kernel code never collide.
+const UserCodeBase = 1 << 22
+
+// MethodByName returns the linked method with the given name.
+func (p *Program) MethodByName(name string) (*Method, bool) {
+	i, ok := p.byName[name]
+	if !ok {
+		return nil, false
+	}
+	return p.Methods[i], true
+}
+
+// Link assigns code addresses to every method (sequentially from base),
+// verifies the program, and freezes it. base is in µop-PC units; pass 0
+// to use UserCodeBase. Programs run as separate simulated processes
+// should be linked at distinct bases so their code does not alias.
+func (p *Program) Link(base uint64) error {
+	if base == 0 {
+		base = UserCodeBase
+	}
+	if len(p.Methods) == 0 {
+		return fmt.Errorf("bytecode: program %q has no methods", p.Name)
+	}
+	if p.Entry < 0 || p.Entry >= len(p.Methods) {
+		return fmt.Errorf("bytecode: program %q entry %d out of range", p.Name, p.Entry)
+	}
+	p.byName = make(map[string]int, len(p.Methods))
+	// Trace lines hold 6 µops; align the whole image like the methods.
+	pc := (base + 5) / 6 * 6
+	for i, m := range p.Methods {
+		if _, dup := p.byName[m.Name]; dup {
+			return fmt.Errorf("bytecode: duplicate method name %q", m.Name)
+		}
+		p.byName[m.Name] = i
+		m.index = i
+		m.CodeBase = pc
+		m.UopOff = make([]uint32, len(m.Code)+1)
+		off := uint32(0)
+		for j, ins := range m.Code {
+			m.UopOff[j] = off
+			off += uint32(UopCost(ins.Op))
+		}
+		m.UopOff[len(m.Code)] = off
+		m.UopLen = off
+		pc += uint64(off)
+		// Methods start on fresh trace lines, as compilers align them.
+		pc = (pc + 5) / 6 * 6
+	}
+	p.CodeUops = pc - base
+	if err := p.Verify(); err != nil {
+		return err
+	}
+	if p.Methods[p.Entry].NArgs != 0 {
+		return fmt.Errorf("bytecode: entry method %q must take no arguments", p.Methods[p.Entry].Name)
+	}
+	return nil
+}
+
+// Disassemble renders the whole program.
+func (p *Program) Disassemble() string {
+	var b strings.Builder
+	for _, m := range p.Methods {
+		fmt.Fprintf(&b, "%s (args=%d locals=%d stack=%d code=%d uops)\n",
+			m.Name, m.NArgs, m.NLocals, m.MaxStack, m.UopLen)
+		for i, ins := range m.Code {
+			fmt.Fprintf(&b, "  %4d: %s\n", i, ins)
+		}
+	}
+	return b.String()
+}

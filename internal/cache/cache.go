@@ -1,0 +1,208 @@
+// Package cache models the Pentium 4 cache hierarchy used in the paper:
+// an 8 KB 4-way set-associative L1 data cache, a 12 Kµop trace cache in
+// place of a conventional L1 instruction cache, and a 1 MB 8-way unified
+// L2, all with 64-byte lines.
+//
+// Two sharing disciplines matter for the paper's results and both are
+// modelled here:
+//
+//   - Physically-tagged caches (L1D, L2) are shared by the two logical
+//     processors without thread tags, so identical addresses hit for both
+//     contexts — this is the constructive interference that makes L2
+//     behave *better* under Hyper-Threading for benchmarks whose data fits.
+//
+//   - The trace cache tags its lines with the logical-processor ID
+//     (as the real P4 does), so even two threads running the very same
+//     JVM handler code cannot share lines; enabling HT halves the
+//     effective capacity and adds conflicts, which is why trace-cache
+//     misses consistently rise under HT in the paper.
+package cache
+
+// Config describes one set-associative cache.
+type Config struct {
+	// Name appears in counter reports ("L1D", "L2", "TC").
+	Name string
+	// Size is the total capacity in bytes (or in µops for the trace
+	// cache, see TraceCacheConfig).
+	Size int
+	// LineSize is the block size in bytes.
+	LineSize int
+	// Assoc is the number of ways per set.
+	Assoc int
+	// HitLatency is the access time in cycles on a hit.
+	HitLatency int
+}
+
+// Sets returns the number of sets implied by the geometry.
+func (c Config) Sets() int { return c.Size / (c.LineSize * c.Assoc) }
+
+// Stats accumulates per-cache event counts. Counters are split by the
+// requesting logical processor so the harness can attribute misses.
+type Stats struct {
+	Accesses [2]uint64
+	Misses   [2]uint64
+	// Evictions counts lines displaced by fills.
+	Evictions uint64
+	// CrossHits counts hits on lines most recently touched by the other
+	// logical processor: a direct measure of constructive interference.
+	CrossHits uint64
+}
+
+// TotalAccesses sums accesses over both contexts.
+func (s Stats) TotalAccesses() uint64 { return s.Accesses[0] + s.Accesses[1] }
+
+// TotalMisses sums misses over both contexts.
+func (s Stats) TotalMisses() uint64 { return s.Misses[0] + s.Misses[1] }
+
+// line is one cache line's bookkeeping. Tags include the line address;
+// owner tracks the last toucher for cross-hit accounting; tid is the
+// logical-processor tag for thread-tagged caches (-1 = untagged/shared).
+type line struct {
+	tag   uint64
+	lru   uint64
+	valid bool
+	owner uint8
+	tid   int8
+}
+
+// Cache is a set-associative cache with true-LRU replacement.
+//
+// It is a timing/occupancy model only: no data is stored. Lookup returns
+// hit/miss; on miss the line is filled immediately (the latency cost is
+// applied by the caller, which knows what the next level returned).
+type Cache struct {
+	cfg      Config
+	sets     [][]line
+	setMask  uint64
+	lineBits uint
+	tick     uint64
+	// tagged selects thread-tagged lines (trace cache style).
+	tagged bool
+	stats  Stats
+}
+
+// New builds a cache from cfg. It panics if the geometry is not a power
+// of two, which would indicate a configuration bug rather than a runtime
+// condition.
+func New(cfg Config) *Cache {
+	sets := cfg.Sets()
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic("cache: number of sets must be a positive power of two: " + cfg.Name)
+	}
+	if cfg.LineSize&(cfg.LineSize-1) != 0 {
+		panic("cache: line size must be a power of two: " + cfg.Name)
+	}
+	c := &Cache{cfg: cfg, setMask: uint64(sets - 1)}
+	for cfg.LineSize>>c.lineBits > 1 {
+		c.lineBits++
+	}
+	c.sets = make([][]line, sets)
+	backing := make([]line, sets*cfg.Assoc)
+	for i := range c.sets {
+		c.sets[i] = backing[i*cfg.Assoc : (i+1)*cfg.Assoc]
+	}
+	return c
+}
+
+// NewTagged builds a thread-tagged cache: lines are private to the logical
+// processor that filled them, as in the P4 trace cache and BTB.
+func NewTagged(cfg Config) *Cache {
+	c := New(cfg)
+	c.tagged = true
+	return c
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a snapshot of the accumulated statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the statistics without touching cache contents, so a
+// warmup phase can be excluded from measurement (the paper drops the
+// cold-start run for the same reason).
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// Flush invalidates every line (used on simulated process teardown).
+func (c *Cache) Flush() {
+	for _, set := range c.sets {
+		for i := range set {
+			set[i].valid = false
+		}
+	}
+}
+
+// FlushThread invalidates all lines belonging to logical processor ctx in
+// a thread-tagged cache; untagged caches are unaffected. The OS model
+// calls this when a different address space is switched onto a context.
+func (c *Cache) FlushThread(ctx int) {
+	if !c.tagged {
+		return
+	}
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].valid && set[i].tid == int8(ctx) {
+				set[i].valid = false
+			}
+		}
+	}
+}
+
+// Access performs a lookup for addr by logical processor ctx, filling the
+// line on a miss. It returns true on hit.
+func (c *Cache) Access(addr uint64, ctx int) bool {
+	c.tick++
+	c.stats.Accesses[ctx&1]++
+	lineAddr := addr >> c.lineBits
+	set := c.sets[lineAddr&c.setMask]
+	want := int8(-1)
+	if c.tagged {
+		want = int8(ctx)
+	}
+	// Hit path.
+	for i := range set {
+		l := &set[i]
+		if l.valid && l.tag == lineAddr && l.tid == want {
+			l.lru = c.tick
+			if l.owner != uint8(ctx&1) {
+				c.stats.CrossHits++
+				l.owner = uint8(ctx & 1)
+			}
+			return true
+		}
+	}
+	// Miss: fill over the LRU way.
+	c.stats.Misses[ctx&1]++
+	victim := 0
+	for i := 1; i < len(set); i++ {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	if set[victim].valid {
+		c.stats.Evictions++
+	}
+	set[victim] = line{tag: lineAddr, lru: c.tick, valid: true, owner: uint8(ctx & 1), tid: want}
+	return false
+}
+
+// Probe reports whether addr would hit without updating LRU state or
+// statistics. Tests use it to inspect cache contents.
+func (c *Cache) Probe(addr uint64, ctx int) bool {
+	lineAddr := addr >> c.lineBits
+	set := c.sets[lineAddr&c.setMask]
+	want := int8(-1)
+	if c.tagged {
+		want = int8(ctx)
+	}
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr && set[i].tid == want {
+			return true
+		}
+	}
+	return false
+}

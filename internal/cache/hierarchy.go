@@ -1,0 +1,76 @@
+package cache
+
+// Memory is the interface the hierarchy uses to reach DRAM on an L2 miss.
+// It returns the access latency in cycles; implementations may model
+// front-side-bus queueing (see internal/mem).
+type Memory interface {
+	Access(addr uint64, write bool, now uint64) int
+}
+
+// flatMemory is the fallback DRAM model: a fixed latency.
+type flatMemory int
+
+func (f flatMemory) Access(uint64, bool, uint64) int { return int(f) }
+
+// HierarchyConfig assembles the data-side hierarchy of the paper machine.
+type HierarchyConfig struct {
+	L1D Config
+	L2  Config
+}
+
+// DefaultHierarchyConfig returns the paper machine's data hierarchy:
+// 8 KB 4-way L1D with 64 B lines, 1 MB 8-way unified L2 with 64 B lines.
+func DefaultHierarchyConfig() HierarchyConfig {
+	return HierarchyConfig{
+		L1D: Config{Name: "L1D", Size: 8 << 10, LineSize: 64, Assoc: 4, HitLatency: 4},
+		L2:  Config{Name: "L2", Size: 1 << 20, LineSize: 64, Assoc: 8, HitLatency: 24},
+	}
+}
+
+// Hierarchy is the unified data/instruction memory hierarchy below the
+// level-1 structures: loads and stores probe L1D then L2 then DRAM;
+// trace-cache refills probe L2 then DRAM (the P4 L2 is unified).
+type Hierarchy struct {
+	L1D *Cache
+	L2  *Cache
+	mem Memory
+}
+
+// NewHierarchy builds the hierarchy; mem may be nil, in which case a flat
+// 200-cycle DRAM is used.
+func NewHierarchy(cfg HierarchyConfig, mem Memory) *Hierarchy {
+	if mem == nil {
+		mem = flatMemory(200)
+	}
+	return &Hierarchy{L1D: New(cfg.L1D), L2: New(cfg.L2), mem: mem}
+}
+
+// Data performs a load or store by logical processor ctx at cycle now and
+// returns the total access latency in cycles.
+func (h *Hierarchy) Data(addr uint64, write bool, ctx int, now uint64) int {
+	if h.L1D.Access(addr, ctx) {
+		return h.L1D.Config().HitLatency
+	}
+	lat := h.L1D.Config().HitLatency
+	if h.L2.Access(addr, ctx) {
+		return lat + h.L2.Config().HitLatency
+	}
+	return lat + h.L2.Config().HitLatency + h.mem.Access(addr, write, now)
+}
+
+// Fill performs an instruction-side refill (after a trace-cache miss) and
+// returns the latency contributed by L2/DRAM. Instruction addresses live
+// in a distinct region of the virtual address space, so code naturally
+// contends with data in the unified L2, as on the real machine.
+func (h *Hierarchy) Fill(pc uint64, ctx int, now uint64) int {
+	if h.L2.Access(pc, ctx) {
+		return h.L2.Config().HitLatency
+	}
+	return h.L2.Config().HitLatency + h.mem.Access(pc, false, now)
+}
+
+// ResetStats clears statistics on both cache levels.
+func (h *Hierarchy) ResetStats() {
+	h.L1D.ResetStats()
+	h.L2.ResetStats()
+}

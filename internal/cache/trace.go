@@ -1,0 +1,90 @@
+package cache
+
+// TraceCacheConfig describes the P4-style execution trace cache. The
+// Pentium 4 of the paper stores about 12 K decoded µops, organised here as
+// lines of LineUops µops, replacing a conventional L1 instruction cache.
+type TraceCacheConfig struct {
+	// CapacityUops is the total number of µops the trace cache holds
+	// (12288 for the paper's machine).
+	CapacityUops int
+	// LineUops is the number of µops per trace line (6 on the P4).
+	LineUops int
+	// Assoc is the set associativity (8 on the P4).
+	Assoc int
+	// SharedTags, when true, drops the per-logical-processor line tags
+	// so both contexts can share trace lines. This is the ablation knob
+	// from DESIGN.md §6 — the real P4 uses private (tagged) lines.
+	SharedTags bool
+	// MissPenalty is the extra front-end latency, in cycles, to rebuild
+	// a trace from the L2/decoder on a miss.
+	MissPenalty int
+}
+
+// DefaultTraceCacheConfig returns the paper machine's trace cache geometry.
+func DefaultTraceCacheConfig() TraceCacheConfig {
+	return TraceCacheConfig{CapacityUops: 12288, LineUops: 6, Assoc: 8, MissPenalty: 36}
+}
+
+// TraceCache models trace-line lookups. Internally it reuses the generic
+// set-associative Cache with "byte addresses" measured in µop indices:
+// a µop at instruction address pc maps to trace line pc/LineUops.
+//
+// The front end calls Lookup once per fetched line; a miss costs
+// MissPenalty cycles and one ITLB translation (performed by the caller,
+// matching the paper's description that the ITLB is consulted to access
+// the L2 cache when the machine misses the trace cache).
+type TraceCache struct {
+	cfg   TraceCacheConfig
+	inner *Cache
+}
+
+// NewTraceCache builds a trace cache from cfg.
+//
+// Internally the line grouping (pc → pc/LineUops) is done here by integer
+// division, because trace lines hold 6 µops — not a power of two — while
+// the generic Cache indexes by power-of-two line sizes. The inner cache
+// therefore stores one "byte" per trace line (12288/6 = 2048 lines,
+// 2048/8 = 256 sets for the paper machine).
+func NewTraceCache(cfg TraceCacheConfig) *TraceCache {
+	inner := Config{
+		Name:       "TC",
+		Size:       cfg.CapacityUops / cfg.LineUops,
+		LineSize:   1,
+		Assoc:      cfg.Assoc,
+		HitLatency: 1,
+	}
+	tc := &TraceCache{cfg: cfg}
+	if cfg.SharedTags {
+		tc.inner = New(inner)
+	} else {
+		tc.inner = NewTagged(inner)
+	}
+	return tc
+}
+
+// Config returns the trace cache geometry.
+func (t *TraceCache) Config() TraceCacheConfig { return t.cfg }
+
+// Lookup accesses the trace line containing pc for logical processor ctx.
+// It returns hit and the front-end latency in cycles.
+func (t *TraceCache) Lookup(pc uint64, ctx int) (hit bool, lat int) {
+	// PCs advance by one per µop (see the bytecode code layout), so
+	// dividing by LineUops groups consecutive µops into one trace line.
+	pc /= uint64(t.cfg.LineUops)
+	if t.inner.Access(pc, ctx) {
+		return true, t.inner.cfg.HitLatency
+	}
+	return false, t.cfg.MissPenalty
+}
+
+// Stats returns the accumulated access/miss statistics.
+func (t *TraceCache) Stats() Stats { return t.inner.Stats() }
+
+// ResetStats zeroes statistics, preserving contents.
+func (t *TraceCache) ResetStats() { t.inner.ResetStats() }
+
+// Flush invalidates the whole trace cache.
+func (t *TraceCache) Flush() { t.inner.Flush() }
+
+// FlushThread invalidates context ctx's private trace lines.
+func (t *TraceCache) FlushThread(ctx int) { t.inner.FlushThread(ctx) }

@@ -1,0 +1,621 @@
+package core
+
+import (
+	"fmt"
+
+	"javasmt/internal/branch"
+	"javasmt/internal/cache"
+	"javasmt/internal/counters"
+	"javasmt/internal/isa"
+	"javasmt/internal/mem"
+	"javasmt/internal/tlb"
+)
+
+// Feed supplies the µop stream of one logical processor. The OS substrate
+// implements it by multiplexing software threads; tests implement it
+// directly from isa sources.
+type Feed interface {
+	// Fill writes up to len(buf) µops for cycle now and returns how
+	// many were written. Returning 0 means nothing is runnable right
+	// now on this logical CPU.
+	Fill(now uint64, buf []isa.Uop) int
+	// Runnable reports whether the feed could produce µops at cycle now.
+	Runnable(now uint64) bool
+	// Done reports that the feed will never produce µops again.
+	Done() bool
+}
+
+// calendar bounds the number of µops beginning execution on any one cycle
+// (the issue-port model). Slots are tagged with their cycle so the ring
+// self-cleans lazily as the schedule advances.
+type calendar struct {
+	cycle []uint64
+	count []uint16
+	mask  uint64
+	width uint16
+}
+
+func newCalendar(width int) *calendar {
+	const slots = 1 << 16
+	return &calendar{
+		cycle: make([]uint64, slots),
+		count: make([]uint16, slots),
+		mask:  slots - 1,
+		width: uint16(width),
+	}
+}
+
+// schedule returns the first cycle >= want with a free issue slot and
+// claims it. Cycles beyond the ring horizon are admitted unconstrained
+// (they are rare, deeply memory-bound cases where ports are not the
+// bottleneck).
+func (c *calendar) schedule(want, now uint64) uint64 {
+	for {
+		if want-now > c.mask {
+			return want
+		}
+		i := want & c.mask
+		if c.cycle[i] != want {
+			c.cycle[i] = want
+			c.count[i] = 1
+			return want
+		}
+		if c.count[i] < c.width {
+			c.count[i]++
+			return want
+		}
+		want++
+	}
+}
+
+// robEntry is one in-flight µop: its completion cycle and the attributes
+// retirement accounting needs.
+type robEntry struct {
+	done   uint64
+	kernel bool
+	load   bool
+	store  bool
+}
+
+const depMask = 255 // dependency history window per context (power of two - 1)
+
+// context is the per-logical-processor state.
+type context struct {
+	feed Feed
+
+	// Front-end buffer of fetched-but-not-allocated µops.
+	buf    []isa.Uop
+	bufPos int
+	bufLen int
+
+	// blockedUntil stalls fetch/allocate (TC miss, mispredict refill,
+	// syscall drain).
+	blockedUntil uint64
+
+	// Trace-line tracking: a TC lookup happens only when fetch crosses
+	// into a new trace line.
+	curLine  uint64
+	haveLine bool
+
+	// ROB ring buffer.
+	rob        []robEntry
+	robHead    int
+	robTail    int
+	robCount   int
+	loadsOut   int
+	storesOut  int
+	maxDone    uint64 // completion time of the latest-finishing µop in flight
+	lastAlloc  uint64 // completion time of the most recently allocated µop
+	inKernel   bool
+	deps       [depMask + 1]uint64
+	depIdx     uint64
+	drainFence bool // serialize: no allocation until ROB empties
+}
+
+func (x *context) robEmpty() bool { return x.robCount == 0 }
+
+func (x *context) robPush(e robEntry) {
+	x.rob[x.robTail] = e
+	x.robTail++
+	if x.robTail == len(x.rob) {
+		x.robTail = 0
+	}
+	x.robCount++
+}
+
+// CPU is the simulated SMT processor.
+type CPU struct {
+	cfg  Config
+	now  uint64
+	ctxs []*context
+	cal  *calendar
+
+	// decodeBusyUntil models the single shared x86 decode pipeline that
+	// rebuilds traces after a trace-cache miss: while it is busy, the
+	// *other* logical processor cannot fetch either. Solo runs are
+	// unaffected (the missing context is already stalled longer), but
+	// two co-scheduled trace-thrashing programs serialize each other —
+	// the coupling behind the paper's bad-partner slowdowns.
+	decodeBusyUntil uint64
+
+	tc   *cache.TraceCache
+	hier *cache.Hierarchy
+	itlb *tlb.TLB
+	dtlb *tlb.TLB
+	pred *branch.Predictor
+	dram *mem.DRAM
+
+	file counters.File
+}
+
+// New builds a CPU from cfg. Structures are sized per the config and the
+// ITLB is immediately put into the requested HT mode.
+func New(cfg Config) *CPU {
+	dram := mem.New(cfg.Mem)
+	c := &CPU{
+		cfg:  cfg,
+		cal:  newCalendar(cfg.Params.IssueWidth),
+		tc:   cache.NewTraceCache(cfg.TC),
+		hier: cache.NewHierarchy(cfg.Hier, dram),
+		itlb: tlb.New(cfg.ITLB),
+		dtlb: tlb.New(cfg.DTLB),
+		pred: branch.New(cfg.Branch),
+		dram: dram,
+	}
+	c.itlb.SetHT(cfg.HT)
+	c.dtlb.SetHT(cfg.HT)
+	for i := 0; i < cfg.NumContexts(); i++ {
+		c.ctxs = append(c.ctxs, &context{
+			buf: make([]isa.Uop, cfg.Params.FillBatch),
+			rob: make([]robEntry, cfg.Params.ROBSize+1),
+		})
+	}
+	return c
+}
+
+// AttachFeed binds a µop feed to logical processor ctx.
+func (c *CPU) AttachFeed(ctx int, f Feed) {
+	if ctx < 0 || ctx >= len(c.ctxs) {
+		panic(fmt.Sprintf("core: context %d out of range (HT=%v)", ctx, c.cfg.HT))
+	}
+	c.ctxs[ctx].feed = f
+}
+
+// Config returns the processor configuration.
+func (c *CPU) Config() Config { return c.cfg }
+
+// Now returns the current cycle.
+func (c *CPU) Now() uint64 { return c.now }
+
+// robCap returns the per-context ROB allocation limit under the active
+// partition policy, and similarly loadCap/storeCap below.
+func (c *CPU) robCap() int {
+	if c.cfg.HT && c.cfg.Partition == StaticPartition {
+		return c.cfg.Params.ROBSize / 2
+	}
+	return c.cfg.Params.ROBSize
+}
+
+func (c *CPU) loadCap() int {
+	if c.cfg.HT && c.cfg.Partition == StaticPartition {
+		return c.cfg.Params.LoadBufs / 2
+	}
+	return c.cfg.Params.LoadBufs
+}
+
+func (c *CPU) storeCap() int {
+	if c.cfg.HT && c.cfg.Partition == StaticPartition {
+		return c.cfg.Params.StoreBufs / 2
+	}
+	return c.cfg.Params.StoreBufs
+}
+
+// sharedRoom reports whether a dynamic-partition allocation may proceed
+// given total occupancy across contexts.
+func (c *CPU) sharedRoom(pick func(*context) int, limit int) bool {
+	total := 0
+	for _, x := range c.ctxs {
+		total += pick(x)
+	}
+	return total < limit
+}
+
+// active reports whether context i has present or imminent work.
+func (c *CPU) active(i int) bool {
+	x := c.ctxs[i]
+	if x.feed == nil {
+		return false
+	}
+	return x.robCount > 0 || x.bufPos < x.bufLen || x.feed.Runnable(c.now)
+}
+
+// done reports whether context i can never produce work again.
+func (c *CPU) ctxDone(i int) bool {
+	x := c.ctxs[i]
+	if x.feed == nil {
+		return true
+	}
+	return x.robCount == 0 && x.bufPos >= x.bufLen && x.feed.Done()
+}
+
+// Step advances the machine one cycle. It returns false once every feed
+// is done and all pipelines have drained.
+func (c *CPU) Step() bool {
+	allDone := true
+	anyActive := false
+	nActive := 0
+	for i := range c.ctxs {
+		if !c.ctxDone(i) {
+			allDone = false
+		}
+		if c.active(i) {
+			anyActive = true
+			nActive++
+		}
+	}
+	if allDone {
+		return false
+	}
+
+	c.file.Inc(counters.Cycles)
+	if !anyActive {
+		// Every thread is blocked; time must still pass for the
+		// unblocker (a timer, another context) — but with no timers
+		// in the model a fully-blocked machine cannot recover.
+		c.file.Inc(counters.CyclesHalted)
+		c.now++
+		return true
+	}
+	if c.cfg.HT && nActive == 2 {
+		c.file.Inc(counters.CyclesDT)
+	}
+	osCycle := false
+	for i := range c.ctxs {
+		if c.active(i) && c.ctxs[i].inKernel {
+			osCycle = true
+		}
+	}
+	if osCycle {
+		c.file.Inc(counters.CyclesOS)
+	}
+
+	c.fetchAllocate(nActive)
+	c.retire()
+
+	c.now++
+	return true
+}
+
+// fetchAllocate runs the merged front end for this cycle: pick the context
+// to serve (alternating under HT), pull µops from its feed and allocate
+// them into the back end, consulting the trace cache, ITLB, predictor and
+// data hierarchy along the way.
+func (c *CPU) fetchAllocate(nActive int) {
+	serve := -1
+	if c.cfg.HT && nActive == 2 {
+		// The P4 front end alternates between logical processors each
+		// cycle; if the preferred one is stalled the slot goes to the
+		// other — SMT's latency hiding in one line.
+		pref := int(c.now & 1)
+		if c.canFetch(pref) {
+			serve = pref
+		} else if c.canFetch(1 - pref) {
+			serve = 1 - pref
+		} else {
+			serve = pref // blocked; still charge its stall accounting
+		}
+	} else {
+		for i := range c.ctxs {
+			if c.active(i) {
+				serve = i
+				break
+			}
+		}
+	}
+	if serve < 0 {
+		return
+	}
+	if got := c.fetchInto(serve); got == 0 {
+		c.file.Inc(counters.FetchStallCycles)
+	}
+}
+
+// canFetch reports whether context i could deliver at least one µop this
+// cycle (active, not front-end blocked, decoder free, with buffered or
+// producible work).
+func (c *CPU) canFetch(i int) bool {
+	x := c.ctxs[i]
+	if !c.active(i) || x.blockedUntil > c.now || x.drainFence || c.decodeBusyUntil > c.now {
+		return false
+	}
+	return true
+}
+
+// fetchInto delivers up to FetchUops µops from context i's feed into its
+// back end and returns how many were allocated.
+func (c *CPU) fetchInto(i int) int {
+	x := c.ctxs[i]
+	if x.blockedUntil > c.now || c.decodeBusyUntil > c.now {
+		return 0
+	}
+	if x.drainFence {
+		if !x.robEmpty() {
+			return 0
+		}
+		x.drainFence = false
+	}
+	allocated := 0
+	p := &c.cfg.Params
+	for allocated < p.FetchUops {
+		if x.bufPos >= x.bufLen {
+			if x.feed == nil {
+				break
+			}
+			n := x.feed.Fill(c.now, x.buf)
+			if n == 0 {
+				break
+			}
+			x.bufPos, x.bufLen = 0, n
+		}
+		u := &x.buf[x.bufPos]
+
+		// Back-end space checks.
+		if c.cfg.Partition == DynamicPartition {
+			if !c.sharedRoom(func(y *context) int { return y.robCount }, p.ROBSize) {
+				c.file.Inc(counters.ROBStallCycles)
+				break
+			}
+		} else if x.robCount >= c.robCap() {
+			c.file.Inc(counters.ROBStallCycles)
+			break
+		}
+		if u.Class == isa.Load {
+			if c.cfg.Partition == DynamicPartition {
+				if !c.sharedRoom(func(y *context) int { return y.loadsOut }, p.LoadBufs) {
+					c.file.Inc(counters.LSQStallCycles)
+					break
+				}
+			} else if x.loadsOut >= c.loadCap() {
+				c.file.Inc(counters.LSQStallCycles)
+				break
+			}
+		}
+		if u.Class == isa.Store {
+			if c.cfg.Partition == DynamicPartition {
+				if !c.sharedRoom(func(y *context) int { return y.storesOut }, p.StoreBufs) {
+					c.file.Inc(counters.LSQStallCycles)
+					break
+				}
+			} else if x.storesOut >= c.storeCap() {
+				c.file.Inc(counters.LSQStallCycles)
+				break
+			}
+		}
+
+		// Trace-cache lookup on line crossings.
+		line := u.PC / uint64(c.cfg.TC.LineUops)
+		if !x.haveLine || line != x.curLine {
+			hit, lat := c.tc.Lookup(u.PC, i)
+			x.curLine, x.haveLine = line, true
+			if !hit {
+				// Rebuild the trace from the unified L2 via the
+				// ITLB — the paper: "ITLB is responsible for
+				// translating instruction addresses ... to access
+				// the L2 cache when the machine misses the trace
+				// cache."
+				if !c.itlb.Access(u.PC*4, i) {
+					lat += c.cfg.ITLB.MissPenalty
+				}
+				lat += c.hier.Fill(codeByteAddr(u.PC), i, c.now)
+				x.blockedUntil = c.now + uint64(lat)
+				// The decode/rebuild portion occupies the shared
+				// front end, stalling the other context too.
+				busy := c.now + uint64(c.cfg.TC.MissPenalty)
+				if busy > c.decodeBusyUntil {
+					c.decodeBusyUntil = busy
+				}
+				break
+			}
+		}
+
+		// From here the µop is definitely allocated this cycle.
+		x.bufPos++
+		allocated++
+		x.inKernel = u.Kernel
+
+		start := c.now + 1
+		if u.DepDist > 0 && uint64(u.DepDist) <= x.depIdx {
+			if d := x.deps[(x.depIdx-uint64(u.DepDist))&depMask]; d > start {
+				start = d
+			}
+		}
+
+		lat := 0
+		kernelEntry := false
+		switch u.Class {
+		case isa.Nop:
+			lat = 1
+		case isa.ALU, isa.Branch, isa.Call, isa.Ret:
+			lat = p.ALULat
+		case isa.Mul:
+			lat = p.MulLat
+		case isa.FP:
+			lat = p.FPLat
+		case isa.FPDiv:
+			lat = p.FPDivLat
+		case isa.Load, isa.Store:
+			if !c.dtlb.Access(u.Addr, i) {
+				lat += c.cfg.DTLB.MissPenalty
+			}
+			lat += c.hier.Data(u.Addr, u.Class == isa.Store, i, c.now)
+			if u.Class == isa.Load {
+				x.loadsOut++
+			} else {
+				x.storesOut++
+			}
+		case isa.Syscall:
+			lat = p.SyscallLatency
+			kernelEntry = true
+		case isa.Fence:
+			lat = p.ALULat
+			if x.maxDone > start {
+				start = x.maxDone
+			}
+		}
+
+		start = c.cal.schedule(start, c.now)
+		done := start + uint64(lat)
+		if u.Class == isa.Fence || u.Class == isa.Syscall {
+			x.drainFence = true
+		}
+		x.robPush(robEntry{done: done, kernel: u.Kernel || kernelEntry, load: u.Class == isa.Load, store: u.Class == isa.Store})
+		x.deps[x.depIdx&depMask] = done
+		x.depIdx++
+		x.lastAlloc = done
+		if done > x.maxDone {
+			x.maxDone = done
+		}
+
+		// Control flow: consult the predictor; a mispredict stalls this
+		// context's front end until the branch resolves and the
+		// pipeline refills.
+		if u.Class.IsCtl() {
+			taken := u.Taken || u.Class == isa.Call || u.Class == isa.Ret
+			correct, pen := c.pred.Predict(u.PC, taken, u.Target, u.Indirect, i)
+			if !correct {
+				x.blockedUntil = done + uint64(pen)
+				break
+			}
+		}
+		if u.Class == isa.Syscall {
+			break
+		}
+	}
+	return allocated
+}
+
+// retire completes up to RetireWidth µops, in order within each context,
+// and records the Figure-2 retirement histogram. Like the P4, retirement
+// serves one logical processor per cycle, alternating, when both have
+// work in flight; an idle partner's slot passes to the other context.
+func (c *CPU) retire() {
+	budget := c.cfg.Params.RetireWidth
+	retired := 0
+	first := 0
+	serve := len(c.ctxs)
+	if len(c.ctxs) == 2 {
+		first = int(c.now & 1)
+		if c.ctxs[0].robCount > 0 && c.ctxs[1].robCount > 0 {
+			serve = 1
+		}
+	}
+	for k := 0; k < serve && budget > 0; k++ {
+		x := c.ctxs[(first+k)%len(c.ctxs)]
+		for budget > 0 && x.robCount > 0 && x.rob[x.robHead].done <= c.now {
+			e := x.rob[x.robHead]
+			x.robHead++
+			if x.robHead == len(x.rob) {
+				x.robHead = 0
+			}
+			x.robCount--
+			if e.load {
+				x.loadsOut--
+			}
+			if e.store {
+				x.storesOut--
+			}
+			c.file.Inc(counters.Instructions)
+			if e.kernel {
+				c.file.Inc(counters.InstructionsOS)
+			}
+			budget--
+			retired++
+		}
+	}
+	switch retired {
+	case 0:
+		c.file.Inc(counters.Retire0)
+	case 1:
+		c.file.Inc(counters.Retire1)
+	case 2:
+		c.file.Inc(counters.Retire2)
+	default:
+		c.file.Inc(counters.Retire3)
+	}
+}
+
+// codeByteAddr maps a µop-granular PC into the byte address space used by
+// the unified L2, far above any data address so code and data contend in
+// L2 without aliasing.
+func codeByteAddr(pc uint64) uint64 { return 1<<40 | pc*4 }
+
+// Run steps the machine until all feeds complete or maxCycles elapse
+// (0 = no limit). It returns the number of cycles executed by this call
+// and an error if the machine wedged with every thread blocked.
+func (c *CPU) Run(maxCycles uint64) (uint64, error) {
+	start := c.now
+	haltStreak := uint64(0)
+	for {
+		if maxCycles > 0 && c.now-start >= maxCycles {
+			return c.now - start, nil
+		}
+		before := c.file.Get(counters.CyclesHalted)
+		if !c.Step() {
+			return c.now - start, nil
+		}
+		if c.file.Get(counters.CyclesHalted) != before {
+			haltStreak++
+			if haltStreak > 1_000_000 {
+				return c.now - start, fmt.Errorf("core: machine halted for 1M cycles with undone feeds (deadlock)")
+			}
+		} else {
+			haltStreak = 0
+		}
+	}
+}
+
+// Counters synchronizes the structure statistics (caches, TLBs, predictor,
+// DRAM) into the counter file and returns a pointer to it. The returned
+// file remains owned by the CPU; snapshot it (copy the value) to window
+// measurements.
+func (c *CPU) Counters() *counters.File {
+	tc := c.tc.Stats()
+	c.file.Set(counters.TCAccesses, tc.TotalAccesses())
+	c.file.Set(counters.TCMisses, tc.TotalMisses())
+	l1 := c.hier.L1D.Stats()
+	c.file.Set(counters.L1DAccesses, l1.TotalAccesses())
+	c.file.Set(counters.L1DMisses, l1.TotalMisses())
+	l2 := c.hier.L2.Stats()
+	c.file.Set(counters.L2Accesses, l2.TotalAccesses())
+	c.file.Set(counters.L2Misses, l2.TotalMisses())
+	it := c.itlb.Stats()
+	c.file.Set(counters.ITLBAccesses, it.TotalAccesses())
+	c.file.Set(counters.ITLBMisses, it.TotalMisses())
+	dt := c.dtlb.Stats()
+	c.file.Set(counters.DTLBAccesses, dt.TotalAccesses())
+	c.file.Set(counters.DTLBMisses, dt.TotalMisses())
+	br := c.pred.Stats()
+	c.file.Set(counters.Branches, br.TotalBranches())
+	c.file.Set(counters.BTBMisses, br.TotalBTBMisses())
+	c.file.Set(counters.BranchMispredicts, br.Mispredicts[0]+br.Mispredicts[1])
+	dr := c.dram.Stats()
+	c.file.Set(counters.MemReads, dr.Reads)
+	c.file.Set(counters.MemWrites, dr.Writes)
+	return &c.file
+}
+
+// CountersFile exposes the live counter file for components (the OS
+// substrate, the JVM) that record their own events (context switches,
+// syscalls, GC cycles).
+func (c *CPU) CountersFile() *counters.File { return &c.file }
+
+// FlushThreadState invalidates context i's thread-tagged front-end state
+// (trace lines, BTB entries, ITLB partition). The OS calls it when a
+// different process is switched onto the context; same-process thread
+// switches keep the state warm.
+func (c *CPU) FlushThreadState(i int) {
+	c.tc.FlushThread(i)
+	c.pred.FlushThread(i)
+	c.itlb.FlushContext(i)
+	c.ctxs[i].haveLine = false
+}

@@ -1,0 +1,278 @@
+package core
+
+import (
+	"testing"
+
+	"javasmt/internal/counters"
+	"javasmt/internal/isa"
+)
+
+// feed adapts an isa.Source to the core.Feed interface for tests.
+type feed struct {
+	src  isa.Source
+	done bool
+}
+
+func (f *feed) Fill(_ uint64, buf []isa.Uop) int {
+	if f.done {
+		return 0
+	}
+	n, done := f.src.Fill(buf)
+	if done {
+		f.done = true
+	}
+	return n
+}
+func (f *feed) Runnable(uint64) bool { return !f.done }
+func (f *feed) Done() bool           { return f.done }
+
+func aluStream(n int, dep uint8) []isa.Uop {
+	uops := make([]isa.Uop, n)
+	for i := range uops {
+		uops[i] = isa.Uop{PC: uint64(i % 600), Class: isa.ALU, DepDist: dep}
+	}
+	return uops
+}
+
+func loadStream(n int, stride, span uint64) []isa.Uop {
+	uops := make([]isa.Uop, n)
+	for i := range uops {
+		uops[i] = isa.Uop{
+			PC:    uint64(i % 60),
+			Class: isa.Load,
+			Addr:  0x2000_0000 + (uint64(i)*stride)%span,
+		}
+	}
+	return uops
+}
+
+func runStream(t *testing.T, cfg Config, uops []isa.Uop) (*CPU, uint64) {
+	t.Helper()
+	cpu := New(cfg)
+	cpu.AttachFeed(0, &feed{src: &isa.SliceSource{Uops: uops}})
+	cycles, err := cpu.Run(0)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return cpu, cycles
+}
+
+func TestAllUopsRetire(t *testing.T) {
+	cpu, cycles := runStream(t, DefaultConfig(false), aluStream(10_000, 0))
+	f := cpu.Counters()
+	if got := f.Get(counters.Instructions); got != 10_000 {
+		t.Fatalf("retired %d µops, want 10000", got)
+	}
+	if cycles == 0 || f.Get(counters.Cycles) != cycles {
+		t.Fatalf("cycle accounting mismatch: run=%d file=%d", cycles, f.Get(counters.Cycles))
+	}
+	if ipc := f.IPC(); ipc <= 0 || ipc > float64(DefaultParams().RetireWidth) {
+		t.Fatalf("IPC %v out of (0,%d]", ipc, DefaultParams().RetireWidth)
+	}
+}
+
+func TestRetirementHistogramSumsToCycles(t *testing.T) {
+	cpu, cycles := runStream(t, DefaultConfig(false), aluStream(5_000, 1))
+	f := cpu.Counters()
+	sum := f.Get(counters.Retire0) + f.Get(counters.Retire1) + f.Get(counters.Retire2) + f.Get(counters.Retire3)
+	if sum != cycles {
+		t.Fatalf("histogram cycles %d != total cycles %d", sum, cycles)
+	}
+	// Weighted retirement must equal instructions... only if nothing
+	// retires past width 3, which the histogram guarantees by clamping;
+	// with RetireWidth=3 the "default" bucket is exactly 3.
+	w := f.Get(counters.Retire1) + 2*f.Get(counters.Retire2) + 3*f.Get(counters.Retire3)
+	if w != f.Get(counters.Instructions) {
+		t.Fatalf("weighted histogram %d != instructions %d", w, f.Get(counters.Instructions))
+	}
+}
+
+func TestDependencyChainsLowerIPC(t *testing.T) {
+	_, ilp := runStream(t, DefaultConfig(false), aluStream(20_000, 0))
+	_, serial := runStream(t, DefaultConfig(false), aluStream(20_000, 1))
+	if serial <= ilp {
+		t.Fatalf("serial chain (%d cycles) should be slower than independent stream (%d)", serial, ilp)
+	}
+}
+
+func TestStaticPartitionTaxOnSingleThread(t *testing.T) {
+	// A memory-level-parallelism-hungry stream: independent loads over a
+	// >L2 span. Halving the load buffers and ROB (HT on, static) must
+	// slow it down even though no second thread exists — Figure 10.
+	loads := loadStream(30_000, 64, 8<<20)
+	_, off := runStream(t, DefaultConfig(false), loads)
+	_, on := runStream(t, DefaultConfig(true), loads)
+	if float64(on) < float64(off)*1.02 {
+		t.Fatalf("HT-on single thread (%d cycles) should pay a partition tax vs HT-off (%d)", on, off)
+	}
+	// The paper's proposed fix: dynamic partitioning removes the tax.
+	dyn := DefaultConfig(true)
+	dyn.Partition = DynamicPartition
+	_, dynCycles := runStream(t, dyn, loads)
+	if float64(dynCycles) > float64(off)*1.05 {
+		t.Fatalf("dynamic partition (%d cycles) should be within 5%% of HT-off (%d)", dynCycles, off)
+	}
+}
+
+func TestSMTThroughputGainOnStallHeavyPair(t *testing.T) {
+	// Two independent stall-heavy threads (serial FP chains) sharing the
+	// core should finish in well under 2x the solo time.
+	mk := func() []isa.Uop {
+		uops := make([]isa.Uop, 20_000)
+		for i := range uops {
+			uops[i] = isa.Uop{PC: uint64(i % 120), Class: isa.FP, DepDist: 1}
+		}
+		return uops
+	}
+	_, solo := runStream(t, DefaultConfig(false), mk())
+
+	cpu := New(DefaultConfig(true))
+	cpu.AttachFeed(0, &feed{src: &isa.SliceSource{Uops: mk()}})
+	cpu.AttachFeed(1, &feed{src: &isa.SliceSource{Uops: mk()}})
+	both, err := cpu.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(both) > 1.5*float64(solo) {
+		t.Fatalf("SMT pair took %d cycles vs solo %d; expected clear latency hiding", both, solo)
+	}
+	f := cpu.Counters()
+	if f.Get(counters.CyclesDT) == 0 {
+		t.Fatal("dual-thread cycles should be counted when both contexts are active")
+	}
+	if f.Get(counters.Instructions) != 40_000 {
+		t.Fatalf("retired %d, want 40000", f.Get(counters.Instructions))
+	}
+}
+
+func TestDTModeZeroWhenSingleThread(t *testing.T) {
+	cpu, _ := runStream(t, DefaultConfig(true), aluStream(5_000, 0))
+	if dt := cpu.Counters().Get(counters.CyclesDT); dt != 0 {
+		t.Fatalf("CyclesDT = %d for a lone thread, want 0", dt)
+	}
+}
+
+func TestSyscallCountsOSCycles(t *testing.T) {
+	uops := aluStream(2_000, 0)
+	uops = append(uops, isa.Uop{PC: 900, Class: isa.Syscall})
+	for i := 0; i < 500; i++ {
+		uops = append(uops, isa.Uop{PC: 1 << 30, Class: isa.ALU, Kernel: true})
+	}
+	uops = append(uops, aluStream(2_000, 0)...)
+	cpu, _ := runStream(t, DefaultConfig(false), uops)
+	f := cpu.Counters()
+	if f.Get(counters.CyclesOS) == 0 {
+		t.Fatal("kernel µops should produce OS cycles")
+	}
+	if f.Get(counters.InstructionsOS) < 500 {
+		t.Fatalf("kernel retirements = %d, want >= 500", f.Get(counters.InstructionsOS))
+	}
+	if f.OSCyclePercent() >= 100 {
+		t.Fatalf("OS%% = %v, want < 100", f.OSCyclePercent())
+	}
+}
+
+func TestFenceSerializes(t *testing.T) {
+	// long FP op, then fence, then dependent-free ALU: the ALU µop must
+	// not complete before the FP op does.
+	uops := []isa.Uop{
+		{PC: 0, Class: isa.FPDiv},
+		{PC: 1, Class: isa.Fence},
+		{PC: 2, Class: isa.ALU},
+	}
+	cpu, cycles := runStream(t, DefaultConfig(false), uops)
+	minCycles := uint64(DefaultParams().FPDivLat)
+	if cycles <= minCycles {
+		t.Fatalf("fenced sequence finished in %d cycles, want > %d", cycles, minCycles)
+	}
+	if cpu.Counters().Get(counters.Instructions) != 3 {
+		t.Fatal("all µops must retire")
+	}
+}
+
+func TestMispredictsSlowExecution(t *testing.T) {
+	// Alternating taken/not-taken branch with a short period is
+	// predictable; a pseudo-random direction stream is not.
+	mk := func(pattern func(i int) bool) []isa.Uop {
+		uops := make([]isa.Uop, 20_000)
+		for i := range uops {
+			uops[i] = isa.Uop{PC: uint64(i%7) * 3, Class: isa.Branch, Taken: pattern(i), Target: 100}
+		}
+		return uops
+	}
+	_, predictable := runStream(t, DefaultConfig(false), mk(func(i int) bool { return true }))
+	lcg := uint32(12345)
+	_, random := runStream(t, DefaultConfig(false), mk(func(i int) bool {
+		lcg = lcg*1664525 + 1013904223
+		return lcg&0x10000 != 0
+	}))
+	if random <= predictable {
+		t.Fatalf("random branches (%d cycles) should be slower than monomorphic (%d)", random, predictable)
+	}
+	cpu, _ := runStream(t, DefaultConfig(false), mk(func(i int) bool { return true }))
+	if cpu.Counters().Get(counters.Branches) != 20_000 {
+		t.Fatal("all branches should be counted")
+	}
+}
+
+func TestCacheMissesSlowLoads(t *testing.T) {
+	_, fits := runStream(t, DefaultConfig(false), loadStream(20_000, 64, 4<<10))
+	_, thrash := runStream(t, DefaultConfig(false), loadStream(20_000, 64, 16<<20))
+	if thrash <= fits {
+		t.Fatalf("L2-thrashing loads (%d cycles) should be slower than L1-resident (%d)", thrash, fits)
+	}
+}
+
+func TestAttachFeedOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	cpu := New(DefaultConfig(false))
+	cpu.AttachFeed(1, &feed{})
+}
+
+func TestMaxCyclesBound(t *testing.T) {
+	cpu := New(DefaultConfig(false))
+	cpu.AttachFeed(0, &feed{src: &isa.SliceSource{Uops: aluStream(1_000_000, 1)}})
+	n, err := cpu.Run(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 500 {
+		t.Fatalf("Run(500) executed %d cycles", n)
+	}
+}
+
+func TestCountersStructureSync(t *testing.T) {
+	cpu, _ := runStream(t, DefaultConfig(false), loadStream(5_000, 64, 1<<20))
+	f := cpu.Counters()
+	if f.Get(counters.L1DAccesses) == 0 || f.Get(counters.L1DMisses) == 0 {
+		t.Fatal("L1D stats should be synced")
+	}
+	if f.Get(counters.TCAccesses) == 0 {
+		t.Fatal("TC stats should be synced")
+	}
+	if f.Get(counters.MemReads) == 0 {
+		t.Fatal("DRAM stats should be synced")
+	}
+	if f.Get(counters.L1DMisses) > f.Get(counters.L1DAccesses) {
+		t.Fatal("misses cannot exceed accesses")
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	cpu := New(DefaultConfig(false))
+	blocked := &blockedFeed{}
+	cpu.AttachFeed(0, blocked)
+	if _, err := cpu.Run(0); err == nil {
+		t.Fatal("a permanently blocked feed must be reported as a deadlock")
+	}
+}
+
+type blockedFeed struct{}
+
+func (b *blockedFeed) Fill(uint64, []isa.Uop) int { return 0 }
+func (b *blockedFeed) Runnable(uint64) bool       { return false }
+func (b *blockedFeed) Done() bool                 { return false }

@@ -1,0 +1,136 @@
+// Package core implements the SMT (Hyper-Threading) execution engine — the
+// simulated stand-in for the paper's 2.8 GHz Pentium 4.
+//
+// The model is trace-driven and cycle-level: workload front ends (the JVM,
+// the OS substrate) supply the resolved µop stream of each logical
+// processor, and the core replays it against timing models of the front
+// end (trace cache, ITLB, branch predictor/BTB), the out-of-order window
+// (ROB and load/store buffers, statically partitioned under HT exactly as
+// on the P4), the execution ports (an issue-bandwidth calendar plus
+// dependency chains carried on the µops), the data hierarchy (L1D/L2/DRAM)
+// and in-order retirement (up to 3 µops per cycle).
+//
+// Everything the paper measures falls out of this structure:
+//
+//   - the static-partition tax on single-threaded programs (§4.3) comes
+//     from halving ROB/LSQ partitions whenever HT is enabled;
+//   - trace-cache/L1D degradation vs. L2/constructive improvement under
+//     HT (§4.1) comes from the per-structure sharing disciplines;
+//   - the retirement profile (Fig. 2) is counted directly at retire.
+package core
+
+import (
+	"javasmt/internal/branch"
+	"javasmt/internal/cache"
+	"javasmt/internal/mem"
+	"javasmt/internal/tlb"
+)
+
+// PartitionPolicy selects how the major pipeline buffers are divided
+// between the two logical processors when Hyper-Threading is on.
+type PartitionPolicy int
+
+const (
+	// StaticPartition is the Pentium 4 design evaluated by the paper:
+	// the ROB, load buffers and store buffers are split in half the
+	// moment HT is enabled, whether or not a second thread exists.
+	StaticPartition PartitionPolicy = iota
+	// DynamicPartition is the alternative the paper suggests in §4.3:
+	// both contexts allocate from one shared pool, so a lone thread can
+	// use the whole machine.
+	DynamicPartition
+)
+
+// String returns the policy name.
+func (p PartitionPolicy) String() string {
+	if p == DynamicPartition {
+		return "dynamic"
+	}
+	return "static"
+}
+
+// Params sizes the execution core.
+type Params struct {
+	// ROBSize is the reorder-buffer capacity in µops (126 on the P4).
+	ROBSize int
+	// LoadBufs and StoreBufs bound outstanding memory µops (48/24).
+	LoadBufs  int
+	StoreBufs int
+	// FetchUops is the trace-cache delivery bandwidth per cycle (3).
+	// Under HT the front end serves one logical processor per cycle,
+	// alternating — so each context sees half the fetch bandwidth when
+	// both are active.
+	FetchUops int
+	// IssueWidth bounds µops beginning execution per cycle. The P4 can
+	// theoretically dispatch 6 µops/cycle, but its sustained rate on
+	// integer code is far lower (narrow trace-cache delivery, replay,
+	// port conflicts); the default models the sustained rate.
+	IssueWidth int
+	// RetireWidth bounds retirement per cycle across both contexts (3).
+	RetireWidth int
+	// ALULat, MulLat, FPLat, FPDivLat are execution latencies by class.
+	ALULat, MulLat, FPLat, FPDivLat int
+	// SyscallLatency is the kernel-entry drain cost in cycles.
+	SyscallLatency int
+	// FillBatch is how many µops the core requests from a Feed at a
+	// time; it bounds OS preemption granularity.
+	FillBatch int
+}
+
+// DefaultParams returns the paper machine's core parameters.
+func DefaultParams() Params {
+	return Params{
+		ROBSize:        126,
+		LoadBufs:       48,
+		StoreBufs:      24,
+		FetchUops:      3,
+		IssueWidth:     3,
+		RetireWidth:    3,
+		ALULat:         2,
+		MulLat:         14,
+		FPLat:          9,
+		FPDivLat:       44,
+		SyscallLatency: 60,
+		FillBatch:      128,
+	}
+}
+
+// Config assembles a whole processor.
+type Config struct {
+	// HT enables the second logical processor (and, under
+	// StaticPartition, halves the buffer partitions).
+	HT bool
+	// Partition selects static (P4) or dynamic (ablation) partitioning.
+	Partition PartitionPolicy
+	Params    Params
+	TC        cache.TraceCacheConfig
+	Hier      cache.HierarchyConfig
+	ITLB      tlb.Config
+	DTLB      tlb.Config
+	Branch    branch.Config
+	Mem       mem.Config
+}
+
+// DefaultConfig returns the full paper-machine configuration with
+// Hyper-Threading set as requested.
+func DefaultConfig(ht bool) Config {
+	return Config{
+		HT:        ht,
+		Partition: StaticPartition,
+		Params:    DefaultParams(),
+		TC:        cache.DefaultTraceCacheConfig(),
+		Hier:      cache.DefaultHierarchyConfig(),
+		ITLB:      tlb.DefaultITLBConfig(),
+		DTLB:      tlb.DefaultDTLBConfig(),
+		Branch:    branch.DefaultConfig(),
+		Mem:       mem.DefaultConfig(),
+	}
+}
+
+// NumContexts returns how many logical processors the config exposes.
+func (c Config) NumContexts() int {
+	if c.HT {
+		return 2
+	}
+	return 1
+}

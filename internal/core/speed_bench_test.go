@@ -1,0 +1,29 @@
+package core
+
+import (
+	"testing"
+
+	"javasmt/internal/isa"
+)
+
+func BenchmarkSimSpeed(b *testing.B) {
+	uops := make([]isa.Uop, 1_000_000)
+	for i := range uops {
+		c := isa.ALU
+		switch i % 5 {
+		case 1:
+			c = isa.Load
+		case 3:
+			c = isa.Branch
+		}
+		uops[i] = isa.Uop{PC: uint64(i % 3000), Class: c, Addr: 0x2000_0000 + uint64(i*64)%(1<<21), DepDist: uint8(i % 3), Taken: i%3 == 0, Target: 5}
+	}
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		cpu := New(DefaultConfig(true))
+		cpu.AttachFeed(0, &feed{src: &isa.SliceSource{Uops: uops}})
+		cpu.AttachFeed(1, &feed{src: &isa.SliceSource{Uops: uops}})
+		cpu.Run(0)
+	}
+	b.SetBytes(2_000_000)
+}

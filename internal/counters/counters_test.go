@@ -1,0 +1,203 @@
+package counters
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddIncGet(t *testing.T) {
+	var f File
+	f.Inc(Cycles)
+	f.Add(Cycles, 9)
+	f.Add(Instructions, 5)
+	if f.Get(Cycles) != 10 || f.Get(Instructions) != 5 {
+		t.Fatalf("cycles=%d instr=%d", f.Get(Cycles), f.Get(Instructions))
+	}
+	if got := f.IPC(); got != 0.5 {
+		t.Fatalf("IPC = %v, want 0.5", got)
+	}
+	if got := f.CPI(); got != 2.0 {
+		t.Fatalf("CPI = %v, want 2.0", got)
+	}
+}
+
+func TestZeroDenominators(t *testing.T) {
+	var f File
+	if f.IPC() != 0 || f.CPI() != 0 || f.PerKiloInstr(TCMisses) != 0 ||
+		f.Rate(BTBMisses, Branches) != 0 || f.OSCyclePercent() != 0 || f.DTModePercent() != 0 {
+		t.Fatal("all derived metrics must be 0 on an empty file")
+	}
+	p := f.RetirementProfile()
+	if p != [4]float64{} {
+		t.Fatal("empty retirement profile must be all zeros")
+	}
+}
+
+func TestPerKiloInstr(t *testing.T) {
+	var f File
+	f.Add(Instructions, 10_000)
+	f.Add(TCMisses, 15)
+	if got := f.PerKiloInstr(TCMisses); got != 1.5 {
+		t.Fatalf("TC misses/1k = %v, want 1.5", got)
+	}
+}
+
+func TestPercents(t *testing.T) {
+	var f File
+	f.Add(Cycles, 200)
+	f.Add(CyclesOS, 10)
+	f.Add(CyclesDT, 180)
+	if got := f.OSCyclePercent(); got != 5 {
+		t.Fatalf("OS%% = %v, want 5", got)
+	}
+	if got := f.DTModePercent(); got != 90 {
+		t.Fatalf("DT%% = %v, want 90", got)
+	}
+}
+
+func TestRetirementProfileSumsToOne(t *testing.T) {
+	f := func(a, b, c, d uint32) bool {
+		var file File
+		file.Add(Retire0, uint64(a))
+		file.Add(Retire1, uint64(b))
+		file.Add(Retire2, uint64(c))
+		file.Add(Retire3, uint64(d))
+		p := file.RetirementProfile()
+		sum := p[0] + p[1] + p[2] + p[3]
+		if a == 0 && b == 0 && c == 0 && d == 0 {
+			return sum == 0
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubSaturates(t *testing.T) {
+	var a, b File
+	a.Add(Cycles, 5)
+	b.Add(Cycles, 7)
+	b.Add(Instructions, 3)
+	d := b.Sub(&a)
+	if d.Get(Cycles) != 2 || d.Get(Instructions) != 3 {
+		t.Fatalf("delta = %d/%d", d.Get(Cycles), d.Get(Instructions))
+	}
+	d2 := a.Sub(&b)
+	if d2.Get(Cycles) != 0 {
+		t.Fatal("Sub must saturate at zero")
+	}
+}
+
+func TestAddFileAndReset(t *testing.T) {
+	var a, b File
+	a.Add(Branches, 4)
+	b.Add(Branches, 6)
+	b.Add(Cycles, 1)
+	a.AddFile(&b)
+	if a.Get(Branches) != 10 || a.Get(Cycles) != 1 {
+		t.Fatal("AddFile mis-accumulated")
+	}
+	a.Reset()
+	if a.Get(Branches) != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestEventNamesRoundTrip(t *testing.T) {
+	for e := Event(0); int(e) < NumEvents; e++ {
+		name := e.String()
+		if name == "" || strings.HasPrefix(name, "event(") {
+			t.Fatalf("event %d has no name", e)
+		}
+		back, ok := EventByName(name)
+		if !ok || back != e {
+			t.Fatalf("round trip failed for %q", name)
+		}
+	}
+	if _, ok := EventByName("definitely-not-an-event"); ok {
+		t.Fatal("unknown name must not resolve")
+	}
+}
+
+func TestReportContainsRequestedEvents(t *testing.T) {
+	var f File
+	f.Add(Cycles, 123)
+	f.Add(TCMisses, 7)
+	r := f.Report([]Event{TCMisses, Cycles})
+	if !strings.Contains(r, "cycles") || !strings.Contains(r, "tc_misses") || !strings.Contains(r, "123") {
+		t.Fatalf("report missing content:\n%s", r)
+	}
+	// nil selects nonzero counters only.
+	auto := f.Report(nil)
+	if strings.Contains(auto, "l2_misses") {
+		t.Fatal("nil report should omit zero counters")
+	}
+}
+
+func TestSessionSingleGroupIsExact(t *testing.T) {
+	var src File
+	sess, err := NewSession(&src, []Event{Instructions, TCMisses})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sess.Groups()) != 1 {
+		t.Fatalf("groups = %d, want 1", len(sess.Groups()))
+	}
+	for i := 0; i < 10; i++ {
+		src.Add(Cycles, 100)
+		src.Add(Instructions, 50)
+		src.Add(TCMisses, 2)
+		sess.Rotate()
+	}
+	est := sess.Estimate()
+	if est.Get(Cycles) != 1000 || est.Get(Instructions) != 500 || est.Get(TCMisses) != 20 {
+		t.Fatalf("estimate = %d/%d/%d", est.Get(Cycles), est.Get(Instructions), est.Get(TCMisses))
+	}
+}
+
+func TestSessionMultiplexingConverges(t *testing.T) {
+	var src File
+	// Request more events than MaxHW so at least two groups rotate.
+	events := make([]Event, 0, NumEvents-1)
+	for e := Event(1); int(e) < NumEvents; e++ {
+		events = append(events, e)
+	}
+	sess, err := NewSession(&src, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sess.Groups()) < 2 {
+		t.Fatalf("expected multiplexing, got %d group(s)", len(sess.Groups()))
+	}
+	// Steady workload: every event advances at a fixed rate per window.
+	const windows = 400
+	for i := 0; i < windows; i++ {
+		src.Add(Cycles, 1000)
+		src.Add(Instructions, 700)
+		src.Add(TCMisses, 3)
+		src.Add(Branches, 90)
+		sess.Rotate()
+	}
+	est := sess.Estimate()
+	for _, e := range []Event{Instructions, TCMisses, Branches} {
+		truth := src.Get(e)
+		got := est.Get(e)
+		relErr := math.Abs(float64(got)-float64(truth)) / float64(truth)
+		if relErr > 0.02 {
+			t.Fatalf("%v estimate %d vs truth %d (err %.3f)", e, got, truth, relErr)
+		}
+	}
+}
+
+func TestSessionErrors(t *testing.T) {
+	var src File
+	if _, err := NewSession(&src, nil); err == nil {
+		t.Fatal("empty event list must error")
+	}
+	if _, err := NewSession(&src, []Event{Event(200)}); err == nil {
+		t.Fatal("unknown event must error")
+	}
+}

@@ -1,0 +1,118 @@
+package counters
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Session models the event-multiplexing discipline of a real counter tool
+// (Brink & Abyss): at most MaxHW events can be counted simultaneously, so
+// a request for more events is served by rotating groups of counters over
+// the run and scaling each group's counts by the fraction of time it was
+// scheduled.
+//
+// A Session samples a live *File (the ground truth the simulator always
+// maintains) at rotation boundaries; Estimate extrapolates each event's
+// true total from the slices during which its group was resident. Tests
+// verify the estimates converge on the truth for steady workloads, and
+// the harness uses Sessions so that reported numbers flow through the
+// same machinery a perf tool would impose.
+type Session struct {
+	src    *File
+	groups [][]Event
+	// perGroup accumulates observed deltas and observed cycles per group.
+	perGroup []groupWindow
+	active   int
+	lastSnap File
+}
+
+type groupWindow struct {
+	deltas      [NumEvents]uint64
+	cyclesSeen  uint64
+	activations uint64
+}
+
+// NewSession builds a session over src counting the requested events.
+// Events are packed greedily into groups of at most MaxHW; Cycles is
+// implicitly added to every group because scaling needs a timebase.
+func NewSession(src *File, events []Event) (*Session, error) {
+	if len(events) == 0 {
+		return nil, fmt.Errorf("counters: session needs at least one event")
+	}
+	seen := map[Event]bool{Cycles: true}
+	var uniq []Event
+	for _, e := range events {
+		if int(e) >= NumEvents {
+			return nil, fmt.Errorf("counters: unknown event %d", e)
+		}
+		if !seen[e] {
+			seen[e] = true
+			uniq = append(uniq, e)
+		}
+	}
+	sort.Slice(uniq, func(i, j int) bool { return uniq[i] < uniq[j] })
+	var groups [][]Event
+	per := MaxHW - 1 // reserve one slot for Cycles
+	for len(uniq) > 0 {
+		n := per
+		if n > len(uniq) {
+			n = len(uniq)
+		}
+		g := append([]Event{Cycles}, uniq[:n]...)
+		groups = append(groups, g)
+		uniq = uniq[n:]
+	}
+	s := &Session{src: src, groups: groups, perGroup: make([]groupWindow, len(groups))}
+	s.lastSnap = *src
+	return s, nil
+}
+
+// Groups returns the event groups the session rotates through.
+func (s *Session) Groups() [][]Event { return s.groups }
+
+// Rotate closes the current measurement window, attributing the counter
+// deltas since the previous rotation to the active group, then advances
+// to the next group. Call it periodically (the harness does so on OS
+// timer ticks).
+func (s *Session) Rotate() {
+	delta := s.src.Sub(&s.lastSnap)
+	w := &s.perGroup[s.active]
+	for _, e := range s.groups[s.active] {
+		w.deltas[e] += delta.Get(e)
+	}
+	w.cyclesSeen += delta.Get(Cycles)
+	w.activations++
+	s.lastSnap = *s.src
+	s.active = (s.active + 1) % len(s.groups)
+}
+
+// Estimate returns the multiplex-scaled counter file: each event's
+// observed count divided by the fraction of total cycles its group was
+// resident. With a single group the estimate is exact.
+func (s *Session) Estimate() File {
+	// Flush the open window first so recent activity is attributed.
+	s.Rotate()
+	var total uint64
+	for i := range s.perGroup {
+		total += s.perGroup[i].cyclesSeen
+	}
+	var out File
+	if total == 0 {
+		return out
+	}
+	out.Set(Cycles, total)
+	for gi, g := range s.groups {
+		w := &s.perGroup[gi]
+		if w.cyclesSeen == 0 {
+			continue
+		}
+		scale := float64(total) / float64(w.cyclesSeen)
+		for _, e := range g {
+			if e == Cycles {
+				continue
+			}
+			out.Set(e, uint64(float64(w.deltas[e])*scale+0.5))
+		}
+	}
+	return out
+}

@@ -1,0 +1,409 @@
+// Experiment drivers: one entry point per table/figure of the paper.
+// cmd/report and the top-level benchmark harness both build on these.
+
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"javasmt/internal/bench"
+	"javasmt/internal/core"
+	"javasmt/internal/counters"
+	"javasmt/internal/stats"
+)
+
+// CharRun is one characterization run of a multithreaded benchmark.
+type CharRun struct {
+	Benchmark string
+	Threads   int
+	HT        bool
+	Result    *Result
+}
+
+// Characterization holds the run matrix behind Table 2 and Figures 1-7:
+// every multithreaded benchmark at 2 and 8 threads, HT off and on.
+type Characterization struct {
+	Scale bench.Scale
+	Runs  []CharRun
+}
+
+// RunCharacterization executes the §4.1 run matrix.
+func RunCharacterization(scale bench.Scale, progress func(string)) (*Characterization, error) {
+	c := &Characterization{Scale: scale}
+	for _, b := range bench.Multithreaded() {
+		for _, threads := range []int{2, 8} {
+			for _, ht := range []bool{false, true} {
+				if progress != nil {
+					progress(fmt.Sprintf("%s threads=%d ht=%v", b.Name, threads, ht))
+				}
+				res, err := Run(b, Options{HT: ht, Threads: threads, Scale: scale, Verify: true})
+				if err != nil {
+					return nil, err
+				}
+				c.Runs = append(c.Runs, CharRun{Benchmark: b.Name, Threads: threads, HT: ht, Result: res})
+			}
+		}
+	}
+	return c, nil
+}
+
+// find returns the run for (name, threads, ht).
+func (c *Characterization) find(name string, threads int, ht bool) *Result {
+	for _, r := range c.Runs {
+		if r.Benchmark == name && r.Threads == threads && r.HT == ht {
+			return r.Result
+		}
+	}
+	return nil
+}
+
+// Table1 renders the paper's benchmark-description table.
+func Table1() string {
+	var sb strings.Builder
+	sb.WriteString("Table 1. Java benchmarks\n")
+	fmt.Fprintf(&sb, "%-11s %-72s %s\n", "Benchmark", "Description", "Input")
+	for _, b := range bench.All() {
+		kind := "single-threaded"
+		if b.Multithreaded {
+			kind = "multithreaded"
+		}
+		fmt.Fprintf(&sb, "%-11s %-72s %s (%s)\n", b.Name, b.Description, b.Input, kind)
+	}
+	return sb.String()
+}
+
+// Table2 renders CPI / OS-cycle% / DT-mode% for the HT-on runs.
+func (c *Characterization) Table2() string {
+	var sb strings.Builder
+	sb.WriteString("Table 2. Characterization of multithreaded benchmarks on Hyper-Threading processor\n")
+	fmt.Fprintf(&sb, "%-12s %-8s %8s %10s %12s\n", "Benchmark", "Threads", "CPI", "OS cyc %", "CPU DT %")
+	for _, b := range bench.Multithreaded() {
+		for _, threads := range []int{2, 8} {
+			r := c.find(b.Name, threads, true)
+			fmt.Fprintf(&sb, "%-12s %-8d %8.2f %10.2f %12.2f\n",
+				b.Name, threads, r.Counters.CPI(), r.Counters.OSCyclePercent(), r.Counters.DTModePercent())
+		}
+	}
+	return sb.String()
+}
+
+// Fig1 renders IPC with HT disabled/enabled (2 threads).
+func (c *Characterization) Fig1() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 1. IPCs of multithreaded benchmarks on Pentium 4 processors\n")
+	fmt.Fprintf(&sb, "%-12s %10s %10s %9s\n", "Benchmark", "HT off", "HT on", "gain")
+	for _, b := range bench.Multithreaded() {
+		off := c.find(b.Name, 2, false).Counters.IPC()
+		on := c.find(b.Name, 2, true).Counters.IPC()
+		fmt.Fprintf(&sb, "%-12s %10.3f %10.3f %8.1f%%\n", b.Name, off, on, 100*(on/off-1))
+	}
+	return sb.String()
+}
+
+// Fig2 renders the retirement profile (share of cycles retiring 0-3 µops).
+func (c *Characterization) Fig2() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 2. Instruction retirement profile (fraction of cycles retiring 0/1/2/3 µops)\n")
+	fmt.Fprintf(&sb, "%-12s %-6s %7s %7s %7s %7s\n", "Benchmark", "HT", "0", "1", "2", "3")
+	var avg [2][4]float64
+	n := 0
+	for _, b := range bench.Multithreaded() {
+		for hi, ht := range []bool{false, true} {
+			p := c.find(b.Name, 2, ht).Counters.RetirementProfile()
+			mode := "off"
+			if ht {
+				mode = "on"
+			}
+			fmt.Fprintf(&sb, "%-12s %-6s %7.3f %7.3f %7.3f %7.3f\n", b.Name, mode, p[0], p[1], p[2], p[3])
+			for i := range p {
+				avg[hi][i] += p[i]
+			}
+		}
+		n++
+	}
+	for hi, mode := range []string{"off", "on"} {
+		fmt.Fprintf(&sb, "%-12s %-6s %7.3f %7.3f %7.3f %7.3f\n", "average", mode,
+			avg[hi][0]/float64(n), avg[hi][1]/float64(n), avg[hi][2]/float64(n), avg[hi][3]/float64(n))
+	}
+	return sb.String()
+}
+
+// ratioFigure renders one misses-per-1000-instructions figure.
+func (c *Characterization) ratioFigure(title string, metric func(*counters.File) float64) string {
+	var sb strings.Builder
+	sb.WriteString(title + "\n")
+	fmt.Fprintf(&sb, "%-14s %10s %10s\n", "Benchmark", "HT off", "HT on")
+	for _, b := range bench.Multithreaded() {
+		for _, threads := range []int{2, 8} {
+			off := metric(&c.find(b.Name, threads, false).Counters)
+			on := metric(&c.find(b.Name, threads, true).Counters)
+			fmt.Fprintf(&sb, "%-14s %10.3f %10.3f\n", fmt.Sprintf("%s%02d", b.Name, threads), off, on)
+		}
+	}
+	return sb.String()
+}
+
+// Fig3 is trace-cache misses per 1000 µops.
+func (c *Characterization) Fig3() string {
+	return c.ratioFigure("Figure 3. Trace cache misses per 1,000 instructions",
+		func(f *counters.File) float64 { return f.PerKiloInstr(counters.TCMisses) })
+}
+
+// Fig4 is L1 data-cache misses per 1000 µops.
+func (c *Characterization) Fig4() string {
+	return c.ratioFigure("Figure 4. L1 data cache misses per 1,000 instructions",
+		func(f *counters.File) float64 { return f.PerKiloInstr(counters.L1DMisses) })
+}
+
+// Fig5 is L2 misses per 1000 µops.
+func (c *Characterization) Fig5() string {
+	return c.ratioFigure("Figure 5. L2 cache misses per 1,000 instructions",
+		func(f *counters.File) float64 { return f.PerKiloInstr(counters.L2Misses) })
+}
+
+// Fig6 is ITLB misses per 1000 µops.
+func (c *Characterization) Fig6() string {
+	return c.ratioFigure("Figure 6. Instruction TLB misses per 1,000 instructions",
+		func(f *counters.File) float64 { return f.PerKiloInstr(counters.ITLBMisses) })
+}
+
+// Fig7 is the BTB miss ratio.
+func (c *Characterization) Fig7() string {
+	return c.ratioFigure("Figure 7. BTB miss ratios",
+		func(f *counters.File) float64 { return f.Rate(counters.BTBMisses, counters.Branches) })
+}
+
+// Pairings is the 9x9 multiprogramming cross product behind Figures 8, 9
+// and 11.
+type Pairings struct {
+	Names []string
+	// Combined[i][j] is C_AB for row benchmark i paired with column j.
+	Combined [][]float64
+	Results  [][]*PairResult
+}
+
+// RunPairings executes the cross product of the nine single-threaded
+// programs (§4.2). Pairs are measured in both (A,B) and (B,A) roles —
+// the full 81-cell map, like the paper's Figure 9.
+func RunPairings(opts PairOptions, progress func(string)) (*Pairings, error) {
+	progs := bench.SingleThreaded()
+	p := &Pairings{}
+	for _, b := range progs {
+		p.Names = append(p.Names, b.Name)
+	}
+	n := len(progs)
+	p.Combined = make([][]float64, n)
+	p.Results = make([][]*PairResult, n)
+	for i := range p.Combined {
+		p.Combined[i] = make([]float64, n)
+		p.Results[i] = make([]*PairResult, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			if progress != nil {
+				progress(fmt.Sprintf("pair %s + %s", progs[i].Name, progs[j].Name))
+			}
+			res, err := RunPair(progs[i], progs[j], opts)
+			if err != nil {
+				return nil, err
+			}
+			p.Results[i][j] = res
+			p.Combined[i][j] = res.CombinedSpeedup()
+			if i != j {
+				// The (j,i) cell is the same co-schedule observed from
+				// the other program's seat; the simulator is
+				// deterministic, so the mirrored cell is measured
+				// from the same run (the paper's near-perfect
+				// reflective symmetry, which it attributes to fair
+				// OS scheduling).
+				p.Results[j][i] = res
+				p.Combined[j][i] = res.CombinedSpeedup()
+			}
+		}
+	}
+	return p, nil
+}
+
+// RowSpeedups returns the combined speedups of row benchmark i against
+// every partner (the Figure 8 box population).
+func (p *Pairings) RowSpeedups(i int) []float64 {
+	out := append([]float64(nil), p.Combined[i]...)
+	return out
+}
+
+// Fig8 renders the box chart of combined-speedup distributions.
+func (p *Pairings) Fig8() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 8. Distribution of combined speedup for multiprogrammed Java benchmarks\n")
+	names := p.Names
+	var boxes []stats.Box
+	lo, hi := 2.0, 0.0
+	for i := range names {
+		bx := stats.Summarize(p.RowSpeedups(i))
+		boxes = append(boxes, bx)
+		if bx.Min < lo {
+			lo = bx.Min
+		}
+		if bx.Max > hi {
+			hi = bx.Max
+		}
+	}
+	sb.WriteString(stats.RenderBoxes(names, boxes, lo-0.05, hi+0.05, 64))
+	sb.WriteString("('=' box: 25th-75th percentile, '|' median, '*' mean, '-' whiskers to min/max)\n")
+	for i, n := range names {
+		fmt.Fprintf(&sb, "  %-11s %s\n", n, boxes[i])
+	}
+	return sb.String()
+}
+
+// Fig9 renders the combined-speedup color map and flags slowdown cells.
+func (p *Pairings) Fig9() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 9. Combined speedup color map\n")
+	lo, hi := 2.0, 0.0
+	for _, row := range p.Combined {
+		for _, v := range row {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	sb.WriteString(stats.RenderColorMap(p.Names, p.Combined, lo, hi, 1.0))
+	// Slowdown audit, as the paper calls out (nine combinations of
+	// jack/javac/jess on its machine).
+	var bad []string
+	for i := range p.Combined {
+		for j := range p.Combined[i] {
+			if j < i {
+				continue
+			}
+			if p.Combined[i][j] < 1.0 {
+				bad = append(bad, fmt.Sprintf("%s+%s=%.3f", p.Names[i], p.Names[j], p.Combined[i][j]))
+			}
+		}
+	}
+	sort.Strings(bad)
+	fmt.Fprintf(&sb, "slowdown pairs (C_AB < 1): %d\n", len(bad))
+	for _, s := range bad {
+		fmt.Fprintf(&sb, "  %s\n", s)
+	}
+	return sb.String()
+}
+
+// Fig11 renders self-pairing speedups (two identical copies under HT).
+func (p *Pairings) Fig11() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 11. Impact of Hyper-Threading on multiprogrammed (self-paired) programs\n")
+	fmt.Fprintf(&sb, "%-12s %16s\n", "Benchmark", "combined speedup")
+	for i, n := range p.Names {
+		fmt.Fprintf(&sb, "%-12s %16.3f\n", n, p.Combined[i][i])
+	}
+	return sb.String()
+}
+
+// Fig10Row is one single-threaded HT-tax measurement.
+type Fig10Row struct {
+	Benchmark string
+	CyclesOff uint64
+	CyclesOn  uint64
+	// CyclesDyn is the dynamic-partition ablation (DESIGN.md §6).
+	CyclesDyn uint64
+}
+
+// SlowdownPct returns the execution-time increase from merely enabling HT.
+func (r Fig10Row) SlowdownPct() float64 {
+	return 100 * (float64(r.CyclesOn)/float64(r.CyclesOff) - 1)
+}
+
+// DynSlowdownPct returns the same under dynamic partitioning.
+func (r Fig10Row) DynSlowdownPct() float64 {
+	return 100 * (float64(r.CyclesDyn)/float64(r.CyclesOff) - 1)
+}
+
+// RunFig10 measures the static-partition tax on each single-threaded
+// program (paper §4.3), plus the dynamic-partition ablation.
+func RunFig10(scale bench.Scale, progress func(string)) ([]Fig10Row, error) {
+	var rows []Fig10Row
+	for _, b := range bench.SingleThreaded() {
+		if progress != nil {
+			progress(b.Name)
+		}
+		off, err := Run(b, Options{Threads: 1, Scale: scale, Verify: true})
+		if err != nil {
+			return nil, err
+		}
+		on, err := Run(b, Options{HT: true, Threads: 1, Scale: scale})
+		if err != nil {
+			return nil, err
+		}
+		dyn, err := Run(b, Options{HT: true, Threads: 1, Scale: scale, Partition: core.DynamicPartition})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig10Row{Benchmark: b.Name, CyclesOff: off.Cycles, CyclesOn: on.Cycles, CyclesDyn: dyn.Cycles})
+	}
+	return rows, nil
+}
+
+// RenderFig10 formats the Figure 10 rows.
+func RenderFig10(rows []Fig10Row) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 10. Impact of Hyper-Threading technology on single-threaded Java programs\n")
+	fmt.Fprintf(&sb, "%-12s %12s %12s %11s %14s\n", "Benchmark", "HT-off cyc", "HT-on cyc", "slowdown", "dyn-partition")
+	slower := 0
+	for _, r := range rows {
+		if r.CyclesOn > r.CyclesOff {
+			slower++
+		}
+		fmt.Fprintf(&sb, "%-12s %12d %12d %10.2f%% %13.2f%%\n",
+			r.Benchmark, r.CyclesOff, r.CyclesOn, r.SlowdownPct(), r.DynSlowdownPct())
+	}
+	fmt.Fprintf(&sb, "%d of %d programs slow down when Hyper-Threading is merely enabled\n", slower, len(rows))
+	return sb.String()
+}
+
+// Fig12Row is an IPC measurement at one thread count.
+type Fig12Row struct {
+	Benchmark string
+	Threads   int
+	IPC       float64
+	L1DPerK   float64
+}
+
+// RunFig12 sweeps thread counts on the HT processor (paper §4.4).
+func RunFig12(scale bench.Scale, threadCounts []int, progress func(string)) ([]Fig12Row, error) {
+	var rows []Fig12Row
+	for _, b := range bench.Multithreaded() {
+		for _, t := range threadCounts {
+			if progress != nil {
+				progress(fmt.Sprintf("%s threads=%d", b.Name, t))
+			}
+			res, err := Run(b, Options{HT: true, Threads: t, Scale: scale, Verify: true})
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Fig12Row{
+				Benchmark: b.Name, Threads: t,
+				IPC:     res.Counters.IPC(),
+				L1DPerK: res.Counters.PerKiloInstr(counters.L1DMisses),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RenderFig12 formats the thread sweep.
+func RenderFig12(rows []Fig12Row) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 12. IPC vs. the number of threads (HT on)\n")
+	fmt.Fprintf(&sb, "%-12s %8s %8s %10s\n", "Benchmark", "threads", "IPC", "L1D/1k")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-12s %8d %8.3f %10.2f\n", r.Benchmark, r.Threads, r.IPC, r.L1DPerK)
+	}
+	return sb.String()
+}

@@ -1,0 +1,135 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"javasmt/internal/counters"
+)
+
+// fakeChar builds a small synthetic characterization for render tests,
+// avoiding full simulations.
+func fakeChar() *Characterization {
+	c := &Characterization{}
+	mk := func(cycles, instr uint64) *Result {
+		r := &Result{Cycles: cycles}
+		r.Counters.Add(counters.Cycles, cycles)
+		r.Counters.Add(counters.Instructions, instr)
+		r.Counters.Add(counters.CyclesDT, cycles/2)
+		r.Counters.Add(counters.CyclesOS, cycles/50)
+		r.Counters.Add(counters.Retire0, cycles/2)
+		r.Counters.Add(counters.Retire3, cycles/2)
+		r.Counters.Add(counters.TCMisses, instr/500)
+		r.Counters.Add(counters.L1DMisses, instr/100)
+		r.Counters.Add(counters.L2Misses, instr/2000)
+		r.Counters.Add(counters.ITLBMisses, instr/10000)
+		r.Counters.Add(counters.Branches, instr/5)
+		r.Counters.Add(counters.BTBMisses, instr/100)
+		return r
+	}
+	for _, name := range []string{"MolDyn", "MonteCarlo", "RayTracer", "PseudoJBB"} {
+		for _, threads := range []int{2, 8} {
+			for _, ht := range []bool{false, true} {
+				cycles := uint64(1000)
+				if ht {
+					cycles = 800 // HT "improves" the fake runs
+				}
+				c.Runs = append(c.Runs, CharRun{
+					Benchmark: name, Threads: threads, HT: ht,
+					Result: mk(cycles, 900),
+				})
+			}
+		}
+	}
+	return c
+}
+
+func TestRenderTable2AndFigures(t *testing.T) {
+	c := fakeChar()
+	for name, out := range map[string]string{
+		"table2": c.Table2(),
+		"fig1":   c.Fig1(),
+		"fig2":   c.Fig2(),
+		"fig3":   c.Fig3(),
+		"fig4":   c.Fig4(),
+		"fig5":   c.Fig5(),
+		"fig6":   c.Fig6(),
+		"fig7":   c.Fig7(),
+	} {
+		if !strings.Contains(out, "MolDyn") || !strings.Contains(out, "PseudoJBB") {
+			t.Fatalf("%s render missing benchmarks:\n%s", name, out)
+		}
+	}
+	if !strings.Contains(c.Fig2(), "average") {
+		t.Fatal("Fig2 must include the average rows")
+	}
+	if !strings.Contains(c.Fig1(), "gain") {
+		t.Fatal("Fig1 must report the HT gain")
+	}
+}
+
+func TestFig10RowMath(t *testing.T) {
+	r := Fig10Row{Benchmark: "x", CyclesOff: 1000, CyclesOn: 1300, CyclesDyn: 1010}
+	if got := r.SlowdownPct(); got < 29.9 || got > 30.1 {
+		t.Fatalf("slowdown = %v, want 30", got)
+	}
+	if got := r.DynSlowdownPct(); got < 0.9 || got > 1.1 {
+		t.Fatalf("dyn slowdown = %v, want 1", got)
+	}
+}
+
+func TestPairResultMath(t *testing.T) {
+	p := &PairResult{A: "a", B: "b", SoloA: 100, SoloB: 200, TimeA: 125, TimeB: 250}
+	if got := p.SpeedupA(); got != 0.8 {
+		t.Fatalf("speedupA = %v", got)
+	}
+	if got := p.SpeedupB(); got != 0.8 {
+		t.Fatalf("speedupB = %v", got)
+	}
+	if got := p.CombinedSpeedup(); got != 1.6 {
+		t.Fatalf("combined = %v", got)
+	}
+	var zero PairResult
+	if zero.CombinedSpeedup() != 0 || zero.SpeedupA() != 0 || zero.SpeedupB() != 0 {
+		t.Fatal("zero-time pair must not divide by zero")
+	}
+}
+
+func TestPairingsRenderers(t *testing.T) {
+	p := &Pairings{
+		Names: []string{"a", "b"},
+		Combined: [][]float64{
+			{1.2, 0.9},
+			{0.9, 1.5},
+		},
+	}
+	f8 := p.Fig8()
+	if !strings.Contains(f8, "a") || !strings.Contains(f8, "med=") {
+		t.Fatalf("Fig8 incomplete:\n%s", f8)
+	}
+	f9 := p.Fig9()
+	if !strings.Contains(f9, "slowdown pairs (C_AB < 1): 1") {
+		t.Fatalf("Fig9 should count the one slowdown pair:\n%s", f9)
+	}
+	f11 := p.Fig11()
+	if !strings.Contains(f11, "1.200") || !strings.Contains(f11, "1.500") {
+		t.Fatalf("Fig11 should list the diagonal:\n%s", f11)
+	}
+}
+
+func TestAvgDroppingEnds(t *testing.T) {
+	if v, n := avgDroppingEnds([]uint64{100}); v != 0 || n != 0 {
+		t.Fatal("too-short series must report no runs")
+	}
+	v, n := avgDroppingEnds([]uint64{999, 10, 20, 30, 1})
+	if n != 3 || v != 20 {
+		t.Fatalf("avg = %v over %d, want 20 over 3", v, n)
+	}
+}
+
+func TestRenderFig12(t *testing.T) {
+	out := RenderFig12([]Fig12Row{{Benchmark: "MolDyn", Threads: 4, IPC: 1.5, L1DPerK: 9.9}})
+	if !strings.Contains(out, "MolDyn") || !strings.Contains(out, "9.90") {
+		t.Fatalf("Fig12 render incomplete:\n%s", out)
+	}
+}

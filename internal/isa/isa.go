@@ -1,0 +1,152 @@
+// Package isa defines the micro-operation (µop) vocabulary exchanged between
+// workload front ends (the JVM interpreter, the OS kernel model) and the SMT
+// execution core.
+//
+// The Pentium 4 decodes IA-32 instructions into µops and its trace cache,
+// issue machinery and retirement logic all operate at µop granularity; the
+// paper's counters (retired µops, trace-cache misses per 1000 instructions,
+// and so on) are likewise µop-denominated. This package is the narrow waist
+// of the simulator: everything upstream produces streams of Uop values and
+// everything downstream consumes them.
+package isa
+
+import "fmt"
+
+// Class partitions µops by the pipeline resources they occupy.
+type Class uint8
+
+// µop classes. The execution core maps each class to an execution port
+// group and a base latency (see core.Params).
+const (
+	// Nop occupies a retirement slot but no execution resources.
+	Nop Class = iota
+	// ALU is a single-cycle integer operation.
+	ALU
+	// Mul is a multi-cycle integer multiply/divide.
+	Mul
+	// FP is a floating-point arithmetic operation.
+	FP
+	// FPDiv is a long-latency floating-point divide/sqrt.
+	FPDiv
+	// Load reads memory through the data-cache hierarchy.
+	Load
+	// Store writes memory through the data-cache hierarchy.
+	Store
+	// Branch is a conditional or unconditional control transfer. Its
+	// Taken/Target fields carry the resolved outcome; prediction happens
+	// in the front end against that ground truth.
+	Branch
+	// Call is a control transfer that also pushes a return address; it
+	// exercises the BTB like Branch but is always taken.
+	Call
+	// Ret is an indirect control transfer through the return stack.
+	Ret
+	// Syscall transfers control to the OS substrate (kernel mode). The
+	// core drains the pipeline, then the scheduler bills kernel cycles.
+	Syscall
+	// Fence serializes: it retires only after all older µops complete
+	// and stalls younger µops until it retires (used for monitorenter /
+	// monitorexit and GC safepoints).
+	Fence
+	numClasses
+)
+
+// NumClasses is the number of distinct µop classes.
+const NumClasses = int(numClasses)
+
+var classNames = [...]string{
+	Nop:     "nop",
+	ALU:     "alu",
+	Mul:     "mul",
+	FP:      "fp",
+	FPDiv:   "fpdiv",
+	Load:    "load",
+	Store:   "store",
+	Branch:  "branch",
+	Call:    "call",
+	Ret:     "ret",
+	Syscall: "syscall",
+	Fence:   "fence",
+}
+
+// String returns the lower-case mnemonic for the class.
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// IsMem reports whether the class accesses the data-cache hierarchy.
+func (c Class) IsMem() bool { return c == Load || c == Store }
+
+// IsCtl reports whether the class is a control transfer that consults the
+// branch predictor and BTB.
+func (c Class) IsCtl() bool { return c == Branch || c == Call || c == Ret }
+
+// Uop is one micro-operation. Front ends fill in the resolved outcome of
+// the program (addresses, branch directions); the core replays it against
+// timing models.
+type Uop struct {
+	// PC is the virtual address of the µop's parent instruction. It
+	// indexes the trace cache, ITLB, predictor and BTB.
+	PC uint64
+	// Addr is the virtual data address for Load/Store µops.
+	Addr uint64
+	// Target is the resolved target for control transfers.
+	Target uint64
+	// Class selects pipeline resources and base latency.
+	Class Class
+	// DepDist is the distance, in µops within the same thread, to the
+	// producer this µop must wait for: 0 means no register dependency,
+	// 1 means "depends on the immediately preceding µop", etc. The
+	// interpreter derives it from operand-stack dataflow, which is what
+	// makes stack-machine workloads serial and low-ILP, exactly as the
+	// paper observes for Java code.
+	DepDist uint8
+	// Taken is the resolved direction for Branch µops.
+	Taken bool
+	// Indirect marks control transfers whose target varies at run time
+	// (virtual dispatch, returns through the stack); the BTB mispredicts
+	// them whenever its stored target is stale.
+	Indirect bool
+	// Kernel marks µops executed in OS mode; cycles during which the
+	// oldest in-flight µop of a context is a kernel µop are billed to
+	// the OS-cycle counter.
+	Kernel bool
+}
+
+// Source produces the dynamic µop stream of one software thread.
+//
+// Fill writes µops into buf and returns the number written. A return of 0
+// with done=true means the thread has exited; a return of 0 with done=false
+// means the thread is blocked (e.g. waiting on a monitor or on GC) and will
+// produce more µops later.
+type Source interface {
+	// Fill writes the next µops of the thread into buf, returning how
+	// many were written and whether the thread has terminated.
+	Fill(buf []Uop) (n int, done bool)
+}
+
+// SliceSource replays a fixed µop slice once; it is used heavily in tests
+// and in the quickstart example.
+type SliceSource struct {
+	Uops []Uop
+	pos  int
+}
+
+// Fill implements Source.
+func (s *SliceSource) Fill(buf []Uop) (int, bool) {
+	n := copy(buf, s.Uops[s.pos:])
+	s.pos += n
+	return n, s.pos == len(s.Uops)
+}
+
+// Reset rewinds the source to the beginning of its slice.
+func (s *SliceSource) Reset() { s.pos = 0 }
+
+// FuncSource adapts a function to the Source interface.
+type FuncSource func(buf []Uop) (int, bool)
+
+// Fill implements Source.
+func (f FuncSource) Fill(buf []Uop) (int, bool) { return f(buf) }

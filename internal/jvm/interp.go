@@ -1,0 +1,666 @@
+package jvm
+
+import (
+	"fmt"
+	"math"
+
+	"javasmt/internal/bytecode"
+	"javasmt/internal/isa"
+	"javasmt/internal/simos"
+)
+
+// runtimeCodeBase is the µop PC region of VM runtime slow paths
+// (allocation stubs, monitor contention paths, thread intrinsics). It
+// sits between user code and kernel code.
+const runtimeCodeBase = 1 << 28
+
+// frame is one method activation.
+type frame struct {
+	m   *bytecode.Method
+	pc  int
+	ret uint64 // µop PC the matching Ret jumps back to
+
+	// regs holds locals then operand stack; refs/prods are the parallel
+	// reference bitmap (for GC) and producer µop indices (for DepDist).
+	regs  []uint64
+	refs  []bool
+	prods []uint64
+	sp    int // operand stack pointer, offset from m.NLocals
+}
+
+func (f *frame) push(v uint64, ref bool, prod uint64) {
+	i := f.m.NLocals + f.sp
+	f.regs[i], f.refs[i], f.prods[i] = v, ref, prod
+	f.sp++
+}
+
+func (f *frame) pop() (v uint64, ref bool, prod uint64) {
+	f.sp--
+	i := f.m.NLocals + f.sp
+	return f.regs[i], f.refs[i], f.prods[i]
+}
+
+func (f *frame) peek(back int) uint64 { return f.regs[f.m.NLocals+f.sp-1-back] }
+
+// Thread is a Java thread: an isa.Source whose Fill interprets bytecode
+// and emits µops.
+type Thread struct {
+	vm        *VM
+	id        int
+	name      string
+	osThread  *simos.Thread
+	stackBase uint64
+
+	frames []frame
+	depth  int
+
+	// uopIdx numbers emitted µops from 1; slot producer indices refer
+	// to it and DepDist is the difference at consumption time.
+	uopIdx  uint64
+	blocked blockReason
+	exited  bool
+
+	// Store-to-load dependency tracking: a small direct-mapped table of
+	// recent stores so that loads from a just-written address depend on
+	// the storing µop. This serializes the load-modify-store
+	// accumulator idiom that dominates compiled Java loops, which is
+	// essential for realistic (low) Java IPC on the model.
+	stTag  [16]uint64
+	stProd [16]uint64
+	// gcRetried marks an allocation retried after a collection this
+	// thread itself requested (forces the allocation through).
+	gcRetried bool
+
+	joinWaiters []*Thread
+	onExit      []func()
+
+	// gc is non-nil on the collector helper thread, whose µop stream
+	// comes from mark/sweep work instead of bytecode.
+	gc *gcState
+
+	// instrs counts executed bytecode instructions.
+	instrs uint64
+}
+
+// ID returns the Java thread id.
+func (t *Thread) ID() int { return t.id }
+
+// Name returns the thread name.
+func (t *Thread) Name() string { return t.name }
+
+// Instructions returns how many bytecodes the thread has executed.
+func (t *Thread) Instructions() uint64 { return t.instrs }
+
+// pushFrame activates m with args in its first local slots. Frame storage
+// is pooled per thread; hot call paths allocate nothing in steady state.
+func (t *Thread) pushFrame(m *bytecode.Method, args []uint64, argRefs []bool) {
+	if t.depth == len(t.frames) {
+		t.frames = append(t.frames, frame{})
+	}
+	f := &t.frames[t.depth]
+	t.depth++
+	need := m.NLocals + m.MaxStack + 1
+	if cap(f.regs) < need {
+		f.regs = make([]uint64, need)
+		f.refs = make([]bool, need)
+		f.prods = make([]uint64, need)
+	}
+	f.regs = f.regs[:need]
+	f.refs = f.refs[:need]
+	f.prods = f.prods[:need]
+	for i := range f.regs {
+		f.regs[i], f.refs[i], f.prods[i] = 0, false, 0
+	}
+	copy(f.regs, args)
+	copy(f.refs, argRefs)
+	f.m, f.pc, f.sp, f.ret = m, 0, 0, 0
+}
+
+// vmError panics with thread/method/pc context: in a verified program it
+// indicates a benchmark bug, so it is loud by design.
+func (t *Thread) vmError(format string, args ...any) {
+	f := &t.frames[t.depth-1]
+	prefix := fmt.Sprintf("jvm: thread %q %s@%d: ", t.name, f.m.Name, f.pc)
+	panic(prefix + fmt.Sprintf(format, args...))
+}
+
+// maxSlowPathUops bounds the µops one instruction can emit including
+// runtime/kernel slow paths; Fill reserves this much buffer per step.
+const maxSlowPathUops = 40
+
+// Fill implements isa.Source: it interprets bytecode, translating each
+// instruction into µops, until the buffer fills, the thread blocks, or
+// the program exits.
+func (t *Thread) Fill(buf []isa.Uop) (int, bool) {
+	if t.gc != nil {
+		return t.gc.fill(buf)
+	}
+	n := 0
+	for n+maxSlowPathUops <= len(buf) {
+		if t.depth == 0 {
+			if !t.exited {
+				t.vm.threadExited(t)
+			}
+			return n, true
+		}
+		if t.vm.safepointPending(t) {
+			t.vm.enterSafepoint(t)
+			return n, false
+		}
+		n += t.step(buf[n:])
+		if t.blocked != notBlocked {
+			return n, false
+		}
+	}
+	return n, false
+}
+
+func maxProd(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func f64(v uint64) float64 { return math.Float64frombits(v) }
+func u64(v float64) uint64 { return math.Float64bits(v) }
+
+// emit writes u into buf[*n] with the producer-index dependency prod
+// (0 = none) translated into a DepDist, and returns the new µop's own
+// producer index. Loads pick up an additional dependency on the most
+// recent store to the same address; stores record themselves.
+func (t *Thread) emit(buf []isa.Uop, n *int, u isa.Uop, prod uint64) uint64 {
+	t.uopIdx++
+	if u.Class == isa.Load {
+		slot := (u.Addr >> 3) & 15
+		if t.stTag[slot] == u.Addr && t.stProd[slot] > prod {
+			prod = t.stProd[slot]
+		}
+	}
+	if prod > 0 {
+		if d := t.uopIdx - prod; d <= 255 {
+			u.DepDist = uint8(d)
+		}
+	}
+	if u.Class == isa.Store {
+		slot := (u.Addr >> 3) & 15
+		t.stTag[slot] = u.Addr
+		t.stProd[slot] = t.uopIdx
+	}
+	buf[*n] = u
+	*n++
+	return t.uopIdx
+}
+
+// step executes one bytecode instruction, emitting its µops into buf and
+// returning how many were written.
+func (t *Thread) step(buf []isa.Uop) int {
+	f := &t.frames[t.depth-1]
+	ins := f.m.Code[f.pc]
+	pcBase := f.m.CodeBase + uint64(f.m.UopOff[f.pc])
+	t.instrs++
+
+	n := 0
+	// put emits a µop at the instruction's next method-PC slot.
+	put := func(u isa.Uop, prod uint64) uint64 {
+		u.PC = pcBase + uint64(n)
+		return t.emit(buf, &n, u, prod)
+	}
+	// prev returns the producer index of the most recently emitted µop.
+	prev := func() uint64 { return t.uopIdx }
+
+	next := f.pc + 1
+	h := t.vm.heap
+
+	switch ins.Op {
+	case bytecode.Nop:
+		put(isa.Uop{Class: isa.Nop}, 0)
+
+	case bytecode.Iconst:
+		p := put(isa.Uop{Class: isa.ALU}, 0)
+		f.push(uint64(int64(ins.A)), false, p)
+
+	case bytecode.Fconst:
+		p := put(isa.Uop{Class: isa.ALU}, 0)
+		f.push(u64(f.m.FPool[ins.A]), false, p)
+
+	case bytecode.Iload:
+		p := put(isa.Uop{Class: isa.ALU}, f.prods[ins.A])
+		f.push(f.regs[ins.A], f.refs[ins.A], p)
+
+	case bytecode.Istore:
+		v, ref, pv := f.pop()
+		p := put(isa.Uop{Class: isa.ALU}, pv)
+		f.regs[ins.A], f.refs[ins.A], f.prods[ins.A] = v, ref, p
+
+	case bytecode.Iadd, bytecode.Isub, bytecode.Imul, bytecode.Idiv, bytecode.Irem,
+		bytecode.Iand, bytecode.Ior, bytecode.Ixor, bytecode.Ishl, bytecode.Ishr:
+		b, _, pb := f.pop()
+		a, _, pa := f.pop()
+		x, y := int64(a), int64(b)
+		var r int64
+		cls := isa.ALU
+		switch ins.Op {
+		case bytecode.Iadd:
+			r = x + y
+		case bytecode.Isub:
+			r = x - y
+		case bytecode.Imul:
+			r, cls = x*y, isa.Mul
+		case bytecode.Idiv:
+			if y == 0 {
+				t.vmError("integer division by zero")
+			}
+			r, cls = x/y, isa.Mul
+		case bytecode.Irem:
+			if y == 0 {
+				t.vmError("integer remainder by zero")
+			}
+			r, cls = x%y, isa.Mul
+		case bytecode.Iand:
+			r = x & y
+		case bytecode.Ior:
+			r = x | y
+		case bytecode.Ixor:
+			r = x ^ y
+		case bytecode.Ishl:
+			r = x << uint64(y&63)
+		case bytecode.Ishr:
+			r = x >> uint64(y&63)
+		}
+		p := put(isa.Uop{Class: cls}, maxProd(pa, pb))
+		f.push(uint64(r), false, p)
+
+	case bytecode.Ineg:
+		a, _, pa := f.pop()
+		p := put(isa.Uop{Class: isa.ALU}, pa)
+		f.push(uint64(-int64(a)), false, p)
+
+	case bytecode.Fadd, bytecode.Fsub, bytecode.Fmul, bytecode.Fdiv:
+		b, _, pb := f.pop()
+		a, _, pa := f.pop()
+		x, y := f64(a), f64(b)
+		var r float64
+		cls := isa.FP
+		switch ins.Op {
+		case bytecode.Fadd:
+			r = x + y
+		case bytecode.Fsub:
+			r = x - y
+		case bytecode.Fmul:
+			r = x * y
+		case bytecode.Fdiv:
+			r, cls = x/y, isa.FPDiv
+		}
+		p := put(isa.Uop{Class: cls}, maxProd(pa, pb))
+		f.push(u64(r), false, p)
+
+	case bytecode.Fneg:
+		a, _, pa := f.pop()
+		p := put(isa.Uop{Class: isa.ALU}, pa)
+		f.push(u64(-f64(a)), false, p)
+
+	case bytecode.Fmath:
+		a, _, pa := f.pop()
+		x := f64(a)
+		var r float64
+		switch ins.A {
+		case bytecode.MathSqrt:
+			r = math.Sqrt(x)
+		case bytecode.MathSin:
+			r = math.Sin(x)
+		case bytecode.MathCos:
+			r = math.Cos(x)
+		case bytecode.MathExp:
+			r = math.Exp(x)
+		case bytecode.MathLog:
+			r = math.Log(x)
+		case bytecode.MathAbs:
+			r = math.Abs(x)
+		}
+		put(isa.Uop{Class: isa.ALU}, pa)
+		put(isa.Uop{Class: isa.ALU}, prev())
+		p := put(isa.Uop{Class: isa.FPDiv}, prev())
+		f.push(u64(r), false, p)
+
+	case bytecode.I2f:
+		a, _, pa := f.pop()
+		p := put(isa.Uop{Class: isa.ALU}, pa)
+		f.push(u64(float64(int64(a))), false, p)
+
+	case bytecode.F2i:
+		a, _, pa := f.pop()
+		p := put(isa.Uop{Class: isa.ALU}, pa)
+		f.push(uint64(int64(f64(a))), false, p)
+
+	case bytecode.IfEq, bytecode.IfNe, bytecode.IfLt, bytecode.IfLe,
+		bytecode.IfGt, bytecode.IfGe, bytecode.IfFLt, bytecode.IfFGt:
+		b, _, pb := f.pop()
+		a, _, pa := f.pop()
+		var cond bool
+		switch ins.Op {
+		case bytecode.IfEq:
+			cond = int64(a) == int64(b)
+		case bytecode.IfNe:
+			cond = int64(a) != int64(b)
+		case bytecode.IfLt:
+			cond = int64(a) < int64(b)
+		case bytecode.IfLe:
+			cond = int64(a) <= int64(b)
+		case bytecode.IfGt:
+			cond = int64(a) > int64(b)
+		case bytecode.IfGe:
+			cond = int64(a) >= int64(b)
+		case bytecode.IfFLt:
+			cond = f64(a) < f64(b)
+		case bytecode.IfFGt:
+			cond = f64(a) > f64(b)
+		}
+		put(isa.Uop{Class: isa.ALU}, maxProd(pa, pb))
+		put(isa.Uop{Class: isa.Branch, Taken: cond,
+			Target: f.m.CodeBase + uint64(f.m.UopOff[ins.A])}, prev())
+		if cond {
+			next = int(ins.A)
+		}
+
+	case bytecode.IfNull, bytecode.IfNonNull:
+		a, _, pa := f.pop()
+		cond := (a == 0) == (ins.Op == bytecode.IfNull)
+		put(isa.Uop{Class: isa.ALU}, pa)
+		put(isa.Uop{Class: isa.Branch, Taken: cond,
+			Target: f.m.CodeBase + uint64(f.m.UopOff[ins.A])}, prev())
+		if cond {
+			next = int(ins.A)
+		}
+
+	case bytecode.Goto:
+		put(isa.Uop{Class: isa.Branch, Taken: true,
+			Target: f.m.CodeBase + uint64(f.m.UopOff[ins.A])}, 0)
+		next = int(ins.A)
+
+	case bytecode.Dup:
+		i := f.m.NLocals + f.sp - 1
+		p := put(isa.Uop{Class: isa.ALU}, f.prods[i])
+		f.push(f.regs[i], f.refs[i], p)
+
+	case bytecode.Pop:
+		f.pop()
+		put(isa.Uop{Class: isa.ALU}, 0)
+
+	case bytecode.Swap:
+		i := f.m.NLocals + f.sp - 1
+		j := i - 1
+		f.regs[i], f.regs[j] = f.regs[j], f.regs[i]
+		f.refs[i], f.refs[j] = f.refs[j], f.refs[i]
+		f.prods[i], f.prods[j] = f.prods[j], f.prods[i]
+		put(isa.Uop{Class: isa.ALU}, 0)
+
+	case bytecode.GetField:
+		r, _, pr := f.pop()
+		if r == 0 {
+			t.vmError("null pointer dereference (getfield %d)", ins.A)
+		}
+		idx := h.addrToIdx(r)
+		cls := t.vm.prog.Classes[h.objClass(idx)]
+		if int(ins.A) >= cls.NumFields {
+			t.vmError("field %d out of range for class %s", ins.A, cls.Name)
+		}
+		v := h.words[idx+headerWords+int(ins.A)]
+		isRef := cls.RefMask&(1<<uint(ins.A)) != 0
+		put(isa.Uop{Class: isa.ALU}, pr)
+		p := put(isa.Uop{Class: isa.Load,
+			Addr: r + uint64(headerWords+int(ins.A))*8}, prev())
+		f.push(v, isRef, p)
+
+	case bytecode.PutField:
+		v, _, pv := f.pop()
+		r, _, pr := f.pop()
+		if r == 0 {
+			t.vmError("null pointer dereference (putfield %d)", ins.A)
+		}
+		idx := h.addrToIdx(r)
+		cls := t.vm.prog.Classes[h.objClass(idx)]
+		if int(ins.A) >= cls.NumFields {
+			t.vmError("field %d out of range for class %s", ins.A, cls.Name)
+		}
+		h.words[idx+headerWords+int(ins.A)] = v
+		put(isa.Uop{Class: isa.ALU}, pr)
+		put(isa.Uop{Class: isa.Store,
+			Addr: r + uint64(headerWords+int(ins.A))*8}, maxProd(prev(), pv))
+
+	case bytecode.GetStatic:
+		v := t.vm.globals[ins.A]
+		isRef := t.vm.prog.GlobalRefMask&(1<<uint(ins.A)) != 0
+		put(isa.Uop{Class: isa.ALU}, 0)
+		p := put(isa.Uop{Class: isa.Load,
+			Addr: t.vm.globalsBase + uint64(ins.A)*8}, prev())
+		f.push(v, isRef, p)
+
+	case bytecode.PutStatic:
+		v, _, pv := f.pop()
+		t.vm.globals[ins.A] = v
+		put(isa.Uop{Class: isa.ALU}, pv)
+		put(isa.Uop{Class: isa.Store,
+			Addr: t.vm.globalsBase + uint64(ins.A)*8}, prev())
+
+	case bytecode.New:
+		cls := t.vm.prog.Classes[ins.A]
+		idx := t.vm.allocate(t, cls.NumFields, kindObject, ins.A)
+		if idx < 0 {
+			return n + t.emitGCWaitPath(buf[n:])
+		}
+		addr := h.idxToAddr(idx)
+		put(isa.Uop{Class: isa.ALU}, 0)
+		put(isa.Uop{Class: isa.ALU}, prev())
+		put(isa.Uop{Class: isa.Store, Addr: addr}, prev())
+		p := put(isa.Uop{Class: isa.Store, Addr: addr + 8}, 0)
+		f.push(addr, true, p)
+
+	case bytecode.NewArray:
+		length := int64(f.peek(0))
+		if length < 0 {
+			t.vmError("negative array size %d", length)
+		}
+		var kind int32
+		switch ins.A {
+		case bytecode.KindInt:
+			kind = kindIntArray
+		case bytecode.KindFloat:
+			kind = kindFloatArray
+		default:
+			kind = kindRefArray
+		}
+		idx := t.vm.allocate(t, int(length), kind, int32(length))
+		if idx < 0 {
+			return n + t.emitGCWaitPath(buf[n:])
+		}
+		_, _, pl := f.pop()
+		addr := h.idxToAddr(idx)
+		put(isa.Uop{Class: isa.ALU}, pl)
+		put(isa.Uop{Class: isa.ALU}, prev())
+		put(isa.Uop{Class: isa.Store, Addr: addr}, prev())
+		p := put(isa.Uop{Class: isa.Store, Addr: addr + 8}, 0)
+		f.push(addr, true, p)
+
+	case bytecode.ALoad:
+		i, _, pi := f.pop()
+		r, _, pr := f.pop()
+		v, addr, isRef := t.arrayAccess(r, int64(i), "aload")
+		put(isa.Uop{Class: isa.ALU}, maxProd(pi, pr))
+		p := put(isa.Uop{Class: isa.Load, Addr: addr}, prev())
+		f.push(v, isRef, p)
+
+	case bytecode.AStore:
+		v, _, pv := f.pop()
+		i, _, pi := f.pop()
+		r, _, pr := f.pop()
+		_, addr, _ := t.arrayAccess(r, int64(i), "astore")
+		h.words[h.addrToIdx(addr)] = v
+		put(isa.Uop{Class: isa.ALU}, maxProd(pi, pr))
+		put(isa.Uop{Class: isa.Store, Addr: addr}, maxProd(prev(), pv))
+
+	case bytecode.ArrayLen:
+		r, _, pr := f.pop()
+		if r == 0 {
+			t.vmError("null pointer dereference (arraylen)")
+		}
+		idx := h.addrToIdx(r)
+		p := put(isa.Uop{Class: isa.Load, Addr: r + 8}, pr)
+		f.push(uint64(int64(h.arrayLen(idx))), false, p)
+
+	case bytecode.Call, bytecode.CallVirt:
+		callee := t.vm.prog.Methods[ins.A]
+		args, refs, pmax := t.popArgs(f, callee.NArgs)
+		spill := t.stackBase + uint64(t.depth)*32
+		put(isa.Uop{Class: isa.Store, Addr: spill}, pmax)
+		put(isa.Uop{Class: isa.ALU}, 0)
+		put(isa.Uop{Class: isa.Call, Target: callee.CodeBase,
+			Indirect: ins.Op == bytecode.CallVirt}, 0)
+		f.pc = next
+		retPC := f.m.CodeBase + uint64(f.m.UopOff[f.pc])
+		t.pushFrame(callee, args, refs)
+		t.frames[t.depth-1].ret = retPC
+		return n
+
+	case bytecode.Ret, bytecode.RetVal:
+		var v uint64
+		var isRef bool
+		if ins.Op == bytecode.RetVal {
+			v, isRef, _ = f.pop()
+		}
+		spill := t.stackBase + uint64(t.depth-1)*32
+		put(isa.Uop{Class: isa.Load, Addr: spill}, 0)
+		put(isa.Uop{Class: isa.Ret, Target: f.ret, Indirect: true}, prev())
+		t.depth--
+		if t.depth == 0 {
+			return n // thread exits on the next Fill iteration
+		}
+		if ins.Op == bytecode.RetVal {
+			caller := &t.frames[t.depth-1]
+			caller.push(v, isRef, t.uopIdx)
+		}
+		return n
+
+	case bytecode.MonEnter:
+		r := f.peek(0)
+		if r == 0 {
+			t.vmError("null pointer dereference (monenter)")
+		}
+		if !t.vm.monEnter(t, r) {
+			// Contended: futex path into the kernel; the instruction
+			// re-executes when the monitor is handed to this thread.
+			t.emit(buf, &n, isa.Uop{PC: runtimeCodeBase, Class: isa.Load, Addr: r}, 0)
+			t.emit(buf, &n, isa.Uop{PC: runtimeCodeBase + 1, Class: isa.Syscall}, 0)
+			return n + t.emitKernelPath(buf[n:], 12)
+		}
+		_, _, pr := f.pop()
+		put(isa.Uop{Class: isa.Load, Addr: r}, pr)
+		put(isa.Uop{Class: isa.Fence}, prev())
+		put(isa.Uop{Class: isa.Store, Addr: r}, prev())
+
+	case bytecode.MonExit:
+		r, _, pr := f.pop()
+		if r == 0 {
+			t.vmError("null pointer dereference (monexit)")
+		}
+		t.vm.monExit(t, r)
+		put(isa.Uop{Class: isa.Load, Addr: r}, pr)
+		put(isa.Uop{Class: isa.Fence}, prev())
+		put(isa.Uop{Class: isa.Store, Addr: r}, prev())
+
+	case bytecode.ThreadStart:
+		callee := t.vm.prog.Methods[ins.A]
+		args, _, pmax := t.popArgs(f, callee.NArgs)
+		id := t.vm.threadStart(callee, args)
+		put(isa.Uop{Class: isa.ALU}, pmax)
+		put(isa.Uop{Class: isa.Syscall}, 0)
+		k := t.emitKernelPath(buf[n:], 20)
+		n += k
+		f.push(uint64(id), false, t.uopIdx)
+
+	case bytecode.ThreadJoin:
+		id := int(int64(f.peek(0)))
+		if !t.vm.threadJoin(t, id) {
+			t.emit(buf, &n, isa.Uop{PC: runtimeCodeBase + 2, Class: isa.ALU}, 0)
+			t.emit(buf, &n, isa.Uop{PC: runtimeCodeBase + 3, Class: isa.Syscall}, 0)
+			return n + t.emitKernelPath(buf[n:], 8)
+		}
+		f.pop()
+		put(isa.Uop{Class: isa.ALU}, 0)
+		put(isa.Uop{Class: isa.Syscall}, 0)
+
+	case bytecode.Halt:
+		put(isa.Uop{Class: isa.Nop}, 0)
+		t.depth = 0
+		return n
+
+	default:
+		t.vmError("unimplemented opcode %v", ins.Op)
+	}
+
+	f.pc = next
+	return n
+}
+
+// popArgs pops nargs values (last argument on top) returning them in
+// declaration order plus the max producer index.
+func (t *Thread) popArgs(f *frame, nargs int) ([]uint64, []bool, uint64) {
+	args := make([]uint64, nargs)
+	refs := make([]bool, nargs)
+	var pmax uint64
+	for i := nargs - 1; i >= 0; i-- {
+		v, r, p := f.pop()
+		args[i], refs[i] = v, r
+		pmax = maxProd(pmax, p)
+	}
+	return args, refs, pmax
+}
+
+// arrayAccess validates r[i] and returns the element value, its simulated
+// address, and whether it is a reference.
+func (t *Thread) arrayAccess(r uint64, i int64, what string) (v, addr uint64, isRef bool) {
+	if r == 0 {
+		t.vmError("null pointer dereference (%s)", what)
+	}
+	h := t.vm.heap
+	idx := h.addrToIdx(r)
+	kind := h.objKind(idx)
+	if kind != kindIntArray && kind != kindFloatArray && kind != kindRefArray {
+		t.vmError("%s on non-array object", what)
+	}
+	length := int64(h.arrayLen(idx))
+	if i < 0 || i >= length {
+		t.vmError("array index %d out of bounds [0,%d) (%s)", i, length, what)
+	}
+	w := idx + headerWords + int(i)
+	return h.words[w], h.idxToAddr(w), kind == kindRefArray
+}
+
+// emitGCWaitPath emits the allocation slow path (runtime stub + kernel
+// entry) after the thread has been parked waiting for a collection.
+func (t *Thread) emitGCWaitPath(buf []isa.Uop) int {
+	n := 0
+	t.emit(buf, &n, isa.Uop{PC: runtimeCodeBase + 8, Class: isa.ALU}, 0)
+	t.emit(buf, &n, isa.Uop{PC: runtimeCodeBase + 9, Class: isa.Syscall}, 0)
+	return n + t.emitKernelPath(buf[n:], 10)
+}
+
+// emitKernelPath emits count kernel-mode µops (the in-kernel half of a
+// syscall: futex, clone and sched-wakeup paths).
+func (t *Thread) emitKernelPath(buf []isa.Uop, count int) int {
+	base := uint64(simos.KernelCodeBase) + 2048
+	data := uint64(0xF800_0000) + uint64(t.id)<<12
+	n := 0
+	for n < count {
+		pc := base + uint64(n)
+		switch n % 4 {
+		case 0:
+			t.emit(buf, &n, isa.Uop{PC: pc, Class: isa.Load, Addr: data + uint64(n)*8, Kernel: true}, 0)
+		case 2:
+			t.emit(buf, &n, isa.Uop{PC: pc, Class: isa.Store, Addr: data + 512 + uint64(n)*8, Kernel: true}, t.uopIdx)
+		default:
+			t.emit(buf, &n, isa.Uop{PC: pc, Class: isa.ALU, Kernel: true}, t.uopIdx)
+		}
+	}
+	return n
+}

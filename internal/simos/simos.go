@@ -1,0 +1,304 @@
+// Package simos is the operating-system substrate: a timeslice scheduler
+// in the style of the RedHat Linux 9 (2.4-series) kernel the paper ran,
+// multiplexing software threads onto the processor's logical CPUs.
+//
+// It supplies each logical processor's core.Feed. Scheduling work is
+// visible to the micro-architecture the same way it was in the paper:
+// context-switch paths execute kernel-mode µops from a kernel code region
+// (polluting the trace cache, ITLB and BTB), and — true to the O(n)
+// 2.4 scheduler — the cost of picking the next thread grows with the run
+// queue length, which is what makes the paper's "OS cycle percentage
+// increases with the number of threads" observation come out of the
+// model rather than being asserted.
+package simos
+
+import (
+	"fmt"
+
+	"javasmt/internal/core"
+	"javasmt/internal/counters"
+	"javasmt/internal/isa"
+)
+
+// KernelCodeBase is the µop-granular PC base of kernel code. It is far
+// from any user code region, so kernel execution drags its own lines into
+// the trace cache and its own pages into the ITLB.
+const KernelCodeBase = 1 << 31
+
+// kernelDataBase is the byte address of kernel data structures.
+const kernelDataBase = 0xF000_0000
+
+// Params tunes the scheduler.
+type Params struct {
+	// Timeslice is the scheduling quantum in cycles. Real quanta are
+	// tens of milliseconds; simulated runs are scaled down (DESIGN.md
+	// §5), so the default keeps the switches-per-instruction ratio in
+	// a realistic band for runs of 10^6-10^7 µops.
+	Timeslice uint64
+	// SwitchBaseUops is the fixed µop cost of a context switch.
+	SwitchBaseUops int
+	// SwitchPerThreadUops is the extra cost per runnable thread —
+	// the O(n) goodness() scan of the 2.4 scheduler.
+	SwitchPerThreadUops int
+}
+
+// DefaultParams returns the default scheduler tuning.
+func DefaultParams() Params {
+	return Params{Timeslice: 30_000, SwitchBaseUops: 120, SwitchPerThreadUops: 12}
+}
+
+// ThreadState is the lifecycle state of a software thread.
+type ThreadState int
+
+// Thread lifecycle states.
+const (
+	Runnable ThreadState = iota
+	Running
+	Blocked
+	Exited
+)
+
+// String returns the state name.
+func (s ThreadState) String() string {
+	switch s {
+	case Runnable:
+		return "runnable"
+	case Running:
+		return "running"
+	case Blocked:
+		return "blocked"
+	case Exited:
+		return "exited"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// Process groups threads that share an address space. Switching between
+// threads of different processes invalidates the per-context virtually
+// tagged front-end state, as a CR3 change did on the paper machine.
+type Process struct {
+	ID   int
+	Name string
+	k    *Kernel
+}
+
+// Thread is one schedulable software thread.
+type Thread struct {
+	ID    int
+	Name  string
+	Proc  *Process
+	Src   isa.Source
+	state ThreadState
+	done  bool
+}
+
+// State returns the thread's current lifecycle state.
+func (t *Thread) State() ThreadState { return t.state }
+
+// Kernel is the scheduler instance. It is not safe for concurrent use;
+// the simulation is single-goroutine by design (deterministic replay).
+type Kernel struct {
+	cpu     *core.CPU
+	file    *counters.File
+	params  Params
+	procs   []*Process
+	threads []*Thread
+	runq    []*Thread
+	cpus    []*cpuState
+	nextTID int
+}
+
+type cpuState struct {
+	k          *Kernel
+	idx        int
+	current    *Thread
+	lastProc   int // process that last ran here; -1 = none
+	sliceStart uint64
+	switchSeq  uint64 // varies kernel data addresses across switches
+}
+
+// NewKernel builds a kernel driving cpu and wires its feeds into every
+// logical processor.
+func NewKernel(cpu *core.CPU, params Params) *Kernel {
+	k := &Kernel{cpu: cpu, file: cpu.CountersFile(), params: params}
+	for i := 0; i < cpu.Config().NumContexts(); i++ {
+		cs := &cpuState{k: k, idx: i, lastProc: -1}
+		k.cpus = append(k.cpus, cs)
+		cpu.AttachFeed(i, cs)
+	}
+	return k
+}
+
+// NewProcess registers a new address space.
+func (k *Kernel) NewProcess(name string) *Process {
+	p := &Process{ID: len(k.procs), Name: name, k: k}
+	k.procs = append(k.procs, p)
+	return p
+}
+
+// Spawn creates a runnable thread in process p fed by src.
+func (p *Process) Spawn(name string, src isa.Source) *Thread {
+	k := p.k
+	t := &Thread{ID: k.nextTID, Name: name, Proc: p, Src: src, state: Runnable}
+	k.nextTID++
+	k.threads = append(k.threads, t)
+	k.runq = append(k.runq, t)
+	return t
+}
+
+// Block marks t blocked. Threads call it (through the JVM) from inside
+// their own Fill; the scheduler notices at the next feed boundary. It is
+// legal to block an already-blocked thread (idempotent).
+func (k *Kernel) Block(t *Thread) {
+	if t.state == Exited {
+		panic("simos: blocking an exited thread")
+	}
+	if t.state == Runnable {
+		k.removeFromRunq(t)
+	}
+	t.state = Blocked
+	k.file.Inc(counters.MonitorBlocks)
+}
+
+// Unblock makes t runnable again. Unblocking a runnable/running thread is
+// a no-op so wakeups can race benignly.
+func (k *Kernel) Unblock(t *Thread) {
+	if t.state != Blocked {
+		return
+	}
+	t.state = Runnable
+	k.runq = append(k.runq, t)
+}
+
+func (k *Kernel) removeFromRunq(t *Thread) {
+	for i, q := range k.runq {
+		if q == t {
+			k.runq = append(k.runq[:i], k.runq[i+1:]...)
+			return
+		}
+	}
+}
+
+// RunnableCount returns how many threads are runnable or running.
+func (k *Kernel) RunnableCount() int {
+	n := len(k.runq)
+	for _, c := range k.cpus {
+		if c.current != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Threads returns all threads ever spawned.
+func (k *Kernel) Threads() []*Thread { return k.threads }
+
+// File exposes the machine's counter file so runtime layers above the
+// kernel (the JVM) can record their own events.
+func (k *Kernel) File() *counters.File { return k.file }
+
+// --- core.Feed implementation (one per logical CPU) ---
+
+// Fill implements core.Feed.
+func (c *cpuState) Fill(now uint64, buf []isa.Uop) int {
+	k := c.k
+	n := 0
+
+	// Preempt on quantum expiry when someone else is waiting.
+	if c.current != nil && len(k.runq) > 0 && now-c.sliceStart >= k.params.Timeslice {
+		prev := c.current
+		c.current = nil
+		prev.state = Runnable
+		k.runq = append(k.runq, prev)
+	}
+
+	// Dispatch a new thread if the CPU is idle.
+	if c.current == nil {
+		if len(k.runq) == 0 {
+			return 0
+		}
+		next := k.runq[0]
+		k.runq = k.runq[1:]
+		n += c.emitSwitch(buf[n:], len(k.runq)+1)
+		if c.lastProc != next.Proc.ID {
+			// Address-space change: drop this context's virtually
+			// tagged front-end state (trace lines, BTB, ITLB part).
+			k.cpu.FlushThreadState(c.idx)
+		}
+		c.lastProc = next.Proc.ID
+		c.current = next
+		next.state = Running
+		c.sliceStart = now
+		k.file.Inc(counters.ContextSwitches)
+	}
+
+	// Run the current thread into the remaining buffer space.
+	if n < len(buf) {
+		got, done := c.current.Src.Fill(buf[n:])
+		n += got
+		switch {
+		case done:
+			c.current.state = Exited
+			c.current.done = true
+			c.current = nil
+		case c.current.state == Blocked:
+			// The thread blocked itself mid-fill (monitor, GC wait).
+			c.current = nil
+		case got == 0 && n == 0:
+			// A source returning 0 into an empty buffer without
+			// blocking or finishing would spin the front end forever.
+			// (got == 0 after switch µops is fine: sources may need
+			// more space than the switch left over.)
+			panic(fmt.Sprintf("simos: thread %q produced no µops while runnable", c.current.Name))
+		}
+	}
+	return n
+}
+
+// Runnable implements core.Feed.
+func (c *cpuState) Runnable(uint64) bool {
+	return c.current != nil || len(c.k.runq) > 0
+}
+
+// Done implements core.Feed.
+func (c *cpuState) Done() bool {
+	if c.current != nil || len(c.k.runq) > 0 {
+		return false
+	}
+	for _, t := range c.k.threads {
+		if t.state == Blocked {
+			return false
+		}
+	}
+	return true
+}
+
+// emitSwitch writes the context-switch kernel path: save/restore µops plus
+// the O(n) run-queue scan. All are kernel-mode with kernel PCs, so the
+// switch has the same front-end footprint consequences as real kernel
+// entry did on the paper machine.
+func (c *cpuState) emitSwitch(buf []isa.Uop, queueLen int) int {
+	k := c.k
+	total := k.params.SwitchBaseUops + k.params.SwitchPerThreadUops*queueLen
+	if total > len(buf) {
+		total = len(buf)
+	}
+	c.switchSeq++
+	base := uint64(kernelDataBase) + uint64(c.idx)<<16
+	n := 0
+	for n < total {
+		pc := uint64(KernelCodeBase) + uint64(n%512)
+		switch n % 8 {
+		case 0: // load task struct field
+			buf[n] = isa.Uop{PC: pc, Class: isa.Load, Addr: base + (c.switchSeq*64+uint64(n)*8)%4096, Kernel: true}
+		case 3: // store register save area
+			buf[n] = isa.Uop{PC: pc, Class: isa.Store, Addr: base + 4096 + uint64(n)*8%2048, Kernel: true, DepDist: 1}
+		case 6: // loop branch over the run queue scan
+			buf[n] = isa.Uop{PC: pc, Class: isa.Branch, Taken: n+8 < total, Target: pc - 6, Kernel: true}
+		default:
+			buf[n] = isa.Uop{PC: pc, Class: isa.ALU, DepDist: uint8(n % 2), Kernel: true}
+		}
+		n++
+	}
+	return n
+}

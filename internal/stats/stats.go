@@ -1,0 +1,182 @@
+// Package stats provides the summary statistics the paper's figures use:
+// means, quartile box summaries (Figure 8's box chart) and an ASCII
+// color-map renderer (Figure 9's combined-speedup grid).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Mean returns the arithmetic mean (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Percentile returns the p-th percentile (0..100) using linear
+// interpolation between order statistics.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Box is the five-number summary plus the mean — exactly what the paper's
+// box chart displays (median and mean marks, 25th/75th percentile box,
+// min/max whiskers).
+type Box struct {
+	Min, Q1, Median, Mean, Q3, Max float64
+}
+
+// Summarize computes the box summary of xs.
+func Summarize(xs []float64) Box {
+	if len(xs) == 0 {
+		return Box{}
+	}
+	return Box{
+		Min:    Percentile(xs, 0),
+		Q1:     Percentile(xs, 25),
+		Median: Percentile(xs, 50),
+		Mean:   Mean(xs),
+		Q3:     Percentile(xs, 75),
+		Max:    Percentile(xs, 100),
+	}
+}
+
+// String renders the box on one line.
+func (b Box) String() string {
+	return fmt.Sprintf("min=%.3f q1=%.3f med=%.3f mean=%.3f q3=%.3f max=%.3f",
+		b.Min, b.Q1, b.Median, b.Mean, b.Q3, b.Max)
+}
+
+// RenderBoxes draws an ASCII box chart: one row per named box, a shared
+// horizontal axis spanning [lo, hi], quartile box rendered with '=',
+// whiskers with '-', the median as '|' and the mean as '*'.
+func RenderBoxes(names []string, boxes []Box, lo, hi float64, width int) string {
+	if len(names) != len(boxes) {
+		panic("stats: names/boxes length mismatch")
+	}
+	if width < 20 {
+		width = 20
+	}
+	col := func(v float64) int {
+		if hi <= lo {
+			return 0
+		}
+		c := int((v - lo) / (hi - lo) * float64(width-1))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	var sb strings.Builder
+	nameW := 0
+	for _, n := range names {
+		if len(n) > nameW {
+			nameW = len(n)
+		}
+	}
+	for i, b := range boxes {
+		row := make([]byte, width)
+		for j := range row {
+			row[j] = ' '
+		}
+		for j := col(b.Min); j <= col(b.Max); j++ {
+			row[j] = '-'
+		}
+		for j := col(b.Q1); j <= col(b.Q3); j++ {
+			row[j] = '='
+		}
+		row[col(b.Median)] = '|'
+		row[col(b.Mean)] = '*'
+		fmt.Fprintf(&sb, "%-*s %s\n", nameW, names[i], string(row))
+	}
+	// Axis with the endpoints and midpoint labelled.
+	axis := make([]byte, width)
+	for j := range axis {
+		axis[j] = '.'
+	}
+	sb.WriteString(strings.Repeat(" ", nameW+1) + string(axis) + "\n")
+	mid := (lo + hi) / 2
+	label := fmt.Sprintf("%-*.2f%*s%*.2f", width/2, lo, 0, fmt.Sprintf("%.2f", mid), width-width/2-len(fmt.Sprintf("%.2f", mid)), hi)
+	sb.WriteString(strings.Repeat(" ", nameW+1) + label + "\n")
+	return sb.String()
+}
+
+// RenderColorMap draws the Figure 9 grid as ASCII: one cell per (row,
+// column) pair, shaded by value using a black-to-white ramp, exactly as
+// the paper's gray-scale color map. Cells below `bad` are flagged with
+// '!' (the paper's dashed rectangles around slowdowns).
+func RenderColorMap(names []string, grid [][]float64, lo, hi, bad float64) string {
+	ramp := []byte(" .:-=+*#%@")
+	shade := func(v float64) byte {
+		if hi <= lo {
+			return ramp[0]
+		}
+		t := (v - lo) / (hi - lo)
+		if t < 0 {
+			t = 0
+		}
+		if t > 1 {
+			t = 1
+		}
+		return ramp[int(t*float64(len(ramp)-1))]
+	}
+	nameW := 0
+	for _, n := range names {
+		if len(n) > nameW {
+			nameW = len(n)
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%*s ", nameW, "")
+	for j := range names {
+		fmt.Fprintf(&sb, "%3d ", j)
+	}
+	sb.WriteString("\n")
+	for i, row := range grid {
+		fmt.Fprintf(&sb, "%-*s ", nameW, names[i])
+		for _, v := range row {
+			mark := byte(' ')
+			if v < bad {
+				mark = '!'
+			}
+			fmt.Fprintf(&sb, "%c%c%c ", shade(v), shade(v), mark)
+		}
+		fmt.Fprintf(&sb, "\n")
+	}
+	fmt.Fprintf(&sb, "legend: '%c'=%.2f .. '%c'=%.2f, '!' marks C_AB < %.2f\n",
+		ramp[0], lo, ramp[len(ramp)-1], hi, bad)
+	for j, n := range names {
+		fmt.Fprintf(&sb, "  col %d = %s\n", j, n)
+	}
+	return sb.String()
+}

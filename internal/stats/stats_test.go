@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean must be 0")
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("mean = %v, want 2.5", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		p, want float64
+	}{
+		{0, 1}, {25, 2}, {50, 3}, {75, 4}, {100, 5}, {-10, 1}, {110, 5},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); got != c.want {
+			t.Fatalf("p%.0f = %v, want %v", c.p, got, c.want)
+		}
+	}
+	// Interpolation.
+	if got := Percentile([]float64{0, 10}, 50); got != 5 {
+		t.Fatalf("interpolated median = %v, want 5", got)
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile must be 0")
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	Percentile(xs, 50)
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 3 {
+		t.Fatal("Percentile must not reorder its input")
+	}
+}
+
+func TestSummarizeOrdering(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				// Keep magnitudes summable: the mean of ±1e308 values
+				// overflows float64, which is not what this property
+				// is about.
+				xs = append(xs, math.Mod(x, 1e6))
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		b := Summarize(xs)
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		return b.Min == sorted[0] && b.Max == sorted[len(sorted)-1] &&
+			b.Min <= b.Q1 && b.Q1 <= b.Median && b.Median <= b.Q3 && b.Q3 <= b.Max &&
+			b.Mean >= b.Min && b.Mean <= b.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if b := Summarize(nil); b != (Box{}) {
+		t.Fatalf("empty summary = %+v", b)
+	}
+}
+
+func TestBoxString(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3}).String()
+	for _, want := range []string{"min=", "med=", "mean=", "max="} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("box string %q missing %q", s, want)
+		}
+	}
+}
+
+func TestRenderBoxes(t *testing.T) {
+	names := []string{"alpha", "b"}
+	boxes := []Box{
+		{Min: 1, Q1: 1.1, Median: 1.2, Mean: 1.25, Q3: 1.3, Max: 1.4},
+		{Min: 0.9, Q1: 1.0, Median: 1.05, Mean: 1.02, Q3: 1.1, Max: 1.2},
+	}
+	out := RenderBoxes(names, boxes, 0.8, 1.6, 60)
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "=") ||
+		!strings.Contains(out, "*") || !strings.Contains(out, "|") {
+		t.Fatalf("box render missing elements:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != len(names)+2 {
+		t.Fatalf("expected %d lines, got %d", len(names)+2, len(lines))
+	}
+}
+
+func TestRenderBoxesMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	RenderBoxes([]string{"a"}, nil, 0, 1, 40)
+}
+
+func TestRenderColorMap(t *testing.T) {
+	names := []string{"x", "y"}
+	grid := [][]float64{{1.5, 0.9}, {1.1, 1.3}}
+	out := RenderColorMap(names, grid, 0.8, 1.6, 1.0)
+	if !strings.Contains(out, "!") {
+		t.Fatal("slowdown cells must be flagged with '!'")
+	}
+	if !strings.Contains(out, "legend") || !strings.Contains(out, "col 1 = y") {
+		t.Fatalf("color map missing legend:\n%s", out)
+	}
+}
+
+func TestRenderColorMapDegenerateRange(t *testing.T) {
+	out := RenderColorMap([]string{"x"}, [][]float64{{1}}, 1, 1, 0.5)
+	if out == "" {
+		t.Fatal("degenerate range should still render")
+	}
+}

@@ -1,0 +1,177 @@
+// Package tlb models the Pentium 4 translation look-aside buffers.
+//
+// The detail that matters for the paper is the ITLB sharing discipline:
+// "In the Pentium 4, the ITLB is partitioned among hardware contexts to
+// support Hyper-Threading. Each logical processor has its own ITLB" —
+// so enabling HT halves the ITLB reach of each context even when only the
+// code footprint of one thread is active, and benchmarks with large code
+// footprints (PseudoJBB) degrade sharply. The DTLB, by contrast, is a
+// shared structure.
+package tlb
+
+// Config describes one TLB.
+type Config struct {
+	// Name appears in counter reports ("ITLB", "DTLB").
+	Name string
+	// Entries is the total entry count across both contexts.
+	Entries int
+	// Assoc is the set associativity; Entries/Assoc sets must be a
+	// power of two.
+	Assoc int
+	// PageSize in bytes (4 KiB on the paper machine).
+	PageSize int
+	// MissPenalty is the page-walk cost in cycles.
+	MissPenalty int
+	// Partitioned statically splits the entries between the two logical
+	// processors when HT is enabled (the P4 ITLB design). When false
+	// the structure is fully shared (the DTLB design).
+	Partitioned bool
+}
+
+// DefaultITLBConfig is the paper machine's instruction TLB: 128 entries,
+// fully partitioned per logical processor under HT.
+func DefaultITLBConfig() Config {
+	return Config{Name: "ITLB", Entries: 128, Assoc: 4, PageSize: 4096, MissPenalty: 30, Partitioned: true}
+}
+
+// DefaultDTLBConfig is the paper machine's shared data TLB (64 entries).
+func DefaultDTLBConfig() Config {
+	return Config{Name: "DTLB", Entries: 64, Assoc: 4, PageSize: 4096, MissPenalty: 30, Partitioned: false}
+}
+
+// Stats accumulates per-context access and miss counts.
+type Stats struct {
+	Accesses [2]uint64
+	Misses   [2]uint64
+}
+
+// TotalAccesses sums accesses over both contexts.
+func (s Stats) TotalAccesses() uint64 { return s.Accesses[0] + s.Accesses[1] }
+
+// TotalMisses sums misses over both contexts.
+func (s Stats) TotalMisses() uint64 { return s.Misses[0] + s.Misses[1] }
+
+type entry struct {
+	vpn   uint64
+	lru   uint64
+	valid bool
+}
+
+// TLB is a set-associative translation buffer with optional static
+// partitioning between the two logical processors.
+type TLB struct {
+	cfg       Config
+	sets      [][]entry // [partition][...]; partition 0 used when unpartitioned or HT off
+	pageBits  uint
+	tick      uint64
+	partitons int
+	ht        bool
+	stats     Stats
+}
+
+// New builds a TLB from cfg.
+func New(cfg Config) *TLB {
+	if cfg.Entries%cfg.Assoc != 0 {
+		panic("tlb: entries must divide evenly into ways: " + cfg.Name)
+	}
+	t := &TLB{cfg: cfg}
+	for cfg.PageSize>>t.pageBits > 1 {
+		t.pageBits++
+	}
+	t.rebuild(false)
+	return t
+}
+
+// rebuild lays out the entry array for the given HT mode. A partitioned
+// TLB under HT becomes two half-size structures; otherwise one full-size
+// structure serves all requests.
+func (t *TLB) rebuild(ht bool) {
+	t.ht = ht
+	parts := 1
+	entries := t.cfg.Entries
+	if t.cfg.Partitioned && ht {
+		parts = 2
+		entries /= 2
+	}
+	sets := entries / t.cfg.Assoc
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic("tlb: sets must be a positive power of two: " + t.cfg.Name)
+	}
+	t.partitons = parts
+	t.sets = make([][]entry, parts*sets)
+	backing := make([]entry, parts*sets*t.cfg.Assoc)
+	for i := range t.sets {
+		t.sets[i] = backing[i*t.cfg.Assoc : (i+1)*t.cfg.Assoc]
+	}
+}
+
+// SetHT reconfigures the TLB for Hyper-Threading on/off. Contents are
+// discarded (the machine in the paper is rebooted between HT modes).
+func (t *TLB) SetHT(ht bool) { t.rebuild(ht) }
+
+// Config returns the TLB geometry.
+func (t *TLB) Config() Config { return t.cfg }
+
+// Stats returns a snapshot of the statistics.
+func (t *TLB) Stats() Stats { return t.stats }
+
+// ResetStats zeroes statistics without dropping translations.
+func (t *TLB) ResetStats() { t.stats = Stats{} }
+
+// Flush drops every translation (address-space switch).
+func (t *TLB) Flush() {
+	for _, set := range t.sets {
+		for i := range set {
+			set[i].valid = false
+		}
+	}
+}
+
+// FlushContext drops translations visible to logical processor ctx: its
+// partition if partitioned under HT, everything otherwise.
+func (t *TLB) FlushContext(ctx int) {
+	if t.partitons == 1 {
+		t.Flush()
+		return
+	}
+	n := len(t.sets) / t.partitons
+	for _, set := range t.sets[ctx*n : (ctx+1)*n] {
+		for i := range set {
+			set[i].valid = false
+		}
+	}
+}
+
+// Access translates addr for logical processor ctx. It returns true on a
+// hit; on a miss the translation is installed and the caller should charge
+// Config().MissPenalty cycles.
+func (t *TLB) Access(addr uint64, ctx int) bool {
+	t.tick++
+	t.stats.Accesses[ctx&1]++
+	vpn := addr >> t.pageBits
+	part := 0
+	if t.partitons == 2 {
+		part = ctx & 1
+	}
+	n := len(t.sets) / t.partitons
+	set := t.sets[part*n+int(vpn)&(n-1)]
+	for i := range set {
+		if set[i].valid && set[i].vpn == vpn {
+			set[i].lru = t.tick
+			return true
+		}
+	}
+	t.stats.Misses[ctx&1]++
+	victim := 0
+	for i := 1; i < len(set); i++ {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	set[victim] = entry{vpn: vpn, lru: t.tick, valid: true}
+	return false
+}

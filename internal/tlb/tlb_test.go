@@ -1,0 +1,114 @@
+package tlb
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestColdMissThenHit(t *testing.T) {
+	tl := New(DefaultITLBConfig())
+	if tl.Access(0x400000, 0) {
+		t.Fatal("cold translation should miss")
+	}
+	if !tl.Access(0x400000, 0) {
+		t.Fatal("second translation should hit")
+	}
+	if !tl.Access(0x400ffc, 0) {
+		t.Fatal("same-page address should hit")
+	}
+	if tl.Access(0x401000, 0) {
+		t.Fatal("next page should miss")
+	}
+}
+
+func TestPartitioningHalvesReach(t *testing.T) {
+	// Working set of 128 pages fits the full ITLB but not a half ITLB.
+	pages := make([]uint64, 128)
+	for i := range pages {
+		pages[i] = uint64(i) << 12
+	}
+	warm := func(tl *TLB) (missesAfterWarm uint64) {
+		for pass := 0; pass < 4; pass++ {
+			for _, p := range pages {
+				tl.Access(p, 0)
+			}
+			if pass == 0 {
+				tl.ResetStats()
+			}
+		}
+		return tl.Stats().Misses[0]
+	}
+	htOff := New(DefaultITLBConfig())
+	if m := warm(htOff); m != 0 {
+		t.Fatalf("HT off: 128-page set should fit 128-entry ITLB, got %d misses", m)
+	}
+	htOn := New(DefaultITLBConfig())
+	htOn.SetHT(true)
+	if m := warm(htOn); m == 0 {
+		t.Fatal("HT on: partitioned ITLB must thrash on a 128-page working set")
+	}
+}
+
+func TestUnpartitionedSharedUnderHT(t *testing.T) {
+	tl := New(DefaultDTLBConfig())
+	tl.SetHT(true)
+	tl.Access(0x8000, 0)
+	if !tl.Access(0x8000, 1) {
+		t.Fatal("shared DTLB should hit across contexts")
+	}
+}
+
+func TestPartitionedIsPrivateUnderHT(t *testing.T) {
+	tl := New(DefaultITLBConfig())
+	tl.SetHT(true)
+	tl.Access(0x8000, 0)
+	if tl.Access(0x8000, 1) {
+		t.Fatal("partitioned ITLB context 1 must not see context 0 translations")
+	}
+}
+
+func TestFlushContext(t *testing.T) {
+	tl := New(DefaultITLBConfig())
+	tl.SetHT(true)
+	tl.Access(0x1000, 0)
+	tl.Access(0x2000, 1)
+	tl.FlushContext(0)
+	if tl.Access(0x1000, 0) {
+		t.Fatal("context 0 translation should be flushed")
+	}
+	if !tl.Access(0x2000, 1) {
+		t.Fatal("context 1 translation should survive")
+	}
+	// Unpartitioned (or HT-off): FlushContext flushes everything.
+	sh := New(DefaultDTLBConfig())
+	sh.Access(0x1000, 0)
+	sh.FlushContext(1)
+	if sh.Access(0x1000, 0) {
+		t.Fatal("shared TLB FlushContext should drop all translations")
+	}
+}
+
+func TestMissesNeverExceedAccesses(t *testing.T) {
+	f := func(addrs []uint32, ht bool) bool {
+		tl := New(DefaultITLBConfig())
+		tl.SetHT(ht)
+		for i, a := range addrs {
+			tl.Access(uint64(a), i&1)
+		}
+		s := tl.Stats()
+		return s.Misses[0] <= s.Accesses[0] && s.Misses[1] <= s.Accesses[1] &&
+			s.TotalAccesses() == uint64(len(addrs))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Config{Name: "bad", Entries: 12, Assoc: 5, PageSize: 4096})
+}
