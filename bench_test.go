@@ -33,7 +33,7 @@ var (
 func characterization(b *testing.B) *harness.Characterization {
 	b.Helper()
 	charOnce.Do(func() {
-		charData, charErr = harness.RunCharacterization(bench.Tiny, nil)
+		charData, charErr = harness.RunCharacterization(bench.Tiny, 0, nil)
 	})
 	if charErr != nil {
 		b.Fatal(charErr)
@@ -46,6 +46,7 @@ func pairings(b *testing.B) *harness.Pairings {
 	pairOnce.Do(func() {
 		opts := harness.DefaultPairOptions()
 		opts.Runs = 4
+		opts.Jobs = 0 // one worker per CPU; results identical to serial
 		pairData, pairErr = harness.RunPairings(opts, nil)
 	})
 	if pairErr != nil {
@@ -227,7 +228,7 @@ func BenchmarkFig09ColorMap(b *testing.B) {
 // 7 of 9 programs slower, 0.15%-62%).
 func BenchmarkFig10SingleThread(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := harness.RunFig10(bench.Tiny, nil)
+		rows, err := harness.RunFig10(bench.Tiny, 0, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -262,7 +263,7 @@ func BenchmarkFig11SelfPair(b *testing.B) {
 // at 2 threads; MolDyn dips at 4 on L1D misses).
 func BenchmarkFig12ThreadSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := harness.RunFig12(bench.Tiny, []int{1, 2, 4, 8, 16}, nil)
+		rows, err := harness.RunFig12(bench.Tiny, []int{1, 2, 4, 8, 16}, 0, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -287,7 +288,7 @@ func BenchmarkFig12ThreadSweep(b *testing.B) {
 // static vs dynamic partitioning (DESIGN.md §6: the paper's proposed fix).
 func BenchmarkAblationPartition(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := harness.RunFig10(bench.Tiny, nil)
+		rows, err := harness.RunFig10(bench.Tiny, 0, nil)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -2,9 +2,13 @@
 // simulated machine. By default it produces everything; individual
 // figures can be selected with flags.
 //
-//	report                  # all tables and figures (several minutes)
+// Independent runs within each experiment fan out across -j worker
+// threads (default: all CPUs); every table is byte-identical at any -j.
+//
+//	report                  # all tables and figures
 //	report -table2 -fig1    # only the selected items
 //	report -scale small     # larger inputs (slower, closer to the paper)
+//	report -j 1             # serial execution
 package main
 
 import (
@@ -15,12 +19,14 @@ import (
 
 	"javasmt/internal/bench"
 	"javasmt/internal/harness"
+	"javasmt/internal/sched"
 )
 
 func main() {
 	var (
 		scaleStr = flag.String("scale", "tiny", "input scale: tiny|small|medium")
 		runs     = flag.Int("runs", 6, "averaged runs per program in pairing experiments (paper: 12)")
+		jobs     = flag.Int("j", sched.DefaultWorkers(), "concurrent experiments (1 = serial)")
 		quiet    = flag.Bool("q", false, "suppress progress output")
 	)
 	sel := map[string]*bool{}
@@ -61,7 +67,7 @@ func main() {
 	needChar := want("table2") || want("fig1") || want("fig2") || want("fig3") ||
 		want("fig4") || want("fig5") || want("fig6") || want("fig7")
 	if needChar {
-		c, err := harness.RunCharacterization(scale, progress)
+		c, err := harness.RunCharacterization(scale, *jobs, progress)
 		if err != nil {
 			fatal(err)
 		}
@@ -95,6 +101,7 @@ func main() {
 		opts := harness.DefaultPairOptions()
 		opts.Scale = scale
 		opts.Runs = *runs
+		opts.Jobs = *jobs
 		p, err := harness.RunPairings(opts, progress)
 		if err != nil {
 			fatal(err)
@@ -111,7 +118,7 @@ func main() {
 	}
 
 	if want("fig10") {
-		rows, err := harness.RunFig10(scale, progress)
+		rows, err := harness.RunFig10(scale, *jobs, progress)
 		if err != nil {
 			fatal(err)
 		}
@@ -119,7 +126,7 @@ func main() {
 	}
 
 	if want("fig12") {
-		rows, err := harness.RunFig12(scale, []int{1, 2, 4, 8, 16}, progress)
+		rows, err := harness.RunFig12(scale, []int{1, 2, 4, 8, 16}, *jobs, progress)
 		if err != nil {
 			fatal(err)
 		}

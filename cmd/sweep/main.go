@@ -1,9 +1,11 @@
 // Command sweep varies the Java thread count of the multithreaded
 // benchmarks on the HT processor (Figure 12) and reports IPC and L1D
-// behaviour at each point.
+// behaviour at each point. Grid points are independent simulations and
+// fan out across -j worker threads (default: all CPUs); output order is
+// fixed regardless of -j.
 //
 //	sweep
-//	sweep -bench MolDyn -threads 1,2,4,8,16 -scale small
+//	sweep -bench MolDyn -threads 1,2,4,8,16 -scale small -j 4
 package main
 
 import (
@@ -16,6 +18,7 @@ import (
 	"javasmt/internal/bench"
 	"javasmt/internal/counters"
 	"javasmt/internal/harness"
+	"javasmt/internal/sched"
 )
 
 func main() {
@@ -23,6 +26,7 @@ func main() {
 		name    = flag.String("bench", "", "single benchmark (default: all multithreaded)")
 		threads = flag.String("threads", "1,2,4,8,16", "comma-separated thread counts")
 		small   = flag.Bool("small", false, "use the small scale instead of tiny")
+		jobs    = flag.Int("j", sched.DefaultWorkers(), "concurrent experiments (1 = serial)")
 	)
 	flag.Parse()
 
@@ -50,18 +54,29 @@ func main() {
 		targets = []*bench.Benchmark{b}
 	}
 
-	fmt.Printf("%-12s %8s %8s %10s %10s %8s\n", "benchmark", "threads", "IPC", "L1D/1k", "OS %", "DT %")
+	type point struct {
+		b       *bench.Benchmark
+		threads int
+	}
+	var grid []point
 	for _, b := range targets {
 		for _, t := range counts {
-			res, err := harness.Run(b, harness.Options{HT: true, Threads: t, Scale: scale, Verify: true})
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "sweep:", err)
-				os.Exit(1)
-			}
-			f := &res.Counters
-			fmt.Printf("%-12s %8d %8.3f %10.2f %9.1f%% %7.1f%%\n",
-				b.Name, t, f.IPC(), f.PerKiloInstr(counters.L1DMisses),
-				f.OSCyclePercent(), f.DTModePercent())
+			grid = append(grid, point{b, t})
 		}
+	}
+	results, err := sched.Map(len(grid), *jobs, func(i int) (*harness.Result, error) {
+		return harness.Run(grid[i].b, harness.Options{HT: true, Threads: grid[i].threads, Scale: scale, Verify: true})
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%-12s %8s %8s %10s %10s %8s\n", "benchmark", "threads", "IPC", "L1D/1k", "OS %", "DT %")
+	for i, res := range results {
+		f := &res.Counters
+		fmt.Printf("%-12s %8d %8.3f %10.2f %9.1f%% %7.1f%%\n",
+			grid[i].b.Name, grid[i].threads, f.IPC(), f.PerKiloInstr(counters.L1DMisses),
+			f.OSCyclePercent(), f.DTModePercent())
 	}
 }

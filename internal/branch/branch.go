@@ -102,6 +102,24 @@ func (p *Predictor) Stats() Stats { return p.stats }
 // ResetStats zeroes statistics, preserving learned state.
 func (p *Predictor) ResetStats() { p.stats = Stats{} }
 
+// Reset returns the predictor to its just-built state — PHT counters to
+// weakly not-taken, BTB invalidated, histories and statistics cleared —
+// while reusing the table allocations. A reset predictor behaves
+// bit-identically to a fresh New(cfg).
+func (p *Predictor) Reset() {
+	for i := range p.pht {
+		p.pht[i] = 1
+	}
+	for _, set := range p.btb {
+		for i := range set {
+			set[i] = btbEntry{}
+		}
+	}
+	p.history = [2]uint64{}
+	p.tick = 0
+	p.stats = Stats{}
+}
+
 // FlushThread invalidates context ctx's BTB entries and clears its history
 // (address-space switch on that logical processor).
 func (p *Predictor) FlushThread(ctx int) {

@@ -1,0 +1,25 @@
+package cache
+
+import "testing"
+
+// BenchmarkCacheAccess measures a raw set-associative lookup on the L1D
+// geometry over a footprint that mixes hits, misses and evictions.
+func BenchmarkCacheAccess(b *testing.B) {
+	c := New(DefaultHierarchyConfig().L1D)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		c.Access(0x2000_0000+uint64(n*64)%(1<<15), n&1)
+	}
+}
+
+// BenchmarkHierarchyData measures the full load path — L1D probe, L2
+// probe, flat DRAM on a double miss — as the core's fetchInto sees it.
+func BenchmarkHierarchyData(b *testing.B) {
+	h := NewHierarchy(DefaultHierarchyConfig(), nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		h.Data(0x2000_0000+uint64(n*64)%(1<<22), n&3 == 0, n&1, uint64(n))
+	}
+}

@@ -123,6 +123,21 @@ func (c *Cache) Stats() Stats { return c.stats }
 // cold-start run for the same reason).
 func (c *Cache) ResetStats() { c.stats = Stats{} }
 
+// Reset returns the cache to its just-built state — contents, LRU clock
+// and statistics — while keeping the line arrays allocated. Unlike
+// Flush it also zeroes each line's LRU stamp: victim selection consults
+// the stamps of lines it is about to fill over, so stale values would
+// steer fills differently than on a fresh cache.
+func (c *Cache) Reset() {
+	for _, set := range c.sets {
+		for i := range set {
+			set[i] = line{}
+		}
+	}
+	c.tick = 0
+	c.stats = Stats{}
+}
+
 // Flush invalidates every line (used on simulated process teardown).
 func (c *Cache) Flush() {
 	for _, set := range c.sets {

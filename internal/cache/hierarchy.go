@@ -34,6 +34,10 @@ type Hierarchy struct {
 	L1D *Cache
 	L2  *Cache
 	mem Memory
+	// l1Hit/l2Hit are the hit latencies hoisted out of the per-access
+	// path (Config() returns the geometry struct by value, which is too
+	// expensive to copy on every load and store).
+	l1Hit, l2Hit int
 }
 
 // NewHierarchy builds the hierarchy; mem may be nil, in which case a flat
@@ -42,20 +46,22 @@ func NewHierarchy(cfg HierarchyConfig, mem Memory) *Hierarchy {
 	if mem == nil {
 		mem = flatMemory(200)
 	}
-	return &Hierarchy{L1D: New(cfg.L1D), L2: New(cfg.L2), mem: mem}
+	return &Hierarchy{
+		L1D: New(cfg.L1D), L2: New(cfg.L2), mem: mem,
+		l1Hit: cfg.L1D.HitLatency, l2Hit: cfg.L2.HitLatency,
+	}
 }
 
 // Data performs a load or store by logical processor ctx at cycle now and
 // returns the total access latency in cycles.
 func (h *Hierarchy) Data(addr uint64, write bool, ctx int, now uint64) int {
 	if h.L1D.Access(addr, ctx) {
-		return h.L1D.Config().HitLatency
+		return h.l1Hit
 	}
-	lat := h.L1D.Config().HitLatency
 	if h.L2.Access(addr, ctx) {
-		return lat + h.L2.Config().HitLatency
+		return h.l1Hit + h.l2Hit
 	}
-	return lat + h.L2.Config().HitLatency + h.mem.Access(addr, write, now)
+	return h.l1Hit + h.l2Hit + h.mem.Access(addr, write, now)
 }
 
 // Fill performs an instruction-side refill (after a trace-cache miss) and
@@ -64,9 +70,16 @@ func (h *Hierarchy) Data(addr uint64, write bool, ctx int, now uint64) int {
 // contends with data in the unified L2, as on the real machine.
 func (h *Hierarchy) Fill(pc uint64, ctx int, now uint64) int {
 	if h.L2.Access(pc, ctx) {
-		return h.L2.Config().HitLatency
+		return h.l2Hit
 	}
-	return h.L2.Config().HitLatency + h.mem.Access(pc, false, now)
+	return h.l2Hit + h.mem.Access(pc, false, now)
+}
+
+// Reset restores both levels to their just-built state (contents and
+// statistics), reusing the line arrays.
+func (h *Hierarchy) Reset() {
+	h.L1D.Reset()
+	h.L2.Reset()
 }
 
 // ResetStats clears statistics on both cache levels.

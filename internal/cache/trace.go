@@ -86,5 +86,9 @@ func (t *TraceCache) ResetStats() { t.inner.ResetStats() }
 // Flush invalidates the whole trace cache.
 func (t *TraceCache) Flush() { t.inner.Flush() }
 
+// Reset restores the trace cache to its just-built state (contents and
+// statistics), reusing the line array.
+func (t *TraceCache) Reset() { t.inner.Reset() }
+
 // FlushThread invalidates context ctx's private trace lines.
 func (t *TraceCache) FlushThread(ctx int) { t.inner.FlushThread(ctx) }

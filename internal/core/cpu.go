@@ -93,8 +93,10 @@ type context struct {
 	blockedUntil uint64
 
 	// Trace-line tracking: a TC lookup happens only when fetch crosses
-	// into a new trace line.
-	curLine  uint64
+	// into a new trace line. lineBase is the first µop PC of the current
+	// line, so the crossing test is a subtract-and-compare instead of a
+	// divide per µop (trace lines hold 6 µops — not a power of two).
+	lineBase uint64
 	haveLine bool
 
 	// ROB ring buffer.
@@ -129,6 +131,16 @@ type CPU struct {
 	now  uint64
 	ctxs []*context
 	cal  *calendar
+
+	// Hot-path constants hoisted out of the per-µop allocate loop: the
+	// partition caps and trace-line geometry never change during a run.
+	robCapV, loadCapV, storeCapV int
+	dynPart                      bool
+	tcLineUops                   uint64
+
+	// Occupancy totals across contexts, maintained incrementally at
+	// allocate/retire so dynamic partitioning needs no per-µop scan.
+	totRob, totLoads, totStores int
 
 	// decodeBusyUntil models the single shared x86 decode pipeline that
 	// rebuilds traces after a trace-cache miss: while it is busy, the
@@ -170,7 +182,39 @@ func New(cfg Config) *CPU {
 			rob: make([]robEntry, cfg.Params.ROBSize+1),
 		})
 	}
+	c.robCapV = c.robCap()
+	c.loadCapV = c.loadCap()
+	c.storeCapV = c.storeCap()
+	c.dynPart = cfg.Partition == DynamicPartition
+	c.tcLineUops = uint64(cfg.TC.LineUops)
 	return c
+}
+
+// Reset returns the CPU to its just-built state while reusing every
+// large allocation: the calendar rings, ROB rings, fetch buffers, cache
+// and predictor arrays, and TLB entries. A reset CPU behaves
+// bit-identically to a fresh New(cfg) — all cache/TLB/predictor
+// contents, DRAM row and bus state, counters and pipeline state are
+// cleared. Feeds are detached; reattach with AttachFeed.
+func (c *CPU) Reset() {
+	c.now = 0
+	c.decodeBusyUntil = 0
+	c.totRob, c.totLoads, c.totStores = 0, 0, 0
+	for i := range c.cal.cycle {
+		c.cal.cycle[i] = 0
+		c.cal.count[i] = 0
+	}
+	for _, x := range c.ctxs {
+		buf, rob := x.buf, x.rob
+		*x = context{buf: buf, rob: rob}
+	}
+	c.tc.Reset()
+	c.hier.Reset()
+	c.itlb.Reset()
+	c.dtlb.Reset()
+	c.pred.Reset()
+	c.dram.Reset()
+	c.file.Reset()
 }
 
 // AttachFeed binds a µop feed to logical processor ctx.
@@ -210,16 +254,6 @@ func (c *CPU) storeCap() int {
 	return c.cfg.Params.StoreBufs
 }
 
-// sharedRoom reports whether a dynamic-partition allocation may proceed
-// given total occupancy across contexts.
-func (c *CPU) sharedRoom(pick func(*context) int, limit int) bool {
-	total := 0
-	for _, x := range c.ctxs {
-		total += pick(x)
-	}
-	return total < limit
-}
-
 // active reports whether context i has present or imminent work.
 func (c *CPU) active(i int) bool {
 	x := c.ctxs[i]
@@ -241,16 +275,23 @@ func (c *CPU) ctxDone(i int) bool {
 // Step advances the machine one cycle. It returns false once every feed
 // is done and all pipelines have drained.
 func (c *CPU) Step() bool {
+	// One pass over the contexts computes done/active/kernel state; the
+	// activity flags are reused by the front end below so each feed's
+	// Runnable/Done is consulted at most once per cycle.
+	var act [2]bool
 	allDone := true
-	anyActive := false
 	nActive := 0
+	osCycle := false
 	for i := range c.ctxs {
 		if !c.ctxDone(i) {
 			allDone = false
 		}
 		if c.active(i) {
-			anyActive = true
+			act[i] = true
 			nActive++
+			if c.ctxs[i].inKernel {
+				osCycle = true
+			}
 		}
 	}
 	if allDone {
@@ -258,7 +299,7 @@ func (c *CPU) Step() bool {
 	}
 
 	c.file.Inc(counters.Cycles)
-	if !anyActive {
+	if nActive == 0 {
 		// Every thread is blocked; time must still pass for the
 		// unblocker (a timer, another context) — but with no timers
 		// in the model a fully-blocked machine cannot recover.
@@ -269,17 +310,11 @@ func (c *CPU) Step() bool {
 	if c.cfg.HT && nActive == 2 {
 		c.file.Inc(counters.CyclesDT)
 	}
-	osCycle := false
-	for i := range c.ctxs {
-		if c.active(i) && c.ctxs[i].inKernel {
-			osCycle = true
-		}
-	}
 	if osCycle {
 		c.file.Inc(counters.CyclesOS)
 	}
 
-	c.fetchAllocate(nActive)
+	c.fetchAllocate(nActive, &act)
 	c.retire()
 
 	c.now++
@@ -290,23 +325,23 @@ func (c *CPU) Step() bool {
 // to serve (alternating under HT), pull µops from its feed and allocate
 // them into the back end, consulting the trace cache, ITLB, predictor and
 // data hierarchy along the way.
-func (c *CPU) fetchAllocate(nActive int) {
+func (c *CPU) fetchAllocate(nActive int, act *[2]bool) {
 	serve := -1
 	if c.cfg.HT && nActive == 2 {
 		// The P4 front end alternates between logical processors each
 		// cycle; if the preferred one is stalled the slot goes to the
 		// other — SMT's latency hiding in one line.
 		pref := int(c.now & 1)
-		if c.canFetch(pref) {
+		if c.canFetch(pref, act) {
 			serve = pref
-		} else if c.canFetch(1 - pref) {
+		} else if c.canFetch(1-pref, act) {
 			serve = 1 - pref
 		} else {
 			serve = pref // blocked; still charge its stall accounting
 		}
 	} else {
 		for i := range c.ctxs {
-			if c.active(i) {
+			if act[i] {
 				serve = i
 				break
 			}
@@ -323,9 +358,9 @@ func (c *CPU) fetchAllocate(nActive int) {
 // canFetch reports whether context i could deliver at least one µop this
 // cycle (active, not front-end blocked, decoder free, with buffered or
 // producible work).
-func (c *CPU) canFetch(i int) bool {
+func (c *CPU) canFetch(i int, act *[2]bool) bool {
 	x := c.ctxs[i]
-	if !c.active(i) || x.blockedUntil > c.now || x.drainFence || c.decodeBusyUntil > c.now {
+	if !act[i] || x.blockedUntil > c.now || x.drainFence || c.decodeBusyUntil > c.now {
 		return false
 	}
 	return true
@@ -359,44 +394,47 @@ func (c *CPU) fetchInto(i int) int {
 		}
 		u := &x.buf[x.bufPos]
 
-		// Back-end space checks.
-		if c.cfg.Partition == DynamicPartition {
-			if !c.sharedRoom(func(y *context) int { return y.robCount }, p.ROBSize) {
+		// Back-end space checks, against the incrementally-maintained
+		// totals under dynamic partitioning and the hoisted per-context
+		// caps under static.
+		if c.dynPart {
+			if c.totRob >= p.ROBSize {
 				c.file.Inc(counters.ROBStallCycles)
 				break
 			}
-		} else if x.robCount >= c.robCap() {
+		} else if x.robCount >= c.robCapV {
 			c.file.Inc(counters.ROBStallCycles)
 			break
 		}
 		if u.Class == isa.Load {
-			if c.cfg.Partition == DynamicPartition {
-				if !c.sharedRoom(func(y *context) int { return y.loadsOut }, p.LoadBufs) {
+			if c.dynPart {
+				if c.totLoads >= p.LoadBufs {
 					c.file.Inc(counters.LSQStallCycles)
 					break
 				}
-			} else if x.loadsOut >= c.loadCap() {
+			} else if x.loadsOut >= c.loadCapV {
 				c.file.Inc(counters.LSQStallCycles)
 				break
 			}
 		}
 		if u.Class == isa.Store {
-			if c.cfg.Partition == DynamicPartition {
-				if !c.sharedRoom(func(y *context) int { return y.storesOut }, p.StoreBufs) {
+			if c.dynPart {
+				if c.totStores >= p.StoreBufs {
 					c.file.Inc(counters.LSQStallCycles)
 					break
 				}
-			} else if x.storesOut >= c.storeCap() {
+			} else if x.storesOut >= c.storeCapV {
 				c.file.Inc(counters.LSQStallCycles)
 				break
 			}
 		}
 
-		// Trace-cache lookup on line crossings.
-		line := u.PC / uint64(c.cfg.TC.LineUops)
-		if !x.haveLine || line != x.curLine {
+		// Trace-cache lookup on line crossings. The window test avoids
+		// the µop-index division except when fetch actually leaves the
+		// current line (backward jumps underflow and also trigger it).
+		if !x.haveLine || u.PC-x.lineBase >= c.tcLineUops {
 			hit, lat := c.tc.Lookup(u.PC, i)
-			x.curLine, x.haveLine = line, true
+			x.lineBase, x.haveLine = u.PC-u.PC%c.tcLineUops, true
 			if !hit {
 				// Rebuild the trace from the unified L2 via the
 				// ITLB — the paper: "ITLB is responsible for
@@ -450,8 +488,10 @@ func (c *CPU) fetchInto(i int) int {
 			lat += c.hier.Data(u.Addr, u.Class == isa.Store, i, c.now)
 			if u.Class == isa.Load {
 				x.loadsOut++
+				c.totLoads++
 			} else {
 				x.storesOut++
+				c.totStores++
 			}
 		case isa.Syscall:
 			lat = p.SyscallLatency
@@ -469,6 +509,7 @@ func (c *CPU) fetchInto(i int) int {
 			x.drainFence = true
 		}
 		x.robPush(robEntry{done: done, kernel: u.Kernel || kernelEntry, load: u.Class == isa.Load, store: u.Class == isa.Store})
+		c.totRob++
 		x.deps[x.depIdx&depMask] = done
 		x.depIdx++
 		x.lastAlloc = done
@@ -509,10 +550,11 @@ func (c *CPU) retire() {
 			serve = 1
 		}
 	}
+	osRetired := 0
 	for k := 0; k < serve && budget > 0; k++ {
 		x := c.ctxs[(first+k)%len(c.ctxs)]
 		for budget > 0 && x.robCount > 0 && x.rob[x.robHead].done <= c.now {
-			e := x.rob[x.robHead]
+			e := &x.rob[x.robHead]
 			x.robHead++
 			if x.robHead == len(x.rob) {
 				x.robHead = 0
@@ -520,18 +562,22 @@ func (c *CPU) retire() {
 			x.robCount--
 			if e.load {
 				x.loadsOut--
+				c.totLoads--
 			}
 			if e.store {
 				x.storesOut--
+				c.totStores--
 			}
-			c.file.Inc(counters.Instructions)
 			if e.kernel {
-				c.file.Inc(counters.InstructionsOS)
+				osRetired++
 			}
 			budget--
 			retired++
 		}
 	}
+	c.totRob -= retired
+	c.file.Add(counters.Instructions, uint64(retired))
+	c.file.Add(counters.InstructionsOS, uint64(osRetired))
 	switch retired {
 	case 0:
 		c.file.Inc(counters.Retire0)

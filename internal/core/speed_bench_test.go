@@ -6,7 +6,7 @@ import (
 	"javasmt/internal/isa"
 )
 
-func BenchmarkSimSpeed(b *testing.B) {
+func benchUops() []isa.Uop {
 	uops := make([]isa.Uop, 1_000_000)
 	for i := range uops {
 		c := isa.ALU
@@ -18,9 +18,35 @@ func BenchmarkSimSpeed(b *testing.B) {
 		}
 		uops[i] = isa.Uop{PC: uint64(i % 3000), Class: c, Addr: 0x2000_0000 + uint64(i*64)%(1<<21), DepDist: uint8(i % 3), Taken: i%3 == 0, Target: 5}
 	}
+	return uops
+}
+
+// BenchmarkSimSpeed measures the cycle loop end to end, building a fresh
+// machine per run — the shape of the serial harness path.
+func BenchmarkSimSpeed(b *testing.B) {
+	uops := benchUops()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for n := 0; n < b.N; n++ {
 		cpu := New(DefaultConfig(true))
+		cpu.AttachFeed(0, &feed{src: &isa.SliceSource{Uops: uops}})
+		cpu.AttachFeed(1, &feed{src: &isa.SliceSource{Uops: uops}})
+		cpu.Run(0)
+	}
+	b.SetBytes(2_000_000)
+}
+
+// BenchmarkSimSpeedReset measures the same workload on a pooled machine
+// reused via Reset — the shape of the parallel pairing engine's hot
+// path. The delta in allocs/op against BenchmarkSimSpeed is the setup
+// cost the pool amortises away.
+func BenchmarkSimSpeedReset(b *testing.B) {
+	uops := benchUops()
+	cpu := New(DefaultConfig(true))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		cpu.Reset()
 		cpu.AttachFeed(0, &feed{src: &isa.SliceSource{Uops: uops}})
 		cpu.AttachFeed(1, &feed{src: &isa.SliceSource{Uops: uops}})
 		cpu.Run(0)

@@ -7,10 +7,12 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"javasmt/internal/bench"
 	"javasmt/internal/core"
 	"javasmt/internal/counters"
+	"javasmt/internal/sched"
 	"javasmt/internal/stats"
 )
 
@@ -29,24 +31,37 @@ type Characterization struct {
 	Runs  []CharRun
 }
 
-// RunCharacterization executes the §4.1 run matrix.
-func RunCharacterization(scale bench.Scale, progress func(string)) (*Characterization, error) {
-	c := &Characterization{Scale: scale}
+// RunCharacterization executes the §4.1 run matrix, fanning the
+// independent cells across up to `jobs` workers (0 = one per CPU,
+// 1 = serial). Cell order in the result is fixed regardless of jobs.
+func RunCharacterization(scale bench.Scale, jobs int, progress func(string)) (*Characterization, error) {
+	type cell struct {
+		b       *bench.Benchmark
+		threads int
+		ht      bool
+	}
+	var cells []cell
 	for _, b := range bench.Multithreaded() {
 		for _, threads := range []int{2, 8} {
 			for _, ht := range []bool{false, true} {
-				if progress != nil {
-					progress(fmt.Sprintf("%s threads=%d ht=%v", b.Name, threads, ht))
-				}
-				res, err := Run(b, Options{HT: ht, Threads: threads, Scale: scale, Verify: true})
-				if err != nil {
-					return nil, err
-				}
-				c.Runs = append(c.Runs, CharRun{Benchmark: b.Name, Threads: threads, HT: ht, Result: res})
+				cells = append(cells, cell{b, threads, ht})
 			}
 		}
 	}
-	return c, nil
+	report := sched.Progress(progress)
+	runs, err := sched.Map(len(cells), jobs, func(i int) (CharRun, error) {
+		cl := cells[i]
+		report(fmt.Sprintf("%s threads=%d ht=%v", cl.b.Name, cl.threads, cl.ht))
+		res, err := Run(cl.b, Options{HT: cl.ht, Threads: cl.threads, Scale: scale, Verify: true})
+		if err != nil {
+			return CharRun{}, err
+		}
+		return CharRun{Benchmark: cl.b.Name, Threads: cl.threads, HT: cl.ht, Result: res}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Characterization{Scale: scale, Runs: runs}, nil
 }
 
 // find returns the run for (name, threads, ht).
@@ -186,9 +201,16 @@ type Pairings struct {
 
 // RunPairings executes the cross product of the nine single-threaded
 // programs (§4.2). Pairs are measured in both (A,B) and (B,A) roles —
-// the full 81-cell map, like the paper's Figure 9.
+// the full 81-cell map, like the paper's Figure 9. opts.Jobs pairings
+// run concurrently (each on its own machine); the result matrix is
+// byte-identical at every job count.
 func RunPairings(opts PairOptions, progress func(string)) (*Pairings, error) {
-	progs := bench.SingleThreaded()
+	return runPairingsOf(bench.SingleThreaded(), opts, progress)
+}
+
+// runPairingsOf is RunPairings over an explicit program list (tests use
+// reduced lists to keep the determinism check fast).
+func runPairingsOf(progs []*bench.Benchmark, opts PairOptions, progress func(string)) (*Pairings, error) {
 	p := &Pairings{}
 	for _, b := range progs {
 		p.Names = append(p.Names, b.Name)
@@ -200,27 +222,47 @@ func RunPairings(opts PairOptions, progress func(string)) (*Pairings, error) {
 		p.Combined[i] = make([]float64, n)
 		p.Results[i] = make([]*PairResult, n)
 	}
+	type pairJob struct{ i, j int }
+	var jobs []pairJob
 	for i := 0; i < n; i++ {
 		for j := i; j < n; j++ {
-			if progress != nil {
-				progress(fmt.Sprintf("pair %s + %s", progs[i].Name, progs[j].Name))
-			}
-			res, err := RunPair(progs[i], progs[j], opts)
-			if err != nil {
-				return nil, err
-			}
-			p.Results[i][j] = res
-			p.Combined[i][j] = res.CombinedSpeedup()
-			if i != j {
-				// The (j,i) cell is the same co-schedule observed from
-				// the other program's seat; the simulator is
-				// deterministic, so the mirrored cell is measured
-				// from the same run (the paper's near-perfect
-				// reflective symmetry, which it attributes to fair
-				// OS scheduling).
-				p.Results[j][i] = res
-				p.Combined[j][i] = res.CombinedSpeedup()
-			}
+			jobs = append(jobs, pairJob{i, j})
+		}
+	}
+	report := sched.Progress(progress)
+	// Workers draw reusable machines from a pool: a Reset CPU behaves
+	// bit-identically to a fresh one (asserted by the determinism test)
+	// but keeps its calendar rings, ROB rings and cache arrays.
+	pool := sync.Pool{New: func() any { return core.New(pairCPUConfig()) }}
+	results, err := sched.Map(len(jobs), opts.Jobs, func(idx int) (*PairResult, error) {
+		a, b := progs[jobs[idx].i], progs[jobs[idx].j]
+		report(fmt.Sprintf("pair %s + %s: start", a.Name, b.Name))
+		cpu := pool.Get().(*core.CPU)
+		cpu.Reset()
+		res, err := runPairOn(cpu, a, b, opts)
+		pool.Put(cpu)
+		if err != nil {
+			return nil, err
+		}
+		report(fmt.Sprintf("pair %s + %s: done C_AB=%.3f", a.Name, b.Name, res.CombinedSpeedup()))
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for idx, res := range results {
+		i, j := jobs[idx].i, jobs[idx].j
+		p.Results[i][j] = res
+		p.Combined[i][j] = res.CombinedSpeedup()
+		if i != j {
+			// The (j,i) cell is the same co-schedule observed from
+			// the other program's seat; the simulator is
+			// deterministic, so the mirrored cell is measured
+			// from the same run (the paper's near-perfect
+			// reflective symmetry, which it attributes to fair
+			// OS scheduling).
+			p.Results[j][i] = res
+			p.Combined[j][i] = res.CombinedSpeedup()
 		}
 	}
 	return p, nil
@@ -326,28 +368,28 @@ func (r Fig10Row) DynSlowdownPct() float64 {
 }
 
 // RunFig10 measures the static-partition tax on each single-threaded
-// program (paper §4.3), plus the dynamic-partition ablation.
-func RunFig10(scale bench.Scale, progress func(string)) ([]Fig10Row, error) {
-	var rows []Fig10Row
-	for _, b := range bench.SingleThreaded() {
-		if progress != nil {
-			progress(b.Name)
-		}
+// program (paper §4.3), plus the dynamic-partition ablation, fanning
+// the per-benchmark measurements across up to `jobs` workers.
+func RunFig10(scale bench.Scale, jobs int, progress func(string)) ([]Fig10Row, error) {
+	progs := bench.SingleThreaded()
+	report := sched.Progress(progress)
+	return sched.Map(len(progs), jobs, func(i int) (Fig10Row, error) {
+		b := progs[i]
+		report(b.Name)
 		off, err := Run(b, Options{Threads: 1, Scale: scale, Verify: true})
 		if err != nil {
-			return nil, err
+			return Fig10Row{}, err
 		}
 		on, err := Run(b, Options{HT: true, Threads: 1, Scale: scale})
 		if err != nil {
-			return nil, err
+			return Fig10Row{}, err
 		}
 		dyn, err := Run(b, Options{HT: true, Threads: 1, Scale: scale, Partition: core.DynamicPartition})
 		if err != nil {
-			return nil, err
+			return Fig10Row{}, err
 		}
-		rows = append(rows, Fig10Row{Benchmark: b.Name, CyclesOff: off.Cycles, CyclesOn: on.Cycles, CyclesDyn: dyn.Cycles})
-	}
-	return rows, nil
+		return Fig10Row{Benchmark: b.Name, CyclesOff: off.Cycles, CyclesOn: on.Cycles, CyclesDyn: dyn.Cycles}, nil
+	})
 }
 
 // RenderFig10 formats the Figure 10 rows.
@@ -375,26 +417,33 @@ type Fig12Row struct {
 	L1DPerK   float64
 }
 
-// RunFig12 sweeps thread counts on the HT processor (paper §4.4).
-func RunFig12(scale bench.Scale, threadCounts []int, progress func(string)) ([]Fig12Row, error) {
-	var rows []Fig12Row
+// RunFig12 sweeps thread counts on the HT processor (paper §4.4),
+// fanning the sweep grid across up to `jobs` workers.
+func RunFig12(scale bench.Scale, threadCounts []int, jobs int, progress func(string)) ([]Fig12Row, error) {
+	type point struct {
+		b       *bench.Benchmark
+		threads int
+	}
+	var grid []point
 	for _, b := range bench.Multithreaded() {
 		for _, t := range threadCounts {
-			if progress != nil {
-				progress(fmt.Sprintf("%s threads=%d", b.Name, t))
-			}
-			res, err := Run(b, Options{HT: true, Threads: t, Scale: scale, Verify: true})
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, Fig12Row{
-				Benchmark: b.Name, Threads: t,
-				IPC:     res.Counters.IPC(),
-				L1DPerK: res.Counters.PerKiloInstr(counters.L1DMisses),
-			})
+			grid = append(grid, point{b, t})
 		}
 	}
-	return rows, nil
+	report := sched.Progress(progress)
+	return sched.Map(len(grid), jobs, func(i int) (Fig12Row, error) {
+		pt := grid[i]
+		report(fmt.Sprintf("%s threads=%d", pt.b.Name, pt.threads))
+		res, err := Run(pt.b, Options{HT: true, Threads: pt.threads, Scale: scale, Verify: true})
+		if err != nil {
+			return Fig12Row{}, err
+		}
+		return Fig12Row{
+			Benchmark: pt.b.Name, Threads: pt.threads,
+			IPC:     res.Counters.IPC(),
+			L1DPerK: res.Counters.PerKiloInstr(counters.L1DMisses),
+		}, nil
+	})
 }
 
 // RenderFig12 formats the thread sweep.

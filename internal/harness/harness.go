@@ -5,8 +5,11 @@ package harness
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"javasmt/internal/bench"
+	"javasmt/internal/bytecode"
 	"javasmt/internal/core"
 	"javasmt/internal/counters"
 	"javasmt/internal/jvm"
@@ -158,6 +161,12 @@ type repeatingFeeder struct {
 	k     *simos.Kernel
 	cpu   *core.CPU
 
+	// prog is built once on the first launch and reused for every
+	// relaunch: a linked program is immutable during execution (all
+	// mutable state lives in the VM), and rebuilding it dominated the
+	// per-relaunch cost.
+	prog *bytecode.Program
+
 	lastStart   uint64
 	completions []uint64
 	maxRuns     int
@@ -179,8 +188,10 @@ func (rf *repeatingFeeder) partnerDone() bool {
 // quota until the partner finishes, so neither program's measured runs
 // include solo execution.
 func (rf *repeatingFeeder) launch() {
-	prog := rf.b.Build(1, rf.scale, uint64(1+rf.slot)<<26)
-	vm := jvm.New(prog, rf.k, vmConfig(rf.scale, rf.slot))
+	if rf.prog == nil {
+		rf.prog = rf.b.Build(1, rf.scale, uint64(1+rf.slot)<<26)
+	}
+	vm := jvm.New(rf.prog, rf.k, vmConfig(rf.scale, rf.slot))
 	rf.lastStart = rf.cpu.Now()
 	main := vm.Start()
 	jvm.OnExit(main, func() {
@@ -202,25 +213,63 @@ type PairOptions struct {
 	Runs int
 	// MaxCycles bounds the whole experiment.
 	MaxCycles uint64
+	// Jobs bounds how many pairings RunPairings simulates concurrently:
+	// 0 or negative means one worker per CPU, 1 runs serially. Each
+	// simulation owns its whole machine, so results are byte-identical
+	// at any job count.
+	Jobs int
 }
 
-// DefaultPairOptions returns the default pairing protocol settings.
+// DefaultPairOptions returns the default pairing protocol settings
+// (serial execution; set Jobs to parallelize the cross product).
 func DefaultPairOptions() PairOptions {
-	return PairOptions{Scale: bench.Tiny, Runs: 6, MaxCycles: 2_000_000_000}
+	return PairOptions{Scale: bench.Tiny, Runs: 6, MaxCycles: 2_000_000_000, Jobs: 1}
 }
 
-// soloCache caches HT-off solo times per (benchmark, scale, runs).
-var soloCache = map[string]float64{}
+// soloEntry is one singleflight-guarded solo-time computation: the
+// first caller simulates inside the Once, every concurrent or later
+// caller waits on it and shares the result.
+type soloEntry struct {
+	once sync.Once
+	val  float64
+	err  error
+}
+
+// soloCache caches HT-off solo times per (benchmark, scale, runs). The
+// map itself is guarded by soloMu; each entry's computation is guarded
+// by its Once, so two pairings needing the same solo time never
+// simulate it twice and never race.
+var (
+	soloMu    sync.Mutex
+	soloCache = map[string]*soloEntry{}
+	// soloSims counts actual solo simulations (not cache hits); tests
+	// use it to assert the singleflight property.
+	soloSims atomic.Uint64
+)
 
 // SoloTime returns the benchmark's HT-off execution time in cycles,
 // measured with the same relaunch-and-average protocol as the paired
 // runs (so cold-start effects cancel out of the speedup ratios, as they
-// do in the paper's long-running measurements), and cached across calls.
+// do in the paper's long-running measurements), and cached across
+// calls. It is safe for concurrent use: the first caller for a given
+// (benchmark, scale, runs) key simulates, everyone else shares the
+// cached result (including a cached error).
 func SoloTime(b *bench.Benchmark, scale bench.Scale, runs int) (float64, error) {
 	key := fmt.Sprintf("%s/%v/%d", b.Name, scale, runs)
-	if v, ok := soloCache[key]; ok {
-		return v, nil
+	soloMu.Lock()
+	e := soloCache[key]
+	if e == nil {
+		e = &soloEntry{}
+		soloCache[key] = e
 	}
+	soloMu.Unlock()
+	e.once.Do(func() { e.val, e.err = measureSolo(b, scale, runs) })
+	return e.val, e.err
+}
+
+// measureSolo runs the relaunch-and-average solo measurement itself.
+func measureSolo(b *bench.Benchmark, scale bench.Scale, runs int) (float64, error) {
+	soloSims.Add(1)
 	cpu := core.New(cpuConfig(Options{}))
 	k := simos.NewKernel(cpu, simos.DefaultParams())
 	rf := &repeatingFeeder{b: b, scale: scale, slot: 0, k: k, cpu: cpu, maxRuns: runs + 2}
@@ -238,7 +287,6 @@ func SoloTime(b *bench.Benchmark, scale bench.Scale, runs int) (float64, error) 
 	if kept == 0 {
 		return 0, fmt.Errorf("harness: solo %s completed no measurable runs", b.Name)
 	}
-	soloCache[key] = v
 	return v, nil
 }
 
@@ -261,6 +309,16 @@ func avgDroppingEnds(times []uint64) (float64, int) {
 // opts.Runs runs, the first and last runs are dropped, and the remaining
 // completion times are averaged.
 func RunPair(a, b *bench.Benchmark, opts PairOptions) (*PairResult, error) {
+	return runPairOn(core.New(pairCPUConfig()), a, b, opts)
+}
+
+// pairCPUConfig is the processor configuration every pairing runs under.
+func pairCPUConfig() core.Config { return cpuConfig(Options{HT: true}) }
+
+// runPairOn is RunPair on a caller-supplied CPU, which must be freshly
+// built (or Reset) with pairCPUConfig. The parallel engine uses it to
+// reuse one machine's allocations across a worker's successive pairs.
+func runPairOn(cpu *core.CPU, a, b *bench.Benchmark, opts PairOptions) (*PairResult, error) {
 	soloA, err := SoloTime(a, opts.Scale, opts.Runs)
 	if err != nil {
 		return nil, err
@@ -270,7 +328,6 @@ func RunPair(a, b *bench.Benchmark, opts PairOptions) (*PairResult, error) {
 		return nil, err
 	}
 
-	cpu := core.New(cpuConfig(Options{HT: true}))
 	k := simos.NewKernel(cpu, simos.DefaultParams())
 	// +2: the first (cold) and last (possibly truncated) runs are
 	// dropped, as in the paper.

@@ -69,6 +69,18 @@ func (d *DRAM) Stats() Stats { return d.stats }
 // ResetStats zeroes statistics, preserving open-row state.
 func (d *DRAM) ResetStats() { d.stats = Stats{} }
 
+// Reset returns the DRAM model to its just-built state: banks closed,
+// bus idle, statistics zeroed. Required before reusing a machine whose
+// cycle clock restarts at zero (busFree is an absolute cycle number).
+func (d *DRAM) Reset() {
+	for i := range d.openRow {
+		d.openRow[i] = 0
+		d.hasRow[i] = false
+	}
+	d.busFree = 0
+	d.stats = Stats{}
+}
+
 // Access services a 64-byte fill at core-cycle now and returns its total
 // latency in core cycles, including any FSB queueing delay.
 func (d *DRAM) Access(addr uint64, write bool, now uint64) int {

@@ -1,0 +1,118 @@
+// Package sched is the parallel experiment engine: a bounded worker
+// pool that fans independent simulations out across OS threads while
+// keeping results in submission order.
+//
+// Every simulation in this repository is a single deterministic
+// goroutine that owns its whole machine (CPU, kernel, VM), so
+// experiments parallelize with no shared state beyond the harness's
+// solo-time cache (which is singleflight-guarded). The pool guarantees:
+//
+//  1. results come back in job-index order, so figure tables built from
+//     them are byte-identical to a serial run;
+//  2. at most `workers` jobs execute at once (bounded concurrency);
+//  3. after the first failure no new job starts, in-flight jobs drain,
+//     and the error from the lowest-indexed failed job is reported.
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers is the worker count substituted when a caller passes
+// workers <= 0: one worker per available logical CPU.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Map runs fn(0) .. fn(n-1) on up to `workers` goroutines and returns
+// the n results in index order. workers <= 0 means DefaultWorkers();
+// workers == 1 (or n < 2) runs serially on the calling goroutine with
+// no synchronization overhead — the reference ordering the parallel
+// path must reproduce exactly.
+func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	var (
+		next atomic.Int64 // next job index to dispatch
+		mu   sync.Mutex   // guards errIdx/firstErr
+		wg   sync.WaitGroup
+	)
+	errIdx := n // lowest failed index so far; n = none
+	var firstErr error
+	failed := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return errIdx < n
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed() {
+					return
+				}
+				v, err := fn(i)
+				if err != nil {
+					mu.Lock()
+					if i < errIdx {
+						errIdx, firstErr = i, err
+					}
+					mu.Unlock()
+					return
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	if errIdx < n {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// ForEach is Map for jobs with no result value.
+func ForEach(n, workers int, fn func(i int) error) error {
+	_, err := Map(n, workers, func(i int) (struct{}, error) {
+		return struct{}{}, fn(i)
+	})
+	return err
+}
+
+// Progress wraps a progress callback so concurrent workers may call it
+// without interleaving partial lines; a nil callback yields a no-op.
+// Callers should make each message self-describing (e.g. prefixed with
+// the experiment name) since messages from different workers interleave
+// at line granularity.
+func Progress(f func(string)) func(string) {
+	if f == nil {
+		return func(string) {}
+	}
+	var mu sync.Mutex
+	return func(msg string) {
+		mu.Lock()
+		defer mu.Unlock()
+		f(msg)
+	}
+}

@@ -1,0 +1,160 @@
+package sched
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapOrderPreserved(t *testing.T) {
+	const n = 100
+	for _, workers := range []int{1, 2, 4, 16} {
+		out, err := Map(n, workers, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(out) != n {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(out), n)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapMatchesSerial(t *testing.T) {
+	// The parallel path must produce exactly what the serial path does.
+	fn := func(i int) (string, error) { return string(rune('a' + i%26)), nil }
+	serial, _ := Map(64, 1, fn)
+	parallel, err := Map(64, 8, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("divergence at %d: %q vs %q", i, serial[i], parallel[i])
+		}
+	}
+}
+
+func TestMapBoundedConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int64
+	_, err := Map(24, workers, func(i int) (struct{}, error) {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		cur.Add(-1)
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("peak concurrency %d exceeds worker bound %d", p, workers)
+	}
+}
+
+func TestMapCancelsOnError(t *testing.T) {
+	boom := errors.New("boom")
+	var started atomic.Int64
+	_, err := Map(1000, 2, func(i int) (int, error) {
+		started.Add(1)
+		if i == 3 {
+			return 0, boom
+		}
+		time.Sleep(time.Millisecond)
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if s := started.Load(); s > 100 {
+		t.Fatalf("%d jobs started after failure; pool did not cancel", s)
+	}
+}
+
+func TestMapReportsLowestIndexedError(t *testing.T) {
+	// Serial path: deterministic first error.
+	errA, errB := errors.New("a"), errors.New("b")
+	_, err := Map(10, 1, func(i int) (int, error) {
+		switch i {
+		case 2:
+			return 0, errA
+		case 5:
+			return 0, errB
+		}
+		return i, nil
+	})
+	if !errors.Is(err, errA) {
+		t.Fatalf("serial err = %v, want %v", err, errA)
+	}
+	// Parallel path: when several jobs fail, the lowest index wins among
+	// those that ran. Force both to fail by gating on a barrier.
+	var gate sync.WaitGroup
+	gate.Add(2)
+	_, err = Map(2, 2, func(i int) (int, error) {
+		gate.Done()
+		gate.Wait() // both jobs fail "simultaneously"
+		if i == 0 {
+			return 0, errA
+		}
+		return 0, errB
+	})
+	if !errors.Is(err, errA) {
+		t.Fatalf("parallel err = %v, want %v (lowest index)", err, errA)
+	}
+}
+
+func TestMapEmptyAndSmall(t *testing.T) {
+	out, err := Map(0, 8, func(i int) (int, error) { t.Fatal("called"); return 0, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty map: %v %v", out, err)
+	}
+	out, err = Map(1, 8, func(i int) (int, error) { return 7, nil })
+	if err != nil || len(out) != 1 || out[0] != 7 {
+		t.Fatalf("single map: %v %v", out, err)
+	}
+}
+
+func TestForEach(t *testing.T) {
+	var sum atomic.Int64
+	if err := ForEach(10, 4, func(i int) error {
+		sum.Add(int64(i))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 45 {
+		t.Fatalf("sum = %d, want 45", sum.Load())
+	}
+}
+
+func TestProgressSerializesAndHandlesNil(t *testing.T) {
+	Progress(nil)("ignored") // must not panic
+	var lines []string
+	p := Progress(func(s string) { lines = append(lines, s) })
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				p("x")
+			}
+		}()
+	}
+	wg.Wait()
+	if len(lines) != 400 {
+		t.Fatalf("%d lines recorded, want 400 (lost updates => unsynchronized)", len(lines))
+	}
+}

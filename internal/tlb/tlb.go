@@ -118,6 +118,20 @@ func (t *TLB) Stats() Stats { return t.stats }
 // ResetStats zeroes statistics without dropping translations.
 func (t *TLB) ResetStats() { t.stats = Stats{} }
 
+// Reset returns the TLB to its just-built state in the current HT mode:
+// translations dropped, LRU clock and statistics zeroed. Entries are
+// zeroed outright (not just invalidated) because victim selection reads
+// the LRU stamps of slots it fills over; the entry arrays are reused.
+func (t *TLB) Reset() {
+	for _, set := range t.sets {
+		for i := range set {
+			set[i] = entry{}
+		}
+	}
+	t.tick = 0
+	t.stats = Stats{}
+}
+
 // Flush drops every translation (address-space switch).
 func (t *TLB) Flush() {
 	for _, set := range t.sets {

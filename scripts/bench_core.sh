@@ -1,0 +1,41 @@
+#!/bin/sh
+# bench_core.sh — run the core cycle-loop and cache-lookup benchmarks
+# with -benchmem and write the results to BENCH_core.json at the repo
+# root. Pass a count as $1 to average over multiple runs (default 1).
+set -eu
+cd "$(dirname "$0")/.."
+
+count="${1:-1}"
+raw="$(go test -run '^$' -bench 'BenchmarkSimSpeed|BenchmarkCacheAccess|BenchmarkHierarchyData' \
+	-benchmem -count="$count" ./internal/core/ ./internal/cache/)"
+echo "$raw"
+
+echo "$raw" | awk '
+BEGIN { print "{"; first = 1 }
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	ns[name] += $3; n[name]++
+	for (i = 4; i <= NF; i++) {
+		if ($(i+1) == "B/op")       bop[name] += $i
+		if ($(i+1) == "allocs/op")  aop[name] += $i
+		if ($(i+1) == "MB/s")       mbs[name] += $i
+	}
+}
+END {
+	# Seed-commit baseline (same machine class), kept here so the file
+	# always carries the before/after comparison.
+	printf "  \"seed_BenchmarkSimSpeed\": {\"ns_per_op\": 187330123, \"bytes_per_op\": 1350786, \"allocs_per_op\": 44.0, \"mb_per_s\": 10.68}"
+	first = 0
+	for (name in ns) {
+		if (!first) printf ",\n"
+		first = 0
+		printf "  \"%s\": {\"ns_per_op\": %.0f, \"bytes_per_op\": %.0f, \"allocs_per_op\": %.1f",
+			name, ns[name]/n[name], bop[name]/n[name], aop[name]/n[name]
+		if (mbs[name] > 0) printf ", \"mb_per_s\": %.2f", mbs[name]/n[name]
+		printf "}"
+	}
+	print "\n}"
+}' >BENCH_core.json
+
+echo "wrote BENCH_core.json"

@@ -1,0 +1,23 @@
+#!/bin/sh
+# verify.sh — the repo's tier-1 gate plus the concurrency gate.
+#
+# Tier 1 (ROADMAP.md): everything must build and the full test suite
+# must pass. On top of that, the packages that share state across
+# goroutines — the harness (solo-time singleflight, pooled CPUs) and
+# the scheduler — must pass under the race detector at short scale.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== build =="
+go build ./...
+
+echo "== vet =="
+go vet ./...
+
+echo "== tests =="
+go test ./...
+
+echo "== race (harness + sched, short) =="
+go test -race -short ./internal/harness/... ./internal/sched/...
+
+echo "verify: OK"
