@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"javasmt/internal/bench"
+	"javasmt/internal/check"
 	"javasmt/internal/core"
 	"javasmt/internal/counters"
 	"javasmt/internal/harness"
@@ -43,8 +44,13 @@ func main() {
 		partition = flag.String("partition", "static", "resource partition: static|dynamic")
 		tcShared  = flag.Bool("tc-shared-tags", false, "ablation: share trace-cache lines across contexts")
 		noVerify  = flag.Bool("no-verify", false, "skip result verification against the Go mirror")
+		checks    = flag.Bool("checks", check.Enabled, "enable runtime invariant probes (needs a -tags checks build)")
 	)
 	flag.Parse()
+	if err := check.SetOn(*checks); err != nil {
+		fmt.Fprintln(os.Stderr, "javasmt:", err)
+		os.Exit(2)
+	}
 
 	if *list {
 		fmt.Print(harness.Table1())

@@ -13,6 +13,7 @@ import (
 	"os"
 
 	"javasmt/internal/bench"
+	"javasmt/internal/check"
 	"javasmt/internal/counters"
 	"javasmt/internal/harness"
 	"javasmt/internal/sched"
@@ -20,15 +21,20 @@ import (
 
 func main() {
 	var (
-		aName = flag.String("a", "compress", "first benchmark")
-		bName = flag.String("b", "mpegaudio", "second benchmark")
-		all   = flag.Bool("all", false, "run the full 9x9 cross product")
-		runs  = flag.Int("runs", 6, "averaged runs per program (paper: 12)")
-		small = flag.Bool("small", false, "use the small scale instead of tiny")
-		jobs  = flag.Int("j", sched.DefaultWorkers(), "concurrent experiments (1 = serial)")
-		quiet = flag.Bool("q", false, "suppress progress output")
+		aName  = flag.String("a", "compress", "first benchmark")
+		bName  = flag.String("b", "mpegaudio", "second benchmark")
+		all    = flag.Bool("all", false, "run the full 9x9 cross product")
+		runs   = flag.Int("runs", 6, "averaged runs per program (paper: 12)")
+		small  = flag.Bool("small", false, "use the small scale instead of tiny")
+		jobs   = flag.Int("j", sched.DefaultWorkers(), "concurrent experiments (1 = serial)")
+		quiet  = flag.Bool("q", false, "suppress progress output")
+		checks = flag.Bool("checks", check.Enabled, "enable runtime invariant probes (needs a -tags checks build)")
 	)
 	flag.Parse()
+	if err := check.SetOn(*checks); err != nil {
+		fmt.Fprintln(os.Stderr, "pairings:", err)
+		os.Exit(2)
+	}
 
 	opts := harness.DefaultPairOptions()
 	opts.Runs = *runs

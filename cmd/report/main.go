@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"javasmt/internal/bench"
+	"javasmt/internal/check"
 	"javasmt/internal/harness"
 	"javasmt/internal/sched"
 )
@@ -28,12 +29,17 @@ func main() {
 		runs     = flag.Int("runs", 6, "averaged runs per program in pairing experiments (paper: 12)")
 		jobs     = flag.Int("j", sched.DefaultWorkers(), "concurrent experiments (1 = serial)")
 		quiet    = flag.Bool("q", false, "suppress progress output")
+		checks   = flag.Bool("checks", check.Enabled, "enable runtime invariant probes (needs a -tags checks build)")
 	)
 	sel := map[string]*bool{}
 	for _, name := range []string{"table1", "table2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12"} {
 		sel[name] = flag.Bool(name, false, "render "+name)
 	}
 	flag.Parse()
+	if err := check.SetOn(*checks); err != nil {
+		fmt.Fprintln(os.Stderr, "report:", err)
+		os.Exit(2)
+	}
 
 	scale := bench.Tiny
 	switch strings.ToLower(*scaleStr) {

@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"javasmt/internal/bench"
+	"javasmt/internal/check"
 	"javasmt/internal/counters"
 	"javasmt/internal/harness"
 	"javasmt/internal/sched"
@@ -27,8 +28,13 @@ func main() {
 		threads = flag.String("threads", "1,2,4,8,16", "comma-separated thread counts")
 		small   = flag.Bool("small", false, "use the small scale instead of tiny")
 		jobs    = flag.Int("j", sched.DefaultWorkers(), "concurrent experiments (1 = serial)")
+		checks  = flag.Bool("checks", check.Enabled, "enable runtime invariant probes (needs a -tags checks build)")
 	)
 	flag.Parse()
+	if err := check.SetOn(*checks); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(2)
+	}
 
 	scale := bench.Tiny
 	if *small {

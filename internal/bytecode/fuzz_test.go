@@ -1,0 +1,134 @@
+package bytecode_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"javasmt/internal/bench"
+	"javasmt/internal/bytecode"
+	"javasmt/internal/bytecode/fuzzcodec"
+)
+
+var updateCorpus = flag.Bool("update", false, "regenerate the seed fuzz corpus from the benchmark programs")
+
+// FuzzVerify throws arbitrary method bodies at the linker/verifier. The
+// contract under test: Link never panics — it either rejects the program
+// with an error or accepts it, and an accepted program's linked layout is
+// internally consistent (offsets monotone, trace-line aligned, MaxStack
+// sane, disassembly total).
+func FuzzVerify(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(fuzzcodec.Encode([]bytecode.Instr{{Op: bytecode.Ret}}))
+	f.Add(fuzzcodec.Encode([]bytecode.Instr{
+		{Op: bytecode.Iconst, A: 41},
+		{Op: bytecode.Iconst, A: 1},
+		{Op: bytecode.Iadd},
+		{Op: bytecode.RetVal},
+	}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		code := fuzzcodec.Decode(data, 4096)
+		prog := fuzzcodec.HarnessProgram(code)
+		if err := prog.Link(0); err != nil {
+			return // rejected: the verifier did its job
+		}
+		// Re-verifying a linked program must stay clean (idempotence).
+		if err := prog.Verify(); err != nil {
+			t.Fatalf("program verified at link time failed re-verification: %v", err)
+		}
+		for _, m := range prog.Methods {
+			if m.MaxStack < 0 {
+				t.Fatalf("method %s: negative MaxStack %d", m.Name, m.MaxStack)
+			}
+			if m.CodeBase%6 != 0 {
+				t.Fatalf("method %s: code base %d not trace-line aligned", m.Name, m.CodeBase)
+			}
+			if len(m.UopOff) != len(m.Code)+1 {
+				t.Fatalf("method %s: %d offsets for %d instructions", m.Name, len(m.UopOff), len(m.Code))
+			}
+			for i, ins := range m.Code {
+				want := m.UopOff[i] + uint32(bytecode.UopCost(ins.Op))
+				if m.UopOff[i+1] != want {
+					t.Fatalf("method %s instr %d: offset %d, want %d", m.Name, i, m.UopOff[i+1], want)
+				}
+			}
+			if m.UopLen != m.UopOff[len(m.Code)] {
+				t.Fatalf("method %s: UopLen %d != final offset %d", m.Name, m.UopLen, m.UopOff[len(m.Code)])
+			}
+		}
+		if prog.Disassemble() == "" {
+			t.Fatal("linked program disassembled to nothing")
+		}
+	})
+}
+
+// TestDecodeEncodeRoundTrip: corpus seeds built from real programs must
+// decode back to the exact instruction sequence they encode.
+func TestDecodeEncodeRoundTrip(t *testing.T) {
+	for _, b := range bench.All() {
+		prog := b.Build(1, bench.Tiny, 0)
+		for _, m := range prog.Methods {
+			got := fuzzcodec.Decode(fuzzcodec.Encode(m.Code), 0)
+			if len(got) != len(m.Code) {
+				t.Fatalf("%s/%s: round trip length %d != %d", b.Name, m.Name, len(got), len(m.Code))
+			}
+			for i := range got {
+				if got[i] != m.Code[i] {
+					t.Fatalf("%s/%s instr %d: %v != %v", b.Name, m.Name, i, got[i], m.Code[i])
+				}
+			}
+		}
+	}
+}
+
+// seedMethods picks each program's entry method and its largest method —
+// the bodies worth replaying as regression inputs.
+func seedMethods(prog *bytecode.Program) []*bytecode.Method {
+	entry := prog.Methods[prog.Entry]
+	largest := entry
+	for _, m := range prog.Methods {
+		if len(m.Code) > len(largest.Code) {
+			largest = m
+		}
+	}
+	if largest == entry {
+		return []*bytecode.Method{entry}
+	}
+	return []*bytecode.Method{entry, largest}
+}
+
+// writeSeedCorpus writes one corpus file per seed method of every
+// benchmark program into dir (internal/jvm has a twin for its own
+// corpus; test packages cannot share helpers across module boundaries).
+func writeSeedCorpus(t *testing.T, dir string) {
+	t.Helper()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range bench.All() {
+		prog := b.Build(1, bench.Tiny, 0)
+		for _, m := range seedMethods(prog) {
+			name := fmt.Sprintf("seed-%s-%s", b.Name, m.Name)
+			if err := os.WriteFile(filepath.Join(dir, name), fuzzcodec.SeedFile(m.Code), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestUpdateFuzzCorpus regenerates the checked-in seed corpus when run
+// with -update; without the flag it verifies the corpus exists, so a
+// fresh checkout cannot silently lose its regression inputs.
+func TestUpdateFuzzCorpus(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzVerify")
+	if *updateCorpus {
+		writeSeedCorpus(t, dir)
+		return
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("seed corpus missing at %s (run `go test ./internal/bytecode -run UpdateFuzzCorpus -update`): %v", dir, err)
+	}
+}

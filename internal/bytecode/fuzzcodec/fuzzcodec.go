@@ -1,0 +1,114 @@
+// Package fuzzcodec is the byte encoding the fuzz targets use to move
+// method bodies through `go test`'s []byte-valued fuzz corpus: a flat
+// 5-byte record per instruction (opcode byte, then the A operand as
+// little-endian int32). Decode(Encode(code)) == code for every valid
+// method body, so corpora seeded from the real benchmark programs replay
+// those exact programs, while arbitrary mutated bytes still decode to
+// *some* instruction sequence for the verifier and interpreter to face.
+package fuzzcodec
+
+import (
+	"encoding/binary"
+	"strconv"
+
+	"javasmt/internal/bytecode"
+)
+
+// recordLen is the encoded size of one instruction.
+const recordLen = 5
+
+// Encode flattens a method body into corpus bytes.
+func Encode(code []bytecode.Instr) []byte {
+	out := make([]byte, 0, len(code)*recordLen)
+	for _, ins := range code {
+		var rec [recordLen]byte
+		rec[0] = byte(ins.Op)
+		binary.LittleEndian.PutUint32(rec[1:], uint32(ins.A))
+		out = append(out, rec[:]...)
+	}
+	return out
+}
+
+// SeedFile renders a method body as a `go test fuzz v1` corpus file for a
+// []byte-valued fuzz target, the format the toolchain reads from
+// testdata/fuzz/<FuzzName>/. The corpus-update tests use it to seed the
+// fuzz targets with the ten benchmark programs' real method bodies.
+func SeedFile(code []bytecode.Instr) []byte {
+	return []byte("go test fuzz v1\n[]byte(" + strconv.Quote(string(Encode(code))) + ")\n")
+}
+
+// Harness-program shape: the fuzzed body becomes the entry method of a
+// fixed scaffold rich enough that bodies lifted from the real benchmarks
+// often still verify — generous locals and float pool, a bank of globals,
+// a couple of classes, and callable stub methods at indices 1..NumStubs.
+const (
+	// NLocals is the fuzzed method's local-slot count.
+	NLocals = 64
+	// NumStubs is how many callable stub methods follow the entry.
+	NumStubs = 15
+	// NumGlobals is the scaffold's static-slot count.
+	NumGlobals = 32
+)
+
+// HarnessProgram wraps a fuzzed method body in the standard scaffold. The
+// returned program is not linked; callers run Link (which verifies) and
+// treat an error as "input rejected", never as a crash.
+func HarnessProgram(code []bytecode.Instr) *bytecode.Program {
+	fpool := make([]float64, 16)
+	for i := range fpool {
+		fpool[i] = float64(i) * 0.5
+	}
+	methods := []*bytecode.Method{{
+		Name:    "fuzzed",
+		NLocals: NLocals,
+		Code:    code,
+		FPool:   fpool,
+	}}
+	for i := 1; i <= NumStubs; i++ {
+		m := &bytecode.Method{
+			Name:    "stub" + string(rune('a'+i-1)),
+			NArgs:   i % 3, // a mix of arities so Call pops 0, 1 or 2
+			NLocals: 4,
+		}
+		if i%2 == 0 {
+			m.Code = []bytecode.Instr{
+				{Op: bytecode.Iconst, A: int32(i)},
+				{Op: bytecode.RetVal},
+			}
+		} else {
+			m.Code = []bytecode.Instr{{Op: bytecode.Ret}}
+		}
+		methods = append(methods, m)
+	}
+	return &bytecode.Program{
+		Name:    "fuzz",
+		Classes: []bytecode.Class{{Name: "A", NumFields: 4}, {Name: "B", NumFields: 8, RefMask: 0x3}},
+		Methods: methods,
+		// Globals: the low two slots are references (GC roots), the rest
+		// plain words.
+		NumGlobals:    NumGlobals,
+		GlobalRefMask: 0x3,
+		Entry:         0,
+	}
+}
+
+// Decode reconstructs a method body from corpus bytes. The opcode byte is
+// reduced modulo NumOps so every input decodes (mutation can produce any
+// byte); trailing bytes short of a full record are ignored. MaxInstrs
+// bounds the body so a huge input cannot balloon the harness; 0 means no
+// bound.
+func Decode(data []byte, maxInstrs int) []bytecode.Instr {
+	n := len(data) / recordLen
+	if maxInstrs > 0 && n > maxInstrs {
+		n = maxInstrs
+	}
+	code := make([]bytecode.Instr, n)
+	for i := 0; i < n; i++ {
+		rec := data[i*recordLen : (i+1)*recordLen]
+		code[i] = bytecode.Instr{
+			Op: bytecode.Op(int(rec[0]) % bytecode.NumOps),
+			A:  int32(binary.LittleEndian.Uint32(rec[1:])),
+		}
+	}
+	return code
+}

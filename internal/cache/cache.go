@@ -18,6 +18,8 @@
 //     misses consistently rise under HT in the paper.
 package cache
 
+import "javasmt/internal/check"
+
 // Config describes one set-associative cache.
 type Config struct {
 	// Name appears in counter reports ("L1D", "L2", "TC").
@@ -79,6 +81,10 @@ type Cache struct {
 	// tagged selects thread-tagged lines (trace cache style).
 	tagged bool
 	stats  Stats
+	// ckHits counts hit-path exits, maintained only under -tags checks so
+	// the hits+misses==accesses invariant can be asserted without adding a
+	// counter to the default build's hot path.
+	ckHits uint64
 }
 
 // New builds a cache from cfg. It panics if the geometry is not a power
@@ -121,7 +127,10 @@ func (c *Cache) Stats() Stats { return c.stats }
 // ResetStats zeroes the statistics without touching cache contents, so a
 // warmup phase can be excluded from measurement (the paper drops the
 // cold-start run for the same reason).
-func (c *Cache) ResetStats() { c.stats = Stats{} }
+func (c *Cache) ResetStats() {
+	c.stats = Stats{}
+	c.ckHits = 0
+}
 
 // Reset returns the cache to its just-built state — contents, LRU clock
 // and statistics — while keeping the line arrays allocated. Unlike
@@ -136,6 +145,7 @@ func (c *Cache) Reset() {
 	}
 	c.tick = 0
 	c.stats = Stats{}
+	c.ckHits = 0
 }
 
 // Flush invalidates every line (used on simulated process teardown).
@@ -183,6 +193,12 @@ func (c *Cache) Access(addr uint64, ctx int) bool {
 				c.stats.CrossHits++
 				l.owner = uint8(ctx & 1)
 			}
+			if check.Enabled && check.On {
+				c.ckHits++
+				check.Assert(c.ckHits+c.stats.TotalMisses() == c.stats.TotalAccesses(),
+					c.cfg.Name, "hits %d + misses %d != accesses %d",
+					c.ckHits, c.stats.TotalMisses(), c.stats.TotalAccesses())
+			}
 			return true
 		}
 	}
@@ -202,6 +218,13 @@ func (c *Cache) Access(addr uint64, ctx int) bool {
 		c.stats.Evictions++
 	}
 	set[victim] = line{tag: lineAddr, lru: c.tick, valid: true, owner: uint8(ctx & 1), tid: want}
+	if check.Enabled && check.On {
+		check.Assert(c.Probe(addr, ctx), c.cfg.Name,
+			"line %#x not resident immediately after a miss fill (ctx %d)", lineAddr, ctx)
+		check.Assert(c.ckHits+c.stats.TotalMisses() == c.stats.TotalAccesses(),
+			c.cfg.Name, "hits %d + misses %d != accesses %d",
+			c.ckHits, c.stats.TotalMisses(), c.stats.TotalAccesses())
+	}
 	return false
 }
 

@@ -1,0 +1,67 @@
+// Package check is the simulator's runtime invariant layer. Probes woven
+// through the core pipeline, caches, TLBs and counters verify structural
+// invariants (partition caps respected, incremental totals consistent with
+// recounts, conservation laws between counters) while a simulation runs.
+//
+// Probes are written as
+//
+//	if check.Enabled && check.On {
+//		check.Assert(cond, "component", "message %d", v)
+//	}
+//
+// Enabled is a build-tag constant: false in default builds (the whole
+// branch is dead code and costs nothing — BENCH_core.json SimSpeed is
+// unaffected), true under `-tags checks`. On is the runtime switch within
+// a checks build; it defaults to true so `go test -tags checks ./...`
+// exercises every probe, and the cmds expose it as a -checks flag.
+package check
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// On is the runtime enable switch. It is meaningful only when the package
+// is compiled with the `checks` build tag (Enabled == true); default
+// builds eliminate every probe at compile time regardless of On.
+var On = Enabled
+
+// SetOn switches runtime checking. Requesting checks in a binary compiled
+// without the `checks` tag is an error — the probes do not exist in that
+// build, so silently "enabling" them would be a lie.
+func SetOn(v bool) error {
+	if v && !Enabled {
+		return fmt.Errorf("check: this binary was built without invariant probes; rebuild with -tags checks")
+	}
+	On = v
+	return nil
+}
+
+// probes counts assertion evaluations, so tests can prove the probes
+// actually executed (a checks-tagged test that silently skipped every
+// probe would be vacuous).
+var probes atomic.Uint64
+
+// Probes returns the number of probe evaluations since the last
+// ResetProbes.
+func Probes() uint64 { return probes.Load() }
+
+// ResetProbes zeroes the probe counter.
+func ResetProbes() { probes.Store(0) }
+
+// Assert panics with a tagged diagnostic when cond is false. Callers must
+// guard with `check.Enabled && check.On` so the call (and its argument
+// evaluation) vanishes from default builds.
+func Assert(cond bool, component, format string, args ...any) {
+	probes.Add(1)
+	if !cond {
+		Failf(component, format, args...)
+	}
+}
+
+// Failf reports an invariant violation. A violated invariant means the
+// simulator's state — and therefore every counter it reports — can no
+// longer be trusted, so the only safe response is to stop immediately.
+func Failf(component, format string, args ...any) {
+	panic(fmt.Sprintf("check[%s]: %s", component, fmt.Sprintf(format, args...)))
+}

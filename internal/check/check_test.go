@@ -1,0 +1,56 @@
+package check
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSetOn(t *testing.T) {
+	defer func() { On = Enabled }()
+
+	if err := SetOn(false); err != nil {
+		t.Fatalf("SetOn(false) must always succeed: %v", err)
+	}
+	if On {
+		t.Fatal("SetOn(false) left On true")
+	}
+	err := SetOn(true)
+	if Enabled {
+		if err != nil {
+			t.Fatalf("SetOn(true) in a checks build: %v", err)
+		}
+		if !On {
+			t.Fatal("SetOn(true) left On false")
+		}
+	} else {
+		if err == nil {
+			t.Fatal("SetOn(true) without the checks tag must refuse")
+		}
+		if !strings.Contains(err.Error(), "-tags checks") {
+			t.Fatalf("error should tell the user how to rebuild, got %q", err)
+		}
+	}
+}
+
+func TestAssertCountsAndPanics(t *testing.T) {
+	ResetProbes()
+	Assert(true, "test", "fine")
+	if got := Probes(); got != 1 {
+		t.Fatalf("Probes() = %d, want 1", got)
+	}
+
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Assert(false) did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.HasPrefix(msg, "check[core]: ") {
+			t.Fatalf("panic value %v lacks check[component] tag", r)
+		}
+		if !strings.Contains(msg, "rob 7 over cap 3") {
+			t.Fatalf("panic message %q did not format args", msg)
+		}
+	}()
+	Assert(false, "core", "rob %d over cap %d", 7, 3)
+}

@@ -1,0 +1,8 @@
+//go:build !checks
+
+package check
+
+// Enabled reports that this binary was compiled without invariant
+// probes: every `if check.Enabled && ...` branch is dead code and the
+// hot path pays nothing for the validation layer.
+const Enabled = false

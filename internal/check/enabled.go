@@ -1,0 +1,8 @@
+//go:build checks
+
+package check
+
+// Enabled reports that this binary was compiled with invariant probes.
+// It is a constant so that in the other build flavor every
+// `if check.Enabled && ...` probe is eliminated by the compiler.
+const Enabled = true

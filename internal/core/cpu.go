@@ -5,6 +5,7 @@ import (
 
 	"javasmt/internal/branch"
 	"javasmt/internal/cache"
+	"javasmt/internal/check"
 	"javasmt/internal/counters"
 	"javasmt/internal/isa"
 	"javasmt/internal/mem"
@@ -150,6 +151,11 @@ type CPU struct {
 	// the coupling behind the paper's bad-partner slowdowns.
 	decodeBusyUntil uint64
 
+	// Pipeline-flow audit counters for the invariant layer (see
+	// invariants.go): µops delivered by feeds, allocated into the ROB,
+	// and retired. Updated only when the `checks` build tag is active.
+	ckFed, ckAlloc, ckRetired uint64
+
 	tc   *cache.TraceCache
 	hier *cache.Hierarchy
 	itlb *tlb.TLB
@@ -200,6 +206,7 @@ func (c *CPU) Reset() {
 	c.now = 0
 	c.decodeBusyUntil = 0
 	c.totRob, c.totLoads, c.totStores = 0, 0, 0
+	c.ckFed, c.ckAlloc, c.ckRetired = 0, 0, 0
 	for i := range c.cal.cycle {
 		c.cal.cycle[i] = 0
 		c.cal.count[i] = 0
@@ -295,6 +302,9 @@ func (c *CPU) Step() bool {
 		}
 	}
 	if allDone {
+		if check.Enabled && check.On {
+			c.verifyDrained()
+		}
 		return false
 	}
 
@@ -317,6 +327,9 @@ func (c *CPU) Step() bool {
 	c.fetchAllocate(nActive, &act)
 	c.retire()
 
+	if check.Enabled && check.On {
+		c.verifyStep()
+	}
 	c.now++
 	return true
 }
@@ -389,6 +402,11 @@ func (c *CPU) fetchInto(i int) int {
 			n := x.feed.Fill(c.now, x.buf)
 			if n == 0 {
 				break
+			}
+			if check.Enabled && check.On {
+				check.Assert(n <= len(x.buf), "core",
+					"feed overfilled the fetch buffer: %d > %d", n, len(x.buf))
+				c.ckFed += uint64(n)
 			}
 			x.bufPos, x.bufLen = 0, n
 		}
@@ -510,6 +528,11 @@ func (c *CPU) fetchInto(i int) int {
 		}
 		x.robPush(robEntry{done: done, kernel: u.Kernel || kernelEntry, load: u.Class == isa.Load, store: u.Class == isa.Store})
 		c.totRob++
+		if check.Enabled && check.On {
+			c.ckAlloc++
+			check.Assert(done >= start && start > c.now, "core",
+				"µop scheduled backwards: now %d, start %d, done %d", c.now, start, done)
+		}
 		x.deps[x.depIdx&depMask] = done
 		x.depIdx++
 		x.lastAlloc = done
@@ -576,6 +599,11 @@ func (c *CPU) retire() {
 		}
 	}
 	c.totRob -= retired
+	if check.Enabled && check.On {
+		c.ckRetired += uint64(retired)
+		check.Assert(retired <= c.cfg.Params.RetireWidth, "core",
+			"retired %d µops in one cycle, width is %d", retired, c.cfg.Params.RetireWidth)
+	}
 	c.file.Add(counters.Instructions, uint64(retired))
 	c.file.Add(counters.InstructionsOS, uint64(osRetired))
 	switch retired {

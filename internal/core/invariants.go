@@ -1,0 +1,149 @@
+package core
+
+import (
+	"javasmt/internal/check"
+	"javasmt/internal/counters"
+)
+
+// This file is the core pipeline's invariant catalogue (DESIGN.md §6).
+// Every probe is guarded by `check.Enabled && check.On`, so in a default
+// build (no `checks` tag) the calls below are dead code and the cycle
+// loop pays nothing for them.
+//
+// Cheap flow checks run every cycle; the O(ROB) occupancy recount runs
+// every recountPeriod cycles and at drain, which keeps a checks-tagged
+// test run within a small factor of the default build while still
+// re-deriving the incremental state thousands of times per run.
+
+// recountPeriod is the cycle interval between full occupancy recounts.
+// A power of two so the trigger test is a mask.
+const recountPeriod = 1024
+
+// verifyStep runs after fetch/allocate/retire each cycle (checks builds
+// only). now has not yet advanced past the cycle being verified.
+func (c *CPU) verifyStep() {
+	// Pipeline flow conservation: µops enter from the feeds, are
+	// allocated into the ROB, and retire — each stage is a subset of the
+	// one before it.
+	check.Assert(c.ckFed >= c.ckAlloc, "core",
+		"allocated %d µops but feeds only delivered %d", c.ckAlloc, c.ckFed)
+	check.Assert(c.ckAlloc >= c.ckRetired, "core",
+		"retired %d µops but only %d were allocated", c.ckRetired, c.ckAlloc)
+	check.Assert(c.file.Get(counters.Instructions) == c.ckRetired, "core",
+		"uops_retired counter %d diverged from retirement audit %d",
+		c.file.Get(counters.Instructions), c.ckRetired)
+
+	// Occupancy caps on the incrementally-maintained state. Under static
+	// partitioning each context is limited to its half; under dynamic
+	// partitioning (and with HT off) the whole structure bounds the total.
+	p := &c.cfg.Params
+	for i, x := range c.ctxs {
+		if !c.dynPart {
+			check.Assert(x.robCount <= c.robCapV, "core",
+				"ctx %d ROB occupancy %d exceeds partition cap %d", i, x.robCount, c.robCapV)
+			check.Assert(x.loadsOut <= c.loadCapV, "core",
+				"ctx %d load-buffer occupancy %d exceeds partition cap %d", i, x.loadsOut, c.loadCapV)
+			check.Assert(x.storesOut <= c.storeCapV, "core",
+				"ctx %d store-buffer occupancy %d exceeds partition cap %d", i, x.storesOut, c.storeCapV)
+		}
+		check.Assert(x.robCount >= 0 && x.loadsOut >= 0 && x.storesOut >= 0, "core",
+			"ctx %d occupancy went negative (rob %d, loads %d, stores %d)",
+			i, x.robCount, x.loadsOut, x.storesOut)
+	}
+	check.Assert(c.totRob <= p.ROBSize, "core",
+		"total ROB occupancy %d exceeds machine size %d", c.totRob, p.ROBSize)
+	check.Assert(c.totLoads <= p.LoadBufs, "core",
+		"total load-buffer occupancy %d exceeds machine size %d", c.totLoads, p.LoadBufs)
+	check.Assert(c.totStores <= p.StoreBufs, "core",
+		"total store-buffer occupancy %d exceeds machine size %d", c.totStores, p.StoreBufs)
+
+	if c.now&(recountPeriod-1) == 0 {
+		c.verifyRecount()
+	}
+}
+
+// verifyRecount re-derives every occupancy figure from scratch by walking
+// the ROB rings and compares against the incremental bookkeeping the hot
+// path maintains (the class of bug PR 1's stale-LRU incident came from:
+// state that is only ever updated incrementally and never re-checked).
+func (c *CPU) verifyRecount() {
+	totRob, totLoads, totStores := 0, 0, 0
+	for i, x := range c.ctxs {
+		rob, loads, stores := 0, 0, 0
+		idx := x.robHead
+		for k := 0; k < x.robCount; k++ {
+			e := &x.rob[idx]
+			rob++
+			if e.load {
+				loads++
+			}
+			if e.store {
+				stores++
+			}
+			idx++
+			if idx == len(x.rob) {
+				idx = 0
+			}
+		}
+		check.Assert(loads == x.loadsOut, "core",
+			"ctx %d load recount %d != incremental loadsOut %d", i, loads, x.loadsOut)
+		check.Assert(stores == x.storesOut, "core",
+			"ctx %d store recount %d != incremental storesOut %d", i, stores, x.storesOut)
+		// Ring-shape consistency: head/tail distance must agree with count.
+		span := x.robTail - x.robHead
+		if span < 0 {
+			span += len(x.rob)
+		}
+		check.Assert(span == x.robCount%len(x.rob), "core",
+			"ctx %d ROB ring head %d / tail %d inconsistent with count %d",
+			i, x.robHead, x.robTail, x.robCount)
+		totRob += rob
+		totLoads += loads
+		totStores += stores
+	}
+	check.Assert(totRob == c.totRob, "core",
+		"ROB recount %d != incremental total %d", totRob, c.totRob)
+	check.Assert(totLoads == c.totLoads, "core",
+		"load-buffer recount %d != incremental total %d", totLoads, c.totLoads)
+	check.Assert(totStores == c.totStores, "core",
+		"store-buffer recount %d != incremental total %d", totStores, c.totStores)
+}
+
+// verifyDrained runs when every feed has completed and the pipelines have
+// emptied: the whole-program conservation laws.
+func (c *CPU) verifyDrained() {
+	for i, x := range c.ctxs {
+		check.Assert(x.robCount == 0, "core",
+			"ctx %d drained with %d µops still in the ROB", i, x.robCount)
+		check.Assert(x.loadsOut == 0 && x.storesOut == 0, "core",
+			"ctx %d drained with loads %d / stores %d outstanding", i, x.loadsOut, x.storesOut)
+		check.Assert(x.bufPos >= x.bufLen, "core",
+			"ctx %d drained with %d fetched µops never allocated", i, x.bufLen-x.bufPos)
+	}
+	check.Assert(c.totRob == 0 && c.totLoads == 0 && c.totStores == 0, "core",
+		"drained machine reports occupancy rob %d / loads %d / stores %d",
+		c.totRob, c.totLoads, c.totStores)
+	c.verifyRecount()
+
+	// Retired µops == program µops: everything the feeds produced was
+	// allocated, and everything allocated retired.
+	check.Assert(c.ckFed == c.ckAlloc, "core",
+		"feeds delivered %d µops but only %d were allocated", c.ckFed, c.ckAlloc)
+	check.Assert(c.ckAlloc == c.ckRetired, "core",
+		"%d µops allocated but %d retired", c.ckAlloc, c.ckRetired)
+
+	// With the paper machine's retire width of 3 the histogram determines
+	// retirement exactly (the default bucket is exactly three).
+	if c.cfg.Params.RetireWidth == 3 {
+		hist := c.file.Get(counters.Retire1) + 2*c.file.Get(counters.Retire2) + 3*c.file.Get(counters.Retire3)
+		check.Assert(c.file.Get(counters.Instructions) == hist, "core",
+			"uops_retired %d != retirement histogram sum %d",
+			c.file.Get(counters.Instructions), hist)
+	}
+
+	// The counter file must satisfy every cross-counter conservation law.
+	// Counters() first, so the structure statistics are synchronized.
+	if err := c.Counters().CheckConservation(); err != nil {
+		check.Failf("core", "at drain: %v", err)
+	}
+}

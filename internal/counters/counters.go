@@ -225,6 +225,59 @@ func (f *File) RetirementProfile() [4]float64 {
 	return out
 }
 
+// CheckConservation verifies the cross-counter conservation laws that any
+// full-precision counter file produced by the simulator must satisfy, and
+// returns the first violated law (nil if all hold). The laws are exact
+// consequences of how the core populates the file:
+//
+//   - every cycle is either halted or retires into exactly one histogram
+//     bucket, so cycles == cycles_halted + Σ retire_i;
+//   - cycles_dt, cycles_os and cycles_halted are subsets of cycles;
+//   - kernel-mode retirement is a subset of retirement, and the retirement
+//     histogram bounds retired µops from below (retire_3 means "3 or more");
+//   - misses never exceed accesses for any cache, TLB or the BTB;
+//   - the unified L2 is reached only by L1D misses and trace rebuilds, so
+//     l2_accesses == l1d_misses + tc_misses;
+//   - DRAM is reached only by L2 misses, so mem_reads + mem_writes == l2_misses.
+//
+// The laws are linear, so they also hold for windowed files produced by
+// Sub and for sums produced by AddFile. They do not apply to the scaled
+// estimates of a multiplexed Session, which are approximate by design.
+func (f *File) CheckConservation() error {
+	type law struct {
+		name     string
+		lhs, rhs uint64
+		exact    bool // lhs == rhs; otherwise lhs <= rhs
+	}
+	retireSum := f.Get(Retire0) + f.Get(Retire1) + f.Get(Retire2) + f.Get(Retire3)
+	laws := []law{
+		{"cycles == cycles_halted + retire histogram", f.Get(Cycles), f.Get(CyclesHalted) + retireSum, true},
+		{"cycles_dt <= cycles", f.Get(CyclesDT), f.Get(Cycles), false},
+		{"cycles_os <= cycles", f.Get(CyclesOS), f.Get(Cycles), false},
+		{"cycles_halted <= cycles", f.Get(CyclesHalted), f.Get(Cycles), false},
+		{"uops_retired_os <= uops_retired", f.Get(InstructionsOS), f.Get(Instructions), false},
+		{"retire histogram lower-bounds uops_retired", f.Get(Retire1) + 2*f.Get(Retire2) + 3*f.Get(Retire3), f.Get(Instructions), false},
+		{"tc_misses <= tc_accesses", f.Get(TCMisses), f.Get(TCAccesses), false},
+		{"l1d_misses <= l1d_accesses", f.Get(L1DMisses), f.Get(L1DAccesses), false},
+		{"l2_misses <= l2_accesses", f.Get(L2Misses), f.Get(L2Accesses), false},
+		{"itlb_misses <= itlb_accesses", f.Get(ITLBMisses), f.Get(ITLBAccesses), false},
+		{"dtlb_misses <= dtlb_accesses", f.Get(DTLBMisses), f.Get(DTLBAccesses), false},
+		{"btb_misses <= branches", f.Get(BTBMisses), f.Get(Branches), false},
+		{"branch_mispredicts <= branches", f.Get(BranchMispredicts), f.Get(Branches), false},
+		{"l2_accesses == l1d_misses + tc_misses", f.Get(L2Accesses), f.Get(L1DMisses) + f.Get(TCMisses), true},
+		{"mem traffic == l2_misses", f.Get(MemReads) + f.Get(MemWrites), f.Get(L2Misses), true},
+	}
+	for _, l := range laws {
+		if l.exact && l.lhs != l.rhs {
+			return fmt.Errorf("counters: conservation violated: %s (%d vs %d)", l.name, l.lhs, l.rhs)
+		}
+		if !l.exact && l.lhs > l.rhs {
+			return fmt.Errorf("counters: conservation violated: %s (%d vs %d)", l.name, l.lhs, l.rhs)
+		}
+	}
+	return nil
+}
+
 func ratio(num, den uint64) float64 {
 	if den == 0 {
 		return 0

@@ -192,6 +192,136 @@ func TestSessionMultiplexingConverges(t *testing.T) {
 	}
 }
 
+// conservingFile builds a synthetic file satisfying every conservation
+// law: 1000 cycles = 100 halted + 900 retiring cycles, a consistent
+// memory pyramid, and subset relations everywhere.
+func conservingFile() File {
+	var f File
+	f.Set(Cycles, 1000)
+	f.Set(CyclesHalted, 100)
+	f.Set(Retire0, 300)
+	f.Set(Retire1, 200)
+	f.Set(Retire2, 250)
+	f.Set(Retire3, 150)
+	f.Set(Instructions, 200+2*250+3*150) // width-3 machine: histogram is exact
+	f.Set(InstructionsOS, 90)
+	f.Set(CyclesDT, 400)
+	f.Set(CyclesOS, 50)
+	f.Set(TCAccesses, 500)
+	f.Set(TCMisses, 40)
+	f.Set(L1DAccesses, 300)
+	f.Set(L1DMisses, 60)
+	f.Set(L2Accesses, 100) // = l1d_misses 60 + tc_misses 40
+	f.Set(L2Misses, 25)
+	f.Set(MemReads, 20)
+	f.Set(MemWrites, 5) // reads+writes = l2_misses
+	f.Set(ITLBAccesses, 80)
+	f.Set(ITLBMisses, 8)
+	f.Set(DTLBAccesses, 280)
+	f.Set(DTLBMisses, 12)
+	f.Set(Branches, 150)
+	f.Set(BTBMisses, 30)
+	f.Set(BranchMispredicts, 15)
+	return f
+}
+
+func TestCheckConservationHolds(t *testing.T) {
+	f := conservingFile()
+	if err := f.CheckConservation(); err != nil {
+		t.Fatalf("valid file rejected: %v", err)
+	}
+	// The laws are linear: doubling the file (AddFile with itself) and
+	// windowing (Sub of a half) must preserve them.
+	double := f
+	double.AddFile(&f)
+	if err := double.CheckConservation(); err != nil {
+		t.Fatalf("doubled file rejected: %v", err)
+	}
+	window := double.Sub(&f)
+	if err := window.CheckConservation(); err != nil {
+		t.Fatalf("windowed file rejected: %v", err)
+	}
+	var empty File
+	if err := empty.CheckConservation(); err != nil {
+		t.Fatalf("empty file rejected: %v", err)
+	}
+}
+
+func TestCheckConservationCatchesViolations(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*File)
+		law    string
+	}{
+		{"lost cycle", func(f *File) { f.Add(Cycles, 1) }, "retire histogram"},
+		{"halted overflow", func(f *File) { f.Set(CyclesHalted, 2000) }, "retire histogram"},
+		{"dt over cycles", func(f *File) { f.Set(CyclesDT, 1001) }, "cycles_dt"},
+		{"os instr over instr", func(f *File) { f.Set(InstructionsOS, 1e6) }, "uops_retired_os"},
+		{"histogram over instr", func(f *File) { f.Set(Instructions, 10); f.Set(InstructionsOS, 5) }, "lower-bounds"},
+		{"tc misses over accesses", func(f *File) { f.Set(TCMisses, 501) }, "tc_misses"},
+		{"phantom l2 access", func(f *File) { f.Add(L2Accesses, 1) }, "l2_accesses"},
+		{"phantom dram read", func(f *File) { f.Add(MemReads, 1) }, "mem traffic"},
+		{"mispredicts over branches", func(f *File) { f.Set(BranchMispredicts, 151) }, "branch_mispredicts"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := conservingFile()
+			tc.mutate(&f)
+			err := f.CheckConservation()
+			if err == nil {
+				t.Fatalf("violation %q not detected", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.law) {
+				t.Fatalf("error %q does not name the %q law", err, tc.law)
+			}
+		})
+	}
+}
+
+// TestSessionMultiplexingUnevenWindows drives the rotation with per-window
+// rates that vary by ±50% (deterministic LCG), the realistic case where
+// a group's residency windows are not identical. The scaled estimates
+// must still converge on the full-precision file.
+func TestSessionMultiplexingUnevenWindows(t *testing.T) {
+	var src File
+	events := make([]Event, 0, NumEvents-1)
+	for e := Event(1); int(e) < NumEvents; e++ {
+		events = append(events, e)
+	}
+	sess, err := NewSession(&src, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sess.Groups()) < 2 {
+		t.Fatalf("expected multiplexing, got %d group(s)", len(sess.Groups()))
+	}
+	lcg := uint64(12345)
+	const windows = 4000
+	for i := 0; i < windows; i++ {
+		lcg = lcg*6364136223846793005 + 1442695040888963407
+		jitter := 500 + lcg%1001 // 500..1500 cycles per window
+		src.Add(Cycles, jitter)
+		src.Add(Instructions, jitter*7/10)
+		src.Add(TCMisses, jitter/250)
+		src.Add(Branches, jitter/11)
+		sess.Rotate()
+	}
+	est := sess.Estimate()
+	// The estimate's timebase is exact: every cycle was observed by the
+	// resident group.
+	if est.Get(Cycles) != src.Get(Cycles) {
+		t.Fatalf("estimated cycles %d != true cycles %d", est.Get(Cycles), src.Get(Cycles))
+	}
+	for _, e := range []Event{Instructions, TCMisses, Branches} {
+		truth := src.Get(e)
+		got := est.Get(e)
+		relErr := math.Abs(float64(got)-float64(truth)) / float64(truth)
+		if relErr > 0.05 {
+			t.Fatalf("%v estimate %d vs truth %d (err %.3f)", e, got, truth, relErr)
+		}
+	}
+}
+
 func TestSessionErrors(t *testing.T) {
 	var src File
 	if _, err := NewSession(&src, nil); err == nil {

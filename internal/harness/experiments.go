@@ -353,7 +353,7 @@ type Fig10Row struct {
 	Benchmark string
 	CyclesOff uint64
 	CyclesOn  uint64
-	// CyclesDyn is the dynamic-partition ablation (DESIGN.md §6).
+	// CyclesDyn is the dynamic-partition ablation (DESIGN.md §7).
 	CyclesDyn uint64
 }
 

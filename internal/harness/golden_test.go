@@ -1,0 +1,147 @@
+package harness
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"javasmt/internal/bench"
+	"javasmt/internal/counters"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden snapshots under testdata/golden")
+
+// Golden snapshots pin the simulator's exact observable behavior: any
+// change to the pipeline, caches, JVM or scheduler that moves a counter
+// shows up as a golden diff and must be re-blessed with -update. The
+// metamorphic tests say the model is *coherent*; the goldens say it is
+// *the same model* the checked-in experiment numbers came from.
+
+// compareGolden marshals got, then either rewrites the snapshot (with
+// -update) or diffs against the checked-in bytes.
+func compareGolden(t *testing.T, name string, got any) {
+	t.Helper()
+	data, err := json.MarshalIndent(got, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, '\n')
+	path := filepath.Join("testdata", "golden", name)
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden snapshot missing (run `go test ./internal/harness -run Golden -update`): %v", err)
+	}
+	if string(want) != string(data) {
+		t.Errorf("%s: simulator output diverged from golden snapshot.\n--- want ---\n%s\n--- got ---\n%s\nIf the change is intentional, re-bless with -update.",
+			name, want, data)
+	}
+}
+
+// soloSnapshot is the golden record of one solo tiny-scale run.
+type soloSnapshot struct {
+	Benchmark   string
+	Cycles      uint64
+	Uops        uint64
+	UopsOS      uint64
+	TCMisses    uint64
+	L1DMisses   uint64
+	L2Misses    uint64
+	ITLBMisses  uint64
+	DTLBMisses  uint64
+	Branches    uint64
+	BTBMisses   uint64
+	MemReads    uint64
+	MemWrites   uint64
+	CtxSwitches uint64
+	GCCount     int
+}
+
+// TestGoldenSoloCounters snapshots every benchmark's HT-off single-run
+// counter file at tiny scale — the broadest cheap net over the whole
+// machine (front end, caches, TLBs, DRAM, OS and GC all feed into it).
+func TestGoldenSoloCounters(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var snaps []soloSnapshot
+	for _, b := range bench.All() {
+		res, err := Run(b, DefaultOptions())
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		f := res.Counters
+		snaps = append(snaps, soloSnapshot{
+			Benchmark:   b.Name,
+			Cycles:      res.Cycles,
+			Uops:        f.Get(counters.Instructions),
+			UopsOS:      f.Get(counters.InstructionsOS),
+			TCMisses:    f.Get(counters.TCMisses),
+			L1DMisses:   f.Get(counters.L1DMisses),
+			L2Misses:    f.Get(counters.L2Misses),
+			ITLBMisses:  f.Get(counters.ITLBMisses),
+			DTLBMisses:  f.Get(counters.DTLBMisses),
+			Branches:    f.Get(counters.Branches),
+			BTBMisses:   f.Get(counters.BTBMisses),
+			MemReads:    f.Get(counters.MemReads),
+			MemWrites:   f.Get(counters.MemWrites),
+			CtxSwitches: f.Get(counters.ContextSwitches),
+			GCCount:     res.GCCount,
+		})
+		if err := f.CheckConservation(); err != nil {
+			t.Errorf("%s: %v", b.Name, err)
+		}
+	}
+	compareGolden(t, "solo_counters.json", snaps)
+}
+
+// pairSnapshot is the golden record of one pairing cell.
+type pairSnapshot struct {
+	A, B         string
+	TimeA, TimeB float64
+	SoloA, SoloB float64
+	Combined     float64
+}
+
+// TestGoldenPairingTable snapshots a reduced pairing cross product (three
+// programs, every protocol feature exercised: relaunching, quota
+// balancing, solo caching, end-dropping averages).
+func TestGoldenPairingTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	skipIfChecks(t)
+	var progs []*bench.Benchmark
+	for _, name := range []string{"compress", "mpegaudio", "db"} {
+		progs = append(progs, mustBench(t, name))
+	}
+	opts := DefaultPairOptions()
+	opts.Runs = 2
+	p, err := runPairingsOf(progs, opts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snaps []pairSnapshot
+	for i := range progs {
+		for j := i; j < len(progs); j++ {
+			r := p.Results[i][j]
+			snaps = append(snaps, pairSnapshot{
+				A: r.A, B: r.B,
+				TimeA: r.TimeA, TimeB: r.TimeB,
+				SoloA: r.SoloA, SoloB: r.SoloB,
+				Combined: r.CombinedSpeedup(),
+			})
+		}
+	}
+	compareGolden(t, "pairing_table.json", snaps)
+}

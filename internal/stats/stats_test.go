@@ -72,6 +72,83 @@ func TestSummarizeOrdering(t *testing.T) {
 	}
 }
 
+// cleanSample narrows arbitrary quick-generated floats to finite,
+// summable magnitudes, the same way TestSummarizeOrdering does.
+func cleanSample(raw []float64) []float64 {
+	xs := make([]float64, 0, len(raw))
+	for _, x := range raw {
+		if !math.IsNaN(x) && !math.IsInf(x, 0) {
+			xs = append(xs, math.Mod(x, 1e6))
+		}
+	}
+	return xs
+}
+
+// TestPercentileMonotoneInP: for a fixed sample, the percentile function
+// must be non-decreasing in p — the defining property of a quantile.
+func TestPercentileMonotoneInP(t *testing.T) {
+	f := func(raw []float64, pa, pb uint16) bool {
+		xs := cleanSample(raw)
+		if len(xs) == 0 {
+			return true
+		}
+		// Map the generated values onto [0,100] with both orderings tried.
+		lo := float64(pa % 101)
+		hi := float64(pb % 101)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return Percentile(xs, lo) <= Percentile(xs, hi)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMeanWithinRange: the mean of any finite sample lies between its
+// minimum and maximum.
+func TestMeanWithinRange(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := cleanSample(raw)
+		if len(xs) == 0 {
+			return true
+		}
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		m := Mean(xs)
+		return sorted[0] <= m && m <= sorted[len(sorted)-1]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSummarizeSingleElement: every box statistic of a one-element sample
+// collapses onto that element.
+func TestSummarizeSingleElement(t *testing.T) {
+	b := Summarize([]float64{1.37})
+	want := Box{Min: 1.37, Q1: 1.37, Median: 1.37, Mean: 1.37, Q3: 1.37, Max: 1.37}
+	if b != want {
+		t.Fatalf("single-element box = %+v, want %+v", b, want)
+	}
+}
+
+// TestSummarizeAllEqual: a constant sample has a degenerate box — all six
+// statistics equal the constant, regardless of length.
+func TestSummarizeAllEqual(t *testing.T) {
+	for _, n := range []int{2, 3, 7, 100} {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = -4.25
+		}
+		b := Summarize(xs)
+		want := Box{Min: -4.25, Q1: -4.25, Median: -4.25, Mean: -4.25, Q3: -4.25, Max: -4.25}
+		if b != want {
+			t.Fatalf("n=%d all-equal box = %+v, want %+v", n, b, want)
+		}
+	}
+}
+
 func TestSummarizeEmpty(t *testing.T) {
 	if b := Summarize(nil); b != (Box{}) {
 		t.Fatalf("empty summary = %+v", b)

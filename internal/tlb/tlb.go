@@ -9,6 +9,8 @@
 // shared structure.
 package tlb
 
+import "javasmt/internal/check"
+
 // Config describes one TLB.
 type Config struct {
 	// Name appears in counter reports ("ITLB", "DTLB").
@@ -67,6 +69,10 @@ type TLB struct {
 	partitons int
 	ht        bool
 	stats     Stats
+	// ckHits counts hit-path exits, maintained only under -tags checks so
+	// hits+misses==accesses can be asserted without touching the default
+	// build's hot path.
+	ckHits uint64
 }
 
 // New builds a TLB from cfg.
@@ -116,7 +122,10 @@ func (t *TLB) Config() Config { return t.cfg }
 func (t *TLB) Stats() Stats { return t.stats }
 
 // ResetStats zeroes statistics without dropping translations.
-func (t *TLB) ResetStats() { t.stats = Stats{} }
+func (t *TLB) ResetStats() {
+	t.stats = Stats{}
+	t.ckHits = 0
+}
 
 // Reset returns the TLB to its just-built state in the current HT mode:
 // translations dropped, LRU clock and statistics zeroed. Entries are
@@ -130,6 +139,7 @@ func (t *TLB) Reset() {
 	}
 	t.tick = 0
 	t.stats = Stats{}
+	t.ckHits = 0
 }
 
 // Flush drops every translation (address-space switch).
@@ -168,10 +178,22 @@ func (t *TLB) Access(addr uint64, ctx int) bool {
 		part = ctx & 1
 	}
 	n := len(t.sets) / t.partitons
+	if check.Enabled && check.On && t.cfg.Partitioned && t.partitons == 2 {
+		// Partition isolation: a context's lookups must stay inside its
+		// own half of a statically-partitioned structure.
+		check.Assert(part == ctx&1, t.cfg.Name,
+			"ctx %d routed to partition %d", ctx, part)
+	}
 	set := t.sets[part*n+int(vpn)&(n-1)]
 	for i := range set {
 		if set[i].valid && set[i].vpn == vpn {
 			set[i].lru = t.tick
+			if check.Enabled && check.On {
+				t.ckHits++
+				check.Assert(t.ckHits+t.stats.TotalMisses() == t.stats.TotalAccesses(),
+					t.cfg.Name, "hits %d + misses %d != accesses %d",
+					t.ckHits, t.stats.TotalMisses(), t.stats.TotalAccesses())
+			}
 			return true
 		}
 	}
@@ -187,5 +209,21 @@ func (t *TLB) Access(addr uint64, ctx int) bool {
 		}
 	}
 	set[victim] = entry{vpn: vpn, lru: t.tick, valid: true}
+	if check.Enabled && check.On {
+		// The translation just installed must be visible to an immediate
+		// replay of the same lookup.
+		found := false
+		for i := range set {
+			if set[i].valid && set[i].vpn == vpn {
+				found = true
+				break
+			}
+		}
+		check.Assert(found, t.cfg.Name,
+			"vpn %#x not resident immediately after a miss fill (ctx %d)", vpn, ctx)
+		check.Assert(t.ckHits+t.stats.TotalMisses() == t.stats.TotalAccesses(),
+			t.cfg.Name, "hits %d + misses %d != accesses %d",
+			t.ckHits, t.stats.TotalMisses(), t.stats.TotalAccesses())
+	}
 	return false
 }

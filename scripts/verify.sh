@@ -4,7 +4,9 @@
 # Tier 1 (ROADMAP.md): everything must build and the full test suite
 # must pass. On top of that, the packages that share state across
 # goroutines — the harness (solo-time singleflight, pooled CPUs) and
-# the scheduler — must pass under the race detector at short scale.
+# the scheduler — must pass under the race detector at short scale,
+# and the instrumented build (-tags checks, DESIGN.md §6) must pass
+# its probe suite with every invariant armed.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -19,5 +21,9 @@ go test ./...
 
 echo "== race (harness + sched, short) =="
 go test -race -short ./internal/harness/... ./internal/sched/...
+
+echo "== invariant probes (-tags checks, short) =="
+go build -tags checks ./...
+go test -tags checks -short ./...
 
 echo "verify: OK"
