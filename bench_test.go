@@ -1,6 +1,6 @@
 // Benchmark harness: one testing.B benchmark per table and figure of the
 // paper (see DESIGN.md §3 for the experiment index), plus the ablations
-// of DESIGN.md §7. Custom metrics carry the figure's actual quantities;
+// of DESIGN.md §8. Custom metrics carry the figure's actual quantities;
 // ns/op measures the cost of regenerating the figure on this host.
 //
 //	go test -bench=Fig01 -benchtime=1x .
@@ -33,7 +33,7 @@ var (
 func characterization(b *testing.B) *harness.Characterization {
 	b.Helper()
 	charOnce.Do(func() {
-		charData, charErr = harness.RunCharacterization(bench.Tiny, 0, nil)
+		charData, charErr = harness.RunCharacterization(harness.Config{Scale: bench.Tiny})
 	})
 	if charErr != nil {
 		b.Fatal(charErr)
@@ -44,10 +44,10 @@ func characterization(b *testing.B) *harness.Characterization {
 func pairings(b *testing.B) *harness.Pairings {
 	b.Helper()
 	pairOnce.Do(func() {
-		opts := harness.DefaultPairOptions()
-		opts.Runs = 4
-		opts.Jobs = 0 // one worker per CPU; results identical to serial
-		pairData, pairErr = harness.RunPairings(opts, nil)
+		cfg := harness.DefaultConfig()
+		cfg.Runs = 4
+		cfg.Jobs = 0 // one worker per CPU; results identical to serial
+		pairData, pairErr = harness.RunPairings(cfg)
 	})
 	if pairErr != nil {
 		b.Fatal(pairErr)
@@ -228,7 +228,7 @@ func BenchmarkFig09ColorMap(b *testing.B) {
 // 7 of 9 programs slower, 0.15%-62%).
 func BenchmarkFig10SingleThread(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := harness.RunFig10(bench.Tiny, 0, nil)
+		rows, err := harness.RunFig10(harness.Config{Scale: bench.Tiny})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -263,7 +263,7 @@ func BenchmarkFig11SelfPair(b *testing.B) {
 // at 2 threads; MolDyn dips at 4 on L1D misses).
 func BenchmarkFig12ThreadSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := harness.RunFig12(bench.Tiny, []int{1, 2, 4, 8, 16}, 0, nil)
+		rows, err := harness.RunFig12(harness.Config{Scale: bench.Tiny}, []int{1, 2, 4, 8, 16})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -285,10 +285,10 @@ func BenchmarkFig12ThreadSweep(b *testing.B) {
 }
 
 // BenchmarkAblationPartition compares the single-thread HT tax under
-// static vs dynamic partitioning (DESIGN.md §7: the paper's proposed fix).
+// static vs dynamic partitioning (DESIGN.md §8: the paper's proposed fix).
 func BenchmarkAblationPartition(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := harness.RunFig10(bench.Tiny, 0, nil)
+		rows, err := harness.RunFig10(harness.Config{Scale: bench.Tiny})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -304,7 +304,7 @@ func BenchmarkAblationPartition(b *testing.B) {
 }
 
 // BenchmarkAblationTCSharing measures how much of jack's HT trace-cache
-// degradation is the per-context line tagging (DESIGN.md §7).
+// degradation is the per-context line tagging (DESIGN.md §8).
 func BenchmarkAblationTCSharing(b *testing.B) {
 	jack, _ := bench.ByName("jack")
 	for i := 0; i < b.N; i++ {

@@ -7,50 +7,33 @@
 //	javasmt -bench compress -ht
 //	javasmt -bench MolDyn -threads 8 -scale small -ht
 //	javasmt -bench jack -ht -partition dynamic
+//	javasmt -bench compress -metrics m.json -trace t.json -sample 50000
 package main
 
 import (
 	"flag"
 	"fmt"
-	"os"
-	"strings"
 
 	"javasmt/internal/bench"
-	"javasmt/internal/check"
+	"javasmt/internal/cli"
 	"javasmt/internal/core"
 	"javasmt/internal/counters"
 	"javasmt/internal/harness"
 )
-
-func parseScale(s string) (bench.Scale, error) {
-	switch strings.ToLower(s) {
-	case "tiny":
-		return bench.Tiny, nil
-	case "small":
-		return bench.Small, nil
-	case "medium":
-		return bench.Medium, nil
-	}
-	return 0, fmt.Errorf("unknown scale %q (tiny|small|medium)", s)
-}
 
 func main() {
 	var (
 		name      = flag.String("bench", "compress", "benchmark name (see -list)")
 		list      = flag.Bool("list", false, "list benchmarks and exit")
 		threads   = flag.Int("threads", 1, "Java threads for multithreaded benchmarks")
-		scaleStr  = flag.String("scale", "tiny", "input scale: tiny|small|medium")
 		ht        = flag.Bool("ht", false, "enable Hyper-Threading")
 		partition = flag.String("partition", "static", "resource partition: static|dynamic")
 		tcShared  = flag.Bool("tc-shared-tags", false, "ablation: share trace-cache lines across contexts")
 		noVerify  = flag.Bool("no-verify", false, "skip result verification against the Go mirror")
-		checks    = flag.Bool("checks", check.Enabled, "enable runtime invariant probes (needs a -tags checks build)")
 	)
+	cf := cli.Register("javasmt", flag.CommandLine, cli.Options{})
 	flag.Parse()
-	if err := check.SetOn(*checks); err != nil {
-		fmt.Fprintln(os.Stderr, "javasmt:", err)
-		os.Exit(2)
-	}
+	c := cf.MustFinish()
 
 	if *list {
 		fmt.Print(harness.Table1())
@@ -58,37 +41,33 @@ func main() {
 	}
 	b, ok := bench.ByName(*name)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "javasmt: unknown benchmark %q; use -list\n", *name)
-		os.Exit(2)
-	}
-	scale, err := parseScale(*scaleStr)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "javasmt:", err)
-		os.Exit(2)
+		c.Usagef("unknown benchmark %q; use -list", *name)
 	}
 	opts := harness.Options{
 		HT:           *ht,
 		Threads:      *threads,
-		Scale:        scale,
+		Scale:        c.Scale,
 		Verify:       !*noVerify,
 		TCSharedTags: *tcShared,
+		Obs:          c.Obs,
 	}
 	if *partition == "dynamic" {
 		opts.Partition = core.DynamicPartition
 	} else if *partition != "static" {
-		fmt.Fprintf(os.Stderr, "javasmt: unknown partition %q\n", *partition)
-		os.Exit(2)
+		c.Usagef("unknown partition %q", *partition)
 	}
 
 	res, err := harness.Run(b, opts)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "javasmt:", err)
-		os.Exit(1)
+		c.Fatal(err)
+	}
+	if err := c.WriteObs(); err != nil {
+		c.Fatal(err)
 	}
 
 	f := &res.Counters
 	fmt.Printf("benchmark    %s (threads=%d scale=%v ht=%v partition=%s)\n",
-		b.Name, *threads, scale, *ht, *partition)
+		b.Name, *threads, c.Scale, *ht, *partition)
 	fmt.Printf("cycles       %d\n", res.Cycles)
 	fmt.Printf("uops         %d\n", f.Get(counters.Instructions))
 	fmt.Printf("IPC          %.3f   CPI %.3f\n", f.IPC(), f.CPI())

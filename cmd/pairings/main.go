@@ -5,55 +5,44 @@
 //
 //	pairings -a jack -b mpegaudio
 //	pairings -all -runs 6 -j 4
+//	pairings -all -metrics m.json -trace t.json
 package main
 
 import (
 	"flag"
 	"fmt"
-	"os"
 
 	"javasmt/internal/bench"
-	"javasmt/internal/check"
+	"javasmt/internal/cli"
 	"javasmt/internal/counters"
 	"javasmt/internal/harness"
-	"javasmt/internal/sched"
 )
 
 func main() {
 	var (
-		aName  = flag.String("a", "compress", "first benchmark")
-		bName  = flag.String("b", "mpegaudio", "second benchmark")
-		all    = flag.Bool("all", false, "run the full 9x9 cross product")
-		runs   = flag.Int("runs", 6, "averaged runs per program (paper: 12)")
-		small  = flag.Bool("small", false, "use the small scale instead of tiny")
-		jobs   = flag.Int("j", sched.DefaultWorkers(), "concurrent experiments (1 = serial)")
-		quiet  = flag.Bool("q", false, "suppress progress output")
-		checks = flag.Bool("checks", check.Enabled, "enable runtime invariant probes (needs a -tags checks build)")
+		aName = flag.String("a", "compress", "first benchmark")
+		bName = flag.String("b", "mpegaudio", "second benchmark")
+		all   = flag.Bool("all", false, "run the full 9x9 cross product")
+		runs  = flag.Int("runs", 6, "averaged runs per program (paper: 12)")
 	)
+	cf := cli.Register("pairings", flag.CommandLine, cli.Options{Jobs: true, Quiet: true})
 	flag.Parse()
-	if err := check.SetOn(*checks); err != nil {
-		fmt.Fprintln(os.Stderr, "pairings:", err)
-		os.Exit(2)
-	}
+	c := cf.MustFinish()
 
-	opts := harness.DefaultPairOptions()
-	opts.Runs = *runs
-	opts.Jobs = *jobs
-	if *small {
-		opts.Scale = bench.Small
-	}
-	// Workers interleave at line granularity; every message is prefixed
-	// with its pair name so the stream stays readable at any -j.
-	progress := func(msg string) {
-		if !*quiet {
-			fmt.Fprintf(os.Stderr, "... %s\n", msg)
-		}
-	}
+	cfg := harness.DefaultConfig()
+	cfg.Scale = c.Scale
+	cfg.Jobs = c.Jobs
+	cfg.Runs = *runs
+	cfg.Progress = c.Progress()
+	cfg.Obs = c.Obs
 
 	if *all {
-		p, err := harness.RunPairings(opts, progress)
+		p, err := harness.RunPairings(cfg)
 		if err != nil {
-			fatal(err)
+			c.Fatal(err)
+		}
+		if err := c.WriteObs(); err != nil {
+			c.Fatal(err)
 		}
 		fmt.Println(p.Fig8())
 		fmt.Println(p.Fig9())
@@ -63,15 +52,22 @@ func main() {
 
 	a, ok := bench.ByName(*aName)
 	if !ok {
-		fatal(fmt.Errorf("unknown benchmark %q", *aName))
+		c.Fatal(fmt.Errorf("unknown benchmark %q", *aName))
 	}
 	b, ok := bench.ByName(*bName)
 	if !ok {
-		fatal(fmt.Errorf("unknown benchmark %q", *bName))
+		c.Fatal(fmt.Errorf("unknown benchmark %q", *bName))
 	}
+	opts := harness.DefaultPairOptions()
+	opts.Scale = cfg.Scale
+	opts.Runs = cfg.Runs
+	opts.Obs = c.Obs
 	res, err := harness.RunPair(a, b, opts)
 	if err != nil {
-		fatal(err)
+		c.Fatal(err)
+	}
+	if err := c.WriteObs(); err != nil {
+		c.Fatal(err)
 	}
 	fmt.Printf("pair            %s + %s\n", res.A, res.B)
 	fmt.Printf("solo cycles     %s=%.0f  %s=%.0f\n", res.A, res.SoloA, res.B, res.SoloB)
@@ -84,9 +80,4 @@ func main() {
 		f.PerKiloInstr(counters.TCMisses), f.PerKiloInstr(counters.L1DMisses),
 		f.PerKiloInstr(counters.L2Misses), f.Rate(counters.BTBMisses, counters.Branches),
 		f.DTModePercent())
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "pairings:", err)
-	os.Exit(1)
 }

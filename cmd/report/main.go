@@ -9,49 +9,26 @@
 //	report -table2 -fig1    # only the selected items
 //	report -scale small     # larger inputs (slower, closer to the paper)
 //	report -j 1             # serial execution
+//	report -fig10 -metrics m.json   # plus sampled time-series
 package main
 
 import (
 	"flag"
 	"fmt"
-	"os"
-	"strings"
 
-	"javasmt/internal/bench"
-	"javasmt/internal/check"
+	"javasmt/internal/cli"
 	"javasmt/internal/harness"
-	"javasmt/internal/sched"
 )
 
 func main() {
-	var (
-		scaleStr = flag.String("scale", "tiny", "input scale: tiny|small|medium")
-		runs     = flag.Int("runs", 6, "averaged runs per program in pairing experiments (paper: 12)")
-		jobs     = flag.Int("j", sched.DefaultWorkers(), "concurrent experiments (1 = serial)")
-		quiet    = flag.Bool("q", false, "suppress progress output")
-		checks   = flag.Bool("checks", check.Enabled, "enable runtime invariant probes (needs a -tags checks build)")
-	)
+	runs := flag.Int("runs", 6, "averaged runs per program in pairing experiments (paper: 12)")
 	sel := map[string]*bool{}
 	for _, name := range []string{"table1", "table2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12"} {
 		sel[name] = flag.Bool(name, false, "render "+name)
 	}
+	cf := cli.Register("report", flag.CommandLine, cli.Options{Jobs: true, Quiet: true})
 	flag.Parse()
-	if err := check.SetOn(*checks); err != nil {
-		fmt.Fprintln(os.Stderr, "report:", err)
-		os.Exit(2)
-	}
-
-	scale := bench.Tiny
-	switch strings.ToLower(*scaleStr) {
-	case "tiny":
-	case "small":
-		scale = bench.Small
-	case "medium":
-		scale = bench.Medium
-	default:
-		fmt.Fprintf(os.Stderr, "report: unknown scale %q\n", *scaleStr)
-		os.Exit(2)
-	}
+	c := cf.MustFinish()
 
 	all := true
 	for _, v := range sel {
@@ -60,11 +37,13 @@ func main() {
 		}
 	}
 	want := func(name string) bool { return all || *sel[name] }
-	progress := func(msg string) {
-		if !*quiet {
-			fmt.Fprintf(os.Stderr, "... %s\n", msg)
-		}
-	}
+
+	cfg := harness.DefaultConfig()
+	cfg.Scale = c.Scale
+	cfg.Jobs = c.Jobs
+	cfg.Runs = *runs
+	cfg.Progress = c.Progress()
+	cfg.Obs = c.Obs
 
 	if want("table1") {
 		fmt.Println(harness.Table1())
@@ -73,44 +52,40 @@ func main() {
 	needChar := want("table2") || want("fig1") || want("fig2") || want("fig3") ||
 		want("fig4") || want("fig5") || want("fig6") || want("fig7")
 	if needChar {
-		c, err := harness.RunCharacterization(scale, *jobs, progress)
+		ch, err := harness.RunCharacterization(cfg)
 		if err != nil {
-			fatal(err)
+			c.Fatal(err)
 		}
 		if want("table2") {
-			fmt.Println(c.Table2())
+			fmt.Println(ch.Table2())
 		}
 		if want("fig1") {
-			fmt.Println(c.Fig1())
+			fmt.Println(ch.Fig1())
 		}
 		if want("fig2") {
-			fmt.Println(c.Fig2())
+			fmt.Println(ch.Fig2())
 		}
 		if want("fig3") {
-			fmt.Println(c.Fig3())
+			fmt.Println(ch.Fig3())
 		}
 		if want("fig4") {
-			fmt.Println(c.Fig4())
+			fmt.Println(ch.Fig4())
 		}
 		if want("fig5") {
-			fmt.Println(c.Fig5())
+			fmt.Println(ch.Fig5())
 		}
 		if want("fig6") {
-			fmt.Println(c.Fig6())
+			fmt.Println(ch.Fig6())
 		}
 		if want("fig7") {
-			fmt.Println(c.Fig7())
+			fmt.Println(ch.Fig7())
 		}
 	}
 
 	if want("fig8") || want("fig9") || want("fig11") {
-		opts := harness.DefaultPairOptions()
-		opts.Scale = scale
-		opts.Runs = *runs
-		opts.Jobs = *jobs
-		p, err := harness.RunPairings(opts, progress)
+		p, err := harness.RunPairings(cfg)
 		if err != nil {
-			fatal(err)
+			c.Fatal(err)
 		}
 		if want("fig8") {
 			fmt.Println(p.Fig8())
@@ -124,23 +99,22 @@ func main() {
 	}
 
 	if want("fig10") {
-		rows, err := harness.RunFig10(scale, *jobs, progress)
+		rows, err := harness.RunFig10(cfg)
 		if err != nil {
-			fatal(err)
+			c.Fatal(err)
 		}
 		fmt.Println(harness.RenderFig10(rows))
 	}
 
 	if want("fig12") {
-		rows, err := harness.RunFig12(scale, []int{1, 2, 4, 8, 16}, *jobs, progress)
+		rows, err := harness.RunFig12(cfg, []int{1, 2, 4, 8, 16})
 		if err != nil {
-			fatal(err)
+			c.Fatal(err)
 		}
 		fmt.Println(harness.RenderFig12(rows))
 	}
-}
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "report:", err)
-	os.Exit(1)
+	if err := c.WriteObs(); err != nil {
+		c.Fatal(err)
+	}
 }

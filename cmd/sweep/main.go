@@ -6,17 +6,17 @@
 //
 //	sweep
 //	sweep -bench MolDyn -threads 1,2,4,8,16 -scale small -j 4
+//	sweep -trace t.json -metrics m.json
 package main
 
 import (
 	"flag"
 	"fmt"
-	"os"
 	"strconv"
 	"strings"
 
 	"javasmt/internal/bench"
-	"javasmt/internal/check"
+	"javasmt/internal/cli"
 	"javasmt/internal/counters"
 	"javasmt/internal/harness"
 	"javasmt/internal/sched"
@@ -26,26 +26,16 @@ func main() {
 	var (
 		name    = flag.String("bench", "", "single benchmark (default: all multithreaded)")
 		threads = flag.String("threads", "1,2,4,8,16", "comma-separated thread counts")
-		small   = flag.Bool("small", false, "use the small scale instead of tiny")
-		jobs    = flag.Int("j", sched.DefaultWorkers(), "concurrent experiments (1 = serial)")
-		checks  = flag.Bool("checks", check.Enabled, "enable runtime invariant probes (needs a -tags checks build)")
 	)
+	cf := cli.Register("sweep", flag.CommandLine, cli.Options{Jobs: true})
 	flag.Parse()
-	if err := check.SetOn(*checks); err != nil {
-		fmt.Fprintln(os.Stderr, "sweep:", err)
-		os.Exit(2)
-	}
+	c := cf.MustFinish()
 
-	scale := bench.Tiny
-	if *small {
-		scale = bench.Small
-	}
 	var counts []int
 	for _, part := range strings.Split(*threads, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil || n < 1 {
-			fmt.Fprintf(os.Stderr, "sweep: bad thread count %q\n", part)
-			os.Exit(2)
+			c.Usagef("bad thread count %q", part)
 		}
 		counts = append(counts, n)
 	}
@@ -54,8 +44,7 @@ func main() {
 	if *name != "" {
 		b, ok := bench.ByName(*name)
 		if !ok || !b.Multithreaded {
-			fmt.Fprintf(os.Stderr, "sweep: %q is not a multithreaded benchmark\n", *name)
-			os.Exit(2)
+			c.Usagef("%q is not a multithreaded benchmark", *name)
 		}
 		targets = []*bench.Benchmark{b}
 	}
@@ -70,12 +59,19 @@ func main() {
 			grid = append(grid, point{b, t})
 		}
 	}
-	results, err := sched.Map(len(grid), *jobs, func(i int) (*harness.Result, error) {
-		return harness.Run(grid[i].b, harness.Options{HT: true, Threads: grid[i].threads, Scale: scale, Verify: true})
+	label := func(i int) string { return fmt.Sprintf("%s t=%d", grid[i].b.Name, grid[i].threads) }
+	results, err := sched.MapObserved(len(grid), c.Jobs, c.Obs, label, func(i int) (*harness.Result, error) {
+		opts := harness.Options{HT: true, Threads: grid[i].threads, Scale: c.Scale, Verify: true}
+		if c.Obs.Enabled() {
+			opts.Obs, opts.ObsLabel = c.Obs, label(i)
+		}
+		return harness.Run(grid[i].b, opts)
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "sweep:", err)
-		os.Exit(1)
+		c.Fatal(err)
+	}
+	if err := c.WriteObs(); err != nil {
+		c.Fatal(err)
 	}
 
 	fmt.Printf("%-12s %8s %8s %10s %10s %8s\n", "benchmark", "threads", "IPC", "L1D/1k", "OS %", "DT %")

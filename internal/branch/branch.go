@@ -47,6 +47,10 @@ func (s Stats) TotalBranches() uint64 { return s.Branches[0] + s.Branches[1] }
 // TotalBTBMisses sums BTB misses over both contexts.
 func (s Stats) TotalBTBMisses() uint64 { return s.BTBMisses[0] + s.BTBMisses[1] }
 
+// TotalMispredicts sums direction/target mispredictions over both
+// contexts (the numerator of the observability layer's MPKI series).
+func (s Stats) TotalMispredicts() uint64 { return s.Mispredicts[0] + s.Mispredicts[1] }
+
 // MissRatio returns BTB misses per branch across both contexts.
 func (s Stats) MissRatio() float64 {
 	if b := s.TotalBranches(); b > 0 {

@@ -228,6 +228,22 @@ func (c *Cache) Access(addr uint64, ctx int) bool {
 	return false
 }
 
+// Occupancy returns the number of valid lines currently held by each
+// logical processor — by line tag for thread-tagged caches, by last
+// toucher (owner) for shared ones. The observability layer samples it to
+// show how the two contexts split a structure's capacity over time, the
+// mechanism behind the paper's trace-cache degradation under HT.
+func (c *Cache) Occupancy() (out [2]int) {
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].valid {
+				out[set[i].owner&1]++
+			}
+		}
+	}
+	return out
+}
+
 // Probe reports whether addr would hit without updating LRU state or
 // statistics. Tests use it to inspect cache contents.
 func (c *Cache) Probe(addr uint64, ctx int) bool {

@@ -13,7 +13,7 @@ type TraceCacheConfig struct {
 	Assoc int
 	// SharedTags, when true, drops the per-logical-processor line tags
 	// so both contexts can share trace lines. This is the ablation knob
-	// from DESIGN.md §7 — the real P4 uses private (tagged) lines.
+	// from DESIGN.md §8 — the real P4 uses private (tagged) lines.
 	SharedTags bool
 	// MissPenalty is the extra front-end latency, in cycles, to rebuild
 	// a trace from the L2/decoder on a miss.
@@ -79,6 +79,9 @@ func (t *TraceCache) Lookup(pc uint64, ctx int) (hit bool, lat int) {
 
 // Stats returns the accumulated access/miss statistics.
 func (t *TraceCache) Stats() Stats { return t.inner.Stats() }
+
+// Occupancy returns valid trace lines held per logical processor.
+func (t *TraceCache) Occupancy() [2]int { return t.inner.Occupancy() }
 
 // ResetStats zeroes statistics, preserving contents.
 func (t *TraceCache) ResetStats() { t.inner.ResetStats() }

@@ -1,0 +1,184 @@
+// Package cli is the flag surface shared by the repository's commands:
+// scale selection, engine parallelism, quiet mode, invariant checks and
+// the observability outputs (-metrics, -trace, -sample). Each tool
+// registers the block once, parses, and resolves it into a Common that
+// carries the scale, job count and (possibly nil) obs.Sink.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"javasmt/internal/bench"
+	"javasmt/internal/check"
+	"javasmt/internal/obs"
+	"javasmt/internal/sched"
+)
+
+// ParseScale maps a -scale argument to a bench.Scale.
+func ParseScale(s string) (bench.Scale, error) {
+	switch strings.ToLower(s) {
+	case "tiny":
+		return bench.Tiny, nil
+	case "small":
+		return bench.Small, nil
+	case "medium":
+		return bench.Medium, nil
+	}
+	return 0, fmt.Errorf("unknown scale %q (tiny|small|medium)", s)
+}
+
+// Options selects which optional flags a tool registers on top of the
+// always-present block (-scale, -small, -checks, -metrics, -trace,
+// -sample).
+type Options struct {
+	// Jobs registers -j for tools that fan experiments out.
+	Jobs bool
+	// Quiet registers -q for tools with progress output.
+	Quiet bool
+}
+
+// Flags holds the registered flag values until Finish resolves them.
+type Flags struct {
+	tool string
+	fs   *flag.FlagSet
+
+	scale   *string
+	small   *bool
+	jobs    *int
+	quiet   *bool
+	checks  *bool
+	metrics *string
+	trace   *string
+	sample  *uint64
+}
+
+// Register installs the common flag block on fs (normally
+// flag.CommandLine) for the named tool. Call before fs.Parse; resolve
+// with Finish after.
+func Register(tool string, fs *flag.FlagSet, opt Options) *Flags {
+	f := &Flags{tool: tool, fs: fs}
+	f.scale = fs.String("scale", "tiny", "input scale: tiny|small|medium")
+	f.small = fs.Bool("small", false, "deprecated: use -scale small")
+	f.checks = fs.Bool("checks", check.Enabled, "enable runtime invariant probes (needs a -tags checks build)")
+	f.metrics = fs.String("metrics", "", "write sampled metrics time-series JSON to `file`")
+	f.trace = fs.String("trace", "", "write Chrome trace-event JSON to `file` (chrome://tracing, Perfetto)")
+	f.sample = fs.Uint64("sample", obs.DefaultStride, "metrics sample interval in `cycles`")
+	if opt.Jobs {
+		f.jobs = fs.Int("j", sched.DefaultWorkers(), "concurrent experiments (1 = serial)")
+	}
+	if opt.Quiet {
+		f.quiet = fs.Bool("q", false, "suppress progress output")
+	}
+	return f
+}
+
+// Common is the resolved common configuration. Obs is nil unless
+// -metrics or -trace was given, so untraced runs pay nothing.
+type Common struct {
+	Scale bench.Scale
+	Jobs  int
+	Quiet bool
+	Obs   *obs.Sink
+
+	tool        string
+	metricsPath string
+	tracePath   string
+}
+
+// Finish validates the parsed flags and builds the Common. It must be
+// called after the flag set has been parsed. Errors are usage errors
+// (the caller should exit 2, or use MustFinish).
+func (f *Flags) Finish() (*Common, error) {
+	if err := check.SetOn(*f.checks); err != nil {
+		return nil, err
+	}
+	scaleStr := *f.scale
+	if *f.small {
+		scaleSet := false
+		f.fs.Visit(func(fl *flag.Flag) {
+			if fl.Name == "scale" {
+				scaleSet = true
+			}
+		})
+		if scaleSet && !strings.EqualFold(scaleStr, "small") {
+			return nil, fmt.Errorf("-small conflicts with -scale %s", scaleStr)
+		}
+		fmt.Fprintf(os.Stderr, "%s: -small is deprecated; use -scale small\n", f.tool)
+		scaleStr = "small"
+	}
+	scale, err := ParseScale(scaleStr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Common{
+		Scale:       scale,
+		Jobs:        1,
+		tool:        f.tool,
+		metricsPath: *f.metrics,
+		tracePath:   *f.trace,
+	}
+	if f.jobs != nil {
+		c.Jobs = *f.jobs
+	}
+	if f.quiet != nil {
+		c.Quiet = *f.quiet
+	}
+	if c.metricsPath != "" || c.tracePath != "" {
+		c.Obs = obs.New(obs.Config{
+			Metrics: c.metricsPath != "",
+			Trace:   c.tracePath != "",
+			Stride:  *f.sample,
+		})
+	}
+	return c, nil
+}
+
+// MustFinish is Finish, exiting 2 on a usage error.
+func (f *Flags) MustFinish() *Common {
+	c, err := f.Finish()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", f.tool, err)
+		os.Exit(2)
+	}
+	return c
+}
+
+// Progress returns the tool's progress callback: a stderr line printer,
+// or nil when -q was given (experiment drivers treat nil as disabled).
+func (c *Common) Progress() func(string) {
+	if c.Quiet {
+		return nil
+	}
+	return func(msg string) { fmt.Fprintf(os.Stderr, "... %s\n", msg) }
+}
+
+// WriteObs writes whichever observability files were requested on the
+// command line; with neither -metrics nor -trace it writes nothing.
+func (c *Common) WriteObs() error {
+	if c.metricsPath != "" {
+		if err := c.Obs.WriteMetricsFile(c.metricsPath); err != nil {
+			return err
+		}
+	}
+	if c.tracePath != "" {
+		if err := c.Obs.WriteTraceFile(c.tracePath); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Fatal reports a runtime error and exits 1.
+func (c *Common) Fatal(err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", c.tool, err)
+	os.Exit(1)
+}
+
+// Usagef reports a usage error and exits 2.
+func (c *Common) Usagef(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, c.tool+": "+format+"\n", args...)
+	os.Exit(2)
+}

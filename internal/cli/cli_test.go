@@ -1,0 +1,135 @@
+package cli
+
+import (
+	"flag"
+	"io"
+	"strings"
+	"testing"
+
+	"javasmt/internal/bench"
+	"javasmt/internal/obs"
+)
+
+// parse registers the common block on a throwaway flag set, parses args
+// and resolves them.
+func parse(t *testing.T, opt Options, args ...string) (*Common, error) {
+	t.Helper()
+	fs := flag.NewFlagSet("testtool", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	f := Register("testtool", fs, opt)
+	if err := fs.Parse(args); err != nil {
+		t.Fatalf("parse %v: %v", args, err)
+	}
+	return f.Finish()
+}
+
+func TestParseScale(t *testing.T) {
+	for in, want := range map[string]bench.Scale{
+		"tiny": bench.Tiny, "small": bench.Small, "medium": bench.Medium,
+		"Small": bench.Small, "TINY": bench.Tiny,
+	} {
+		got, err := ParseScale(in)
+		if err != nil || got != want {
+			t.Errorf("ParseScale(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseScale("huge"); err == nil {
+		t.Error("ParseScale accepted an unknown scale")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	c, err := parse(t, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Scale != bench.Tiny {
+		t.Errorf("default scale = %v, want tiny", c.Scale)
+	}
+	if c.Jobs != 1 {
+		t.Errorf("jobs without -j registered = %d, want 1 (serial)", c.Jobs)
+	}
+	if c.Obs != nil {
+		t.Error("observability sink built without -metrics/-trace")
+	}
+	if err := c.WriteObs(); err != nil {
+		t.Errorf("WriteObs with nothing requested: %v", err)
+	}
+}
+
+func TestScaleFlag(t *testing.T) {
+	c, err := parse(t, Options{}, "-scale", "small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Scale != bench.Small {
+		t.Errorf("scale = %v, want small", c.Scale)
+	}
+}
+
+func TestSmallDeprecatedAlias(t *testing.T) {
+	c, err := parse(t, Options{}, "-small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Scale != bench.Small {
+		t.Errorf("-small resolved to %v, want small", c.Scale)
+	}
+	// Redundant but consistent spelling is accepted.
+	if c, err = parse(t, Options{}, "-small", "-scale", "small"); err != nil || c.Scale != bench.Small {
+		t.Errorf("-small -scale small = %v, %v", c, err)
+	}
+	// Conflicting explicit -scale is a usage error.
+	if _, err = parse(t, Options{}, "-small", "-scale", "medium"); err == nil {
+		t.Error("-small -scale medium did not error")
+	} else if !strings.Contains(err.Error(), "conflicts") {
+		t.Errorf("conflict error = %v", err)
+	}
+}
+
+func TestJobsAndQuiet(t *testing.T) {
+	c, err := parse(t, Options{Jobs: true, Quiet: true}, "-j", "3", "-q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Jobs != 3 || !c.Quiet {
+		t.Errorf("jobs=%d quiet=%v, want 3 true", c.Jobs, c.Quiet)
+	}
+	if c.Progress() != nil {
+		t.Error("quiet tool still got a progress callback")
+	}
+	loud, err := parse(t, Options{Jobs: true, Quiet: true}, "-j", "2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loud.Progress() == nil {
+		t.Error("non-quiet tool got no progress callback")
+	}
+}
+
+func TestObsFlags(t *testing.T) {
+	c, err := parse(t, Options{}, "-metrics", t.TempDir()+"/m.json", "-sample", "12345")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Obs.MetricsEnabled() || c.Obs.TraceEnabled() {
+		t.Errorf("-metrics built metrics=%v trace=%v", c.Obs.MetricsEnabled(), c.Obs.TraceEnabled())
+	}
+	if got := c.Obs.Stride(); got != 12345 {
+		t.Errorf("stride = %d, want 12345", got)
+	}
+	if err := c.WriteObs(); err != nil {
+		t.Errorf("WriteObs: %v", err)
+	}
+
+	c, err = parse(t, Options{}, "-trace", t.TempDir()+"/t.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Obs.MetricsEnabled() || !c.Obs.TraceEnabled() {
+		t.Errorf("-trace built metrics=%v trace=%v", c.Obs.MetricsEnabled(), c.Obs.TraceEnabled())
+	}
+	if got := c.Obs.Stride(); got != obs.DefaultStride {
+		t.Errorf("default stride = %d, want %d", got, obs.DefaultStride)
+	}
+}

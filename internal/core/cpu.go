@@ -9,6 +9,7 @@ import (
 	"javasmt/internal/counters"
 	"javasmt/internal/isa"
 	"javasmt/internal/mem"
+	"javasmt/internal/obs"
 	"javasmt/internal/tlb"
 )
 
@@ -164,6 +165,13 @@ type CPU struct {
 	dram *mem.DRAM
 
 	file counters.File
+
+	// Observability hooks (see observe.go): nextSample is parked at
+	// noSample when detached, so the per-cycle cost of disabled
+	// observability is one always-false compare.
+	obs          *obs.RunObs
+	sampleStride uint64
+	nextSample   uint64
 }
 
 // New builds a CPU from cfg. Structures are sized per the config and the
@@ -179,6 +187,8 @@ func New(cfg Config) *CPU {
 		dtlb: tlb.New(cfg.DTLB),
 		pred: branch.New(cfg.Branch),
 		dram: dram,
+
+		nextSample: noSample,
 	}
 	c.itlb.SetHT(cfg.HT)
 	c.dtlb.SetHT(cfg.HT)
@@ -201,10 +211,14 @@ func New(cfg Config) *CPU {
 // and predictor arrays, and TLB entries. A reset CPU behaves
 // bit-identically to a fresh New(cfg) — all cache/TLB/predictor
 // contents, DRAM row and bus state, counters and pipeline state are
-// cleared. Feeds are detached; reattach with AttachFeed.
+// cleared. Feeds are detached; reattach with AttachFeed. Observers are
+// likewise detached; reattach with AttachObs.
 func (c *CPU) Reset() {
 	c.now = 0
 	c.decodeBusyUntil = 0
+	c.obs = nil
+	c.sampleStride = 0
+	c.nextSample = noSample
 	c.totRob, c.totLoads, c.totStores = 0, 0, 0
 	c.ckFed, c.ckAlloc, c.ckRetired = 0, 0, 0
 	for i := range c.cal.cycle {
@@ -327,6 +341,9 @@ func (c *CPU) Step() bool {
 	c.fetchAllocate(nActive, &act)
 	c.retire()
 
+	if c.now >= c.nextSample {
+		c.obsSample()
+	}
 	if check.Enabled && check.On {
 		c.verifyStep()
 	}
@@ -671,7 +688,7 @@ func (c *CPU) Counters() *counters.File {
 	br := c.pred.Stats()
 	c.file.Set(counters.Branches, br.TotalBranches())
 	c.file.Set(counters.BTBMisses, br.TotalBTBMisses())
-	c.file.Set(counters.BranchMispredicts, br.Mispredicts[0]+br.Mispredicts[1])
+	c.file.Set(counters.BranchMispredicts, br.TotalMispredicts())
 	dr := c.dram.Stats()
 	c.file.Set(counters.MemReads, dr.Reads)
 	c.file.Set(counters.MemWrites, dr.Writes)

@@ -1,0 +1,61 @@
+package core
+
+import "javasmt/internal/obs"
+
+// noSample parks the sampling trigger beyond any reachable cycle, so the
+// disabled path costs exactly one always-false integer compare per cycle
+// and zero allocations (asserted by TestObsDisabledAllocFree and the
+// BenchmarkSimSpeed budget in BENCH_core.json).
+const noSample = ^uint64(0)
+
+// AttachObs directs periodic observability samples from this machine to
+// r, every stride cycles (0 = the observer's configured stride). A nil r
+// detaches. Reset also detaches, so pooled machines never leak samples
+// into a later experiment's series.
+func (c *CPU) AttachObs(r *obs.RunObs, stride uint64) {
+	c.obs = r
+	if r == nil {
+		c.nextSample = noSample
+		return
+	}
+	if stride == 0 {
+		stride = r.Stride()
+	}
+	c.sampleStride = stride
+	c.nextSample = c.now + stride
+}
+
+// Obs returns the attached run observer, nil when observability is off.
+// The OS substrate reads it to emit per-context thread slices.
+func (c *CPU) Obs() *obs.RunObs { return c.obs }
+
+// FinishObs records the run's final sample at the current cycle, so the
+// series always ends with the end-of-run counter state (the golden tests
+// pin that the final sample equals the run's counter file). No-op when
+// detached.
+func (c *CPU) FinishObs() {
+	if c.obs == nil {
+		return
+	}
+	c.obsSample()
+}
+
+// obsSample records one sample and schedules the next.
+func (c *CPU) obsSample() {
+	c.nextSample = c.now + c.sampleStride
+	st := c.coreState()
+	c.obs.Sample(c.now, c.Counters(), &st)
+}
+
+// coreState snapshots the instantaneous per-context pipeline occupancy.
+func (c *CPU) coreState() obs.CoreState {
+	var st obs.CoreState
+	for i, x := range c.ctxs {
+		st.ROB[i] = x.robCount
+		st.Loads[i] = x.loadsOut
+		st.Stores[i] = x.storesOut
+	}
+	st.TCLines = c.tc.Occupancy()
+	st.ITLBEntries = c.itlb.Occupancy()
+	return st
+}

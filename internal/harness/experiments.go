@@ -32,9 +32,9 @@ type Characterization struct {
 }
 
 // RunCharacterization executes the §4.1 run matrix, fanning the
-// independent cells across up to `jobs` workers (0 = one per CPU,
-// 1 = serial). Cell order in the result is fixed regardless of jobs.
-func RunCharacterization(scale bench.Scale, jobs int, progress func(string)) (*Characterization, error) {
+// independent cells across up to cfg.Jobs workers. Cell order in the
+// result is fixed regardless of parallelism.
+func RunCharacterization(cfg Config) (*Characterization, error) {
 	type cell struct {
 		b       *bench.Benchmark
 		threads int
@@ -48,11 +48,19 @@ func RunCharacterization(scale bench.Scale, jobs int, progress func(string)) (*C
 			}
 		}
 	}
-	report := sched.Progress(progress)
-	runs, err := sched.Map(len(cells), jobs, func(i int) (CharRun, error) {
+	report := sched.Progress(cfg.Progress)
+	label := func(i int) string {
+		cl := cells[i]
+		return fmt.Sprintf("%s t=%d ht=%v", cl.b.Name, cl.threads, cl.ht)
+	}
+	runs, err := sched.MapObserved(len(cells), cfg.Jobs, cfg.Obs, label, func(i int) (CharRun, error) {
 		cl := cells[i]
 		report(fmt.Sprintf("%s threads=%d ht=%v", cl.b.Name, cl.threads, cl.ht))
-		res, err := Run(cl.b, Options{HT: cl.ht, Threads: cl.threads, Scale: scale, Verify: true})
+		opt := Options{HT: cl.ht, Threads: cl.threads, Scale: cfg.Scale, Verify: true}
+		if cfg.Obs.Enabled() {
+			opt.Obs, opt.ObsLabel = cfg.Obs, label(i)
+		}
+		res, err := Run(cl.b, opt)
 		if err != nil {
 			return CharRun{}, err
 		}
@@ -61,7 +69,7 @@ func RunCharacterization(scale bench.Scale, jobs int, progress func(string)) (*C
 	if err != nil {
 		return nil, err
 	}
-	return &Characterization{Scale: scale, Runs: runs}, nil
+	return &Characterization{Scale: cfg.Scale, Runs: runs}, nil
 }
 
 // find returns the run for (name, threads, ht).
@@ -201,16 +209,16 @@ type Pairings struct {
 
 // RunPairings executes the cross product of the nine single-threaded
 // programs (§4.2). Pairs are measured in both (A,B) and (B,A) roles —
-// the full 81-cell map, like the paper's Figure 9. opts.Jobs pairings
+// the full 81-cell map, like the paper's Figure 9. cfg.Jobs pairings
 // run concurrently (each on its own machine); the result matrix is
 // byte-identical at every job count.
-func RunPairings(opts PairOptions, progress func(string)) (*Pairings, error) {
-	return runPairingsOf(bench.SingleThreaded(), opts, progress)
+func RunPairings(cfg Config) (*Pairings, error) {
+	return runPairingsOf(bench.SingleThreaded(), cfg)
 }
 
 // runPairingsOf is RunPairings over an explicit program list (tests use
 // reduced lists to keep the determinism check fast).
-func runPairingsOf(progs []*bench.Benchmark, opts PairOptions, progress func(string)) (*Pairings, error) {
+func runPairingsOf(progs []*bench.Benchmark, cfg Config) (*Pairings, error) {
 	p := &Pairings{}
 	for _, b := range progs {
 		p.Names = append(p.Names, b.Name)
@@ -229,12 +237,16 @@ func runPairingsOf(progs []*bench.Benchmark, opts PairOptions, progress func(str
 			jobs = append(jobs, pairJob{i, j})
 		}
 	}
-	report := sched.Progress(progress)
+	opts := cfg.pairOptions()
+	report := sched.Progress(cfg.Progress)
+	label := func(idx int) string {
+		return fmt.Sprintf("pair %s+%s", progs[jobs[idx].i].Name, progs[jobs[idx].j].Name)
+	}
 	// Workers draw reusable machines from a pool: a Reset CPU behaves
 	// bit-identically to a fresh one (asserted by the determinism test)
 	// but keeps its calendar rings, ROB rings and cache arrays.
 	pool := sync.Pool{New: func() any { return core.New(pairCPUConfig()) }}
-	results, err := sched.Map(len(jobs), opts.Jobs, func(idx int) (*PairResult, error) {
+	results, err := sched.MapObserved(len(jobs), cfg.Jobs, cfg.Obs, label, func(idx int) (*PairResult, error) {
 		a, b := progs[jobs[idx].i], progs[jobs[idx].j]
 		report(fmt.Sprintf("pair %s + %s: start", a.Name, b.Name))
 		cpu := pool.Get().(*core.CPU)
@@ -353,7 +365,7 @@ type Fig10Row struct {
 	Benchmark string
 	CyclesOff uint64
 	CyclesOn  uint64
-	// CyclesDyn is the dynamic-partition ablation (DESIGN.md §7).
+	// CyclesDyn is the dynamic-partition ablation (DESIGN.md §8).
 	CyclesDyn uint64
 }
 
@@ -369,22 +381,29 @@ func (r Fig10Row) DynSlowdownPct() float64 {
 
 // RunFig10 measures the static-partition tax on each single-threaded
 // program (paper §4.3), plus the dynamic-partition ablation, fanning
-// the per-benchmark measurements across up to `jobs` workers.
-func RunFig10(scale bench.Scale, jobs int, progress func(string)) ([]Fig10Row, error) {
+// the per-benchmark measurements across up to cfg.Jobs workers.
+func RunFig10(cfg Config) ([]Fig10Row, error) {
 	progs := bench.SingleThreaded()
-	report := sched.Progress(progress)
-	return sched.Map(len(progs), jobs, func(i int) (Fig10Row, error) {
+	report := sched.Progress(cfg.Progress)
+	label := func(i int) string { return "fig10 " + progs[i].Name }
+	return sched.MapObserved(len(progs), cfg.Jobs, cfg.Obs, label, func(i int) (Fig10Row, error) {
 		b := progs[i]
 		report(b.Name)
-		off, err := Run(b, Options{Threads: 1, Scale: scale, Verify: true})
+		run := func(mode string, opt Options) (*Result, error) {
+			if cfg.Obs.Enabled() {
+				opt.Obs, opt.ObsLabel = cfg.Obs, fmt.Sprintf("fig10 %s %s", b.Name, mode)
+			}
+			return Run(b, opt)
+		}
+		off, err := run("ht=off", Options{Threads: 1, Scale: cfg.Scale, Verify: true})
 		if err != nil {
 			return Fig10Row{}, err
 		}
-		on, err := Run(b, Options{HT: true, Threads: 1, Scale: scale})
+		on, err := run("ht=on", Options{HT: true, Threads: 1, Scale: cfg.Scale})
 		if err != nil {
 			return Fig10Row{}, err
 		}
-		dyn, err := Run(b, Options{HT: true, Threads: 1, Scale: scale, Partition: core.DynamicPartition})
+		dyn, err := run("ht=on dyn", Options{HT: true, Threads: 1, Scale: cfg.Scale, Partition: core.DynamicPartition})
 		if err != nil {
 			return Fig10Row{}, err
 		}
@@ -418,8 +437,8 @@ type Fig12Row struct {
 }
 
 // RunFig12 sweeps thread counts on the HT processor (paper §4.4),
-// fanning the sweep grid across up to `jobs` workers.
-func RunFig12(scale bench.Scale, threadCounts []int, jobs int, progress func(string)) ([]Fig12Row, error) {
+// fanning the sweep grid across up to cfg.Jobs workers.
+func RunFig12(cfg Config, threadCounts []int) ([]Fig12Row, error) {
 	type point struct {
 		b       *bench.Benchmark
 		threads int
@@ -430,11 +449,18 @@ func RunFig12(scale bench.Scale, threadCounts []int, jobs int, progress func(str
 			grid = append(grid, point{b, t})
 		}
 	}
-	report := sched.Progress(progress)
-	return sched.Map(len(grid), jobs, func(i int) (Fig12Row, error) {
+	report := sched.Progress(cfg.Progress)
+	label := func(i int) string {
+		return fmt.Sprintf("fig12 %s t=%d", grid[i].b.Name, grid[i].threads)
+	}
+	return sched.MapObserved(len(grid), cfg.Jobs, cfg.Obs, label, func(i int) (Fig12Row, error) {
 		pt := grid[i]
 		report(fmt.Sprintf("%s threads=%d", pt.b.Name, pt.threads))
-		res, err := Run(pt.b, Options{HT: true, Threads: pt.threads, Scale: scale, Verify: true})
+		opt := Options{HT: true, Threads: pt.threads, Scale: cfg.Scale, Verify: true}
+		if cfg.Obs.Enabled() {
+			opt.Obs, opt.ObsLabel = cfg.Obs, label(i)
+		}
+		res, err := Run(pt.b, opt)
 		if err != nil {
 			return Fig12Row{}, err
 		}

@@ -125,9 +125,9 @@ func TestGoldenPairingTable(t *testing.T) {
 	for _, name := range []string{"compress", "mpegaudio", "db"} {
 		progs = append(progs, mustBench(t, name))
 	}
-	opts := DefaultPairOptions()
-	opts.Runs = 2
-	p, err := runPairingsOf(progs, opts, nil)
+	cfg := DefaultConfig()
+	cfg.Runs = 2
+	p, err := runPairingsOf(progs, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

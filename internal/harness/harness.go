@@ -13,8 +13,45 @@ import (
 	"javasmt/internal/core"
 	"javasmt/internal/counters"
 	"javasmt/internal/jvm"
+	"javasmt/internal/obs"
 	"javasmt/internal/simos"
 )
+
+// Config configures an experiment driver (RunCharacterization,
+// RunPairings, RunFig10, RunFig12): input scale, engine parallelism,
+// pairing protocol depth, progress reporting and observability. The
+// zero value is usable; DefaultConfig fills in the pairing defaults.
+type Config struct {
+	// Scale selects input sizes for every cell.
+	Scale bench.Scale
+	// Jobs bounds how many cells simulate concurrently: 0 or negative
+	// means one worker per CPU, 1 runs serially. Each simulation owns
+	// its whole machine, so results are byte-identical at any job count.
+	Jobs int
+	// Runs is the minimum completed runs per program in pairing cells
+	// (the paper uses 12 and drops the first and last; we default lower
+	// to bound simulation time — see DESIGN.md §5).
+	Runs int
+	// MaxCycles bounds each pairing experiment (0 = unlimited).
+	MaxCycles uint64
+	// Progress receives one self-describing line per cell; nil disables
+	// reporting.
+	Progress func(string)
+	// Obs receives per-run metrics series and trace spans; nil disables
+	// observability entirely (the zero-overhead default).
+	Obs *obs.Sink
+}
+
+// DefaultConfig returns the serial Tiny-scale configuration with the
+// default pairing protocol depth.
+func DefaultConfig() Config {
+	return Config{Scale: bench.Tiny, Jobs: 1, Runs: 6, MaxCycles: 2_000_000_000}
+}
+
+// pairOptions derives the per-pairing protocol options from cfg.
+func (c Config) pairOptions() PairOptions {
+	return PairOptions{Scale: c.Scale, Runs: c.Runs, MaxCycles: c.MaxCycles, Obs: c.Obs}
+}
 
 // Options configures a run.
 type Options struct {
@@ -32,6 +69,13 @@ type Options struct {
 	TCSharedTags bool
 	// MaxCycles aborts runaway runs (0 = unlimited).
 	MaxCycles uint64
+	// Obs, when non-nil and enabled, records this run as one metrics
+	// series and one trace track. nil costs nothing on the cycle loop.
+	Obs *obs.Sink
+	// ObsLabel names the run in metrics/trace output; empty defaults to
+	// the benchmark name. Experiment drivers set cell-unique labels so
+	// exported series order (sorted by label) is deterministic.
+	ObsLabel string
 }
 
 // DefaultOptions returns a single-threaded HT-off Tiny run with
@@ -94,10 +138,18 @@ func RunWithCPUConfig(b *bench.Benchmark, opts Options, cfg core.Config) (*Resul
 	k := simos.NewKernel(cpu, simos.DefaultParams())
 	vm := jvm.New(prog, k, vmConfig(opts.Scale, 0))
 	vm.Start()
+	if opts.Obs.Enabled() {
+		label := opts.ObsLabel
+		if label == "" {
+			label = b.Name
+		}
+		cpu.AttachObs(opts.Obs.Run(label), 0)
+	}
 	cycles, err := cpu.Run(opts.MaxCycles)
 	if err != nil {
 		return nil, fmt.Errorf("harness: %s: %w", b.Name, err)
 	}
+	cpu.FinishObs()
 	if opts.Verify {
 		if err := b.Verify(vm, threads, opts.Scale); err != nil {
 			return nil, fmt.Errorf("harness: %w", err)
@@ -204,7 +256,9 @@ func (rf *repeatingFeeder) launch() {
 	})
 }
 
-// PairOptions configures the pairing protocol.
+// PairOptions configures the pairing protocol for one pairing. Engine
+// concerns (parallelism, progress) live on Config, which derives a
+// PairOptions per cell.
 type PairOptions struct {
 	Scale bench.Scale
 	// Runs is the minimum completed runs per program (the paper uses 12
@@ -213,17 +267,17 @@ type PairOptions struct {
 	Runs int
 	// MaxCycles bounds the whole experiment.
 	MaxCycles uint64
-	// Jobs bounds how many pairings RunPairings simulates concurrently:
-	// 0 or negative means one worker per CPU, 1 runs serially. Each
-	// simulation owns its whole machine, so results are byte-identical
-	// at any job count.
-	Jobs int
+	// Obs, when non-nil and enabled, records the co-scheduled interval
+	// as one metrics series and trace track labelled "pair A+B". Solo
+	// reference runs are never observed: they are singleflight-cached
+	// across experiments, so which pairing triggers one is scheduling-
+	// dependent and observing them would break export determinism.
+	Obs *obs.Sink
 }
 
-// DefaultPairOptions returns the default pairing protocol settings
-// (serial execution; set Jobs to parallelize the cross product).
+// DefaultPairOptions returns the default pairing protocol settings.
 func DefaultPairOptions() PairOptions {
-	return PairOptions{Scale: bench.Tiny, Runs: 6, MaxCycles: 2_000_000_000, Jobs: 1}
+	return PairOptions{Scale: bench.Tiny, Runs: 6, MaxCycles: 2_000_000_000}
 }
 
 // soloEntry is one singleflight-guarded solo-time computation: the
@@ -336,6 +390,9 @@ func runPairOn(cpu *core.CPU, a, b *bench.Benchmark, opts PairOptions) (*PairRes
 	fa.partner, fb.partner = fb, fa
 	fa.launch()
 	fb.launch()
+	if opts.Obs.Enabled() {
+		cpu.AttachObs(opts.Obs.Run("pair "+a.Name+"+"+b.Name), 0)
+	}
 
 	for !fa.stopped || !fb.stopped {
 		n, err := cpu.Run(10_000_000)
@@ -350,6 +407,7 @@ func runPairOn(cpu *core.CPU, a, b *bench.Benchmark, opts PairOptions) (*PairRes
 		}
 	}
 
+	cpu.FinishObs()
 	ta, na := avgDroppingEnds(fa.completions)
 	tb, nb := avgDroppingEnds(fb.completions)
 	return &PairResult{

@@ -194,16 +194,16 @@ func TestMetamorphicCrossProduct(t *testing.T) {
 		t.Skip("short mode")
 	}
 	skipIfChecks(t)
-	opts := DefaultPairOptions()
-	opts.Runs = 1
+	cfg := DefaultConfig()
+	cfg.Runs = 1
 
-	opts.Jobs = 1
-	serial, err := RunPairings(opts, nil)
+	cfg.Jobs = 1
+	serial, err := RunPairings(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	opts.Jobs = 8
-	parallel, err := RunPairings(opts, nil)
+	cfg.Jobs = 8
+	parallel, err := RunPairings(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

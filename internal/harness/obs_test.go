@@ -1,0 +1,146 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+
+	"javasmt/internal/bench"
+	"javasmt/internal/counters"
+	"javasmt/internal/obs"
+)
+
+// TestObsFinalSampleMatchesRunCounters is the layer's acceptance check:
+// a tiny compress run observed with metrics on must end its time-series
+// with exactly the run's end-of-run counter state.
+func TestObsFinalSampleMatchesRunCounters(t *testing.T) {
+	b := mustBench(t, "compress")
+	sink := obs.New(obs.Config{Metrics: true, Stride: 50_000})
+	res, err := Run(b, Options{Threads: 1, Scale: bench.Tiny, Verify: true, Obs: sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := sink.Series("compress")
+	if series == nil || len(series.Samples) == 0 {
+		t.Fatal("observed run recorded no samples")
+	}
+	final := series.Final()
+	if final.Cycle != res.Cycles {
+		t.Errorf("final sample at cycle %d, run ended at %d", final.Cycle, res.Cycles)
+	}
+	f := &res.Counters
+	checks := []struct {
+		name string
+		got  uint64
+		want uint64
+	}{
+		{"cycles", final.Cum.Cycles, f.Get(counters.Cycles)},
+		{"uops", final.Cum.Uops, f.Get(counters.Instructions)},
+		{"tc_misses", final.Cum.TCMisses, f.Get(counters.TCMisses)},
+		{"l1d_misses", final.Cum.L1DMisses, f.Get(counters.L1DMisses)},
+		{"l2_misses", final.Cum.L2Misses, f.Get(counters.L2Misses)},
+		{"itlb_misses", final.Cum.ITLBMisses, f.Get(counters.ITLBMisses)},
+		{"branches", final.Cum.Branches, f.Get(counters.Branches)},
+		{"btb_misses", final.Cum.BTBMisses, f.Get(counters.BTBMisses)},
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			t.Errorf("final sample %s = %d, run counters say %d", c.name, c.got, c.want)
+		}
+	}
+	// Mid-run samples must exist and be strictly ordered.
+	for i := 1; i < len(series.Samples); i++ {
+		if series.Samples[i].Cycle <= series.Samples[i-1].Cycle {
+			t.Fatalf("sample cycles not strictly increasing at %d", i)
+		}
+	}
+}
+
+// metricsBytes runs a reduced pairing cross product under the given job
+// count with metrics on and returns the exported document.
+func metricsBytes(t *testing.T, progs []*bench.Benchmark, jobs int) []byte {
+	t.Helper()
+	sink := obs.New(obs.Config{Metrics: true, Stride: 100_000})
+	cfg := DefaultConfig()
+	cfg.Runs = 2
+	cfg.Jobs = jobs
+	cfg.Obs = sink
+	if _, err := runPairingsOf(progs, cfg); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sink.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestObsMetricsDeterministicAcrossJobs extends the engine's determinism
+// guarantee to the observability layer: the exported metrics document for
+// the same cells must be byte-identical at -j 1 and -j 8.
+func TestObsMetricsDeterministicAcrossJobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	skipIfChecks(t)
+	var progs []*bench.Benchmark
+	for _, name := range []string{"compress", "mpegaudio"} {
+		progs = append(progs, mustBench(t, name))
+	}
+	serial := metricsBytes(t, progs, 1)
+	parallel := metricsBytes(t, progs, 8)
+	if !bytes.Equal(serial, parallel) {
+		t.Errorf("metrics export diverges between -j 1 and -j 8:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial, parallel)
+	}
+}
+
+// obsSnapshot is the golden record of one observed run's series shape.
+type obsSnapshot struct {
+	Label     string
+	Samples   int
+	FinalOnly obs.Sample
+}
+
+// TestGoldenObsSeries pins the sampled time-series of a solo compress
+// run: sample count and the exact final sample. Any change to sampling
+// cadence, metric math or the counter plumbing shows up here.
+func TestGoldenObsSeries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	skipIfChecks(t)
+	b := mustBench(t, "compress")
+	sink := obs.New(obs.Config{Metrics: true, Stride: 200_000})
+	if _, err := Run(b, Options{Threads: 1, Scale: bench.Tiny, Verify: true, Obs: sink}); err != nil {
+		t.Fatal(err)
+	}
+	series := sink.Series("compress")
+	compareGolden(t, "obs_series.json", obsSnapshot{
+		Label:     series.Label,
+		Samples:   len(series.Samples),
+		FinalOnly: series.Final(),
+	})
+}
+
+// TestObsDisabledExperimentsUnchanged pins that threading a nil sink
+// through the redesigned experiment API leaves results identical to the
+// pre-observability path (the golden figure tables already enforce this
+// end to end; this is the direct spot check on Options).
+func TestObsDisabledExperimentsUnchanged(t *testing.T) {
+	b := mustBench(t, "mpegaudio")
+	plain, err := Run(b, Options{Threads: 1, Scale: bench.Tiny, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	observed, err := Run(b, Options{Threads: 1, Scale: bench.Tiny, Verify: true,
+		Obs: obs.New(obs.Config{Metrics: true, Trace: true, Stride: 100_000})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Cycles != observed.Cycles {
+		t.Fatalf("observing a run changed its cycle count: %d vs %d", plain.Cycles, observed.Cycles)
+	}
+	if pr, or := plain.Counters.Report(nil), observed.Counters.Report(nil); pr != or {
+		t.Fatalf("observing a run perturbed its counters:\n--- plain ---\n%s\n--- observed ---\n%s", pr, or)
+	}
+}

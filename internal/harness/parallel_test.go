@@ -64,16 +64,16 @@ func TestRunPairingsParallelDeterminism(t *testing.T) {
 		}
 		progs = append(progs, b)
 	}
-	opts := DefaultPairOptions()
-	opts.Runs = 3
+	cfg := DefaultConfig()
+	cfg.Runs = 3
 
-	opts.Jobs = 1
-	serial, err := runPairingsOf(progs, opts, nil)
+	cfg.Jobs = 1
+	serial, err := runPairingsOf(progs, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	opts.Jobs = 4
-	parallel, err := runPairingsOf(progs, opts, nil)
+	cfg.Jobs = 4
+	parallel, err := runPairingsOf(progs, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,11 +99,11 @@ func TestRunFig12ParallelMatchesSerial(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	serial, err := RunFig12(bench.Tiny, []int{2}, 1, nil)
+	serial, err := RunFig12(Config{Scale: bench.Tiny, Jobs: 1}, []int{2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := RunFig12(bench.Tiny, []int{2}, 4, nil)
+	parallel, err := RunFig12(Config{Scale: bench.Tiny, Jobs: 4}, []int{2})
 	if err != nil {
 		t.Fatal(err)
 	}

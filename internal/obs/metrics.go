@@ -1,0 +1,173 @@
+package obs
+
+import "javasmt/internal/counters"
+
+// CoreState is the instantaneous pipeline state the CPU reports with
+// each sample: per-logical-processor occupancy of the partitioned (or
+// dynamically shared) structures. Index 0/1 is the logical processor.
+type CoreState struct {
+	// ROB, Loads and Stores are in-flight µops per context.
+	ROB    [2]int `json:"rob"`
+	Loads  [2]int `json:"loads"`
+	Stores [2]int `json:"stores"`
+	// TCLines counts valid trace-cache lines held per context; under HT
+	// the split shows the capacity each thread actually claims.
+	TCLines [2]int `json:"tc_lines"`
+	// ITLBEntries counts valid ITLB translations per context partition
+	// (everything lands in index 0 when the structure is unpartitioned).
+	ITLBEntries [2]int `json:"itlb_entries"`
+}
+
+// Sample is one point of a run's time-series. Windowed metrics (IPC,
+// per-1k-µop miss ratios, MPKI) are computed over the interval since the
+// previous sample — the paper's counter-over-time view; the Cum block is
+// the cumulative counter state at the sample cycle, so the final sample
+// of a run reproduces its end-of-run counter file exactly.
+type Sample struct {
+	Cycle uint64 `json:"cycle"`
+
+	// Interval metrics (since the previous sample).
+	IPC        float64 `json:"ipc"`
+	TCPer1K    float64 `json:"tc_miss_per_1k"`
+	L1DPer1K   float64 `json:"l1d_miss_per_1k"`
+	L2Per1K    float64 `json:"l2_miss_per_1k"`
+	BranchMPKI float64 `json:"branch_mpki"`
+
+	// Instantaneous pipeline state.
+	Core CoreState `json:"core"`
+
+	// Cumulative counters at this cycle.
+	Cum CumCounters `json:"cum"`
+}
+
+// CumCounters is the cumulative slice of the counter file carried on
+// every sample — the events behind each of the paper's figures.
+type CumCounters struct {
+	Cycles      uint64 `json:"cycles"`
+	Uops        uint64 `json:"uops"`
+	TCMisses    uint64 `json:"tc_misses"`
+	L1DMisses   uint64 `json:"l1d_misses"`
+	L2Misses    uint64 `json:"l2_misses"`
+	ITLBMisses  uint64 `json:"itlb_misses"`
+	DTLBMisses  uint64 `json:"dtlb_misses"`
+	Branches    uint64 `json:"branches"`
+	BTBMisses   uint64 `json:"btb_misses"`
+	Mispredicts uint64 `json:"mispredicts"`
+	MemReads    uint64 `json:"mem_reads"`
+	MemWrites   uint64 `json:"mem_writes"`
+}
+
+// cum extracts the cumulative block from a counter file.
+func cum(f *counters.File) CumCounters {
+	return CumCounters{
+		Cycles:      f.Get(counters.Cycles),
+		Uops:        f.Get(counters.Instructions),
+		TCMisses:    f.Get(counters.TCMisses),
+		L1DMisses:   f.Get(counters.L1DMisses),
+		L2Misses:    f.Get(counters.L2Misses),
+		ITLBMisses:  f.Get(counters.ITLBMisses),
+		DTLBMisses:  f.Get(counters.DTLBMisses),
+		Branches:    f.Get(counters.Branches),
+		BTBMisses:   f.Get(counters.BTBMisses),
+		Mispredicts: f.Get(counters.BranchMispredicts),
+		MemReads:    f.Get(counters.MemReads),
+		MemWrites:   f.Get(counters.MemWrites),
+	}
+}
+
+// RunSeries is the recorded time-series of one simulation.
+type RunSeries struct {
+	Label   string   `json:"label"`
+	Samples []Sample `json:"samples"`
+}
+
+// Final returns the last sample (the end-of-run state), or a zero sample
+// if nothing was recorded.
+func (r *RunSeries) Final() Sample {
+	if r == nil || len(r.Samples) == 0 {
+		return Sample{}
+	}
+	return r.Samples[len(r.Samples)-1]
+}
+
+// RunObs observes one simulation. It is built by Sink.Run, owned by the
+// simulation's goroutine (no locking on the sampling path; only trace
+// appends synchronize on the sink), and is nil-safe throughout: a nil
+// *RunObs is the disabled observer every hook accepts.
+type RunObs struct {
+	sink   *Sink
+	series *RunSeries // nil when metrics are off
+	pid    int
+	trace  bool
+	stride uint64
+
+	prev counters.File // cumulative state at the previous sample
+}
+
+// Sample records one time-series point at the given cycle from the
+// machine's cumulative counter file and instantaneous core state.
+// Consecutive calls at the same cycle collapse into one sample (the
+// final flush often lands on a stride boundary). Nil-safe.
+func (r *RunObs) Sample(cycle uint64, f *counters.File, st *CoreState) {
+	if r == nil {
+		return
+	}
+	win := f.Sub(&r.prev)
+	s := Sample{
+		Cycle:      cycle,
+		IPC:        win.IPC(),
+		TCPer1K:    win.PerKiloInstr(counters.TCMisses),
+		L1DPer1K:   win.PerKiloInstr(counters.L1DMisses),
+		L2Per1K:    win.PerKiloInstr(counters.L2Misses),
+		BranchMPKI: win.PerKiloInstr(counters.BranchMispredicts),
+		Core:       *st,
+		Cum:        cum(f),
+	}
+	r.prev = *f
+	if r.series != nil {
+		if n := len(r.series.Samples); n > 0 && r.series.Samples[n-1].Cycle == cycle {
+			r.series.Samples[n-1] = s
+		} else {
+			r.series.Samples = append(r.series.Samples, s)
+		}
+	}
+	if r.trace {
+		ts := float64(cycle)
+		r.sink.addEvents(
+			Event{Name: "IPC", Phase: "C", Ts: ts, Pid: r.pid,
+				Args: map[string]any{"ipc": s.IPC}},
+			Event{Name: "misses/1k", Phase: "C", Ts: ts, Pid: r.pid,
+				Args: map[string]any{"tc": s.TCPer1K, "l1d": s.L1DPer1K, "l2": s.L2Per1K}},
+			Event{Name: "ROB", Phase: "C", Ts: ts, Pid: r.pid,
+				Args: map[string]any{"lp0": st.ROB[0], "lp1": st.ROB[1]}},
+			Event{Name: "LSQ", Phase: "C", Ts: ts, Pid: r.pid,
+				Args: map[string]any{
+					"loads0": st.Loads[0], "loads1": st.Loads[1],
+					"stores0": st.Stores[0], "stores1": st.Stores[1]}},
+		)
+	}
+}
+
+// ThreadSlice records that software thread name occupied logical
+// processor ctx from cycle start to cycle end — one span on the run's
+// per-LP track. The OS substrate calls it at every switch-out. Nil-safe;
+// a no-op unless tracing is on.
+func (r *RunObs) ThreadSlice(ctx int, name string, start, end uint64) {
+	if r == nil || !r.trace || end <= start {
+		return
+	}
+	r.sink.addEvents(Event{
+		Name: name, Phase: "X",
+		Ts: float64(start), Dur: float64(end - start),
+		Pid: r.pid, Tid: ctx,
+	})
+}
+
+// Stride returns the sample interval the observer was built with.
+// Nil-safe.
+func (r *RunObs) Stride() uint64 {
+	if r == nil {
+		return DefaultStride
+	}
+	return r.stride
+}

@@ -1,0 +1,17 @@
+package obs
+
+// Event is one Chrome trace-event record. The field set is the subset of
+// the trace-event format the viewers actually require: complete spans
+// ("X", with Ts/Dur), counter samples ("C", Args carry the values) and
+// metadata ("M", names a pid/tid track). Timestamps are microseconds;
+// simulation tracks substitute cycles one-for-one (see the package
+// comment on timebases).
+type Event struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	Ts    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}

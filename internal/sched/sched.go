@@ -18,6 +18,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"javasmt/internal/obs"
 )
 
 // DefaultWorkers is the worker count substituted when a caller passes
@@ -30,6 +33,16 @@ func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 // no synchronization overhead — the reference ordering the parallel
 // path must reproduce exactly.
 func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	return MapWorker(n, workers, func(_, i int) (T, error) { return fn(i) })
+}
+
+// MapWorker is Map with the executing worker's index (0..workers-1)
+// passed to fn alongside the job index. The serial path always reports
+// worker 0. Which worker runs which job is nondeterministic in the
+// parallel path, so fn must not let the worker index influence results —
+// it exists for attribution (occupancy tracks in the run trace), not
+// for logic.
+func MapWorker[T any](n, workers int, fn func(worker, i int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
 	}
@@ -42,7 +55,7 @@ func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			v, err := fn(i)
+			v, err := fn(0, i)
 			if err != nil {
 				return nil, err
 			}
@@ -65,14 +78,14 @@ func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 	}
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n || failed() {
 					return
 				}
-				v, err := fn(i)
+				v, err := fn(worker, i)
 				if err != nil {
 					mu.Lock()
 					if i < errIdx {
@@ -83,13 +96,35 @@ func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 				}
 				out[i] = v
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	if errIdx < n {
 		return nil, firstErr
 	}
 	return out, nil
+}
+
+// MapObserved is Map with per-job wall-time spans reported to the
+// observability sink's experiment-engine tracks: each job becomes one
+// slice on its worker's track, labelled by label(i). A nil or
+// trace-disabled sink degrades to plain Map — label is then never
+// called, so callers may format labels unconditionally without paying
+// for them on untraced runs.
+//
+// Spans carry wall-clock time (they measure the engine, not the
+// simulated machine) and are therefore not deterministic across runs;
+// the job results still are.
+func MapObserved[T any](n, workers int, sink *obs.Sink, label func(i int) string, fn func(i int) (T, error)) ([]T, error) {
+	if !sink.TraceEnabled() {
+		return Map(n, workers, fn)
+	}
+	return MapWorker(n, workers, func(worker, i int) (T, error) {
+		start := time.Now()
+		v, err := fn(i)
+		sink.CellSpan(worker, label(i), start, time.Now())
+		return v, err
+	})
 }
 
 // ForEach is Map for jobs with no result value.

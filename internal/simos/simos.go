@@ -115,6 +115,17 @@ type cpuState struct {
 	lastProc   int // process that last ran here; -1 = none
 	sliceStart uint64
 	switchSeq  uint64 // varies kernel data addresses across switches
+	runStart   uint64 // dispatch cycle of current, for the trace track
+}
+
+// endSlice reports the just-descheduled thread's occupancy of this
+// logical processor to the run tracer (one span per dispatch-to-switch
+// interval on the per-LP track). A detached observer makes it a no-op;
+// the check costs one pointer read per context switch, never per µop.
+func (c *cpuState) endSlice(t *Thread, now uint64) {
+	if r := c.k.cpu.Obs(); r != nil {
+		r.ThreadSlice(c.idx, t.Name, c.runStart, now)
+	}
 }
 
 // NewKernel builds a kernel driving cpu and wires its feeds into every
@@ -207,6 +218,7 @@ func (c *cpuState) Fill(now uint64, buf []isa.Uop) int {
 	// Preempt on quantum expiry when someone else is waiting.
 	if c.current != nil && len(k.runq) > 0 && now-c.sliceStart >= k.params.Timeslice {
 		prev := c.current
+		c.endSlice(prev, now)
 		c.current = nil
 		prev.state = Runnable
 		k.runq = append(k.runq, prev)
@@ -229,6 +241,7 @@ func (c *cpuState) Fill(now uint64, buf []isa.Uop) int {
 		c.current = next
 		next.state = Running
 		c.sliceStart = now
+		c.runStart = now
 		k.file.Inc(counters.ContextSwitches)
 	}
 
@@ -238,11 +251,13 @@ func (c *cpuState) Fill(now uint64, buf []isa.Uop) int {
 		n += got
 		switch {
 		case done:
+			c.endSlice(c.current, now)
 			c.current.state = Exited
 			c.current.done = true
 			c.current = nil
 		case c.current.state == Blocked:
 			// The thread blocked itself mid-fill (monitor, GC wait).
+			c.endSlice(c.current, now)
 			c.current = nil
 		case got == 0 && n == 0:
 			// A source returning 0 into an empty buffer without

@@ -142,6 +142,24 @@ func (t *TLB) Reset() {
 	t.ckHits = 0
 }
 
+// Occupancy returns the number of valid translations visible to each
+// logical processor: per-partition counts when statically partitioned
+// under HT, otherwise every valid entry under index 0 (the structure is
+// shared). The observability layer samples it to show TLB reach
+// shrinking when HT halves each context's partition.
+func (t *TLB) Occupancy() (out [2]int) {
+	n := len(t.sets) / t.partitons
+	for si, set := range t.sets {
+		part := si / n
+		for i := range set {
+			if set[i].valid {
+				out[part&1]++
+			}
+		}
+	}
+	return out
+}
+
 // Flush drops every translation (address-space switch).
 func (t *TLB) Flush() {
 	for _, set := range t.sets {

@@ -19,6 +19,9 @@ go vet ./...
 echo "== tests =="
 go test ./...
 
+echo "== obs disabled path allocates nothing =="
+go test ./internal/core -run TestObsDisabledAllocFree -count=1
+
 echo "== race (harness + sched, short) =="
 go test -race -short ./internal/harness/... ./internal/sched/...
 
