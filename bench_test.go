@@ -1,6 +1,6 @@
 // Benchmark harness: one testing.B benchmark per table and figure of the
 // paper (see DESIGN.md §3 for the experiment index), plus the ablations
-// of DESIGN.md §8. Custom metrics carry the figure's actual quantities;
+// of DESIGN.md §9. Custom metrics carry the figure's actual quantities;
 // ns/op measures the cost of regenerating the figure on this host.
 //
 //	go test -bench=Fig01 -benchtime=1x .
@@ -285,7 +285,7 @@ func BenchmarkFig12ThreadSweep(b *testing.B) {
 }
 
 // BenchmarkAblationPartition compares the single-thread HT tax under
-// static vs dynamic partitioning (DESIGN.md §8: the paper's proposed fix).
+// static vs dynamic partitioning (DESIGN.md §9: the paper's proposed fix).
 func BenchmarkAblationPartition(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		rows, err := harness.RunFig10(harness.Config{Scale: bench.Tiny})
@@ -304,7 +304,7 @@ func BenchmarkAblationPartition(b *testing.B) {
 }
 
 // BenchmarkAblationTCSharing measures how much of jack's HT trace-cache
-// degradation is the per-context line tagging (DESIGN.md §8).
+// degradation is the per-context line tagging (DESIGN.md §9).
 func BenchmarkAblationTCSharing(b *testing.B) {
 	jack, _ := bench.ByName("jack")
 	for i := 0; i < b.N; i++ {

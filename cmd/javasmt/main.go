@@ -2,12 +2,18 @@
 // processor and prints its performance counters — the equivalent of one
 // Brink & Abyss measurement session from the paper.
 //
+// The run is guarded by the campaign resilience block: -deadline and
+// -cycle-budget bound it, -retries absorbs transient failures, and a
+// panic inside the simulator reports a structured failure instead of a
+// crash.
+//
 // Usage:
 //
 //	javasmt -bench compress -ht
 //	javasmt -bench MolDyn -threads 8 -scale small -ht
 //	javasmt -bench jack -ht -partition dynamic
 //	javasmt -bench compress -metrics m.json -trace t.json -sample 50000
+//	javasmt -bench db -ht -deadline 10m -cycle-budget 5000000000
 package main
 
 import (
@@ -57,12 +63,29 @@ func main() {
 		c.Usagef("unknown partition %q", *partition)
 	}
 
-	res, err := harness.Run(b, opts)
+	j, err := c.OpenJournal(fmt.Sprintf("javasmt bench=%s threads=%d scale=%v ht=%v partition=%s",
+		b.Name, *threads, c.Scale, *ht, *partition))
 	if err != nil {
+		c.Fatal(err)
+	}
+	cfg := harness.DefaultConfig()
+	cfg.Scale = c.Scale
+	cfg.Obs = c.Obs
+	cfg.Policy = c.Policy
+	cfg.Inject = c.Inject
+	cfg.Journal = j
+	res, fail, err := harness.RunResilient(b, opts, cfg)
+	if err != nil {
+		c.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
 		c.Fatal(err)
 	}
 	if err := c.WriteObs(); err != nil {
 		c.Fatal(err)
+	}
+	if fail != nil {
+		c.ExitFailures([]harness.Failure{{Cell: fail.Cell, Kind: string(fail.Kind), Reason: fail.Reason()}})
 	}
 
 	f := &res.Counters

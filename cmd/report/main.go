@@ -5,16 +5,23 @@
 // Independent runs within each experiment fan out across -j worker
 // threads (default: all CPUs); every table is byte-identical at any -j.
 //
+// Campaigns run under the resilience block: cells that panic, time out
+// (-deadline) or exhaust -cycle-budget render as FAILED entries in an
+// otherwise complete report, and the exit status is nonzero so scripts
+// notice; -journal/-resume checkpoint long report runs.
+//
 //	report                  # all tables and figures
 //	report -table2 -fig1    # only the selected items
 //	report -scale small     # larger inputs (slower, closer to the paper)
 //	report -j 1             # serial execution
 //	report -fig10 -metrics m.json   # plus sampled time-series
+//	report -journal /tmp/rep -deadline 10m  # resumable, bounded cells
 package main
 
 import (
 	"flag"
 	"fmt"
+	"strings"
 
 	"javasmt/internal/cli"
 	"javasmt/internal/harness"
@@ -37,13 +44,28 @@ func main() {
 		}
 	}
 	want := func(name string) bool { return all || *sel[name] }
+	var selected []string
+	for _, name := range []string{"table1", "table2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12"} {
+		if want(name) {
+			selected = append(selected, name)
+		}
+	}
 
+	j, err := c.OpenJournal(fmt.Sprintf("report scale=%v runs=%d items=%s",
+		c.Scale, *runs, strings.Join(selected, ",")))
+	if err != nil {
+		c.Fatal(err)
+	}
 	cfg := harness.DefaultConfig()
 	cfg.Scale = c.Scale
 	cfg.Jobs = c.Jobs
 	cfg.Runs = *runs
 	cfg.Progress = c.Progress()
 	cfg.Obs = c.Obs
+	cfg.Policy = c.Policy
+	cfg.Inject = c.Inject
+	cfg.Journal = j
+	var failed []harness.Failure
 
 	if want("table1") {
 		fmt.Println(harness.Table1())
@@ -56,6 +78,7 @@ func main() {
 		if err != nil {
 			c.Fatal(err)
 		}
+		failed = append(failed, ch.Failed...)
 		if want("table2") {
 			fmt.Println(ch.Table2())
 		}
@@ -87,6 +110,7 @@ func main() {
 		if err != nil {
 			c.Fatal(err)
 		}
+		failed = append(failed, p.Failed...)
 		if want("fig8") {
 			fmt.Println(p.Fig8())
 		}
@@ -103,6 +127,11 @@ func main() {
 		if err != nil {
 			c.Fatal(err)
 		}
+		for _, r := range rows {
+			if r.Failed != "" {
+				failed = append(failed, harness.Failure{Cell: "fig10 " + r.Benchmark, Reason: r.Failed})
+			}
+		}
 		fmt.Println(harness.RenderFig10(rows))
 	}
 
@@ -111,10 +140,20 @@ func main() {
 		if err != nil {
 			c.Fatal(err)
 		}
+		for _, r := range rows {
+			if r.Failed != "" {
+				failed = append(failed, harness.Failure{
+					Cell: fmt.Sprintf("fig12 %s t=%d", r.Benchmark, r.Threads), Reason: r.Failed})
+			}
+		}
 		fmt.Println(harness.RenderFig12(rows))
 	}
 
+	if err := j.Close(); err != nil {
+		c.Fatal(err)
+	}
 	if err := c.WriteObs(); err != nil {
 		c.Fatal(err)
 	}
+	c.ExitFailures(failed)
 }

@@ -4,9 +4,14 @@
 // fan out across -j worker threads (default: all CPUs); output order is
 // fixed regardless of -j.
 //
+// The sweep runs under the campaign resilience block: cells bounded by
+// -deadline/-cycle-budget print as FAILED rows instead of aborting the
+// grid, and -journal/-resume checkpoint long sweeps.
+//
 //	sweep
 //	sweep -bench MolDyn -threads 1,2,4,8,16 -scale small -j 4
 //	sweep -trace t.json -metrics m.json
+//	sweep -journal /tmp/sweep -deadline 5m
 package main
 
 import (
@@ -19,7 +24,6 @@ import (
 	"javasmt/internal/cli"
 	"javasmt/internal/counters"
 	"javasmt/internal/harness"
-	"javasmt/internal/sched"
 )
 
 func main() {
@@ -48,37 +52,49 @@ func main() {
 		}
 		targets = []*bench.Benchmark{b}
 	}
-
-	type point struct {
-		b       *bench.Benchmark
-		threads int
-	}
-	var grid []point
+	var names []string
 	for _, b := range targets {
-		for _, t := range counts {
-			grid = append(grid, point{b, t})
-		}
+		names = append(names, b.Name)
 	}
-	label := func(i int) string { return fmt.Sprintf("%s t=%d", grid[i].b.Name, grid[i].threads) }
-	results, err := sched.MapObserved(len(grid), c.Jobs, c.Obs, label, func(i int) (*harness.Result, error) {
-		opts := harness.Options{HT: true, Threads: grid[i].threads, Scale: c.Scale, Verify: true}
-		if c.Obs.Enabled() {
-			opts.Obs, opts.ObsLabel = c.Obs, label(i)
-		}
-		return harness.Run(grid[i].b, opts)
-	})
+
+	j, err := c.OpenJournal(fmt.Sprintf("sweep scale=%v benches=%s threads=%s",
+		c.Scale, strings.Join(names, ","), *threads))
 	if err != nil {
+		c.Fatal(err)
+	}
+	cfg := harness.DefaultConfig()
+	cfg.Scale = c.Scale
+	cfg.Jobs = c.Jobs
+	cfg.Obs = c.Obs
+	cfg.Policy = c.Policy
+	cfg.Inject = c.Inject
+	cfg.Journal = j
+	cells, err := harness.RunSweep(cfg, targets, counts)
+	if err != nil {
+		c.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
 		c.Fatal(err)
 	}
 	if err := c.WriteObs(); err != nil {
 		c.Fatal(err)
 	}
 
+	var failed []harness.Failure
 	fmt.Printf("%-12s %8s %8s %10s %10s %8s\n", "benchmark", "threads", "IPC", "L1D/1k", "OS %", "DT %")
-	for i, res := range results {
-		f := &res.Counters
+	for _, cell := range cells {
+		if cell.Failed != "" {
+			fmt.Printf("%-12s %8d FAILED(%s)\n", cell.Benchmark, cell.Threads, cell.Failed)
+			failed = append(failed, harness.Failure{
+				Cell:   fmt.Sprintf("%s t=%d", cell.Benchmark, cell.Threads),
+				Reason: cell.Failed,
+			})
+			continue
+		}
+		f := &cell.Counters
 		fmt.Printf("%-12s %8d %8.3f %10.2f %9.1f%% %7.1f%%\n",
-			grid[i].b.Name, grid[i].threads, f.IPC(), f.PerKiloInstr(counters.L1DMisses),
+			cell.Benchmark, cell.Threads, f.IPC(), f.PerKiloInstr(counters.L1DMisses),
 			f.OSCyclePercent(), f.DTModePercent())
 	}
+	c.ExitFailures(failed)
 }

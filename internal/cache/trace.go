@@ -13,7 +13,7 @@ type TraceCacheConfig struct {
 	Assoc int
 	// SharedTags, when true, drops the per-logical-processor line tags
 	// so both contexts can share trace lines. This is the ablation knob
-	// from DESIGN.md §8 — the real P4 uses private (tagged) lines.
+	// from DESIGN.md §9 — the real P4 uses private (tagged) lines.
 	SharedTags bool
 	// MissPenalty is the extra front-end latency, in cycles, to rebuild
 	// a trace from the L2/decoder on a miss.

@@ -1,8 +1,10 @@
 // Package cli is the flag surface shared by the repository's commands:
-// scale selection, engine parallelism, quiet mode, invariant checks and
-// the observability outputs (-metrics, -trace, -sample). Each tool
-// registers the block once, parses, and resolves it into a Common that
-// carries the scale, job count and (possibly nil) obs.Sink.
+// scale selection, engine parallelism, quiet mode, invariant checks,
+// the observability outputs (-metrics, -trace, -sample), and the
+// campaign resilience block (-deadline, -cycle-budget, -retries,
+// -inject, -journal, -resume). Each tool registers the block once,
+// parses, and resolves it into a Common that carries the scale, job
+// count, resilience policy and (possibly nil) obs.Sink.
 package cli
 
 import (
@@ -10,10 +12,14 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"javasmt/internal/bench"
 	"javasmt/internal/check"
+	"javasmt/internal/faultinject"
+	"javasmt/internal/harness"
 	"javasmt/internal/obs"
+	"javasmt/internal/resilience"
 	"javasmt/internal/sched"
 )
 
@@ -53,6 +59,13 @@ type Flags struct {
 	metrics *string
 	trace   *string
 	sample  *uint64
+
+	deadline *time.Duration
+	budget   *uint64
+	retries  *int
+	inject   *string
+	journal  *string
+	resume   *bool
 }
 
 // Register installs the common flag block on fs (normally
@@ -66,6 +79,12 @@ func Register(tool string, fs *flag.FlagSet, opt Options) *Flags {
 	f.metrics = fs.String("metrics", "", "write sampled metrics time-series JSON to `file`")
 	f.trace = fs.String("trace", "", "write Chrome trace-event JSON to `file` (chrome://tracing, Perfetto)")
 	f.sample = fs.Uint64("sample", obs.DefaultStride, "metrics sample interval in `cycles`")
+	f.deadline = fs.Duration("deadline", 0, "wall-clock deadline per experiment cell (0 = none)")
+	f.budget = fs.Uint64("cycle-budget", 0, "simulated-cycle budget per experiment cell (0 = none)")
+	f.retries = fs.Int("retries", 0, "retries per failed experiment cell (transient failures only)")
+	f.inject = fs.String("inject", "", "fault-injection `spec`, e.g. seed=42,panic=0.1 (needs a -tags faults build)")
+	f.journal = fs.String("journal", "", "campaign journal `dir` for checkpoint/resume")
+	f.resume = fs.Bool("resume", false, "resume the campaign recorded in -journal, skipping finished cells")
 	if opt.Jobs {
 		f.jobs = fs.Int("j", sched.DefaultWorkers(), "concurrent experiments (1 = serial)")
 	}
@@ -82,10 +101,17 @@ type Common struct {
 	Jobs  int
 	Quiet bool
 	Obs   *obs.Sink
+	// Policy is the per-cell resilience policy from -deadline,
+	// -cycle-budget and -retries (zero value when none given).
+	Policy resilience.CellPolicy
+	// Inject is the parsed -inject fault injector, nil when absent.
+	Inject *faultinject.Injector
 
 	tool        string
 	metricsPath string
 	tracePath   string
+	journalDir  string
+	resume      bool
 }
 
 // Finish validates the parsed flags and builds the Common. It must be
@@ -93,6 +119,25 @@ type Common struct {
 // (the caller should exit 2, or use MustFinish).
 func (f *Flags) Finish() (*Common, error) {
 	if err := check.SetOn(*f.checks); err != nil {
+		return nil, err
+	}
+	if *f.sample == 0 {
+		return nil, fmt.Errorf("-sample must be a positive cycle count")
+	}
+	if f.jobs != nil && *f.jobs < 0 {
+		return nil, fmt.Errorf("-j %d is negative; use -j 1 for serial or omit for all CPUs", *f.jobs)
+	}
+	if *f.retries < 0 {
+		return nil, fmt.Errorf("-retries %d is negative", *f.retries)
+	}
+	if *f.deadline < 0 {
+		return nil, fmt.Errorf("-deadline %v is negative", *f.deadline)
+	}
+	if *f.resume && *f.journal == "" {
+		return nil, fmt.Errorf("-resume needs -journal to say which campaign to resume")
+	}
+	inject, err := faultinject.Parse(*f.inject)
+	if err != nil {
 		return nil, err
 	}
 	scaleStr := *f.scale
@@ -106,7 +151,7 @@ func (f *Flags) Finish() (*Common, error) {
 		if scaleSet && !strings.EqualFold(scaleStr, "small") {
 			return nil, fmt.Errorf("-small conflicts with -scale %s", scaleStr)
 		}
-		fmt.Fprintf(os.Stderr, "%s: -small is deprecated; use -scale small\n", f.tool)
+		fmt.Fprintf(f.fs.Output(), "%s: -small is deprecated; use -scale small\n", f.tool)
 		scaleStr = "small"
 	}
 	scale, err := ParseScale(scaleStr)
@@ -114,11 +159,19 @@ func (f *Flags) Finish() (*Common, error) {
 		return nil, err
 	}
 	c := &Common{
-		Scale:       scale,
-		Jobs:        1,
+		Scale: scale,
+		Jobs:  1,
+		Policy: resilience.CellPolicy{
+			WallDeadline: *f.deadline,
+			CycleBudget:  *f.budget,
+			Retries:      *f.retries,
+		},
+		Inject:      inject,
 		tool:        f.tool,
 		metricsPath: *f.metrics,
 		tracePath:   *f.trace,
+		journalDir:  *f.journal,
+		resume:      *f.resume,
 	}
 	if f.jobs != nil {
 		c.Jobs = *f.jobs
@@ -169,6 +222,40 @@ func (c *Common) WriteObs() error {
 		}
 	}
 	return nil
+}
+
+// OpenJournal opens the campaign journal selected by -journal/-resume,
+// or returns nil when no journal was requested. config is the tool's
+// campaign identity string; resuming under a different configuration is
+// refused, since the journal's cells would not be comparable. On resume
+// it reports how many completed cells will be skipped.
+func (c *Common) OpenJournal(config string) (*resilience.Journal, error) {
+	if c.journalDir == "" {
+		return nil, nil
+	}
+	j, err := resilience.Open(c.journalDir, resilience.Meta{Tool: c.tool, Config: config}, c.resume)
+	if err != nil {
+		return nil, err
+	}
+	if c.resume && !c.Quiet {
+		fmt.Fprintf(os.Stderr, "%s: resuming: %d completed cells in journal\n", c.tool, j.Resumed())
+	}
+	return j, nil
+}
+
+// ExitFailures prints a campaign-failure summary and exits 1 — the
+// degraded-but-complete ending: the report above it is fully rendered,
+// and the exit status tells scripts some cells are missing. A call with
+// no failures returns without exiting.
+func (c *Common) ExitFailures(failures []harness.Failure) {
+	if len(failures) == 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "%s: %d cells FAILED:\n", c.tool, len(failures))
+	for _, f := range failures {
+		fmt.Fprintf(os.Stderr, "  %s: %s\n", f.Cell, f.Reason)
+	}
+	os.Exit(1)
 }
 
 // Fatal reports a runtime error and exits 1.

@@ -5,9 +5,12 @@ import (
 	"io"
 	"strings"
 	"testing"
+	"time"
 
 	"javasmt/internal/bench"
+	"javasmt/internal/faultinject"
 	"javasmt/internal/obs"
+	"javasmt/internal/resilience"
 )
 
 // parse registers the common block on a throwaway flag set, parses args
@@ -131,5 +134,122 @@ func TestObsFlags(t *testing.T) {
 	}
 	if got := c.Obs.Stride(); got != obs.DefaultStride {
 		t.Errorf("default stride = %d, want %d", got, obs.DefaultStride)
+	}
+}
+
+// TestErrorPaths pins the usage errors Finish must reject rather than
+// letting a long campaign start under a nonsensical configuration.
+func TestErrorPaths(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string // substring of the error
+	}{
+		{[]string{"-sample", "0"}, "-sample"},
+		{[]string{"-j", "-2"}, "-j"},
+		{[]string{"-retries", "-1"}, "-retries"},
+		{[]string{"-deadline", "-5s"}, "-deadline"},
+		{[]string{"-resume"}, "-journal"},
+		{[]string{"-scale", "huge"}, "unknown scale"},
+	}
+	for _, tc := range cases {
+		_, err := parse(t, Options{Jobs: true}, tc.args...)
+		if err == nil {
+			t.Errorf("%v: accepted", tc.args)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%v: error %q does not mention %q", tc.args, err, tc.want)
+		}
+	}
+}
+
+// TestInjectFlag pins that -inject follows the build tag: parse errors
+// (including the untagged-build refusal) surface as usage errors, and an
+// empty spec means no injector.
+func TestInjectFlag(t *testing.T) {
+	c, err := parse(t, Options{})
+	if err != nil || c.Inject != nil {
+		t.Fatalf("no -inject: c.Inject=%v err=%v", c.Inject, err)
+	}
+	c, err = parse(t, Options{}, "-inject", "panic=0.5")
+	if faultinject.Enabled {
+		if err != nil || c.Inject == nil {
+			t.Fatalf("faults build rejected a valid spec: %v", err)
+		}
+		if _, err := parse(t, Options{}, "-inject", "panic=2"); err == nil {
+			t.Error("rate > 1 accepted")
+		}
+	} else {
+		if err == nil || !strings.Contains(err.Error(), "faults") {
+			t.Fatalf("untagged build accepted -inject (err=%v); injection would silently not happen", err)
+		}
+	}
+}
+
+// TestCampaignFlags pins the policy block and the journal lifecycle.
+func TestCampaignFlags(t *testing.T) {
+	c, err := parse(t, Options{}, "-deadline", "30s", "-cycle-budget", "5000000000", "-retries", "2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Policy.WallDeadline != 30*time.Second || c.Policy.CycleBudget != 5_000_000_000 || c.Policy.Retries != 2 {
+		t.Fatalf("policy = %+v", c.Policy)
+	}
+	if j, err := c.OpenJournal("cfg"); j != nil || err != nil {
+		t.Fatalf("no -journal: journal=%v err=%v", j, err)
+	}
+
+	dir := t.TempDir()
+	c, err = parse(t, Options{}, "-journal", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := c.OpenJournal("cfg")
+	if err != nil || j == nil {
+		t.Fatalf("fresh journal: %v", err)
+	}
+	if err := j.Record("cell", resilience.StatusOK, "", []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Re-running without -resume over a used journal must refuse.
+	if _, err := c.OpenJournal("cfg"); err == nil {
+		t.Fatal("fresh open over an existing journal did not refuse")
+	}
+	c, err = parse(t, Options{}, "-journal", dir, "-resume")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err = c.OpenJournal("cfg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Resumed() != 1 {
+		t.Fatalf("resumed = %d, want 1", j.Resumed())
+	}
+	j.Close()
+	// Resuming under a different campaign configuration must refuse.
+	if _, err := c.OpenJournal("other-config"); err == nil {
+		t.Fatal("resume with a different config did not refuse")
+	}
+}
+
+// TestSmallWarningText pins the deprecation warning wording (and that it
+// goes to the flag set's output, where tests and wrappers can see it).
+func TestSmallWarningText(t *testing.T) {
+	fs := flag.NewFlagSet("testtool", flag.ContinueOnError)
+	var out strings.Builder
+	fs.SetOutput(&out)
+	f := Register("testtool", fs, Options{})
+	if err := fs.Parse([]string{"-small"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if got := out.String(); !strings.Contains(got, "testtool: -small is deprecated; use -scale small") {
+		t.Fatalf("warning = %q", got)
 	}
 }

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+// ErrCanceled is returned by Run when an attached cancellation flag is
+// observed set. The machine stops between cycles, so its state and
+// counters are consistent — just incomplete — and callers (the
+// resilience watchdog) classify the abort from their own deadline state.
+var ErrCanceled = errors.New("core: run canceled")
+
+// cancelStride is how many cycles may elapse between polls of the
+// cancellation flag. Polling an atomic from the cycle loop every cycle
+// would put a cross-core cache hit on the hot path; every 2^14 cycles
+// the cost vanishes into noise while a watchdog expiry is still noticed
+// within tens of microseconds of simulated work.
+const cancelStride = 1 << 14
+
+// AttachCancel arms cooperative cancellation: Run polls flag every
+// cancelStride cycles and returns ErrCanceled once it is set. A nil
+// flag detaches. Like the observability hook, the detached trigger is
+// parked at noSample so the disabled path costs one always-false
+// compare per cycle and zero allocations (TestCancelDisabledAllocFree).
+// Reset also detaches, so pooled machines never observe a previous
+// cell's watchdog.
+func (c *CPU) AttachCancel(flag *atomic.Bool) {
+	c.cancelFlag = flag
+	if flag == nil {
+		c.nextCancel = noSample
+		return
+	}
+	c.nextCancel = c.now
+}
+
+// Drained reports whether every feed has completed and all pipelines
+// have emptied — i.e. whether a bounded Run finished its workload or
+// stopped at the bound with work still in flight.
+func (c *CPU) Drained() bool {
+	for i := range c.ctxs {
+		if !c.ctxDone(i) {
+			return false
+		}
+	}
+	return true
+}

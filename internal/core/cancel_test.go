@@ -1,0 +1,135 @@
+package core
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"javasmt/internal/check"
+)
+
+// TestCancelStopsRun pins the watchdog contract: a set cancellation flag
+// stops Run with ErrCanceled within one polling stride of cycles, and
+// the machine is left mid-workload (not drained).
+func TestCancelStopsRun(t *testing.T) {
+	cpu, _, _, rewind := obsWorkload(100_000)
+	rewind()
+	var flag atomic.Bool
+	flag.Store(true)
+	cpu.AttachCancel(&flag)
+	ran, err := cpu.Run(0)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("Run = %d cycles, err %v; want ErrCanceled", ran, err)
+	}
+	if ran > cancelStride {
+		t.Fatalf("canceled run executed %d cycles, want <= stride %d", ran, cancelStride)
+	}
+	if cpu.Drained() {
+		t.Fatal("machine reports drained after an early cancel")
+	}
+
+	// Clearing the flag lets the same machine resume and finish.
+	flag.Store(false)
+	if _, err := cpu.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if !cpu.Drained() {
+		t.Fatal("machine not drained after completing its feeds")
+	}
+}
+
+// TestCancelMidRun checks that a flag set while the machine is running
+// (as the wall-clock watchdog does from its timer goroutine) is noticed:
+// run in bounded chunks, set the flag partway, and expect ErrCanceled
+// within one stride of the set point.
+func TestCancelMidRun(t *testing.T) {
+	cpu, _, _, rewind := obsWorkload(100_000)
+	rewind()
+	var flag atomic.Bool
+	cpu.AttachCancel(&flag)
+	if _, err := cpu.Run(3 * cancelStride); err != nil {
+		t.Fatal(err)
+	}
+	flag.Store(true)
+	ran, err := cpu.Run(0)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if ran > cancelStride {
+		t.Fatalf("cancel noticed after %d cycles, want <= %d", ran, cancelStride)
+	}
+}
+
+// TestCancelResetDetaches pins the pooling contract: Reset must detach
+// the cancellation flag so a pooled machine cannot be killed by a
+// previous cell's expired watchdog.
+func TestCancelResetDetaches(t *testing.T) {
+	cpu, _, _, rewind := obsWorkload(20_000)
+	var stale atomic.Bool
+	stale.Store(true)
+	cpu.AttachCancel(&stale)
+	cpu.Reset()
+	rewind()
+	if _, err := cpu.Run(0); err != nil {
+		t.Fatalf("reset machine still canceled: %v", err)
+	}
+
+	// AttachCancel(nil) is the explicit detach spelling.
+	cpu.Reset()
+	rewind()
+	cpu.AttachCancel(&stale)
+	cpu.AttachCancel(nil)
+	if _, err := cpu.Run(0); err != nil {
+		t.Fatalf("AttachCancel(nil) left the flag armed: %v", err)
+	}
+}
+
+// TestCancelDisabledAllocFree extends the zero-cost acceptance criterion
+// to the cancellation hook: with no flag attached, Reset + Run must not
+// allocate, exactly like the observability hook's disabled path.
+func TestCancelDisabledAllocFree(t *testing.T) {
+	if check.Enabled {
+		t.Skip("instrumented (-tags checks) build: probes allocate by design")
+	}
+	cpu, _, _, rewind := obsWorkload(100_000)
+	var runErr error
+	allocs := testing.AllocsPerRun(3, func() {
+		cpu.Reset()
+		rewind()
+		if _, err := cpu.Run(0); err != nil {
+			runErr = err
+		}
+	})
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	if allocs != 0 {
+		t.Fatalf("disabled cancellation path allocates %.0f per run, want 0", allocs)
+	}
+}
+
+// TestCancelArmedAllocFree pins that even the armed path allocates
+// nothing: polling an atomic every stride must not add allocations, so
+// watchdog-guarded campaign cells pay no per-cell GC pressure.
+func TestCancelArmedAllocFree(t *testing.T) {
+	if check.Enabled {
+		t.Skip("instrumented (-tags checks) build: probes allocate by design")
+	}
+	cpu, _, _, rewind := obsWorkload(100_000)
+	var flag atomic.Bool
+	var runErr error
+	allocs := testing.AllocsPerRun(3, func() {
+		cpu.Reset()
+		rewind()
+		cpu.AttachCancel(&flag)
+		if _, err := cpu.Run(0); err != nil {
+			runErr = err
+		}
+	})
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	if allocs != 0 {
+		t.Fatalf("armed cancellation path allocates %.0f per run, want 0", allocs)
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"javasmt/internal/branch"
 	"javasmt/internal/cache"
@@ -172,6 +173,11 @@ type CPU struct {
 	obs          *obs.RunObs
 	sampleStride uint64
 	nextSample   uint64
+
+	// Cancellation hook (see cancel.go): same parked-trigger pattern as
+	// observability, polled from Run every cancelStride cycles.
+	cancelFlag *atomic.Bool
+	nextCancel uint64
 }
 
 // New builds a CPU from cfg. Structures are sized per the config and the
@@ -189,6 +195,7 @@ func New(cfg Config) *CPU {
 		dram: dram,
 
 		nextSample: noSample,
+		nextCancel: noSample,
 	}
 	c.itlb.SetHT(cfg.HT)
 	c.dtlb.SetHT(cfg.HT)
@@ -219,6 +226,8 @@ func (c *CPU) Reset() {
 	c.obs = nil
 	c.sampleStride = 0
 	c.nextSample = noSample
+	c.cancelFlag = nil
+	c.nextCancel = noSample
 	c.totRob, c.totLoads, c.totStores = 0, 0, 0
 	c.ckFed, c.ckAlloc, c.ckRetired = 0, 0, 0
 	for i := range c.cal.cycle {
@@ -642,13 +651,21 @@ func codeByteAddr(pc uint64) uint64 { return 1<<40 | pc*4 }
 
 // Run steps the machine until all feeds complete or maxCycles elapse
 // (0 = no limit). It returns the number of cycles executed by this call
-// and an error if the machine wedged with every thread blocked.
+// and an error if the machine wedged with every thread blocked, or
+// ErrCanceled once an attached cancellation flag (AttachCancel) is
+// observed set.
 func (c *CPU) Run(maxCycles uint64) (uint64, error) {
 	start := c.now
 	haltStreak := uint64(0)
 	for {
 		if maxCycles > 0 && c.now-start >= maxCycles {
 			return c.now - start, nil
+		}
+		if c.now >= c.nextCancel {
+			c.nextCancel = c.now + cancelStride
+			if c.cancelFlag.Load() {
+				return c.now - start, ErrCanceled
+			}
 		}
 		before := c.file.Get(counters.CyclesHalted)
 		if !c.Step() {

@@ -11,6 +11,7 @@
 package counters
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -167,6 +168,37 @@ func (f *File) Set(e Event, v uint64) { f.counts[e] = v }
 
 // Reset zeroes every counter.
 func (f *File) Reset() { f.counts = [NumEvents]uint64{} }
+
+// MarshalJSON encodes the file as a name→count object over every event
+// (zeros included, so the shape is stable). encoding/json emits object
+// keys sorted, making the bytes deterministic — campaign journals digest
+// them to detect corrupted checkpoints.
+func (f File) MarshalJSON() ([]byte, error) {
+	m := make(map[string]uint64, NumEvents)
+	for e := Event(0); int(e) < NumEvents; e++ {
+		m[e.String()] = f.counts[e]
+	}
+	return json.Marshal(m)
+}
+
+// UnmarshalJSON decodes a name→count object produced by MarshalJSON.
+// Unknown event names are an error: a journal written by a different
+// counter vocabulary must not be silently reinterpreted.
+func (f *File) UnmarshalJSON(data []byte) error {
+	var m map[string]uint64
+	if err := json.Unmarshal(data, &m); err != nil {
+		return err
+	}
+	f.Reset()
+	for name, v := range m {
+		e, ok := EventByName(name)
+		if !ok {
+			return fmt.Errorf("counters: unknown event %q", name)
+		}
+		f.counts[e] = v
+	}
+	return nil
+}
 
 // AddFile accumulates another file into this one.
 func (f *File) AddFile(o *File) {

@@ -1,6 +1,7 @@
 package counters
 
 import (
+	"encoding/json"
 	"math"
 	"strings"
 	"testing"
@@ -329,5 +330,31 @@ func TestSessionErrors(t *testing.T) {
 	}
 	if _, err := NewSession(&src, []Event{Event(200)}); err == nil {
 		t.Fatal("unknown event must error")
+	}
+}
+
+func TestFileJSONRoundTrip(t *testing.T) {
+	var f File
+	f.Set(Cycles, 123456789)
+	f.Set(Instructions, 98765)
+	f.Set(Retire3, 42)
+	data, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back File
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != f {
+		t.Fatalf("round trip diverged:\n  in  %+v\n  out %+v", f, back)
+	}
+	// Marshaling is deterministic (object keys sorted by encoding/json).
+	again, _ := json.Marshal(f)
+	if string(again) != string(data) {
+		t.Fatal("marshaled bytes unstable across calls")
+	}
+	if err := json.Unmarshal([]byte(`{"no_such_event":1}`), &back); err == nil {
+		t.Fatal("unknown event name accepted")
 	}
 }

@@ -1,0 +1,9 @@
+//go:build !faults
+
+package faultinject
+
+// Enabled reports that this binary was compiled without the
+// fault-injection harness: every `if faultinject.Enabled && ...` hook is
+// dead code, and Parse refuses -inject specs so a production binary
+// cannot silently ignore a request to inject faults.
+const Enabled = false

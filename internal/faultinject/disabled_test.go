@@ -1,0 +1,38 @@
+//go:build !faults
+
+package faultinject
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseRefusesWithoutTag pins the safety property of the build-tag
+// gate: a binary compiled without -tags faults must reject any -inject
+// spec outright, never silently run uninjected.
+func TestParseRefusesWithoutTag(t *testing.T) {
+	if _, err := Parse("seed=42,panic=0.1"); err == nil {
+		t.Fatal("untagged build accepted an -inject spec")
+	} else if !strings.Contains(err.Error(), "faults") {
+		t.Fatalf("err = %v, want a pointer at -tags faults", err)
+	}
+}
+
+func TestParseEmptySpecIsNil(t *testing.T) {
+	in, err := Parse("")
+	if in != nil || err != nil {
+		t.Fatalf("Parse(\"\") = %v, %v; want nil, nil", in, err)
+	}
+}
+
+// TestNilInjectorIsInert pins that the nil injector (the only one an
+// untagged build can hold) makes no decisions.
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if got := in.Decide("pair a+b"); got != None {
+		t.Fatalf("nil injector decided %v", got)
+	}
+	if in.String() != "" {
+		t.Fatalf("nil injector spec = %q", in.String())
+	}
+}

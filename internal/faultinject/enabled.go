@@ -1,0 +1,9 @@
+//go:build faults
+
+package faultinject
+
+// Enabled reports that this binary was compiled with the fault-injection
+// harness. It is a constant so that in the ordinary build flavor every
+// `if faultinject.Enabled && ...` hook is eliminated by the compiler and
+// production campaigns carry no injection code at all.
+const Enabled = true

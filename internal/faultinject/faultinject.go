@@ -1,0 +1,237 @@
+// Package faultinject is a deterministic fault injector for exercising
+// the resilience layer end to end. A seed-driven Injector decides, per
+// experiment cell, whether to force a panic, an infinite stall (the
+// watchdog must kill it), a slow cell, corrupted counters (the
+// conservation check must catch them), or a transient failure (the retry
+// policy must absorb it). Decisions are a pure hash of (seed, cell), so
+// a faulty campaign is exactly reproducible from its -inject spec.
+//
+// The injector lives behind the `faults` build tag: in ordinary builds
+// Enabled is a false constant, every hook compiles away, and Parse
+// refuses non-empty specs so asking a production binary to inject faults
+// is a hard error rather than a silent no-op.
+package faultinject
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Fault is the per-cell injection decision.
+type Fault int
+
+const (
+	// None leaves the cell alone.
+	None Fault = iota
+	// Panic panics inside the cell's simulation.
+	Panic
+	// Stall blocks the cell until its watchdog cancels it.
+	Stall
+	// Slow delays the cell by the injector's SlowDelay before it runs.
+	Slow
+	// Corrupt perturbs the cell's result counters after the simulation,
+	// violating cycle conservation.
+	Corrupt
+	// Transient fails the cell's first FailFor attempts with a
+	// retryable error.
+	Transient
+)
+
+// String names the fault for reasons and logs.
+func (f Fault) String() string {
+	switch f {
+	case None:
+		return "none"
+	case Panic:
+		return "panic"
+	case Stall:
+		return "stall"
+	case Slow:
+		return "slow"
+	case Corrupt:
+		return "corrupt"
+	case Transient:
+		return "transient"
+	}
+	return fmt.Sprintf("Fault(%d)", int(f))
+}
+
+// faultKeys maps -inject spec keys to faults, in cumulative-probability
+// order (the order the hash interval is partitioned in).
+var faultKeys = []struct {
+	key   string
+	fault Fault
+}{
+	{"panic", Panic},
+	{"stall", Stall},
+	{"slow", Slow},
+	{"corrupt", Corrupt},
+	{"transient", Transient},
+}
+
+// Injector makes deterministic per-cell fault decisions. A nil Injector
+// injects nothing, so call sites need no guards beyond the Enabled
+// constant.
+type Injector struct {
+	// Seed drives the per-cell hash.
+	Seed uint64
+	// Rates holds the probability of each fault, keyed by Fault; their
+	// sum must be <= 1.
+	Rates map[Fault]float64
+	// SlowDelay is how long a Slow cell sleeps before running.
+	SlowDelay time.Duration
+	// FailFor is how many leading attempts of a Transient cell fail.
+	FailFor int
+
+	mu       sync.Mutex
+	attempts map[string]int
+}
+
+// Parse builds an Injector from an -inject spec, e.g.
+//
+//	seed=42,panic=0.1,stall=0.02,slow=0.05,corrupt=0.1,transient=0.25,slowms=50,failfor=2
+//
+// An empty spec returns (nil, nil). A non-empty spec in a binary built
+// without -tags faults is an error: injection silently not happening
+// would invalidate any conclusion drawn from the run.
+func Parse(spec string) (*Injector, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	if !Enabled {
+		return nil, fmt.Errorf("faultinject: this binary was built without -tags faults; -inject %q unavailable", spec)
+	}
+	in := &Injector{
+		Seed:      1,
+		Rates:     map[Fault]float64{},
+		SlowDelay: 50 * time.Millisecond,
+		FailFor:   1,
+		attempts:  map[string]int{},
+	}
+	for _, field := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(field), "=")
+		if !ok {
+			return nil, fmt.Errorf("faultinject: bad field %q in -inject spec (want key=value)", field)
+		}
+		switch k {
+		case "seed":
+			n, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faultinject: seed: %w", err)
+			}
+			in.Seed = n
+		case "slowms":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("faultinject: slowms: bad value %q", v)
+			}
+			in.SlowDelay = time.Duration(n) * time.Millisecond
+		case "failfor":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("faultinject: failfor: bad value %q", v)
+			}
+			in.FailFor = n
+		default:
+			fault := None
+			for _, fk := range faultKeys {
+				if fk.key == k {
+					fault = fk.fault
+				}
+			}
+			if fault == None {
+				return nil, fmt.Errorf("faultinject: unknown key %q in -inject spec", k)
+			}
+			r, err := strconv.ParseFloat(v, 64)
+			if err != nil || r < 0 || r > 1 {
+				return nil, fmt.Errorf("faultinject: %s: bad rate %q (want 0..1)", k, v)
+			}
+			in.Rates[fault] = r
+		}
+	}
+	total := 0.0
+	for _, r := range in.Rates {
+		total += r
+	}
+	if total > 1 {
+		return nil, fmt.Errorf("faultinject: fault rates sum to %g > 1", total)
+	}
+	return in, nil
+}
+
+// String renders the injector back into canonical spec form (fields in
+// fixed order), used to stamp campaign journals so a resumed faulty run
+// must carry the same injection config.
+func (in *Injector) String() string {
+	if in == nil {
+		return ""
+	}
+	parts := []string{fmt.Sprintf("seed=%d", in.Seed)}
+	keys := make([]string, 0, len(in.Rates))
+	byKey := map[string]float64{}
+	for _, fk := range faultKeys {
+		if r, ok := in.Rates[fk.fault]; ok && r > 0 {
+			keys = append(keys, fk.key)
+			byKey[fk.key] = r
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%g", k, byKey[k]))
+	}
+	parts = append(parts,
+		fmt.Sprintf("slowms=%d", in.SlowDelay/time.Millisecond),
+		fmt.Sprintf("failfor=%d", in.FailFor))
+	return strings.Join(parts, ",")
+}
+
+// Decide returns the fault injected into cell, None for most cells. The
+// decision is a pure function of (Seed, cell): the FNV-64a hash is
+// mapped to a uniform point in [0, 1) and compared against the
+// cumulative fault rates in faultKeys order.
+func (in *Injector) Decide(cell string) Fault {
+	if in == nil {
+		return None
+	}
+	h := fnv.New64a()
+	var seed [8]byte
+	binary.LittleEndian.PutUint64(seed[:], in.Seed)
+	h.Write(seed[:])
+	h.Write([]byte(cell))
+	u := float64(h.Sum64()>>11) / (1 << 53)
+	cum := 0.0
+	for _, fk := range faultKeys {
+		cum += in.Rates[fk.fault]
+		if u < cum {
+			return fk.fault
+		}
+	}
+	return None
+}
+
+// Attempt records one attempt of cell and returns its 1-based count,
+// letting Transient cells fail deterministically for exactly FailFor
+// attempts. Safe for concurrent workers.
+func (in *Injector) Attempt(cell string) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.attempts == nil {
+		in.attempts = map[string]int{}
+	}
+	in.attempts[cell]++
+	return in.attempts[cell]
+}
+
+// StallUntil blocks until canceled reports true — the injected version
+// of a wedged simulation, killable only by the watchdog.
+func (in *Injector) StallUntil(canceled func() bool) {
+	for !canceled() {
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,166 @@
+//go:build faults
+
+package faultinject
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestParseFullSpec(t *testing.T) {
+	in, err := Parse("seed=42,panic=0.1,stall=0.02,slow=0.05,corrupt=0.1,transient=0.25,slowms=75,failfor=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Seed != 42 || in.SlowDelay != 75*time.Millisecond || in.FailFor != 2 {
+		t.Fatalf("parsed %+v", in)
+	}
+	want := map[Fault]float64{Panic: 0.1, Stall: 0.02, Slow: 0.05, Corrupt: 0.1, Transient: 0.25}
+	for f, r := range want {
+		if in.Rates[f] != r {
+			t.Errorf("rate[%v] = %g, want %g", f, in.Rates[f], r)
+		}
+	}
+	// String renders a canonical spec that reparses to the same injector.
+	again, err := Parse(in.String())
+	if err != nil {
+		t.Fatalf("canonical spec %q does not reparse: %v", in.String(), err)
+	}
+	if again.String() != in.String() {
+		t.Fatalf("canonical form unstable: %q vs %q", again.String(), in.String())
+	}
+}
+
+func TestParseRejectsBadSpecs(t *testing.T) {
+	for _, spec := range []string{
+		"panic",               // no value
+		"panic=2",             // rate out of range
+		"panic=-0.5",          // negative rate
+		"warp=0.5",            // unknown key
+		"seed=x",              // non-numeric seed
+		"slowms=-3",           // negative delay
+		"failfor=x",           // non-numeric
+		"panic=0.6,stall=0.6", // rates sum > 1
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted", spec)
+		}
+	}
+}
+
+func TestDecideDeterministicAndSeedSensitive(t *testing.T) {
+	in, _ := Parse("seed=42,panic=0.5")
+	cells := []string{"pair a+b", "pair a+c", "pair b+c", "fig10 db", "solo jack"}
+	first := map[string]Fault{}
+	for _, c := range cells {
+		first[c] = in.Decide(c)
+	}
+	for trial := 0; trial < 3; trial++ {
+		for _, c := range cells {
+			if got := in.Decide(c); got != first[c] {
+				t.Fatalf("Decide(%q) flapped: %v then %v", c, first[c], got)
+			}
+		}
+	}
+	// A different seed must eventually make a different decision.
+	other, _ := Parse("seed=43,panic=0.5")
+	diverged := false
+	for i := 0; i < 64 && !diverged; i++ {
+		c := "cell-" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+		if in.Decide(c) != other.Decide(c) {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Fatal("seeds 42 and 43 decide identically over 64 cells")
+	}
+}
+
+func TestDecideRateOneHitsEveryCell(t *testing.T) {
+	in, _ := Parse("seed=7,stall=1")
+	for _, c := range []string{"a", "b", "c", "pair x+y"} {
+		if got := in.Decide(c); got != Stall {
+			t.Fatalf("Decide(%q) = %v with stall=1", c, got)
+		}
+	}
+	none, _ := Parse("seed=7")
+	if got := none.Decide("a"); got != None {
+		t.Fatalf("rateless injector decided %v", got)
+	}
+}
+
+func TestDecideApproximatesRates(t *testing.T) {
+	in, _ := Parse("seed=99,panic=0.3")
+	hits := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if in.Decide(fmt8(i)) == Panic {
+			hits++
+		}
+	}
+	if frac := float64(hits) / n; frac < 0.2 || frac > 0.4 {
+		t.Fatalf("panic rate 0.3 hit %.3f of cells", frac)
+	}
+}
+
+func fmt8(i int) string {
+	b := [8]byte{}
+	for k := 7; k >= 0; k-- {
+		b[k] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[:])
+}
+
+func TestAttemptCountsConcurrently(t *testing.T) {
+	in, _ := Parse("seed=1,transient=1,failfor=2")
+	var wg sync.WaitGroup
+	const workers = 8
+	counts := make([]int, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			counts[w] = in.Attempt("shared-cell")
+		}(w)
+	}
+	wg.Wait()
+	seen := map[int]bool{}
+	for _, c := range counts {
+		if c < 1 || c > workers || seen[c] {
+			t.Fatalf("attempt counts %v not a permutation of 1..%d", counts, workers)
+		}
+		seen[c] = true
+	}
+	if next := in.Attempt("shared-cell"); next != workers+1 {
+		t.Fatalf("next attempt = %d, want %d", next, workers+1)
+	}
+	if other := in.Attempt("other-cell"); other != 1 {
+		t.Fatalf("independent cell attempt = %d, want 1", other)
+	}
+}
+
+func TestStallUntilHonorsCancel(t *testing.T) {
+	in, _ := Parse("seed=1,stall=1")
+	done := make(chan struct{})
+	var canceled sync.Once
+	flag := make(chan struct{})
+	go func() {
+		in.StallUntil(func() bool {
+			select {
+			case <-flag:
+				return true
+			default:
+				return false
+			}
+		})
+		close(done)
+	}()
+	canceled.Do(func() { close(flag) })
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("StallUntil ignored cancellation")
+	}
+}

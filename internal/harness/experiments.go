@@ -12,6 +12,7 @@ import (
 	"javasmt/internal/bench"
 	"javasmt/internal/core"
 	"javasmt/internal/counters"
+	"javasmt/internal/resilience"
 	"javasmt/internal/sched"
 	"javasmt/internal/stats"
 )
@@ -26,9 +27,12 @@ type CharRun struct {
 
 // Characterization holds the run matrix behind Table 2 and Figures 1-7:
 // every multithreaded benchmark at 2 and 8 threads, HT off and on.
+// Cells the campaign gave up on are absent from Runs and listed in
+// Failed; the renderers print them as FAILED(reason) rows.
 type Characterization struct {
-	Scale bench.Scale
-	Runs  []CharRun
+	Scale  bench.Scale
+	Runs   []CharRun
+	Failed []Failure
 }
 
 // RunCharacterization executes the §4.1 run matrix, fanning the
@@ -53,26 +57,38 @@ func RunCharacterization(cfg Config) (*Characterization, error) {
 		cl := cells[i]
 		return fmt.Sprintf("%s t=%d ht=%v", cl.b.Name, cl.threads, cl.ht)
 	}
-	runs, err := sched.MapObserved(len(cells), cfg.Jobs, cfg.Obs, label, func(i int) (CharRun, error) {
+	outs, err := sched.MapObserved(len(cells), cfg.Jobs, cfg.Obs, label, func(i int) (outcome[CharRun], error) {
 		cl := cells[i]
 		report(fmt.Sprintf("%s threads=%d ht=%v", cl.b.Name, cl.threads, cl.ht))
-		opt := Options{HT: cl.ht, Threads: cl.threads, Scale: cfg.Scale, Verify: true}
-		if cfg.Obs.Enabled() {
-			opt.Obs, opt.ObsLabel = cfg.Obs, label(i)
-		}
-		res, err := Run(cl.b, opt)
-		if err != nil {
-			return CharRun{}, err
-		}
-		return CharRun{Benchmark: cl.b.Name, Threads: cl.threads, HT: cl.ht, Result: res}, nil
+		return runCell(cfg, label(i), func(w *resilience.Watch) (CharRun, error) {
+			opt := Options{HT: cl.ht, Threads: cl.threads, Scale: cfg.Scale, Verify: true,
+				MaxCycles: cfg.Policy.CycleBudget, Cancel: w.Flag()}
+			if cfg.Obs.Enabled() {
+				opt.Obs, opt.ObsLabel = cfg.Obs, label(i)
+			}
+			res, err := Run(cl.b, opt)
+			if err != nil {
+				return CharRun{}, err
+			}
+			return CharRun{Benchmark: cl.b.Name, Threads: cl.threads, HT: cl.ht, Result: res}, nil
+		})
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Characterization{Scale: cfg.Scale, Runs: runs}, nil
+	c := &Characterization{Scale: cfg.Scale}
+	for _, o := range outs {
+		if o.fail != nil {
+			c.Failed = append(c.Failed, failureOf(o.fail))
+			continue
+		}
+		c.Runs = append(c.Runs, o.v)
+	}
+	return c, nil
 }
 
-// find returns the run for (name, threads, ht).
+// find returns the run for (name, threads, ht), or nil if that cell
+// failed (its reason is then available via reason).
 func (c *Characterization) find(name string, threads int, ht bool) *Result {
 	for _, r := range c.Runs {
 		if r.Benchmark == name && r.Threads == threads && r.HT == ht {
@@ -80,6 +96,17 @@ func (c *Characterization) find(name string, threads int, ht bool) *Result {
 		}
 	}
 	return nil
+}
+
+// reason returns the failure reason recorded for cell (name, threads, ht).
+func (c *Characterization) reason(name string, threads int, ht bool) string {
+	cell := fmt.Sprintf("%s t=%d ht=%v", name, threads, ht)
+	for _, f := range c.Failed {
+		if f.Cell == cell {
+			return f.Reason
+		}
+	}
+	return "cell missing"
 }
 
 // Table1 renders the paper's benchmark-description table.
@@ -105,6 +132,10 @@ func (c *Characterization) Table2() string {
 	for _, b := range bench.Multithreaded() {
 		for _, threads := range []int{2, 8} {
 			r := c.find(b.Name, threads, true)
+			if r == nil {
+				fmt.Fprintf(&sb, "%-12s %-8d FAILED(%s)\n", b.Name, threads, c.reason(b.Name, threads, true))
+				continue
+			}
 			fmt.Fprintf(&sb, "%-12s %-8d %8.2f %10.2f %12.2f\n",
 				b.Name, threads, r.Counters.CPI(), r.Counters.OSCyclePercent(), r.Counters.DTModePercent())
 		}
@@ -118,11 +149,24 @@ func (c *Characterization) Fig1() string {
 	sb.WriteString("Figure 1. IPCs of multithreaded benchmarks on Pentium 4 processors\n")
 	fmt.Fprintf(&sb, "%-12s %10s %10s %9s\n", "Benchmark", "HT off", "HT on", "gain")
 	for _, b := range bench.Multithreaded() {
-		off := c.find(b.Name, 2, false).Counters.IPC()
-		on := c.find(b.Name, 2, true).Counters.IPC()
+		roff, ron := c.find(b.Name, 2, false), c.find(b.Name, 2, true)
+		if roff == nil || ron == nil {
+			fmt.Fprintf(&sb, "%-12s FAILED(%s)\n", b.Name, c.firstReason(b.Name, 2))
+			continue
+		}
+		off, on := roff.Counters.IPC(), ron.Counters.IPC()
 		fmt.Fprintf(&sb, "%-12s %10.3f %10.3f %8.1f%%\n", b.Name, off, on, 100*(on/off-1))
 	}
 	return sb.String()
+}
+
+// firstReason returns the failure reason of the first failed HT mode of
+// (name, threads) — for figures whose rows need both modes.
+func (c *Characterization) firstReason(name string, threads int) string {
+	if c.find(name, threads, false) == nil {
+		return c.reason(name, threads, false)
+	}
+	return c.reason(name, threads, true)
 }
 
 // Fig2 renders the retirement profile (share of cycles retiring 0-3 µops).
@@ -131,24 +175,32 @@ func (c *Characterization) Fig2() string {
 	sb.WriteString("Figure 2. Instruction retirement profile (fraction of cycles retiring 0/1/2/3 µops)\n")
 	fmt.Fprintf(&sb, "%-12s %-6s %7s %7s %7s %7s\n", "Benchmark", "HT", "0", "1", "2", "3")
 	var avg [2][4]float64
-	n := 0
+	var n [2]int
 	for _, b := range bench.Multithreaded() {
 		for hi, ht := range []bool{false, true} {
-			p := c.find(b.Name, 2, ht).Counters.RetirementProfile()
 			mode := "off"
 			if ht {
 				mode = "on"
 			}
+			r := c.find(b.Name, 2, ht)
+			if r == nil {
+				fmt.Fprintf(&sb, "%-12s %-6s FAILED(%s)\n", b.Name, mode, c.reason(b.Name, 2, ht))
+				continue
+			}
+			p := r.Counters.RetirementProfile()
 			fmt.Fprintf(&sb, "%-12s %-6s %7.3f %7.3f %7.3f %7.3f\n", b.Name, mode, p[0], p[1], p[2], p[3])
 			for i := range p {
 				avg[hi][i] += p[i]
 			}
+			n[hi]++
 		}
-		n++
 	}
 	for hi, mode := range []string{"off", "on"} {
+		if n[hi] == 0 {
+			continue
+		}
 		fmt.Fprintf(&sb, "%-12s %-6s %7.3f %7.3f %7.3f %7.3f\n", "average", mode,
-			avg[hi][0]/float64(n), avg[hi][1]/float64(n), avg[hi][2]/float64(n), avg[hi][3]/float64(n))
+			avg[hi][0]/float64(n[hi]), avg[hi][1]/float64(n[hi]), avg[hi][2]/float64(n[hi]), avg[hi][3]/float64(n[hi]))
 	}
 	return sb.String()
 }
@@ -160,9 +212,13 @@ func (c *Characterization) ratioFigure(title string, metric func(*counters.File)
 	fmt.Fprintf(&sb, "%-14s %10s %10s\n", "Benchmark", "HT off", "HT on")
 	for _, b := range bench.Multithreaded() {
 		for _, threads := range []int{2, 8} {
-			off := metric(&c.find(b.Name, threads, false).Counters)
-			on := metric(&c.find(b.Name, threads, true).Counters)
-			fmt.Fprintf(&sb, "%-14s %10.3f %10.3f\n", fmt.Sprintf("%s%02d", b.Name, threads), off, on)
+			roff, ron := c.find(b.Name, threads, false), c.find(b.Name, threads, true)
+			if roff == nil || ron == nil {
+				fmt.Fprintf(&sb, "%-14s FAILED(%s)\n", fmt.Sprintf("%s%02d", b.Name, threads), c.firstReason(b.Name, threads))
+				continue
+			}
+			fmt.Fprintf(&sb, "%-14s %10.3f %10.3f\n", fmt.Sprintf("%s%02d", b.Name, threads),
+				metric(&roff.Counters), metric(&ron.Counters))
 		}
 	}
 	return sb.String()
@@ -199,12 +255,15 @@ func (c *Characterization) Fig7() string {
 }
 
 // Pairings is the 9x9 multiprogramming cross product behind Figures 8, 9
-// and 11.
+// and 11. Cells the campaign gave up on leave nil in Results (and 0 in
+// Combined) and are listed in Failed; renderers skip them in statistics
+// and append a FAILED-cells trailer.
 type Pairings struct {
 	Names []string
 	// Combined[i][j] is C_AB for row benchmark i paired with column j.
 	Combined [][]float64
 	Results  [][]*PairResult
+	Failed   []Failure
 }
 
 // RunPairings executes the cross product of the nine single-threaded
@@ -213,12 +272,12 @@ type Pairings struct {
 // run concurrently (each on its own machine); the result matrix is
 // byte-identical at every job count.
 func RunPairings(cfg Config) (*Pairings, error) {
-	return runPairingsOf(bench.SingleThreaded(), cfg)
+	return RunPairingsOf(bench.SingleThreaded(), cfg)
 }
 
-// runPairingsOf is RunPairings over an explicit program list (tests use
-// reduced lists to keep the determinism check fast).
-func runPairingsOf(progs []*bench.Benchmark, cfg Config) (*Pairings, error) {
+// RunPairingsOf is RunPairings over an explicit program list — tests and
+// cmd/pairings -benches use reduced lists for fast smoke campaigns.
+func RunPairingsOf(progs []*bench.Benchmark, cfg Config) (*Pairings, error) {
 	p := &Pairings{}
 	for _, b := range progs {
 		p.Names = append(p.Names, b.Name)
@@ -246,24 +305,41 @@ func runPairingsOf(progs []*bench.Benchmark, cfg Config) (*Pairings, error) {
 	// bit-identically to a fresh one (asserted by the determinism test)
 	// but keeps its calendar rings, ROB rings and cache arrays.
 	pool := sync.Pool{New: func() any { return core.New(pairCPUConfig()) }}
-	results, err := sched.MapObserved(len(jobs), cfg.Jobs, cfg.Obs, label, func(idx int) (*PairResult, error) {
+	results, err := sched.MapObserved(len(jobs), cfg.Jobs, cfg.Obs, label, func(idx int) (outcome[*PairResult], error) {
 		a, b := progs[jobs[idx].i], progs[jobs[idx].j]
 		report(fmt.Sprintf("pair %s + %s: start", a.Name, b.Name))
-		cpu := pool.Get().(*core.CPU)
-		cpu.Reset()
-		res, err := runPairOn(cpu, a, b, opts)
-		pool.Put(cpu)
+		out, err := runCell(cfg, label(idx), func(w *resilience.Watch) (*PairResult, error) {
+			// A panicking cell unwinds past the Put, so its machine —
+			// possibly mid-corruption — is never pooled; canceled or
+			// over-budget machines are safe to reuse after Reset.
+			cpu := pool.Get().(*core.CPU)
+			cpu.Reset()
+			o := opts
+			o.Cancel = w.Flag()
+			res, rerr := runPairOn(cpu, a, b, o)
+			pool.Put(cpu)
+			return res, rerr
+		})
 		if err != nil {
-			return nil, err
+			return out, err
 		}
-		report(fmt.Sprintf("pair %s + %s: done C_AB=%.3f", a.Name, b.Name, res.CombinedSpeedup()))
-		return res, nil
+		if out.fail != nil {
+			report(fmt.Sprintf("pair %s + %s: FAILED(%s)", a.Name, b.Name, out.fail.Reason()))
+		} else {
+			report(fmt.Sprintf("pair %s + %s: done C_AB=%.3f", a.Name, b.Name, out.v.CombinedSpeedup()))
+		}
+		return out, nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	for idx, res := range results {
+	for idx, o := range results {
 		i, j := jobs[idx].i, jobs[idx].j
+		if o.fail != nil {
+			p.Failed = append(p.Failed, failureOf(o.fail))
+			continue
+		}
+		res := o.v
 		p.Results[i][j] = res
 		p.Combined[i][j] = res.CombinedSpeedup()
 		if i != j {
@@ -280,10 +356,22 @@ func runPairingsOf(progs []*bench.Benchmark, cfg Config) (*Pairings, error) {
 	return p, nil
 }
 
+// ok reports whether cell (i, j) completed. A Pairings built without a
+// Results matrix (literal fixtures) treats every cell as complete.
+func (p *Pairings) ok(i, j int) bool {
+	return len(p.Results) <= i || len(p.Results[i]) <= j || p.Results[i][j] != nil
+}
+
 // RowSpeedups returns the combined speedups of row benchmark i against
-// every partner (the Figure 8 box population).
+// every partner (the Figure 8 box population). Failed cells are
+// excluded rather than contributing zeros.
 func (p *Pairings) RowSpeedups(i int) []float64 {
-	out := append([]float64(nil), p.Combined[i]...)
+	var out []float64
+	for j := range p.Combined[i] {
+		if p.ok(i, j) {
+			out = append(out, p.Combined[i][j])
+		}
+	}
 	return out
 }
 
@@ -291,11 +379,16 @@ func (p *Pairings) RowSpeedups(i int) []float64 {
 func (p *Pairings) Fig8() string {
 	var sb strings.Builder
 	sb.WriteString("Figure 8. Distribution of combined speedup for multiprogrammed Java benchmarks\n")
-	names := p.Names
+	var names []string
 	var boxes []stats.Box
 	lo, hi := 2.0, 0.0
-	for i := range names {
-		bx := stats.Summarize(p.RowSpeedups(i))
+	for i, n := range p.Names {
+		pop := p.RowSpeedups(i)
+		if len(pop) == 0 {
+			continue // every cell of the row failed; the trailer reports them
+		}
+		bx := stats.Summarize(pop)
+		names = append(names, n)
 		boxes = append(boxes, bx)
 		if bx.Min < lo {
 			lo = bx.Min
@@ -304,11 +397,14 @@ func (p *Pairings) Fig8() string {
 			hi = bx.Max
 		}
 	}
-	sb.WriteString(stats.RenderBoxes(names, boxes, lo-0.05, hi+0.05, 64))
-	sb.WriteString("('=' box: 25th-75th percentile, '|' median, '*' mean, '-' whiskers to min/max)\n")
-	for i, n := range names {
-		fmt.Fprintf(&sb, "  %-11s %s\n", n, boxes[i])
+	if len(names) > 0 {
+		sb.WriteString(stats.RenderBoxes(names, boxes, lo-0.05, hi+0.05, 64))
+		sb.WriteString("('=' box: 25th-75th percentile, '|' median, '*' mean, '-' whiskers to min/max)\n")
+		for i, n := range names {
+			fmt.Fprintf(&sb, "  %-11s %s\n", n, boxes[i])
+		}
 	}
+	sb.WriteString(renderFailures(p.Failed))
 	return sb.String()
 }
 
@@ -317,8 +413,11 @@ func (p *Pairings) Fig9() string {
 	var sb strings.Builder
 	sb.WriteString("Figure 9. Combined speedup color map\n")
 	lo, hi := 2.0, 0.0
-	for _, row := range p.Combined {
-		for _, v := range row {
+	for i, row := range p.Combined {
+		for j, v := range row {
+			if !p.ok(i, j) {
+				continue // failed cells render as the low end; scale from real data
+			}
 			if v < lo {
 				lo = v
 			}
@@ -329,11 +428,11 @@ func (p *Pairings) Fig9() string {
 	}
 	sb.WriteString(stats.RenderColorMap(p.Names, p.Combined, lo, hi, 1.0))
 	// Slowdown audit, as the paper calls out (nine combinations of
-	// jack/javac/jess on its machine).
+	// jack/javac/jess on its machine). Failed cells are not slowdowns.
 	var bad []string
 	for i := range p.Combined {
 		for j := range p.Combined[i] {
-			if j < i {
+			if j < i || !p.ok(i, j) {
 				continue
 			}
 			if p.Combined[i][j] < 1.0 {
@@ -346,6 +445,7 @@ func (p *Pairings) Fig9() string {
 	for _, s := range bad {
 		fmt.Fprintf(&sb, "  %s\n", s)
 	}
+	sb.WriteString(renderFailures(p.Failed))
 	return sb.String()
 }
 
@@ -355,18 +455,37 @@ func (p *Pairings) Fig11() string {
 	sb.WriteString("Figure 11. Impact of Hyper-Threading on multiprogrammed (self-paired) programs\n")
 	fmt.Fprintf(&sb, "%-12s %16s\n", "Benchmark", "combined speedup")
 	for i, n := range p.Names {
+		if !p.ok(i, i) {
+			fmt.Fprintf(&sb, "%-12s FAILED(%s)\n", n, p.reason(n, n))
+			continue
+		}
 		fmt.Fprintf(&sb, "%-12s %16.3f\n", n, p.Combined[i][i])
 	}
+	sb.WriteString(renderFailures(p.Failed))
 	return sb.String()
 }
 
-// Fig10Row is one single-threaded HT-tax measurement.
+// reason returns the failure reason recorded for the (a, b) pairing cell.
+func (p *Pairings) reason(a, b string) string {
+	cell := "pair " + a + "+" + b
+	for _, f := range p.Failed {
+		if f.Cell == cell {
+			return f.Reason
+		}
+	}
+	return "cell missing"
+}
+
+// Fig10Row is one single-threaded HT-tax measurement. Failed is the
+// failure reason when the campaign gave up on this benchmark's cell
+// (the cycle fields are then zero).
 type Fig10Row struct {
 	Benchmark string
 	CyclesOff uint64
 	CyclesOn  uint64
-	// CyclesDyn is the dynamic-partition ablation (DESIGN.md §8).
+	// CyclesDyn is the dynamic-partition ablation (DESIGN.md §9).
 	CyclesDyn uint64
+	Failed    string `json:",omitempty"`
 }
 
 // SlowdownPct returns the execution-time increase from merely enabling HT.
@@ -386,29 +505,45 @@ func RunFig10(cfg Config) ([]Fig10Row, error) {
 	progs := bench.SingleThreaded()
 	report := sched.Progress(cfg.Progress)
 	label := func(i int) string { return "fig10 " + progs[i].Name }
-	return sched.MapObserved(len(progs), cfg.Jobs, cfg.Obs, label, func(i int) (Fig10Row, error) {
+	outs, err := sched.MapObserved(len(progs), cfg.Jobs, cfg.Obs, label, func(i int) (outcome[Fig10Row], error) {
 		b := progs[i]
 		report(b.Name)
-		run := func(mode string, opt Options) (*Result, error) {
-			if cfg.Obs.Enabled() {
-				opt.Obs, opt.ObsLabel = cfg.Obs, fmt.Sprintf("fig10 %s %s", b.Name, mode)
+		return runCell(cfg, label(i), func(w *resilience.Watch) (Fig10Row, error) {
+			run := func(mode string, opt Options) (*Result, error) {
+				opt.MaxCycles = cfg.Policy.CycleBudget
+				opt.Cancel = w.Flag()
+				if cfg.Obs.Enabled() {
+					opt.Obs, opt.ObsLabel = cfg.Obs, fmt.Sprintf("fig10 %s %s", b.Name, mode)
+				}
+				return Run(b, opt)
 			}
-			return Run(b, opt)
-		}
-		off, err := run("ht=off", Options{Threads: 1, Scale: cfg.Scale, Verify: true})
-		if err != nil {
-			return Fig10Row{}, err
-		}
-		on, err := run("ht=on", Options{HT: true, Threads: 1, Scale: cfg.Scale})
-		if err != nil {
-			return Fig10Row{}, err
-		}
-		dyn, err := run("ht=on dyn", Options{HT: true, Threads: 1, Scale: cfg.Scale, Partition: core.DynamicPartition})
-		if err != nil {
-			return Fig10Row{}, err
-		}
-		return Fig10Row{Benchmark: b.Name, CyclesOff: off.Cycles, CyclesOn: on.Cycles, CyclesDyn: dyn.Cycles}, nil
+			off, err := run("ht=off", Options{Threads: 1, Scale: cfg.Scale, Verify: true})
+			if err != nil {
+				return Fig10Row{}, err
+			}
+			on, err := run("ht=on", Options{HT: true, Threads: 1, Scale: cfg.Scale})
+			if err != nil {
+				return Fig10Row{}, err
+			}
+			dyn, err := run("ht=on dyn", Options{HT: true, Threads: 1, Scale: cfg.Scale, Partition: core.DynamicPartition})
+			if err != nil {
+				return Fig10Row{}, err
+			}
+			return Fig10Row{Benchmark: b.Name, CyclesOff: off.Cycles, CyclesOn: on.Cycles, CyclesDyn: dyn.Cycles}, nil
+		})
 	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig10Row, len(outs))
+	for i, o := range outs {
+		if o.fail != nil {
+			rows[i] = Fig10Row{Benchmark: progs[i].Name, Failed: o.fail.Reason()}
+			continue
+		}
+		rows[i] = o.v
+	}
+	return rows, nil
 }
 
 // RenderFig10 formats the Figure 10 rows.
@@ -416,24 +551,31 @@ func RenderFig10(rows []Fig10Row) string {
 	var sb strings.Builder
 	sb.WriteString("Figure 10. Impact of Hyper-Threading technology on single-threaded Java programs\n")
 	fmt.Fprintf(&sb, "%-12s %12s %12s %11s %14s\n", "Benchmark", "HT-off cyc", "HT-on cyc", "slowdown", "dyn-partition")
-	slower := 0
+	slower, measured := 0, 0
 	for _, r := range rows {
+		if r.Failed != "" {
+			fmt.Fprintf(&sb, "%-12s FAILED(%s)\n", r.Benchmark, r.Failed)
+			continue
+		}
+		measured++
 		if r.CyclesOn > r.CyclesOff {
 			slower++
 		}
 		fmt.Fprintf(&sb, "%-12s %12d %12d %10.2f%% %13.2f%%\n",
 			r.Benchmark, r.CyclesOff, r.CyclesOn, r.SlowdownPct(), r.DynSlowdownPct())
 	}
-	fmt.Fprintf(&sb, "%d of %d programs slow down when Hyper-Threading is merely enabled\n", slower, len(rows))
+	fmt.Fprintf(&sb, "%d of %d programs slow down when Hyper-Threading is merely enabled\n", slower, measured)
 	return sb.String()
 }
 
-// Fig12Row is an IPC measurement at one thread count.
+// Fig12Row is an IPC measurement at one thread count. Failed is the
+// failure reason when the campaign gave up on this cell.
 type Fig12Row struct {
 	Benchmark string
 	Threads   int
 	IPC       float64
 	L1DPerK   float64
+	Failed    string `json:",omitempty"`
 }
 
 // RunFig12 sweeps thread counts on the HT processor (paper §4.4),
@@ -453,23 +595,38 @@ func RunFig12(cfg Config, threadCounts []int) ([]Fig12Row, error) {
 	label := func(i int) string {
 		return fmt.Sprintf("fig12 %s t=%d", grid[i].b.Name, grid[i].threads)
 	}
-	return sched.MapObserved(len(grid), cfg.Jobs, cfg.Obs, label, func(i int) (Fig12Row, error) {
+	outs, err := sched.MapObserved(len(grid), cfg.Jobs, cfg.Obs, label, func(i int) (outcome[Fig12Row], error) {
 		pt := grid[i]
 		report(fmt.Sprintf("%s threads=%d", pt.b.Name, pt.threads))
-		opt := Options{HT: true, Threads: pt.threads, Scale: cfg.Scale, Verify: true}
-		if cfg.Obs.Enabled() {
-			opt.Obs, opt.ObsLabel = cfg.Obs, label(i)
-		}
-		res, err := Run(pt.b, opt)
-		if err != nil {
-			return Fig12Row{}, err
-		}
-		return Fig12Row{
-			Benchmark: pt.b.Name, Threads: pt.threads,
-			IPC:     res.Counters.IPC(),
-			L1DPerK: res.Counters.PerKiloInstr(counters.L1DMisses),
-		}, nil
+		return runCell(cfg, label(i), func(w *resilience.Watch) (Fig12Row, error) {
+			opt := Options{HT: true, Threads: pt.threads, Scale: cfg.Scale, Verify: true,
+				MaxCycles: cfg.Policy.CycleBudget, Cancel: w.Flag()}
+			if cfg.Obs.Enabled() {
+				opt.Obs, opt.ObsLabel = cfg.Obs, label(i)
+			}
+			res, err := Run(pt.b, opt)
+			if err != nil {
+				return Fig12Row{}, err
+			}
+			return Fig12Row{
+				Benchmark: pt.b.Name, Threads: pt.threads,
+				IPC:     res.Counters.IPC(),
+				L1DPerK: res.Counters.PerKiloInstr(counters.L1DMisses),
+			}, nil
+		})
 	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig12Row, len(outs))
+	for i, o := range outs {
+		if o.fail != nil {
+			rows[i] = Fig12Row{Benchmark: grid[i].b.Name, Threads: grid[i].threads, Failed: o.fail.Reason()}
+			continue
+		}
+		rows[i] = o.v
+	}
+	return rows, nil
 }
 
 // RenderFig12 formats the thread sweep.
@@ -478,7 +635,72 @@ func RenderFig12(rows []Fig12Row) string {
 	sb.WriteString("Figure 12. IPC vs. the number of threads (HT on)\n")
 	fmt.Fprintf(&sb, "%-12s %8s %8s %10s\n", "Benchmark", "threads", "IPC", "L1D/1k")
 	for _, r := range rows {
+		if r.Failed != "" {
+			fmt.Fprintf(&sb, "%-12s %8d FAILED(%s)\n", r.Benchmark, r.Threads, r.Failed)
+			continue
+		}
 		fmt.Fprintf(&sb, "%-12s %8d %8.3f %10.2f\n", r.Benchmark, r.Threads, r.IPC, r.L1DPerK)
 	}
 	return sb.String()
+}
+
+// SweepCell is one cell of a counter sweep (cmd/sweep): a benchmark at
+// one thread count with its full counter file. Failed carries the
+// failure reason when the campaign gave up on the cell.
+type SweepCell struct {
+	Benchmark string
+	Threads   int
+	Counters  counters.File
+	Failed    string `json:",omitempty"`
+}
+
+// RunSweep runs each target benchmark at each thread count on the HT
+// processor and collects full counter files, under cfg's campaign
+// policy (deadline, budget, retries, journal, fault injection).
+func RunSweep(cfg Config, targets []*bench.Benchmark, threadCounts []int) ([]SweepCell, error) {
+	type point struct {
+		b       *bench.Benchmark
+		threads int
+	}
+	var grid []point
+	for _, b := range targets {
+		for _, t := range threadCounts {
+			if t > 1 && !b.Multithreaded {
+				continue
+			}
+			grid = append(grid, point{b, t})
+		}
+	}
+	report := sched.Progress(cfg.Progress)
+	label := func(i int) string {
+		return fmt.Sprintf("%s t=%d", grid[i].b.Name, grid[i].threads)
+	}
+	outs, err := sched.MapObserved(len(grid), cfg.Jobs, cfg.Obs, label, func(i int) (outcome[SweepCell], error) {
+		pt := grid[i]
+		report(label(i))
+		return runCell(cfg, label(i), func(w *resilience.Watch) (SweepCell, error) {
+			opt := Options{HT: true, Threads: pt.threads, Scale: cfg.Scale, Verify: true,
+				MaxCycles: cfg.Policy.CycleBudget, Cancel: w.Flag()}
+			if cfg.Obs.Enabled() {
+				opt.Obs, opt.ObsLabel = cfg.Obs, label(i)
+			}
+			res, err := Run(pt.b, opt)
+			if err != nil {
+				return SweepCell{}, err
+			}
+			return SweepCell{Benchmark: pt.b.Name, Threads: pt.threads, Counters: res.Counters}, nil
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	cells := make([]SweepCell, len(outs))
+	for i, o := range outs {
+		if o.fail != nil {
+			cells[i] = SweepCell{Benchmark: grid[i].b.Name, Threads: grid[i].threads, Failed: o.fail.Reason()}
+			continue
+		}
+		cells[i] = o.v
+	}
+	return cells, nil
 }

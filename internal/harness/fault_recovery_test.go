@@ -1,0 +1,151 @@
+//go:build faults
+
+// End-to-end recovery tests: every fault the injector can produce must
+// be absorbed by the campaign layer — a completed report with FAILED
+// cells, never a crash, a hang, or a silently wrong number. These run
+// only under -tags faults (see .github/workflows and scripts/verify.sh).
+
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"javasmt/internal/bench"
+	"javasmt/internal/faultinject"
+	"javasmt/internal/obs"
+	"javasmt/internal/resilience"
+)
+
+// injectedCampaign runs a reduced pairing campaign with the given
+// -inject spec and policy, expecting the campaign itself to succeed.
+func injectedCampaign(t *testing.T, names []string, spec string, policy resilience.CellPolicy) *Pairings {
+	t.Helper()
+	var progs []*bench.Benchmark
+	for _, n := range names {
+		progs = append(progs, mustBench(t, n))
+	}
+	inj, err := faultinject.Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Runs = 2
+	cfg.Jobs = 8
+	cfg.Policy = policy
+	cfg.Inject = inj
+	p, err := RunPairingsOf(progs, cfg)
+	if err != nil {
+		t.Fatalf("campaign crashed instead of degrading: %v", err)
+	}
+	return p
+}
+
+// wantAllFailed asserts every cell of the cross product failed with kind.
+func wantAllFailed(t *testing.T, p *Pairings, cells int, kind resilience.Kind) {
+	t.Helper()
+	if len(p.Failed) != cells {
+		t.Fatalf("failed = %d cells %+v, want %d", len(p.Failed), p.Failed, cells)
+	}
+	for _, f := range p.Failed {
+		if f.Kind != string(kind) {
+			t.Fatalf("failure kind = %q, want %q: %+v", f.Kind, kind, f)
+		}
+	}
+	if !strings.Contains(p.Fig9(), "FAILED cells") {
+		t.Fatal("Fig9 lacks the FAILED trailer")
+	}
+}
+
+// TestInjectedPanicRecovered: rate-1 panics in every cell must surface
+// as structured panic failures in a completed report.
+func TestInjectedPanicRecovered(t *testing.T) {
+	p := injectedCampaign(t, []string{"compress", "mpegaudio"}, "panic=1", resilience.CellPolicy{})
+	wantAllFailed(t, p, 3, resilience.KindPanic)
+	for _, f := range p.Failed {
+		if !strings.Contains(f.Reason, "injected panic") {
+			t.Fatalf("reason %q lost the panic message", f.Reason)
+		}
+	}
+}
+
+// TestInjectedStallKilledByWatchdog: a cell that blocks forever must be
+// killed by the wall-clock watchdog and reported as a timeout.
+func TestInjectedStallKilledByWatchdog(t *testing.T) {
+	policy := resilience.CellPolicy{WallDeadline: 100 * time.Millisecond}
+	start := time.Now()
+	p := injectedCampaign(t, []string{"compress", "mpegaudio"}, "stall=1", policy)
+	wantAllFailed(t, p, 3, resilience.KindTimeout)
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("stalled campaign took %v; watchdog did not kill promptly", elapsed)
+	}
+}
+
+// TestInjectedCorruptionCaught: counter corruption after a completed
+// simulation must be caught by the conservation check, never exported.
+func TestInjectedCorruptionCaught(t *testing.T) {
+	p := injectedCampaign(t, []string{"compress"}, "corrupt=1", resilience.CellPolicy{})
+	wantAllFailed(t, p, 1, resilience.KindCorrupt)
+	if !strings.Contains(p.Failed[0].Reason, "conservation") {
+		t.Fatalf("reason %q does not name the conservation law", p.Failed[0].Reason)
+	}
+}
+
+// TestInjectedSlowCellStillCompletes: a Slow fault delays the cell but
+// must not change its result.
+func TestInjectedSlowCellStillCompletes(t *testing.T) {
+	clean := injectedCampaign(t, []string{"compress"}, "", resilience.CellPolicy{})
+	slow := injectedCampaign(t, []string{"compress"}, "slow=1,slowms=20", resilience.CellPolicy{})
+	if len(slow.Failed) != 0 {
+		t.Fatalf("slow cells failed: %+v", slow.Failed)
+	}
+	if clean.Fig9() != slow.Fig9() {
+		t.Fatal("a slow (but correct) cell changed the report")
+	}
+}
+
+// TestInjectedTransientAbsorbedByRetry is the acceptance bar for the
+// retry path: with retries configured, a campaign where every cell fails
+// transiently once must complete with zero failures and produce a
+// report and metrics export byte-identical to an uninjected run.
+func TestInjectedTransientAbsorbedByRetry(t *testing.T) {
+	progs := []*bench.Benchmark{mustBench(t, "compress"), mustBench(t, "mpegaudio")}
+
+	campaign := func(spec string, policy resilience.CellPolicy) (string, []byte) {
+		inj, err := faultinject.Parse(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sink := obs.New(obs.Config{Metrics: true, Stride: 100_000})
+		cfg := DefaultConfig()
+		cfg.Runs = 2
+		cfg.Jobs = 8
+		cfg.Policy = policy
+		cfg.Inject = inj
+		cfg.Obs = sink
+		p, err := RunPairingsOf(progs, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(p.Failed) != 0 {
+			t.Fatalf("failures despite retries: %+v", p.Failed)
+		}
+		var buf bytes.Buffer
+		if err := sink.WriteMetrics(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return p.Fig9(), buf.Bytes()
+	}
+
+	wantFig, wantMetrics := campaign("", resilience.CellPolicy{})
+	gotFig, gotMetrics := campaign("transient=1,failfor=1",
+		resilience.CellPolicy{Retries: 2, Backoff: time.Millisecond})
+	if gotFig != wantFig {
+		t.Fatalf("retried report differs:\n--- want ---\n%s\n--- got ---\n%s", wantFig, gotFig)
+	}
+	if !bytes.Equal(gotMetrics, wantMetrics) {
+		t.Fatal("retried metrics export is not byte-identical to the clean run")
+	}
+}

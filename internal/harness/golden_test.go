@@ -127,7 +127,7 @@ func TestGoldenPairingTable(t *testing.T) {
 	}
 	cfg := DefaultConfig()
 	cfg.Runs = 2
-	p, err := runPairingsOf(progs, cfg)
+	p, err := RunPairingsOf(progs, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

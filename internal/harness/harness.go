@@ -12,8 +12,10 @@ import (
 	"javasmt/internal/bytecode"
 	"javasmt/internal/core"
 	"javasmt/internal/counters"
+	"javasmt/internal/faultinject"
 	"javasmt/internal/jvm"
 	"javasmt/internal/obs"
+	"javasmt/internal/resilience"
 	"javasmt/internal/simos"
 )
 
@@ -40,6 +42,16 @@ type Config struct {
 	// Obs receives per-run metrics series and trace spans; nil disables
 	// observability entirely (the zero-overhead default).
 	Obs *obs.Sink
+	// Policy is the per-cell resilience policy: wall-clock deadline,
+	// cycle budget and retries. The zero value recovers panics and
+	// validates counters but sets no bounds and never retries.
+	Policy resilience.CellPolicy
+	// Journal, when non-nil, checkpoints every cell outcome so an
+	// interrupted campaign resumes without re-simulating finished cells.
+	Journal *resilience.Journal
+	// Inject, when non-nil on a `faults`-tagged build, injects
+	// deterministic faults into cells to exercise the recovery paths.
+	Inject *faultinject.Injector
 }
 
 // DefaultConfig returns the serial Tiny-scale configuration with the
@@ -50,7 +62,7 @@ func DefaultConfig() Config {
 
 // pairOptions derives the per-pairing protocol options from cfg.
 func (c Config) pairOptions() PairOptions {
-	return PairOptions{Scale: c.Scale, Runs: c.Runs, MaxCycles: c.MaxCycles, Obs: c.Obs}
+	return PairOptions{Scale: c.Scale, Runs: c.Runs, MaxCycles: c.cellMaxCycles(), Obs: c.Obs}
 }
 
 // Options configures a run.
@@ -76,6 +88,11 @@ type Options struct {
 	// the benchmark name. Experiment drivers set cell-unique labels so
 	// exported series order (sorted by label) is deterministic.
 	ObsLabel string
+	// Cancel, when non-nil, is polled from inside the cycle loop (via
+	// core.AttachCancel); setting it aborts the run with core.ErrCanceled
+	// within a few thousand simulated cycles. The resilience watchdog
+	// plugs its expiry flag in here.
+	Cancel *atomic.Bool
 }
 
 // DefaultOptions returns a single-threaded HT-off Tiny run with
@@ -145,9 +162,17 @@ func RunWithCPUConfig(b *bench.Benchmark, opts Options, cfg core.Config) (*Resul
 		}
 		cpu.AttachObs(opts.Obs.Run(label), 0)
 	}
+	if opts.Cancel != nil {
+		cpu.AttachCancel(opts.Cancel)
+	}
 	cycles, err := cpu.Run(opts.MaxCycles)
 	if err != nil {
 		return nil, fmt.Errorf("harness: %s: %w", b.Name, err)
+	}
+	if opts.MaxCycles > 0 && !cpu.Drained() {
+		return nil, resilience.MarkKind(
+			fmt.Errorf("harness: %s exceeded cycle budget of %d cycles", b.Name, opts.MaxCycles),
+			resilience.KindCycleBudget)
 	}
 	cpu.FinishObs()
 	if opts.Verify {
@@ -273,6 +298,12 @@ type PairOptions struct {
 	// across experiments, so which pairing triggers one is scheduling-
 	// dependent and observing them would break export determinism.
 	Obs *obs.Sink
+	// Cancel, when non-nil, aborts the pairing from inside the cycle
+	// loop; see Options.Cancel. Solo reference runs are deliberately not
+	// guarded: they are singleflight-cached across cells, so canceling
+	// one on behalf of a single timed-out cell would poison the cache
+	// for every other cell sharing it.
+	Cancel *atomic.Bool
 }
 
 // DefaultPairOptions returns the default pairing protocol settings.
@@ -393,6 +424,9 @@ func runPairOn(cpu *core.CPU, a, b *bench.Benchmark, opts PairOptions) (*PairRes
 	if opts.Obs.Enabled() {
 		cpu.AttachObs(opts.Obs.Run("pair "+a.Name+"+"+b.Name), 0)
 	}
+	if opts.Cancel != nil {
+		cpu.AttachCancel(opts.Cancel)
+	}
 
 	for !fa.stopped || !fb.stopped {
 		n, err := cpu.Run(10_000_000)
@@ -403,7 +437,9 @@ func runPairOn(cpu *core.CPU, a, b *bench.Benchmark, opts PairOptions) (*PairRes
 			break // machine drained (both sides done)
 		}
 		if opts.MaxCycles > 0 && cpu.Now() > opts.MaxCycles {
-			return nil, fmt.Errorf("harness: pair %s+%s exceeded %d cycles", a.Name, b.Name, opts.MaxCycles)
+			return nil, resilience.MarkKind(
+				fmt.Errorf("harness: pair %s+%s exceeded %d cycles", a.Name, b.Name, opts.MaxCycles),
+				resilience.KindCycleBudget)
 		}
 	}
 

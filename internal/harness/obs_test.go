@@ -64,7 +64,7 @@ func metricsBytes(t *testing.T, progs []*bench.Benchmark, jobs int) []byte {
 	cfg.Runs = 2
 	cfg.Jobs = jobs
 	cfg.Obs = sink
-	if _, err := runPairingsOf(progs, cfg); err != nil {
+	if _, err := RunPairingsOf(progs, cfg); err != nil {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer

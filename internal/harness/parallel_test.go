@@ -68,12 +68,12 @@ func TestRunPairingsParallelDeterminism(t *testing.T) {
 	cfg.Runs = 3
 
 	cfg.Jobs = 1
-	serial, err := runPairingsOf(progs, cfg)
+	serial, err := RunPairingsOf(progs, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg.Jobs = 4
-	parallel, err := runPairingsOf(progs, cfg)
+	parallel, err := RunPairingsOf(progs, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

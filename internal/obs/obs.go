@@ -39,6 +39,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 )
@@ -66,11 +67,12 @@ type Sink struct {
 	cfg Config
 	t0  time.Time
 
-	mu      sync.Mutex
-	runs    []*RunSeries
-	events  []Event
-	nextPid int
-	workers map[int]bool // engine worker tids already named
+	mu       sync.Mutex
+	runs     []*RunSeries
+	events   []Event
+	failures []CellFailure
+	nextPid  int
+	workers  map[int]bool // engine worker tids already named
 }
 
 // New builds a Sink from cfg. A sink with neither output enabled is
@@ -161,6 +163,84 @@ func (s *Sink) CellSpan(worker int, label string, start, end time.Time) {
 	s.mu.Unlock()
 }
 
+// CellFailure records one experiment cell the resilience layer gave up
+// on: the campaign completed without it, and the metrics export carries
+// the failure so a degraded run is distinguishable from a clean one.
+type CellFailure struct {
+	Cell   string `json:"cell"`
+	Kind   string `json:"kind"`
+	Reason string `json:"reason"`
+}
+
+// Failure records a failed experiment cell. Nil-safe and safe for
+// concurrent workers; the export sorts by cell label so output is
+// deterministic at any worker count.
+func (s *Sink) Failure(cell, kind, reason string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.failures = append(s.failures, CellFailure{Cell: cell, Kind: kind, Reason: reason})
+	s.mu.Unlock()
+}
+
+// AddSeries registers already-recorded time-series with the sink — how a
+// resumed campaign re-injects the series of journaled cells so its
+// metrics export is byte-identical to an uninterrupted run. Nil-safe.
+func (s *Sink) AddSeries(series ...*RunSeries) {
+	if s == nil || !s.cfg.Metrics {
+		return
+	}
+	s.mu.Lock()
+	s.runs = append(s.runs, series...)
+	s.mu.Unlock()
+}
+
+// matchesPrefix reports whether a series label belongs to the cell named
+// prefix: the label is prefix itself or extends it past a space.
+func matchesPrefix(label, prefix string) bool {
+	return label == prefix || strings.HasPrefix(label, prefix+" ")
+}
+
+// SeriesByPrefix returns every recorded series whose label is prefix
+// itself or begins with prefix+" " — the series belonging to one
+// experiment cell (a cell may record several, e.g. "fig10 db ht=off").
+// Nil-safe.
+func (s *Sink) SeriesByPrefix(prefix string) []*RunSeries {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []*RunSeries
+	for _, r := range s.runs {
+		if matchesPrefix(r.Label, prefix) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// DropSeriesByPrefix removes every recorded series belonging to the cell
+// named prefix (same matching as SeriesByPrefix). The campaign layer
+// uses it to discard the partial series of a failed or retried cell
+// attempt — those stop at a wall-clock-dependent cycle, so keeping them
+// would make the metrics export nondeterministic. Nil-safe.
+func (s *Sink) DropSeriesByPrefix(prefix string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	kept := s.runs[:0]
+	for _, r := range s.runs {
+		if !matchesPrefix(r.Label, prefix) {
+			kept = append(kept, r)
+		}
+	}
+	s.runs = kept
+}
+
 // Series returns the recorded time-series for label, or nil. Nil-safe.
 func (s *Sink) Series(label string) *RunSeries {
 	if s == nil {
@@ -176,23 +256,27 @@ func (s *Sink) Series(label string) *RunSeries {
 	return nil
 }
 
-// metricsExport is the time-series JSON document layout.
+// metricsExport is the time-series JSON document layout. Failures is
+// omitted when empty so clean runs keep their historical byte shape.
 type metricsExport struct {
-	Stride uint64       `json:"stride"`
-	Runs   []*RunSeries `json:"runs"`
+	Stride   uint64        `json:"stride"`
+	Runs     []*RunSeries  `json:"runs"`
+	Failures []CellFailure `json:"failures,omitempty"`
 }
 
-// WriteMetrics writes the sampled time-series as JSON. Runs appear
-// sorted by label, so the bytes are identical at any worker count.
-// Nil-safe: a nil sink writes an empty document.
+// WriteMetrics writes the sampled time-series as JSON. Runs and failures
+// appear sorted by label, so the bytes are identical at any worker
+// count. Nil-safe: a nil sink writes an empty document.
 func (s *Sink) WriteMetrics(w io.Writer) error {
 	doc := metricsExport{Stride: DefaultStride, Runs: []*RunSeries{}}
 	if s != nil {
 		s.mu.Lock()
 		doc.Stride = s.Stride()
 		doc.Runs = append(doc.Runs, s.runs...)
+		doc.Failures = append(doc.Failures, s.failures...)
 		s.mu.Unlock()
 		sort.SliceStable(doc.Runs, func(i, j int) bool { return doc.Runs[i].Label < doc.Runs[j].Label })
+		sort.SliceStable(doc.Failures, func(i, j int) bool { return doc.Failures[i].Cell < doc.Failures[j].Cell })
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -238,3 +238,80 @@ func TestRunPidsDistinct(t *testing.T) {
 		t.Fatal("simulation run claimed the engine pid")
 	}
 }
+
+// TestFailuresExported pins the degraded-campaign contract: recorded
+// cell failures appear in the metrics export sorted by cell, and a
+// failure-free export omits the field entirely (so historical goldens
+// keep their bytes).
+func TestFailuresExported(t *testing.T) {
+	s := New(Config{Metrics: true})
+	s.Failure("pair z+a", "panic", "panic: boom")
+	s.Failure("pair a+b", "timeout", "timeout: wall deadline 5s exceeded")
+	var buf bytes.Buffer
+	if err := s.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Failures []CellFailure `json:"failures"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Failures) != 2 || doc.Failures[0].Cell != "pair a+b" || doc.Failures[1].Cell != "pair z+a" {
+		t.Fatalf("failures = %+v, want two sorted by cell", doc.Failures)
+	}
+	if doc.Failures[0].Kind != "timeout" {
+		t.Fatalf("failure kind = %q", doc.Failures[0].Kind)
+	}
+
+	clean := New(Config{Metrics: true})
+	buf.Reset()
+	if err := clean.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(buf.Bytes(), []byte("failures")) {
+		t.Fatal("clean export mentions failures; omitempty broken")
+	}
+
+	var nilSink *Sink
+	nilSink.Failure("c", "panic", "r") // must not panic
+}
+
+// TestAddSeriesAndSeriesByPrefix pins the resume path: series re-added
+// from a journal export exactly like freshly recorded ones, and
+// SeriesByPrefix groups a cell's series without matching longer labels.
+func TestAddSeriesAndSeriesByPrefix(t *testing.T) {
+	s := New(Config{Metrics: true})
+	s.AddSeries(
+		&RunSeries{Label: "fig10 db ht=off"},
+		&RunSeries{Label: "fig10 db ht=on"},
+		&RunSeries{Label: "fig10 dbx ht=off"},
+		&RunSeries{Label: "pair a+b"},
+	)
+	got := s.SeriesByPrefix("fig10 db")
+	if len(got) != 2 {
+		t.Fatalf("prefix matched %d series, want 2 (no label-boundary bleed)", len(got))
+	}
+	if got := s.SeriesByPrefix("pair a+b"); len(got) != 1 || got[0].Label != "pair a+b" {
+		t.Fatalf("exact-label prefix = %+v", got)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Runs []RunSeries `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Runs) != 4 {
+		t.Fatalf("export holds %d runs, want 4", len(doc.Runs))
+	}
+
+	var nilSink *Sink
+	nilSink.AddSeries(&RunSeries{Label: "x"}) // must not panic
+	if nilSink.SeriesByPrefix("x") != nil {
+		t.Fatal("nil sink returned series")
+	}
+}

@@ -1,0 +1,93 @@
+package resilience
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzJournal hammers the journal parser with arbitrary bytes. The
+// properties under test:
+//
+//  1. Parse never panics, whatever the input (truncated, duplicated,
+//     bit-flipped, binary garbage).
+//  2. valid never exceeds len(data), and the valid prefix reparses to
+//     the same entries with no truncation — the invariant Open relies
+//     on when it truncates a crash-damaged journal before resuming.
+//  3. Every surviving entry is integrity-checked: digest valid, known
+//     status, unique completed cell.
+//  4. Entries re-serialized the way Record writes them reparse to an
+//     equal set (the append/parse pair is lossless).
+func FuzzJournal(f *testing.F) {
+	ok := Entry{Cell: "pair jack+jess", Status: StatusOK, Payload: json.RawMessage(`{"v":{"A":"jack"}}`)}
+	ok.Digest = ok.digest()
+	okLine, _ := json.Marshal(ok)
+	failed := Entry{Cell: "pair db+javac", Status: StatusFailed, Reason: "panic: boom"}
+	failed.Digest = failed.digest()
+	failedLine, _ := json.Marshal(failed)
+
+	f.Add([]byte(string(okLine) + "\n"))
+	f.Add([]byte(string(okLine) + "\n" + string(failedLine) + "\n"))
+	f.Add([]byte(string(okLine) + "\n" + string(okLine)[:20]))       // truncated tail
+	f.Add([]byte(string(okLine) + "\n" + string(okLine) + "\n"))     // duplicate
+	f.Add([]byte(string(failedLine) + "\n" + string(okLine) + "\n")) // retry supersedes
+	f.Add([]byte("{\"cell\":\"x\",\"status\":\"ok\",\"digest\":\"0000000000000000\"}\n"))
+	f.Add([]byte("not json at all\n\x00\x01\x02"))
+	f.Add([]byte(""))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		entries, valid, err := Parse(data)
+		if valid > len(data) || valid < 0 {
+			t.Fatalf("valid = %d outside [0, %d]", valid, len(data))
+		}
+		if err != nil {
+			return
+		}
+		seen := map[string]bool{}
+		for _, e := range entries {
+			if e.Cell == "" {
+				t.Fatal("entry without a cell survived")
+			}
+			if e.Status != StatusOK && e.Status != StatusFailed {
+				t.Fatalf("unknown status %q survived", e.Status)
+			}
+			if e.digest() != e.Digest {
+				t.Fatalf("digest-mismatched entry survived: %+v", e)
+			}
+			if seen[e.Cell] && e.Status == StatusOK {
+				t.Fatalf("duplicate cell %q survived", e.Cell)
+			}
+			seen[e.Cell] = true
+		}
+		// The valid prefix must reparse cleanly and identically.
+		again, validAgain, err2 := Parse(data[:valid])
+		if err2 != nil || validAgain != valid {
+			t.Fatalf("valid prefix unstable: valid=%d again=%d err=%v", valid, validAgain, err2)
+		}
+		if len(again) != len(entries) {
+			t.Fatalf("reparse entry count %d != %d", len(again), len(entries))
+		}
+		// Round-trip through Record's serialization.
+		var buf bytes.Buffer
+		for _, e := range entries {
+			line, err := json.Marshal(e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			buf.Write(line)
+			buf.WriteByte('\n')
+		}
+		rt, rtValid, err := Parse(buf.Bytes())
+		if err != nil || rtValid != buf.Len() {
+			t.Fatalf("round-trip parse failed: %v (valid %d/%d)", err, rtValid, buf.Len())
+		}
+		if len(rt) != len(entries) {
+			t.Fatalf("round-trip entry count %d != %d", len(rt), len(entries))
+		}
+		for i := range rt {
+			if rt[i].Cell != entries[i].Cell || rt[i].Digest != entries[i].Digest {
+				t.Fatalf("round-trip entry %d diverged: %+v vs %+v", i, rt[i], entries[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,279 @@
+package resilience
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Journal file layout inside the campaign directory:
+//
+//	meta.json     — the campaign identity (tool + canonical config);
+//	                resuming under a different config is refused.
+//	journal.jsonl — append-only, one Entry per completed cell, each line
+//	                carrying an FNV-64a digest over its own fields.
+//
+// Appends are a single write of line+'\n', so a campaign killed at any
+// instant (SIGINT, OOM, power) leaves at worst one truncated trailing
+// line, which Parse detects and Open drops before resuming. Anything
+// else that fails to parse — a corrupt middle line, a digest mismatch,
+// a duplicated completed cell — is an integrity error, not something to
+// silently skip: the journal is the campaign's memory and a damaged one
+// must not masquerade as a healthy one.
+
+// Entry statuses.
+const (
+	// StatusOK marks a cell that completed; its Payload holds the result.
+	StatusOK = "ok"
+	// StatusFailed marks a cell that failed; Reason holds the compact
+	// CellError reason. Failed cells are re-run on resume (the fault may
+	// have been environmental), so a later entry for the same cell may
+	// supersede a failed one — but never an ok one.
+	StatusFailed = "failed"
+)
+
+// Entry is one completed cell in the journal.
+type Entry struct {
+	Cell    string          `json:"cell"`
+	Status  string          `json:"status"`
+	Reason  string          `json:"reason,omitempty"`
+	Payload json.RawMessage `json:"payload,omitempty"`
+	// Digest is the FNV-64a hash over (cell, status, reason, payload) —
+	// for result payloads that is a digest over the cell's counters.
+	Digest string `json:"digest"`
+}
+
+// digest computes the entry's integrity hash.
+func (e *Entry) digest() string {
+	h := fnv.New64a()
+	io.WriteString(h, e.Cell)
+	h.Write([]byte{0})
+	io.WriteString(h, e.Status)
+	h.Write([]byte{0})
+	io.WriteString(h, e.Reason)
+	h.Write([]byte{0})
+	h.Write(e.Payload)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Meta identifies the campaign a journal belongs to. Every field must
+// match exactly for a resume to proceed.
+type Meta struct {
+	// Tool is the command that owns the journal ("pairings", "report").
+	Tool string `json:"tool"`
+	// Config is the tool's canonical configuration string (scale, runs,
+	// cell set, injection seed).
+	Config string `json:"config"`
+}
+
+// Parse decodes journal bytes into entries. It returns the number of
+// bytes holding valid entries; valid < len(data) means the tail is a
+// crash-truncated partial line, which callers should discard (Open
+// truncates the file). Corruption anywhere else — a malformed or
+// digest-mismatched interior line, an unknown status, a duplicate of a
+// completed cell — returns an error. A failed cell may be superseded by
+// a later entry for the same cell (a resumed campaign retrying it); the
+// later entry replaces the earlier in the returned slice.
+func Parse(data []byte) (entries []Entry, valid int, err error) {
+	index := map[string]int{}
+	lineNo := 0
+	off := 0
+	for off < len(data) {
+		lineNo++
+		nl := bytes.IndexByte(data[off:], '\n')
+		final := nl < 0
+		var line []byte
+		if final {
+			line = data[off:]
+		} else {
+			line = data[off : off+nl]
+		}
+		e, perr := parseLine(line)
+		if perr != nil {
+			if final {
+				// Crash-truncated tail: drop it, keep what parsed.
+				return entries, off, nil
+			}
+			return nil, 0, fmt.Errorf("resilience: journal line %d: %w", lineNo, perr)
+		}
+		if prev, dup := index[e.Cell]; dup {
+			if entries[prev].Status != StatusFailed {
+				return nil, 0, fmt.Errorf("resilience: journal line %d: duplicate entry for completed cell %q", lineNo, e.Cell)
+			}
+			entries[prev] = e
+		} else {
+			index[e.Cell] = len(entries)
+			entries = append(entries, e)
+		}
+		if final {
+			off = len(data)
+		} else {
+			off += nl + 1
+		}
+	}
+	return entries, off, nil
+}
+
+// parseLine decodes and integrity-checks one journal line.
+func parseLine(line []byte) (Entry, error) {
+	var e Entry
+	if len(line) == 0 {
+		return e, fmt.Errorf("blank line")
+	}
+	if err := json.Unmarshal(line, &e); err != nil {
+		return e, fmt.Errorf("corrupt: %w", err)
+	}
+	if e.Cell == "" {
+		return e, fmt.Errorf("corrupt: entry without a cell")
+	}
+	if e.Status != StatusOK && e.Status != StatusFailed {
+		return e, fmt.Errorf("corrupt: unknown status %q", e.Status)
+	}
+	if got := e.digest(); got != e.Digest {
+		return e, fmt.Errorf("digest mismatch for cell %q: recorded %s, computed %s", e.Cell, e.Digest, got)
+	}
+	return e, nil
+}
+
+// Journal is the open campaign journal. Record is safe for concurrent
+// use by parallel experiment workers.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	done map[string]Entry
+	// resumed counts cells loaded from disk at Open (reporting only).
+	resumed int
+}
+
+// journalFile and metaFile are the fixed names inside the journal dir.
+const (
+	journalFile = "journal.jsonl"
+	metaFile    = "meta.json"
+)
+
+// Open creates (resume=false) or reopens (resume=true) the campaign
+// journal in dir.
+//
+// A fresh open refuses a directory that already holds journal entries —
+// losing a previous campaign's work silently would defeat the point —
+// and records meta for future resumes. A resume verifies meta matches
+// exactly, loads the completed cells (dropping a crash-truncated
+// trailing line, truncating the file back to its valid prefix), and
+// appends from there.
+func Open(dir string, meta Meta, resume bool) (*Journal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("resilience: journal: %w", err)
+	}
+	path := filepath.Join(dir, journalFile)
+	mpath := filepath.Join(dir, metaFile)
+	j := &Journal{done: map[string]Entry{}}
+
+	if resume {
+		mdata, err := os.ReadFile(mpath)
+		if err != nil {
+			return nil, fmt.Errorf("resilience: journal: -resume without a prior campaign in %s: %w", dir, err)
+		}
+		var got Meta
+		if err := json.Unmarshal(mdata, &got); err != nil {
+			return nil, fmt.Errorf("resilience: journal: %s corrupt: %w", mpath, err)
+		}
+		if got != meta {
+			return nil, fmt.Errorf("resilience: journal: campaign mismatch: journal holds %s %q, this run is %s %q",
+				got.Tool, got.Config, meta.Tool, meta.Config)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil && !os.IsNotExist(err) {
+			return nil, fmt.Errorf("resilience: journal: %w", err)
+		}
+		entries, valid, err := Parse(data)
+		if err != nil {
+			return nil, err
+		}
+		if valid < len(data) {
+			if err := os.Truncate(path, int64(valid)); err != nil {
+				return nil, fmt.Errorf("resilience: journal: dropping truncated tail: %w", err)
+			}
+		}
+		for _, e := range entries {
+			j.done[e.Cell] = e
+		}
+		j.resumed = len(entries)
+	} else {
+		if data, err := os.ReadFile(path); err == nil && len(data) > 0 {
+			return nil, fmt.Errorf("resilience: journal: %s already holds a campaign; pass -resume to continue it or use a fresh directory", dir)
+		}
+		mdata, err := json.MarshalIndent(meta, "", "  ")
+		if err != nil {
+			return nil, fmt.Errorf("resilience: journal: %w", err)
+		}
+		if err := os.WriteFile(mpath, append(mdata, '\n'), 0o644); err != nil {
+			return nil, fmt.Errorf("resilience: journal: %w", err)
+		}
+	}
+
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("resilience: journal: %w", err)
+	}
+	j.f = f
+	return j, nil
+}
+
+// Lookup returns the journaled entry for cell, if any. Callers resume
+// StatusOK entries from their payload and re-run StatusFailed ones.
+func (j *Journal) Lookup(cell string) (Entry, bool) {
+	if j == nil {
+		return Entry{}, false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	e, ok := j.done[cell]
+	return e, ok
+}
+
+// Resumed returns how many completed cells were loaded at Open.
+func (j *Journal) Resumed() int {
+	if j == nil {
+		return 0
+	}
+	return j.resumed
+}
+
+// Record appends one completed cell. The line is written in a single
+// Write call so an interrupt can truncate it but never interleave it.
+func (j *Journal) Record(cell, status, reason string, payload json.RawMessage) error {
+	if j == nil {
+		return nil
+	}
+	e := Entry{Cell: cell, Status: status, Reason: reason, Payload: payload}
+	e.Digest = e.digest()
+	line, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("resilience: journal: %w", err)
+	}
+	line = append(line, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if prev, dup := j.done[cell]; dup && prev.Status != StatusFailed {
+		return fmt.Errorf("resilience: journal: cell %q recorded twice", cell)
+	}
+	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("resilience: journal: %w", err)
+	}
+	j.done[cell] = e
+	return nil
+}
+
+// Close closes the journal file. Nil-safe (a campaign without -journal
+// carries a nil *Journal everywhere).
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	return j.f.Close()
+}

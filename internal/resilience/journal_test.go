@@ -1,0 +1,206 @@
+package resilience
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var testMeta = Meta{Tool: "pairings", Config: "scale=tiny runs=6"}
+
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, testMeta, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record("pair a+b", StatusOK, "", json.RawMessage(`{"v":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record("pair a+c", StatusFailed, "panic: boom", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(dir, testMeta, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Resumed() != 2 {
+		t.Fatalf("resumed %d cells, want 2", r.Resumed())
+	}
+	e, ok := r.Lookup("pair a+b")
+	if !ok || e.Status != StatusOK || string(e.Payload) != `{"v":1}` {
+		t.Fatalf("ok entry = %+v %v", e, ok)
+	}
+	e, ok = r.Lookup("pair a+c")
+	if !ok || e.Status != StatusFailed || e.Reason != "panic: boom" {
+		t.Fatalf("failed entry = %+v %v", e, ok)
+	}
+	if _, ok := r.Lookup("pair a+d"); ok {
+		t.Fatal("phantom cell found")
+	}
+}
+
+func TestJournalMetaMismatchRefused(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, testMeta, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Record("c", StatusOK, "", nil)
+	j.Close()
+	if _, err := Open(dir, Meta{Tool: "pairings", Config: "scale=small runs=6"}, true); err == nil {
+		t.Fatal("resume under a different config was accepted")
+	} else if !strings.Contains(err.Error(), "mismatch") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestJournalFreshOpenRefusesExisting(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, testMeta, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Record("c", StatusOK, "", nil)
+	j.Close()
+	if _, err := Open(dir, testMeta, false); err == nil {
+		t.Fatal("fresh open silently adopted an existing campaign")
+	} else if !strings.Contains(err.Error(), "-resume") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestJournalResumeWithoutCampaign(t *testing.T) {
+	if _, err := Open(t.TempDir(), testMeta, true); err == nil {
+		t.Fatal("-resume on an empty directory was accepted")
+	}
+}
+
+func TestJournalTruncatedTailDropped(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, testMeta, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Record("cell-1", StatusOK, "", json.RawMessage(`{"v":1}`))
+	j.Record("cell-2", StatusOK, "", json.RawMessage(`{"v":2}`))
+	j.Close()
+
+	// Simulate a crash mid-append: chop bytes off the last line.
+	path := filepath.Join(dir, journalFile)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(dir, testMeta, true)
+	if err != nil {
+		t.Fatalf("resume over a truncated tail: %v", err)
+	}
+	if r.Resumed() != 1 {
+		t.Fatalf("resumed %d cells, want 1 (partial line dropped)", r.Resumed())
+	}
+	// The file must have been truncated back to its valid prefix so the
+	// next append produces a clean journal.
+	if err := r.Record("cell-2", StatusOK, "", json.RawMessage(`{"v":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	data, _ = os.ReadFile(path)
+	entries, valid, err := Parse(data)
+	if err != nil || valid != len(data) || len(entries) != 2 {
+		t.Fatalf("post-repair journal unclean: entries=%d valid=%d/%d err=%v", len(entries), valid, len(data), err)
+	}
+}
+
+func TestJournalCorruptInteriorLineRejected(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := Open(dir, testMeta, false)
+	j.Record("cell-1", StatusOK, "", json.RawMessage(`{"v":1}`))
+	j.Record("cell-2", StatusOK, "", json.RawMessage(`{"v":2}`))
+	j.Close()
+	path := filepath.Join(dir, journalFile)
+	data, _ := os.ReadFile(path)
+	data[10] ^= 0xFF // flip a byte inside the first line
+	os.WriteFile(path, data, 0o644)
+	if _, err := Open(dir, testMeta, true); err == nil {
+		t.Fatal("corrupt interior line was accepted")
+	}
+}
+
+func TestJournalDigestMismatchRejected(t *testing.T) {
+	e := Entry{Cell: "c", Status: StatusOK, Payload: json.RawMessage(`{"v":1}`)}
+	e.Digest = e.digest()
+	line, _ := json.Marshal(e)
+	// Tamper with the payload without refreshing the digest.
+	tampered := strings.Replace(string(line), `{"v":1}`, `{"v":2}`, 1)
+	if _, _, err := Parse([]byte(tampered + "\n")); err == nil {
+		t.Fatal("digest mismatch not detected")
+	} else if !strings.Contains(err.Error(), "digest") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestJournalDuplicateCompletedCellRejected(t *testing.T) {
+	e := Entry{Cell: "c", Status: StatusOK}
+	e.Digest = e.digest()
+	line, _ := json.Marshal(e)
+	doubled := string(line) + "\n" + string(line) + "\n"
+	if _, _, err := Parse([]byte(doubled)); err == nil {
+		t.Fatal("duplicated completed cell not detected")
+	} else if !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestJournalFailedCellSuperseded(t *testing.T) {
+	fail := Entry{Cell: "c", Status: StatusFailed, Reason: "timeout: wall"}
+	fail.Digest = fail.digest()
+	ok := Entry{Cell: "c", Status: StatusOK, Payload: json.RawMessage(`{"v":3}`)}
+	ok.Digest = ok.digest()
+	l1, _ := json.Marshal(fail)
+	l2, _ := json.Marshal(ok)
+	entries, valid, err := Parse([]byte(string(l1) + "\n" + string(l2) + "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if valid != len(l1)+len(l2)+2 {
+		t.Fatalf("valid = %d", valid)
+	}
+	if len(entries) != 1 || entries[0].Status != StatusOK {
+		t.Fatalf("entries = %+v; retry must supersede the failed entry", entries)
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	entries, valid, err := Parse(nil)
+	if err != nil || valid != 0 || len(entries) != 0 {
+		t.Fatalf("Parse(nil) = %v %d %v", entries, valid, err)
+	}
+}
+
+func TestNilJournalIsNoOp(t *testing.T) {
+	var j *Journal
+	if err := j.Record("c", StatusOK, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := j.Lookup("c"); ok {
+		t.Fatal("nil journal found a cell")
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if j.Resumed() != 0 {
+		t.Fatal("nil journal resumed cells")
+	}
+}

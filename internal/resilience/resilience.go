@@ -1,0 +1,271 @@
+// Package resilience is the fault-tolerance layer of the experiment
+// engine. A measurement campaign (the 9x9 pairing grids, parameter
+// sweeps, the full report) is hours of independent simulations; at that
+// scale partial failure is normal, and one panicking or wedged cell must
+// not take down the run or discard completed work. This package provides
+// the pieces the harness composes around every cell:
+//
+//   - CellPolicy.Run executes one cell under panic recovery (a crash
+//     becomes a structured *CellError carrying the cell label, config,
+//     attempt count and stack instead of killing the process), a
+//     wall-clock watchdog (a Watch whose cancellation flag the core's
+//     cycle loop polls — see core.AttachCancel), and bounded retry with
+//     deterministic exponential backoff for transient failures.
+//
+//   - Journal is a crash-safe campaign log: an append-only JSONL file of
+//     completed cells with digests over their payloads, so an
+//     interrupted campaign can -resume and skip finished cells while
+//     reproducing byte-identical output.
+//
+// The package is deliberately simulator-agnostic: it knows nothing about
+// CPUs or benchmarks, only cells, errors and payload bytes. The harness
+// maps simulator outcomes onto failure kinds with MarkKind.
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Kind classifies why a cell failed. The taxonomy is the one DESIGN.md
+// §8 documents; Reason strings embed it so FAILED(reason) entries in
+// reports are self-describing.
+type Kind string
+
+const (
+	// KindPanic is a recovered panic in the cell's simulation.
+	KindPanic Kind = "panic"
+	// KindTimeout is a wall-clock watchdog expiry.
+	KindTimeout Kind = "timeout"
+	// KindCycleBudget is a simulated-cycle budget expiry.
+	KindCycleBudget Kind = "cycle-budget"
+	// KindCorrupt is a counter-conservation violation in the cell's
+	// result: the simulation finished but its measurements cannot be
+	// trusted.
+	KindCorrupt Kind = "corrupt"
+	// KindTransient marks failures worth retrying (injected transient
+	// faults; in principle, resource exhaustion). A cell fails with this
+	// kind only when its retry budget is exhausted.
+	KindTransient Kind = "transient"
+	// KindError is any other cell error (verification failures, wedged
+	// machines).
+	KindError Kind = "error"
+)
+
+// kinded attaches a Kind to an error without disturbing its message or
+// unwrap chain.
+type kinded struct {
+	kind Kind
+	err  error
+}
+
+func (k *kinded) Error() string { return k.err.Error() }
+func (k *kinded) Unwrap() error { return k.err }
+
+// MarkKind tags err with a failure kind. KindOf recovers the tag
+// anywhere in the wrap chain; errors.Is/As still see the original error.
+func MarkKind(err error, kind Kind) error {
+	if err == nil {
+		return nil
+	}
+	return &kinded{kind: kind, err: err}
+}
+
+// MarkTransient tags err as transient, making it eligible for retry
+// under a CellPolicy with a retry budget.
+func MarkTransient(err error) error { return MarkKind(err, KindTransient) }
+
+// KindOf returns the failure kind tagged onto err, or KindError when
+// untagged.
+func KindOf(err error) Kind {
+	var k *kinded
+	if errors.As(err, &k) {
+		return k.kind
+	}
+	return KindError
+}
+
+// IsTransient reports whether err is tagged KindTransient.
+func IsTransient(err error) bool { return KindOf(err) == KindTransient }
+
+// panicError is the error form of a recovered panic.
+type panicError struct {
+	val   any
+	stack string
+}
+
+func (p *panicError) Error() string { return fmt.Sprintf("panic: %v", p.val) }
+
+// CellError is the structured failure of one experiment cell. It
+// replaces a crashed, wedged or corrupted simulation in campaign
+// results: reports render it as a FAILED(reason) entry and the campaign
+// continues.
+type CellError struct {
+	// Cell is the cell label ("pair jack+jess", "fig10 compress").
+	Cell string
+	// Kind classifies the failure.
+	Kind Kind
+	// Config describes the experiment configuration the cell ran under
+	// (scale, runs, injection seed) so a failure is reproducible from
+	// its error alone.
+	Config string
+	// Attempts is how many times the cell was tried (retries included).
+	Attempts int
+	// Stack is the recovered goroutine stack for panics, empty otherwise.
+	Stack string
+	// Err is the underlying error.
+	Err error
+}
+
+func (e *CellError) Error() string {
+	return fmt.Sprintf("cell %s [%s, attempt %d]: %s: %v", e.Cell, e.Config, e.Attempts, e.Kind, e.Err)
+}
+
+func (e *CellError) Unwrap() error { return e.Err }
+
+// Reason is the compact, deterministic form reports embed in
+// FAILED(reason) entries: the kind plus the first line of the error.
+func (e *CellError) Reason() string {
+	msg := e.Err.Error()
+	if i := strings.IndexByte(msg, '\n'); i >= 0 {
+		msg = msg[:i]
+	}
+	if strings.HasPrefix(msg, string(e.Kind)+": ") {
+		return msg
+	}
+	return string(e.Kind) + ": " + msg
+}
+
+// Watch is the watchdog of one cell attempt: a cancellation flag the
+// simulator's cycle loop polls (core.AttachCancel), armed with an
+// optional wall-clock deadline. Fault hooks that stall outside the
+// cycle loop poll Canceled directly.
+type Watch struct {
+	flag  atomic.Bool
+	fired atomic.Bool
+	timer *time.Timer
+}
+
+// newWatch arms a watch; wall <= 0 means no deadline.
+func newWatch(wall time.Duration) *Watch {
+	w := &Watch{}
+	if wall > 0 {
+		w.timer = time.AfterFunc(wall, func() {
+			w.fired.Store(true)
+			w.flag.Store(true)
+		})
+	}
+	return w
+}
+
+// Flag exposes the cancellation flag for core.AttachCancel.
+func (w *Watch) Flag() *atomic.Bool { return &w.flag }
+
+// Canceled reports whether the watch has requested cancellation.
+func (w *Watch) Canceled() bool { return w.flag.Load() }
+
+// Fired reports whether the wall deadline elapsed.
+func (w *Watch) Fired() bool { return w.fired.Load() }
+
+// Cancel requests cancellation without a deadline (campaign shutdown).
+func (w *Watch) Cancel() { w.flag.Store(true) }
+
+// stop disarms the deadline timer.
+func (w *Watch) stop() {
+	if w.timer != nil {
+		w.timer.Stop()
+	}
+}
+
+// DefaultBackoff is the base retry delay when a CellPolicy leaves
+// Backoff zero. Attempt k waits Backoff << (k-1): deterministic, no
+// jitter, so retried campaigns behave identically run to run.
+const DefaultBackoff = 10 * time.Millisecond
+
+// CellPolicy bounds one experiment cell: how long it may run and how
+// often a transient failure is retried. The zero value applies panic
+// recovery only.
+type CellPolicy struct {
+	// WallDeadline is the per-attempt wall-clock bound (0 = none).
+	WallDeadline time.Duration
+	// CycleBudget is the per-attempt simulated-cycle bound (0 = none).
+	// The policy does not enforce it itself — the harness plumbs it into
+	// the simulator's MaxCycles bound, which reports exhaustion as a
+	// KindCycleBudget error — but it travels with the policy so one
+	// value configures a whole campaign.
+	CycleBudget uint64
+	// Retries is how many times a transient failure is re-attempted.
+	Retries int
+	// Backoff is the base retry delay (0 = DefaultBackoff; negative =
+	// no delay, for tests).
+	Backoff time.Duration
+}
+
+// Run executes one cell under the policy: fn runs under panic recovery
+// with a fresh armed Watch per attempt; transient failures are retried
+// up to p.Retries times with deterministic exponential backoff; any
+// final failure comes back as a structured *CellError (nil on success).
+func (p CellPolicy) Run(cell, config string, fn func(w *Watch) error) *CellError {
+	for attempt := 1; ; attempt++ {
+		w := newWatch(p.WallDeadline)
+		err := guard(fn, w)
+		w.stop()
+		if err == nil {
+			return nil
+		}
+		ce := p.classify(cell, config, attempt, err, w)
+		if ce.Kind == KindTransient && attempt <= p.Retries {
+			if d := p.backoff(attempt); d > 0 {
+				time.Sleep(d)
+			}
+			continue
+		}
+		return ce
+	}
+}
+
+// backoff returns the delay before re-attempting after attempt failures.
+func (p CellPolicy) backoff(attempt int) time.Duration {
+	base := p.Backoff
+	if base == 0 {
+		base = DefaultBackoff
+	}
+	if base < 0 {
+		return 0
+	}
+	return base << (attempt - 1)
+}
+
+// guard runs one attempt, converting a panic into a *panicError that
+// preserves the panicking goroutine's stack.
+func guard(fn func(w *Watch) error, w *Watch) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &panicError{val: r, stack: string(debug.Stack())}
+		}
+	}()
+	return fn(w)
+}
+
+// classify builds the CellError for one failed attempt. A fired wall
+// deadline dominates whatever error the canceled simulation surfaced;
+// panics dominate everything (a panic after expiry is still a panic).
+func (p CellPolicy) classify(cell, config string, attempt int, err error, w *Watch) *CellError {
+	ce := &CellError{Cell: cell, Config: config, Attempts: attempt, Err: err}
+	var pe *panicError
+	switch {
+	case errors.As(err, &pe):
+		ce.Kind = KindPanic
+		ce.Stack = pe.stack
+	case w.Fired():
+		ce.Kind = KindTimeout
+		ce.Err = fmt.Errorf("wall deadline %v exceeded: %w", p.WallDeadline, err)
+	default:
+		ce.Kind = KindOf(err)
+	}
+	return ce
+}

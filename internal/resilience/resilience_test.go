@@ -1,0 +1,180 @@
+package resilience
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestGuardRecoversPanic(t *testing.T) {
+	var p CellPolicy
+	ce := p.Run("pair jack+jess", "scale=tiny runs=6", func(*Watch) error {
+		panic("boom")
+	})
+	if ce == nil {
+		t.Fatal("panicking cell reported success")
+	}
+	if ce.Kind != KindPanic {
+		t.Fatalf("kind = %v, want %v", ce.Kind, KindPanic)
+	}
+	if ce.Cell != "pair jack+jess" || ce.Config != "scale=tiny runs=6" || ce.Attempts != 1 {
+		t.Fatalf("identity not preserved: %+v", ce)
+	}
+	if !strings.Contains(ce.Stack, "resilience") {
+		t.Fatalf("stack missing: %q", ce.Stack)
+	}
+	if got := ce.Reason(); got != "panic: panic: boom" && got != "panic: boom" {
+		// panicError formats as "panic: boom"; Reason prefixes the kind.
+		t.Fatalf("reason = %q", got)
+	}
+}
+
+func TestRuntimePanicRecovered(t *testing.T) {
+	var p CellPolicy
+	ce := p.Run("cell", "", func(*Watch) error {
+		var s []int
+		_ = s[3] // index out of range
+		return nil
+	})
+	if ce == nil || ce.Kind != KindPanic {
+		t.Fatalf("runtime panic not converted: %+v", ce)
+	}
+	if !strings.Contains(ce.Err.Error(), "out of range") {
+		t.Fatalf("err = %v", ce.Err)
+	}
+}
+
+func TestWatchdogTimeout(t *testing.T) {
+	p := CellPolicy{WallDeadline: 5 * time.Millisecond}
+	start := time.Now()
+	ce := p.Run("stall", "", func(w *Watch) error {
+		for !w.Canceled() {
+			time.Sleep(time.Millisecond)
+		}
+		return errors.New("canceled mid-simulation")
+	})
+	if ce == nil || ce.Kind != KindTimeout {
+		t.Fatalf("stalled cell = %+v, want timeout", ce)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("watchdog took %v to fire", elapsed)
+	}
+	if !strings.Contains(ce.Err.Error(), "deadline") {
+		t.Fatalf("err = %v", ce.Err)
+	}
+}
+
+func TestWatchPerAttemptIsFresh(t *testing.T) {
+	// Each retry attempt gets a fresh, unexpired watch.
+	p := CellPolicy{WallDeadline: time.Minute, Retries: 1, Backoff: -1}
+	calls := 0
+	ce := p.Run("cell", "", func(w *Watch) error {
+		calls++
+		if w.Canceled() || w.Fired() {
+			return errors.New("stale watch")
+		}
+		if calls == 1 {
+			return MarkTransient(errors.New("first attempt fails"))
+		}
+		return nil
+	})
+	if ce != nil || calls != 2 {
+		t.Fatalf("ce=%v calls=%d", ce, calls)
+	}
+}
+
+func TestRetryTransient(t *testing.T) {
+	p := CellPolicy{Retries: 2, Backoff: -1}
+	calls := 0
+	ce := p.Run("flaky", "", func(*Watch) error {
+		calls++
+		if calls <= 2 {
+			return MarkTransient(errors.New("transient fault"))
+		}
+		return nil
+	})
+	if ce != nil {
+		t.Fatalf("retried cell still failed: %v", ce)
+	}
+	if calls != 3 {
+		t.Fatalf("fn ran %d times, want 3", calls)
+	}
+}
+
+func TestRetryExhausted(t *testing.T) {
+	p := CellPolicy{Retries: 1, Backoff: -1}
+	calls := 0
+	ce := p.Run("flaky", "", func(*Watch) error {
+		calls++
+		return MarkTransient(errors.New("always transient"))
+	})
+	if ce == nil || ce.Kind != KindTransient {
+		t.Fatalf("ce = %+v, want transient failure", ce)
+	}
+	if calls != 2 || ce.Attempts != 2 {
+		t.Fatalf("calls=%d attempts=%d, want 2/2", calls, ce.Attempts)
+	}
+}
+
+func TestNonTransientNotRetried(t *testing.T) {
+	p := CellPolicy{Retries: 5, Backoff: -1}
+	calls := 0
+	ce := p.Run("broken", "", func(*Watch) error {
+		calls++
+		return errors.New("deterministic failure")
+	})
+	if ce == nil || ce.Kind != KindError || calls != 1 {
+		t.Fatalf("ce=%+v calls=%d; plain errors must not burn retries", ce, calls)
+	}
+}
+
+func TestMarkKindAndKindOf(t *testing.T) {
+	base := errors.New("base")
+	if KindOf(base) != KindError {
+		t.Errorf("untagged error kind = %v", KindOf(base))
+	}
+	tagged := MarkKind(base, KindCycleBudget)
+	if KindOf(tagged) != KindCycleBudget {
+		t.Errorf("tagged kind = %v", KindOf(tagged))
+	}
+	if !errors.Is(tagged, base) {
+		t.Error("MarkKind broke the unwrap chain")
+	}
+	wrapped := MarkKind(errors.New("outer"), KindCorrupt)
+	if KindOf(wrapped) != KindCorrupt {
+		t.Errorf("kind = %v", KindOf(wrapped))
+	}
+	if MarkKind(nil, KindPanic) != nil {
+		t.Error("MarkKind(nil) != nil")
+	}
+	if !IsTransient(MarkTransient(base)) || IsTransient(base) {
+		t.Error("IsTransient misclassifies")
+	}
+}
+
+func TestCellErrorReasonFirstLineOnly(t *testing.T) {
+	ce := &CellError{Cell: "c", Kind: KindError, Attempts: 1,
+		Err: errors.New("first line\nsecond line")}
+	if got := ce.Reason(); got != "error: first line" {
+		t.Fatalf("Reason = %q", got)
+	}
+	if !strings.Contains(ce.Error(), "cell c") {
+		t.Fatalf("Error = %q", ce.Error())
+	}
+}
+
+func TestBackoffDeterministic(t *testing.T) {
+	p := CellPolicy{Backoff: 3 * time.Millisecond}
+	for i, want := range []time.Duration{3, 6, 12, 24} {
+		if got := p.backoff(i + 1); got != want*time.Millisecond {
+			t.Errorf("backoff(%d) = %v, want %v", i+1, got, want*time.Millisecond)
+		}
+	}
+	if (CellPolicy{}).backoff(1) != DefaultBackoff {
+		t.Error("zero Backoff must default")
+	}
+	if (CellPolicy{Backoff: -1}).backoff(3) != 0 {
+		t.Error("negative Backoff must disable the delay")
+	}
+}

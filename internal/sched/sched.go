@@ -11,17 +11,46 @@
 //     them are byte-identical to a serial run;
 //  2. at most `workers` jobs execute at once (bounded concurrency);
 //  3. after the first failure no new job starts, in-flight jobs drain,
-//     and the error from the lowest-indexed failed job is reported.
+//     and the failure comes back as a *JobError naming the
+//     lowest-indexed failed job, with any other in-flight failures
+//     attached rather than silently dropped.
 package sched
 
 import (
+	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"javasmt/internal/obs"
 )
+
+// JobError identifies which job of a Map failed. The pool drains
+// in-flight work after a failure, so several jobs may fail in one call;
+// the reported error is the lowest-indexed one, and the rest ride along
+// in Dropped so no failure loses its identity. Unwrap exposes the
+// underlying error, keeping errors.Is/As working through the wrapper.
+type JobError struct {
+	// Index is the job index passed to fn.
+	Index int
+	// Err is the job's own error.
+	Err error
+	// Dropped holds the other jobs that failed in the same Map call
+	// (higher indices, sorted ascending). Set only on the reported error.
+	Dropped []*JobError
+}
+
+func (e *JobError) Error() string {
+	msg := fmt.Sprintf("sched: job %d: %v", e.Index, e.Err)
+	if n := len(e.Dropped); n > 0 {
+		msg += fmt.Sprintf(" (+%d more failed)", n)
+	}
+	return msg
+}
+
+func (e *JobError) Unwrap() error { return e.Err }
 
 // DefaultWorkers is the worker count substituted when a caller passes
 // workers <= 0: one worker per available logical CPU.
@@ -57,7 +86,7 @@ func MapWorker[T any](n, workers int, fn func(worker, i int) (T, error)) ([]T, e
 		for i := 0; i < n; i++ {
 			v, err := fn(0, i)
 			if err != nil {
-				return nil, err
+				return nil, &JobError{Index: i, Err: err}
 			}
 			out[i] = v
 		}
@@ -65,16 +94,15 @@ func MapWorker[T any](n, workers int, fn func(worker, i int) (T, error)) ([]T, e
 	}
 
 	var (
-		next atomic.Int64 // next job index to dispatch
-		mu   sync.Mutex   // guards errIdx/firstErr
-		wg   sync.WaitGroup
+		next  atomic.Int64 // next job index to dispatch
+		mu    sync.Mutex   // guards fails
+		wg    sync.WaitGroup
+		fails []*JobError // every failed in-flight job
 	)
-	errIdx := n // lowest failed index so far; n = none
-	var firstErr error
 	failed := func() bool {
 		mu.Lock()
 		defer mu.Unlock()
-		return errIdx < n
+		return len(fails) > 0
 	}
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
@@ -88,9 +116,7 @@ func MapWorker[T any](n, workers int, fn func(worker, i int) (T, error)) ([]T, e
 				v, err := fn(worker, i)
 				if err != nil {
 					mu.Lock()
-					if i < errIdx {
-						errIdx, firstErr = i, err
-					}
+					fails = append(fails, &JobError{Index: i, Err: err})
 					mu.Unlock()
 					return
 				}
@@ -99,8 +125,11 @@ func MapWorker[T any](n, workers int, fn func(worker, i int) (T, error)) ([]T, e
 		}(w)
 	}
 	wg.Wait()
-	if errIdx < n {
-		return nil, firstErr
+	if len(fails) > 0 {
+		sort.Slice(fails, func(a, b int) bool { return fails[a].Index < fails[b].Index })
+		first := fails[0]
+		first.Dropped = fails[1:]
+		return nil, first
 	}
 	return out, nil
 }

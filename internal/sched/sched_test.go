@@ -2,6 +2,7 @@ package sched
 
 import (
 	"errors"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -112,6 +113,56 @@ func TestMapReportsLowestIndexedError(t *testing.T) {
 	})
 	if !errors.Is(err, errA) {
 		t.Fatalf("parallel err = %v, want %v (lowest index)", err, errA)
+	}
+}
+
+// TestSchedErrorIdentity pins that a Map failure names the failing job
+// and that concurrent failures are attached to the reported error rather
+// than silently dropped — the identity a campaign needs to report which
+// cell aborted it.
+func TestSchedErrorIdentity(t *testing.T) {
+	boom := errors.New("boom")
+
+	// Serial: the error wraps the job index.
+	_, err := Map(10, 1, func(i int) (int, error) {
+		if i == 4 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	var je *JobError
+	if !errors.As(err, &je) || je.Index != 4 {
+		t.Fatalf("serial err = %#v, want JobError{Index: 4}", err)
+	}
+	if !errors.Is(err, boom) {
+		t.Fatal("JobError broke the unwrap chain")
+	}
+	if msg := err.Error(); !strings.Contains(msg, "job 4") || !strings.Contains(msg, "boom") {
+		t.Fatalf("err message %q lacks job identity", msg)
+	}
+
+	// Parallel: all simultaneous failures survive, lowest index reported,
+	// the rest sorted ascending in Dropped.
+	errs := []error{errors.New("e0"), errors.New("e1"), errors.New("e2")}
+	var gate sync.WaitGroup
+	gate.Add(3)
+	_, err = Map(3, 3, func(i int) (int, error) {
+		gate.Done()
+		gate.Wait() // all three fail "simultaneously"
+		return 0, errs[i]
+	})
+	je = nil
+	if !errors.As(err, &je) || je.Index != 0 {
+		t.Fatalf("parallel err = %v, want job 0 reported", err)
+	}
+	if len(je.Dropped) != 2 || je.Dropped[0].Index != 1 || je.Dropped[1].Index != 2 {
+		t.Fatalf("dropped = %+v, want jobs 1 and 2 in order", je.Dropped)
+	}
+	if !errors.Is(je.Dropped[1], errs[2]) {
+		t.Fatal("dropped failure lost its underlying error")
+	}
+	if !strings.Contains(err.Error(), "+2 more failed") {
+		t.Fatalf("err message %q does not surface the dropped count", err.Error())
 	}
 }
 

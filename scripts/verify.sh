@@ -5,8 +5,10 @@
 # must pass. On top of that, the packages that share state across
 # goroutines — the harness (solo-time singleflight, pooled CPUs) and
 # the scheduler — must pass under the race detector at short scale,
-# and the instrumented build (-tags checks, DESIGN.md §6) must pass
-# its probe suite with every invariant armed.
+# the instrumented build (-tags checks, DESIGN.md §6) must pass its
+# probe suite with every invariant armed, the fault-injection build
+# (-tags faults, DESIGN.md §8) must pass its recovery suite, and an
+# interrupted journaled campaign must resume byte-identically.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -28,5 +30,28 @@ go test -race -short ./internal/harness/... ./internal/sched/...
 echo "== invariant probes (-tags checks, short) =="
 go build -tags checks ./...
 go test -tags checks -short ./...
+
+echo "== fault injection (-tags faults, short) =="
+go build -tags faults ./...
+go test -tags faults -short ./...
+
+echo "== journal/resume smoke (interrupt + resume is byte-identical) =="
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+go build -o "$tmp/pairings" ./cmd/pairings
+"$tmp/pairings" -all -benches compress,mpegaudio,db -runs 2 -j 8 -q \
+    > "$tmp/want.txt"
+# Journaled run, interrupted mid-campaign. If the machine is fast
+# enough that it finishes before the signal, the resume below still
+# exercises the all-cells-cached path, so the check stays meaningful.
+"$tmp/pairings" -all -benches compress,mpegaudio,db -runs 2 -j 8 -q \
+    -journal "$tmp/journal" > /dev/null 2>&1 &
+camp=$!
+sleep 2
+kill -INT "$camp" 2>/dev/null || true
+wait "$camp" 2>/dev/null || true
+"$tmp/pairings" -all -benches compress,mpegaudio,db -runs 2 -j 8 -q \
+    -journal "$tmp/journal" -resume > "$tmp/got.txt"
+diff -u "$tmp/want.txt" "$tmp/got.txt"
 
 echo "verify: OK"
