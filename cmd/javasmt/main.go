@@ -56,6 +56,7 @@ func main() {
 		Verify:       !*noVerify,
 		TCSharedTags: *tcShared,
 		Obs:          c.Obs,
+		Plan:         c.Plan,
 	}
 	if *partition == "dynamic" {
 		opts.Partition = core.DynamicPartition
@@ -74,6 +75,7 @@ func main() {
 	cfg.Policy = c.Policy
 	cfg.Inject = c.Inject
 	cfg.Journal = j
+	cfg.Plan = c.Plan
 	res, fail, err := harness.RunResilient(b, opts, cfg)
 	if err != nil {
 		c.Fatal(err)

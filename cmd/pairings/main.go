@@ -47,6 +47,7 @@ func main() {
 	cfg.Obs = c.Obs
 	cfg.Policy = c.Policy
 	cfg.Inject = c.Inject
+	cfg.Plan = c.Plan
 
 	if *all {
 		targets := bench.SingleThreaded()

@@ -65,6 +65,7 @@ func main() {
 	cfg.Policy = c.Policy
 	cfg.Inject = c.Inject
 	cfg.Journal = j
+	cfg.Plan = c.Plan
 	var failed []harness.Failure
 
 	if want("table1") {

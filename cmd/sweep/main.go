@@ -69,6 +69,7 @@ func main() {
 	cfg.Policy = c.Policy
 	cfg.Inject = c.Inject
 	cfg.Journal = j
+	cfg.Plan = c.Plan
 	cells, err := harness.RunSweep(cfg, targets, counts)
 	if err != nil {
 		c.Fatal(err)

@@ -56,16 +56,33 @@ func (s Stats) TotalAccesses() uint64 { return s.Accesses[0] + s.Accesses[1] }
 // TotalMisses sums misses over both contexts.
 func (s Stats) TotalMisses() uint64 { return s.Misses[0] + s.Misses[1] }
 
-// line is one cache line's bookkeeping. Tags include the line address;
-// owner tracks the last toucher for cross-hit accounting; tid is the
-// logical-processor tag for thread-tagged caches (-1 = untagged/shared).
+// line is one cache line's bookkeeping, packed to 16 bytes so a 4-way set
+// is exactly one host cache line and an 8-way set two — the structure
+// walk is the hottest loop in the whole simulator (every load, store and
+// trace refill in both the detailed and functional engines lands here).
+// key packs the match state into one comparable word:
+//
+//	bit 0     valid
+//	bits 1-2  logical-processor tag + 1 for thread-tagged caches
+//	          (0 = untagged/shared line)
+//	bit 3     owner: last toucher, for cross-hit accounting
+//	bits 4+   line address
+//
+// A lookup compares key with the owner bit masked off, so hit detection
+// is a single AND+compare per way. Invalidation clears only the valid
+// bit: like the previous representation, the LRU stamp of an invalidated
+// line survives and continues to steer victim selection.
 type line struct {
-	tag   uint64
-	lru   uint64
-	valid bool
-	owner uint8
-	tid   int8
+	key uint64
+	lru uint64
 }
+
+const (
+	keyValid     = 1
+	keyTidShift  = 1
+	keyOwnerBit  = 1 << 3
+	keyAddrShift = 4
+)
 
 // Cache is a set-associative cache with true-LRU replacement.
 //
@@ -74,7 +91,8 @@ type line struct {
 // applied by the caller, which knows what the next level returned).
 type Cache struct {
 	cfg      Config
-	sets     [][]line
+	lines    []line // flat [set*assoc+way]
+	assoc    int
 	setMask  uint64
 	lineBits uint
 	tick     uint64
@@ -98,15 +116,11 @@ func New(cfg Config) *Cache {
 	if cfg.LineSize&(cfg.LineSize-1) != 0 {
 		panic("cache: line size must be a power of two: " + cfg.Name)
 	}
-	c := &Cache{cfg: cfg, setMask: uint64(sets - 1)}
+	c := &Cache{cfg: cfg, assoc: cfg.Assoc, setMask: uint64(sets - 1)}
 	for cfg.LineSize>>c.lineBits > 1 {
 		c.lineBits++
 	}
-	c.sets = make([][]line, sets)
-	backing := make([]line, sets*cfg.Assoc)
-	for i := range c.sets {
-		c.sets[i] = backing[i*cfg.Assoc : (i+1)*cfg.Assoc]
-	}
+	c.lines = make([]line, sets*cfg.Assoc)
 	return c
 }
 
@@ -133,15 +147,13 @@ func (c *Cache) ResetStats() {
 }
 
 // Reset returns the cache to its just-built state — contents, LRU clock
-// and statistics — while keeping the line arrays allocated. Unlike
+// and statistics — while keeping the line array allocated. Unlike
 // Flush it also zeroes each line's LRU stamp: victim selection consults
 // the stamps of lines it is about to fill over, so stale values would
 // steer fills differently than on a fresh cache.
 func (c *Cache) Reset() {
-	for _, set := range c.sets {
-		for i := range set {
-			set[i] = line{}
-		}
+	for i := range c.lines {
+		c.lines[i] = line{}
 	}
 	c.tick = 0
 	c.stats = Stats{}
@@ -150,10 +162,8 @@ func (c *Cache) Reset() {
 
 // Flush invalidates every line (used on simulated process teardown).
 func (c *Cache) Flush() {
-	for _, set := range c.sets {
-		for i := range set {
-			set[i].valid = false
-		}
+	for i := range c.lines {
+		c.lines[i].key &^= keyValid
 	}
 }
 
@@ -164,11 +174,11 @@ func (c *Cache) FlushThread(ctx int) {
 	if !c.tagged {
 		return
 	}
-	for _, set := range c.sets {
-		for i := range set {
-			if set[i].valid && set[i].tid == int8(ctx) {
-				set[i].valid = false
-			}
+	tid := (uint64(ctx) + 1) << keyTidShift
+	for i := range c.lines {
+		l := &c.lines[i]
+		if l.key&keyValid != 0 && l.key&(3<<keyTidShift) == tid {
+			l.key &^= keyValid
 		}
 	}
 }
@@ -179,19 +189,21 @@ func (c *Cache) Access(addr uint64, ctx int) bool {
 	c.tick++
 	c.stats.Accesses[ctx&1]++
 	lineAddr := addr >> c.lineBits
-	set := c.sets[lineAddr&c.setMask]
-	want := int8(-1)
+	base := int(lineAddr&c.setMask) * c.assoc
+	set := c.lines[base : base+c.assoc]
+	want := lineAddr<<keyAddrShift | keyValid
 	if c.tagged {
-		want = int8(ctx)
+		want |= (uint64(ctx) + 1) << keyTidShift
 	}
+	owner := uint64(ctx&1) << 3
 	// Hit path.
 	for i := range set {
 		l := &set[i]
-		if l.valid && l.tag == lineAddr && l.tid == want {
+		if l.key&^uint64(keyOwnerBit) == want {
 			l.lru = c.tick
-			if l.owner != uint8(ctx&1) {
+			if l.key&keyOwnerBit != owner {
 				c.stats.CrossHits++
-				l.owner = uint8(ctx & 1)
+				l.key = l.key&^uint64(keyOwnerBit) | owner
 			}
 			if check.Enabled && check.On {
 				c.ckHits++
@@ -202,11 +214,11 @@ func (c *Cache) Access(addr uint64, ctx int) bool {
 			return true
 		}
 	}
-	// Miss: fill over the LRU way.
+	// Miss: fill over the LRU way (invalid ways first, by index).
 	c.stats.Misses[ctx&1]++
 	victim := 0
 	for i := 1; i < len(set); i++ {
-		if !set[i].valid {
+		if set[i].key&keyValid == 0 {
 			victim = i
 			break
 		}
@@ -214,10 +226,10 @@ func (c *Cache) Access(addr uint64, ctx int) bool {
 			victim = i
 		}
 	}
-	if set[victim].valid {
+	if set[victim].key&keyValid != 0 {
 		c.stats.Evictions++
 	}
-	set[victim] = line{tag: lineAddr, lru: c.tick, valid: true, owner: uint8(ctx & 1), tid: want}
+	set[victim] = line{key: want | owner, lru: c.tick}
 	if check.Enabled && check.On {
 		check.Assert(c.Probe(addr, ctx), c.cfg.Name,
 			"line %#x not resident immediately after a miss fill (ctx %d)", lineAddr, ctx)
@@ -234,11 +246,9 @@ func (c *Cache) Access(addr uint64, ctx int) bool {
 // show how the two contexts split a structure's capacity over time, the
 // mechanism behind the paper's trace-cache degradation under HT.
 func (c *Cache) Occupancy() (out [2]int) {
-	for _, set := range c.sets {
-		for i := range set {
-			if set[i].valid {
-				out[set[i].owner&1]++
-			}
+	for i := range c.lines {
+		if k := c.lines[i].key; k&keyValid != 0 {
+			out[(k>>3)&1]++
 		}
 	}
 	return out
@@ -248,13 +258,14 @@ func (c *Cache) Occupancy() (out [2]int) {
 // statistics. Tests use it to inspect cache contents.
 func (c *Cache) Probe(addr uint64, ctx int) bool {
 	lineAddr := addr >> c.lineBits
-	set := c.sets[lineAddr&c.setMask]
-	want := int8(-1)
+	base := int(lineAddr&c.setMask) * c.assoc
+	set := c.lines[base : base+c.assoc]
+	want := lineAddr<<keyAddrShift | keyValid
 	if c.tagged {
-		want = int8(ctx)
+		want |= (uint64(ctx) + 1) << keyTidShift
 	}
 	for i := range set {
-		if set[i].valid && set[i].tag == lineAddr && set[i].tid == want {
+		if set[i].key&^uint64(keyOwnerBit) == want {
 			return true
 		}
 	}

@@ -20,6 +20,7 @@ import (
 	"javasmt/internal/harness"
 	"javasmt/internal/obs"
 	"javasmt/internal/resilience"
+	"javasmt/internal/sampling"
 	"javasmt/internal/sched"
 )
 
@@ -66,6 +67,11 @@ type Flags struct {
 	inject   *string
 	journal  *string
 	resume   *bool
+
+	simMode    *string
+	ffInterval *uint64
+	warmup     *uint64
+	window     *uint64
 }
 
 // Register installs the common flag block on fs (normally
@@ -85,6 +91,11 @@ func Register(tool string, fs *flag.FlagSet, opt Options) *Flags {
 	f.inject = fs.String("inject", "", "fault-injection `spec`, e.g. seed=42,panic=0.1 (needs a -tags faults build)")
 	f.journal = fs.String("journal", "", "campaign journal `dir` for checkpoint/resume")
 	f.resume = fs.Bool("resume", false, "resume the campaign recorded in -journal, skipping finished cells")
+	def := sampling.DefaultSampledPlan()
+	f.simMode = fs.String("sim-mode", "full", "simulation mode: full|sampled (interval sampling, DESIGN.md §10)")
+	f.ffInterval = fs.Uint64("ff-interval", def.FFUops, "sampled mode: unwarmed fast-forward `uops` per interval")
+	f.warmup = fs.Uint64("warmup", def.WarmupUops, "sampled mode: warmed functional `uops` before each detailed window")
+	f.window = fs.Uint64("window", def.WindowCycles, "sampled mode: detailed-window length in `cycles`")
 	if opt.Jobs {
 		f.jobs = fs.Int("j", sched.DefaultWorkers(), "concurrent experiments (1 = serial)")
 	}
@@ -106,6 +117,10 @@ type Common struct {
 	Policy resilience.CellPolicy
 	// Inject is the parsed -inject fault injector, nil when absent.
 	Inject *faultinject.Injector
+	// Plan is the simulation regime from -sim-mode/-ff-interval/-warmup/
+	// -window; the zero value (full detailed simulation) when -sim-mode
+	// is absent or "full".
+	Plan sampling.Plan
 
 	tool        string
 	metricsPath string
@@ -140,6 +155,35 @@ func (f *Flags) Finish() (*Common, error) {
 	if err != nil {
 		return nil, err
 	}
+	mode, err := sampling.ParseMode(*f.simMode)
+	if err != nil {
+		return nil, err
+	}
+	plan := sampling.FullPlan()
+	if mode == sampling.Sampled {
+		plan = sampling.Plan{
+			Mode:         sampling.Sampled,
+			FFUops:       *f.ffInterval,
+			WarmupUops:   *f.warmup,
+			WindowCycles: *f.window,
+		}
+	} else {
+		// Sampling knobs without -sim-mode sampled are a mistake, not a
+		// silent no-op.
+		var stray string
+		f.fs.Visit(func(fl *flag.Flag) {
+			switch fl.Name {
+			case "ff-interval", "warmup", "window":
+				stray = fl.Name
+			}
+		})
+		if stray != "" {
+			return nil, fmt.Errorf("-%s only applies with -sim-mode sampled", stray)
+		}
+	}
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
 	scaleStr := *f.scale
 	if *f.small {
 		scaleSet := false
@@ -167,6 +211,7 @@ func (f *Flags) Finish() (*Common, error) {
 			Retries:      *f.retries,
 		},
 		Inject:      inject,
+		Plan:        plan,
 		tool:        f.tool,
 		metricsPath: *f.metrics,
 		tracePath:   *f.trace,
@@ -226,13 +271,16 @@ func (c *Common) WriteObs() error {
 
 // OpenJournal opens the campaign journal selected by -journal/-resume,
 // or returns nil when no journal was requested. config is the tool's
-// campaign identity string; resuming under a different configuration is
-// refused, since the journal's cells would not be comparable. On resume
-// it reports how many completed cells will be skipped.
+// campaign identity string; the sampling plan's Tag is appended to it
+// here, so resuming under a different configuration — including a
+// different simulation mode or sampling regime, whose cells would not
+// be comparable — is refused in one place for every tool. On resume it
+// reports how many completed cells will be skipped.
 func (c *Common) OpenJournal(config string) (*resilience.Journal, error) {
 	if c.journalDir == "" {
 		return nil, nil
 	}
+	config += c.Plan.Tag()
 	j, err := resilience.Open(c.journalDir, resilience.Meta{Tool: c.tool, Config: config}, c.resume)
 	if err != nil {
 		return nil, err

@@ -11,6 +11,7 @@ import (
 	"javasmt/internal/faultinject"
 	"javasmt/internal/obs"
 	"javasmt/internal/resilience"
+	"javasmt/internal/sampling"
 )
 
 // parse registers the common block on a throwaway flag set, parses args
@@ -252,4 +253,121 @@ func TestSmallWarningText(t *testing.T) {
 	if got := out.String(); !strings.Contains(got, "testtool: -small is deprecated; use -scale small") {
 		t.Fatalf("warning = %q", got)
 	}
+}
+
+// TestSamplingFlags pins the -sim-mode flag block: full is the default
+// (zero-value plan, byte-identical path), sampled picks up the default
+// regime, the knobs override it, and nonsense is rejected before a
+// campaign starts.
+func TestSamplingFlags(t *testing.T) {
+	c, err := parse(t, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Plan.Sampled() || c.Plan != sampling.FullPlan() {
+		t.Errorf("default plan = %+v, want full", c.Plan)
+	}
+
+	c, err = parse(t, Options{}, "-sim-mode", "sampled")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Plan != sampling.DefaultSampledPlan() {
+		t.Errorf("-sim-mode sampled plan = %+v, want default sampled regime", c.Plan)
+	}
+
+	c, err = parse(t, Options{}, "-sim-mode", "sampled",
+		"-ff-interval", "300000", "-warmup", "50000", "-window", "20000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampling.Plan{Mode: sampling.Sampled, FFUops: 300_000, WarmupUops: 50_000, WindowCycles: 20_000}
+	if c.Plan != want {
+		t.Errorf("knobs resolved to %+v, want %+v", c.Plan, want)
+	}
+
+	for _, args := range [][]string{
+		{"-sim-mode", "turbo"},                   // unknown mode
+		{"-sim-mode", "sampled", "-window", "0"}, // no detailed window
+		{"-ff-interval", "1000"},                 // stray knob without sampled
+		{"-warmup", "1000"},
+		{"-window", "1000"},
+	} {
+		if _, err := parse(t, Options{}, args...); err == nil {
+			t.Errorf("%v: accepted", args)
+		}
+	}
+}
+
+// TestSampledJournalCrossMode pins the resume guard in both directions:
+// a journal written by a full-mode campaign refuses a sampled resume, a
+// sampled journal refuses a full resume (and a differently-tuned sampled
+// resume), and only the identical regime resumes.
+func TestSampledJournalCrossMode(t *testing.T) {
+	record := func(c *Common) {
+		t.Helper()
+		j, err := c.OpenJournal("cfg")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Record("cell", resilience.StatusOK, "", []byte(`{}`)); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Full-mode journal: sampled resume must refuse.
+	dir := t.TempDir()
+	c, err := parse(t, Options{}, "-journal", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	record(c)
+	c, err = parse(t, Options{}, "-journal", dir, "-resume", "-sim-mode", "sampled")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j, err := c.OpenJournal("cfg"); err == nil {
+		j.Close()
+		t.Fatal("sampled resume over a full-mode journal did not refuse")
+	}
+
+	// Sampled journal: full resume and a different regime must refuse;
+	// the identical regime resumes.
+	dir = t.TempDir()
+	c, err = parse(t, Options{}, "-journal", dir, "-sim-mode", "sampled")
+	if err != nil {
+		t.Fatal(err)
+	}
+	record(c)
+	c, err = parse(t, Options{}, "-journal", dir, "-resume")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j, err := c.OpenJournal("cfg"); err == nil {
+		j.Close()
+		t.Fatal("full resume over a sampled journal did not refuse")
+	}
+	c, err = parse(t, Options{}, "-journal", dir, "-resume", "-sim-mode", "sampled", "-window", "123")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j, err := c.OpenJournal("cfg"); err == nil {
+		j.Close()
+		t.Fatal("resume under a different sampled regime did not refuse")
+	}
+	c, err = parse(t, Options{}, "-journal", dir, "-resume", "-sim-mode", "sampled")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := c.OpenJournal("cfg")
+	if err != nil {
+		t.Fatalf("identical sampled regime failed to resume: %v", err)
+	}
+	if j.Resumed() != 1 {
+		t.Errorf("resumed = %d, want 1", j.Resumed())
+	}
+	j.Close()
 }

@@ -157,6 +157,11 @@ type CPU struct {
 	// invariants.go): µops delivered by feeds, allocated into the ROB,
 	// and retired. Updated only when the `checks` build tag is active.
 	ckFed, ckAlloc, ckRetired uint64
+	// ckFunc counts µops executed by the functional path (functional.go):
+	// they pass through all three flow stages in one step, so they appear
+	// in every audit above but never in the retirement histogram, which
+	// only detailed cycles advance.
+	ckFunc uint64
 
 	tc   *cache.TraceCache
 	hier *cache.Hierarchy
@@ -178,6 +183,11 @@ type CPU struct {
 	// observability, polled from Run every cancelStride cycles.
 	cancelFlag *atomic.Bool
 	nextCancel uint64
+
+	// Functional-mode clock rate in 16.16 fixed-point cycles per µop and
+	// its fractional carry (see functional.go, SetFuncCPI).
+	funcCPQ  uint64
+	funcFrac uint64
 }
 
 // New builds a CPU from cfg. Structures are sized per the config and the
@@ -196,6 +206,7 @@ func New(cfg Config) *CPU {
 
 		nextSample: noSample,
 		nextCancel: noSample,
+		funcCPQ:    funcCPQDefault,
 	}
 	c.itlb.SetHT(cfg.HT)
 	c.dtlb.SetHT(cfg.HT)
@@ -228,8 +239,10 @@ func (c *CPU) Reset() {
 	c.nextSample = noSample
 	c.cancelFlag = nil
 	c.nextCancel = noSample
+	c.funcCPQ = funcCPQDefault
+	c.funcFrac = 0
 	c.totRob, c.totLoads, c.totStores = 0, 0, 0
-	c.ckFed, c.ckAlloc, c.ckRetired = 0, 0, 0
+	c.ckFed, c.ckAlloc, c.ckRetired, c.ckFunc = 0, 0, 0, 0
 	for i := range c.cal.cycle {
 		c.cal.cycle[i] = 0
 		c.cal.count[i] = 0

@@ -36,6 +36,34 @@ func BenchmarkSimSpeed(b *testing.B) {
 	b.SetBytes(2_000_000)
 }
 
+// BenchmarkFunctionalSpeed measures the fast functional mode on the exact
+// workload of BenchmarkSimSpeed, so the ns/op ratio against that entry in
+// BENCH_core.json is the functional-mode speedup (the sampling layer's
+// fast-forward rate, DESIGN.md §10). The warm variant keeps every cache,
+// TLB and predictor structure exact; the ff variant is the unwarmed
+// fast-forward tier that skips structure accesses wholesale.
+func BenchmarkFunctionalSpeed(b *testing.B) {
+	uops := benchUops()
+	for _, mode := range []struct {
+		name string
+		warm bool
+	}{{"warm", true}, {"ff", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				cpu := New(DefaultConfig(true))
+				cpu.AttachFeed(0, &feed{src: &isa.SliceSource{Uops: uops}})
+				cpu.AttachFeed(1, &feed{src: &isa.SliceSource{Uops: uops}})
+				if _, _, err := cpu.RunFunctional(^uint64(0), mode.warm); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(2_000_000)
+		})
+	}
+}
+
 // BenchmarkSimSpeedReset measures the same workload on a pooled machine
 // reused via Reset — the shape of the parallel pairing engine's hot
 // path. The delta in allocs/op against BenchmarkSimSpeed is the setup

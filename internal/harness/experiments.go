@@ -62,7 +62,7 @@ func RunCharacterization(cfg Config) (*Characterization, error) {
 		report(fmt.Sprintf("%s threads=%d ht=%v", cl.b.Name, cl.threads, cl.ht))
 		return runCell(cfg, label(i), func(w *resilience.Watch) (CharRun, error) {
 			opt := Options{HT: cl.ht, Threads: cl.threads, Scale: cfg.Scale, Verify: true,
-				MaxCycles: cfg.Policy.CycleBudget, Cancel: w.Flag()}
+				MaxCycles: cfg.Policy.CycleBudget, Cancel: w.Flag(), Plan: cfg.Plan}
 			if cfg.Obs.Enabled() {
 				opt.Obs, opt.ObsLabel = cfg.Obs, label(i)
 			}
@@ -512,6 +512,7 @@ func RunFig10(cfg Config) ([]Fig10Row, error) {
 			run := func(mode string, opt Options) (*Result, error) {
 				opt.MaxCycles = cfg.Policy.CycleBudget
 				opt.Cancel = w.Flag()
+				opt.Plan = cfg.Plan
 				if cfg.Obs.Enabled() {
 					opt.Obs, opt.ObsLabel = cfg.Obs, fmt.Sprintf("fig10 %s %s", b.Name, mode)
 				}
@@ -600,7 +601,7 @@ func RunFig12(cfg Config, threadCounts []int) ([]Fig12Row, error) {
 		report(fmt.Sprintf("%s threads=%d", pt.b.Name, pt.threads))
 		return runCell(cfg, label(i), func(w *resilience.Watch) (Fig12Row, error) {
 			opt := Options{HT: true, Threads: pt.threads, Scale: cfg.Scale, Verify: true,
-				MaxCycles: cfg.Policy.CycleBudget, Cancel: w.Flag()}
+				MaxCycles: cfg.Policy.CycleBudget, Cancel: w.Flag(), Plan: cfg.Plan}
 			if cfg.Obs.Enabled() {
 				opt.Obs, opt.ObsLabel = cfg.Obs, label(i)
 			}
@@ -680,7 +681,7 @@ func RunSweep(cfg Config, targets []*bench.Benchmark, threadCounts []int) ([]Swe
 		report(label(i))
 		return runCell(cfg, label(i), func(w *resilience.Watch) (SweepCell, error) {
 			opt := Options{HT: true, Threads: pt.threads, Scale: cfg.Scale, Verify: true,
-				MaxCycles: cfg.Policy.CycleBudget, Cancel: w.Flag()}
+				MaxCycles: cfg.Policy.CycleBudget, Cancel: w.Flag(), Plan: cfg.Plan}
 			if cfg.Obs.Enabled() {
 				opt.Obs, opt.ObsLabel = cfg.Obs, label(i)
 			}

@@ -16,6 +16,7 @@ import (
 	"javasmt/internal/jvm"
 	"javasmt/internal/obs"
 	"javasmt/internal/resilience"
+	"javasmt/internal/sampling"
 	"javasmt/internal/simos"
 )
 
@@ -52,6 +53,10 @@ type Config struct {
 	// Inject, when non-nil on a `faults`-tagged build, injects
 	// deterministic faults into cells to exercise the recovery paths.
 	Inject *faultinject.Injector
+	// Plan selects full or interval-sampled simulation for every cell
+	// (internal/sampling). The zero value is full detailed simulation,
+	// byte-identical to a configuration without the field.
+	Plan sampling.Plan
 }
 
 // DefaultConfig returns the serial Tiny-scale configuration with the
@@ -62,7 +67,7 @@ func DefaultConfig() Config {
 
 // pairOptions derives the per-pairing protocol options from cfg.
 func (c Config) pairOptions() PairOptions {
-	return PairOptions{Scale: c.Scale, Runs: c.Runs, MaxCycles: c.cellMaxCycles(), Obs: c.Obs}
+	return PairOptions{Scale: c.Scale, Runs: c.Runs, MaxCycles: c.cellMaxCycles(), Obs: c.Obs, Plan: c.Plan}
 }
 
 // Options configures a run.
@@ -93,6 +98,9 @@ type Options struct {
 	// within a few thousand simulated cycles. The resilience watchdog
 	// plugs its expiry flag in here.
 	Cancel *atomic.Bool
+	// Plan selects full or interval-sampled simulation (internal/
+	// sampling); the zero value is full detailed simulation.
+	Plan sampling.Plan
 }
 
 // DefaultOptions returns a single-threaded HT-off Tiny run with
@@ -133,6 +141,10 @@ type Result struct {
 	Cycles    uint64
 	Counters  counters.File
 	GCCount   int
+	// Sampling carries the reconstruction record of a sampled run (nil
+	// for full simulation): tier split, window count, pooled window IPC
+	// and the relative-error estimate. It rides into journal payloads.
+	Sampling *sampling.Estimate `json:",omitempty"`
 }
 
 // IPC returns the run's retired µops per cycle.
@@ -155,17 +167,20 @@ func RunWithCPUConfig(b *bench.Benchmark, opts Options, cfg core.Config) (*Resul
 	k := simos.NewKernel(cpu, simos.DefaultParams())
 	vm := jvm.New(prog, k, vmConfig(opts.Scale, 0))
 	vm.Start()
+	var ro *obs.RunObs
 	if opts.Obs.Enabled() {
 		label := opts.ObsLabel
 		if label == "" {
 			label = b.Name
 		}
-		cpu.AttachObs(opts.Obs.Run(label), 0)
+		ro = opts.Obs.Run(label)
+		cpu.AttachObs(ro, 0)
 	}
 	if opts.Cancel != nil {
 		cpu.AttachCancel(opts.Cancel)
 	}
-	cycles, err := cpu.Run(opts.MaxCycles)
+	ctrl := sampling.NewController(cpu, opts.Plan)
+	cycles, err := ctrl.Run(opts.MaxCycles)
 	if err != nil {
 		return nil, fmt.Errorf("harness: %s: %w", b.Name, err)
 	}
@@ -173,6 +188,13 @@ func RunWithCPUConfig(b *bench.Benchmark, opts Options, cfg core.Config) (*Resul
 		return nil, resilience.MarkKind(
 			fmt.Errorf("harness: %s exceeded cycle budget of %d cycles", b.Name, opts.MaxCycles),
 			resilience.KindCycleBudget)
+	}
+	// Reconstruction must land before the final observability flush and
+	// the counter snapshot, so both report whole-run estimates.
+	est := ctrl.Finish()
+	if est != nil {
+		cycles = cpu.Counters().Get(counters.Cycles)
+		ro.SetSampling(samplingInfo(est))
 	}
 	cpu.FinishObs()
 	if opts.Verify {
@@ -185,7 +207,21 @@ func RunWithCPUConfig(b *bench.Benchmark, opts Options, cfg core.Config) (*Resul
 		Cycles:    cycles,
 		Counters:  *cpu.Counters(),
 		GCCount:   vm.GCCount(),
+		Sampling:  est,
 	}, nil
+}
+
+// samplingInfo converts a reconstruction estimate into the obs layer's
+// plain record (obs cannot import sampling: it sits below it).
+func samplingInfo(e *sampling.Estimate) *obs.SamplingInfo {
+	return &obs.SamplingInfo{
+		Mode:        e.Mode,
+		Windows:     e.Windows,
+		WindowIPC:   e.WindowIPC,
+		IPCRelErr:   e.IPCRelErr,
+		DetailPct:   e.DetailPct,
+		MeasuredPct: e.MeasuredPct,
+	}
 }
 
 // PairResult is the outcome of one multiprogrammed pairing (§4.2).
@@ -199,6 +235,9 @@ type PairResult struct {
 	RunsA, RunsB int
 	// Counters accumulates over the whole co-scheduled interval.
 	Counters counters.File
+	// Sampling carries the reconstruction record of a sampled pairing
+	// (nil for full simulation).
+	Sampling *sampling.Estimate `json:",omitempty"`
 }
 
 // CombinedSpeedup returns C_AB = SoloA/TimeA + SoloB/TimeB, the paper's
@@ -304,6 +343,10 @@ type PairOptions struct {
 	// one on behalf of a single timed-out cell would poison the cache
 	// for every other cell sharing it.
 	Cancel *atomic.Bool
+	// Plan selects full or interval-sampled simulation for the pairing
+	// and its solo reference runs (internal/sampling); the zero value is
+	// full detailed simulation.
+	Plan sampling.Plan
 }
 
 // DefaultPairOptions returns the default pairing protocol settings.
@@ -340,7 +383,15 @@ var (
 // (benchmark, scale, runs) key simulates, everyone else shares the
 // cached result (including a cached error).
 func SoloTime(b *bench.Benchmark, scale bench.Scale, runs int) (float64, error) {
-	key := fmt.Sprintf("%s/%v/%d", b.Name, scale, runs)
+	return SoloTimePlan(b, scale, runs, sampling.FullPlan())
+}
+
+// SoloTimePlan is SoloTime under an explicit sampling plan. Solo times
+// measured under different plans are cached separately (the plan's Tag
+// joins the cache key): a sampled campaign's speedup ratios must divide
+// sampled solo times by sampled pair times, never mix modes.
+func SoloTimePlan(b *bench.Benchmark, scale bench.Scale, runs int, plan sampling.Plan) (float64, error) {
+	key := fmt.Sprintf("%s/%v/%d%s", b.Name, scale, runs, plan.Tag())
 	soloMu.Lock()
 	e := soloCache[key]
 	if e == nil {
@@ -348,19 +399,20 @@ func SoloTime(b *bench.Benchmark, scale bench.Scale, runs int) (float64, error) 
 		soloCache[key] = e
 	}
 	soloMu.Unlock()
-	e.once.Do(func() { e.val, e.err = measureSolo(b, scale, runs) })
+	e.once.Do(func() { e.val, e.err = measureSolo(b, scale, runs, plan) })
 	return e.val, e.err
 }
 
 // measureSolo runs the relaunch-and-average solo measurement itself.
-func measureSolo(b *bench.Benchmark, scale bench.Scale, runs int) (float64, error) {
+func measureSolo(b *bench.Benchmark, scale bench.Scale, runs int, plan sampling.Plan) (float64, error) {
 	soloSims.Add(1)
 	cpu := core.New(cpuConfig(Options{}))
 	k := simos.NewKernel(cpu, simos.DefaultParams())
 	rf := &repeatingFeeder{b: b, scale: scale, slot: 0, k: k, cpu: cpu, maxRuns: runs + 2}
 	rf.launch()
+	ctrl := sampling.NewController(cpu, plan)
 	for !rf.stopped {
-		n, err := cpu.Run(10_000_000)
+		n, err := ctrl.Run(10_000_000)
 		if err != nil {
 			return 0, fmt.Errorf("harness: solo %s: %w", b.Name, err)
 		}
@@ -368,6 +420,7 @@ func measureSolo(b *bench.Benchmark, scale bench.Scale, runs int) (float64, erro
 			break
 		}
 	}
+	ctrl.Finish()
 	v, kept := avgDroppingEnds(rf.completions)
 	if kept == 0 {
 		return 0, fmt.Errorf("harness: solo %s completed no measurable runs", b.Name)
@@ -404,11 +457,11 @@ func pairCPUConfig() core.Config { return cpuConfig(Options{HT: true}) }
 // built (or Reset) with pairCPUConfig. The parallel engine uses it to
 // reuse one machine's allocations across a worker's successive pairs.
 func runPairOn(cpu *core.CPU, a, b *bench.Benchmark, opts PairOptions) (*PairResult, error) {
-	soloA, err := SoloTime(a, opts.Scale, opts.Runs)
+	soloA, err := SoloTimePlan(a, opts.Scale, opts.Runs, opts.Plan)
 	if err != nil {
 		return nil, err
 	}
-	soloB, err := SoloTime(b, opts.Scale, opts.Runs)
+	soloB, err := SoloTimePlan(b, opts.Scale, opts.Runs, opts.Plan)
 	if err != nil {
 		return nil, err
 	}
@@ -421,15 +474,18 @@ func runPairOn(cpu *core.CPU, a, b *bench.Benchmark, opts PairOptions) (*PairRes
 	fa.partner, fb.partner = fb, fa
 	fa.launch()
 	fb.launch()
+	var ro *obs.RunObs
 	if opts.Obs.Enabled() {
-		cpu.AttachObs(opts.Obs.Run("pair "+a.Name+"+"+b.Name), 0)
+		ro = opts.Obs.Run("pair " + a.Name + "+" + b.Name)
+		cpu.AttachObs(ro, 0)
 	}
 	if opts.Cancel != nil {
 		cpu.AttachCancel(opts.Cancel)
 	}
 
+	ctrl := sampling.NewController(cpu, opts.Plan)
 	for !fa.stopped || !fb.stopped {
-		n, err := cpu.Run(10_000_000)
+		n, err := ctrl.Run(10_000_000)
 		if err != nil {
 			return nil, fmt.Errorf("harness: pair %s+%s: %w", a.Name, b.Name, err)
 		}
@@ -443,6 +499,10 @@ func runPairOn(cpu *core.CPU, a, b *bench.Benchmark, opts PairOptions) (*PairRes
 		}
 	}
 
+	est := ctrl.Finish()
+	if est != nil {
+		ro.SetSampling(samplingInfo(est))
+	}
 	cpu.FinishObs()
 	ta, na := avgDroppingEnds(fa.completions)
 	tb, nb := avgDroppingEnds(fb.completions)
@@ -452,5 +512,6 @@ func runPairOn(cpu *core.CPU, a, b *bench.Benchmark, opts PairOptions) (*PairRes
 		SoloA: soloA, SoloB: soloB,
 		RunsA: na, RunsB: nb,
 		Counters: *cpu.Counters(),
+		Sampling: est,
 	}, nil
 }

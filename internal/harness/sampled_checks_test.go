@@ -1,0 +1,43 @@
+//go:build checks
+
+package harness
+
+import (
+	"testing"
+
+	"javasmt/internal/check"
+	"javasmt/internal/sampling"
+)
+
+// TestSampledProbesScoped is the -sim-mode sampled + -checks guard: the
+// invariant probes must stay armed and exact through a sampled run. The
+// flow audit scopes its retirement-histogram law to detailed cycles by
+// accounting functional µops explicitly (core/invariants.go), so a
+// sampled run under the instrumented build passes every probe rather
+// than tripping or silently skipping them. A probe regression here
+// would mean sampled campaigns lose the invariant safety net exactly
+// when their counters are hardest to eyeball.
+func TestSampledProbesScoped(t *testing.T) {
+	if !check.On {
+		if err := check.SetOn(true); err != nil {
+			t.Fatal(err)
+		}
+		defer check.SetOn(false)
+	}
+	check.ResetProbes()
+	opts := DefaultOptions()
+	opts.Plan = sampling.DefaultSampledPlan()
+	res, err := Run(mustBench(t, "compress"), opts)
+	if err != nil {
+		t.Fatalf("sampled run under -tags checks: %v", err)
+	}
+	if got := check.Probes(); got < 1000 {
+		t.Fatalf("only %d probe evaluations in a sampled run; probes are not firing", got)
+	}
+	if res.Sampling == nil || res.Sampling.WarmUops == 0 {
+		t.Fatalf("run did not actually sample: %+v", res.Sampling)
+	}
+	if err := res.Counters.CheckConservation(); err != nil {
+		t.Errorf("conservation under checks: %v", err)
+	}
+}

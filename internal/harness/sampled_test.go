@@ -1,0 +1,185 @@
+package harness
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"javasmt/internal/bench"
+	"javasmt/internal/counters"
+	"javasmt/internal/sampling"
+)
+
+// Accuracy-regression suite for interval sampling (DESIGN.md §10): a
+// sampled run must reproduce the checked-in golden counters of every
+// benchmark within the tolerances declared below. Runnable on its own
+// with `go test ./internal/harness -run Sampled`.
+
+// Declared tolerances of the default sampled regime. The default plan
+// has no unwarmed fast-forward, so everything the structures count is
+// measured, not extrapolated — only cycle-denominated quantities are
+// estimates.
+const (
+	sampledIPCTol   = 0.02 // relative IPC error vs golden
+	sampledCycleTol = 0.02 // relative cycle-count error vs golden
+)
+
+// loadGoldenSolo reads the golden solo-counter snapshots the full-mode
+// golden suite pins, so this file compares sampling against the exact
+// blessed numbers rather than a fresh full run.
+func loadGoldenSolo(t *testing.T) []soloSnapshot {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", "golden", "solo_counters.json"))
+	if err != nil {
+		t.Fatalf("golden snapshot missing: %v", err)
+	}
+	var snaps []soloSnapshot
+	if err := json.Unmarshal(data, &snaps); err != nil {
+		t.Fatal(err)
+	}
+	return snaps
+}
+
+// TestSampledAccuracy runs every benchmark under the default sampled
+// regime and checks the reconstruction against the golden counters:
+// µop-denominated counters must match exactly, cycle-denominated ones
+// within the declared tolerance, and the run must satisfy every
+// conservation law.
+func TestSampledAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	opts := DefaultOptions()
+	opts.Plan = sampling.DefaultSampledPlan()
+	for _, want := range loadGoldenSolo(t) {
+		b, ok := bench.ByName(want.Benchmark)
+		if !ok {
+			t.Fatalf("golden names unknown benchmark %q", want.Benchmark)
+		}
+		res, err := Run(b, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", want.Benchmark, err)
+		}
+		if err := res.Counters.CheckConservation(); err != nil {
+			t.Errorf("%s: conservation: %v", want.Benchmark, err)
+		}
+		if res.Sampling == nil {
+			t.Fatalf("%s: sampled run carries no estimate", want.Benchmark)
+		}
+
+		relErr := func(got, golden uint64) float64 {
+			if golden == 0 {
+				return 0
+			}
+			d := float64(got) - float64(golden)
+			if d < 0 {
+				d = -d
+			}
+			return d / float64(golden)
+		}
+		if e := relErr(res.Cycles, want.Cycles); e > sampledCycleTol {
+			t.Errorf("%s: cycles %d vs golden %d (%.2f%% > %.0f%%)",
+				want.Benchmark, res.Cycles, want.Cycles, 100*e, 100*sampledCycleTol)
+		}
+		goldenIPC := float64(want.Uops) / float64(want.Cycles)
+		gotIPC := res.IPC()
+		if e := gotIPC/goldenIPC - 1; e > sampledIPCTol || e < -sampledIPCTol {
+			t.Errorf("%s: IPC %.4f vs golden %.4f (%+.2f%%, tolerance %.0f%%)",
+				want.Benchmark, gotIPC, goldenIPC, 100*e, 100*sampledIPCTol)
+		}
+
+		// µop-denominated counters: exact, per the default plan's
+		// no-fast-forward promise.
+		exact := []struct {
+			name   string
+			got    uint64
+			golden uint64
+		}{
+			{"uops", res.Counters.Get(counters.Instructions), want.Uops},
+			{"uops_os", res.Counters.Get(counters.InstructionsOS), want.UopsOS},
+			{"tc_misses", res.Counters.Get(counters.TCMisses), want.TCMisses},
+			{"l1d_misses", res.Counters.Get(counters.L1DMisses), want.L1DMisses},
+			{"l2_misses", res.Counters.Get(counters.L2Misses), want.L2Misses},
+			{"itlb_misses", res.Counters.Get(counters.ITLBMisses), want.ITLBMisses},
+			{"dtlb_misses", res.Counters.Get(counters.DTLBMisses), want.DTLBMisses},
+			{"branches", res.Counters.Get(counters.Branches), want.Branches},
+			{"btb_misses", res.Counters.Get(counters.BTBMisses), want.BTBMisses},
+			{"mem_reads", res.Counters.Get(counters.MemReads), want.MemReads},
+			{"mem_writes", res.Counters.Get(counters.MemWrites), want.MemWrites},
+			{"ctx_switches", res.Counters.Get(counters.ContextSwitches), want.CtxSwitches},
+		}
+		for _, c := range exact {
+			if c.got != c.golden {
+				t.Errorf("%s: %s = %d, golden %d (must be exact under the default plan)",
+					want.Benchmark, c.name, c.got, c.golden)
+			}
+		}
+		if res.GCCount != want.GCCount {
+			t.Errorf("%s: gc_count = %d, golden %d", want.Benchmark, res.GCCount, want.GCCount)
+		}
+
+		// The run's own confidence report must exist and be populated.
+		if res.Sampling.Windows == 0 || res.Sampling.WarmUops == 0 {
+			t.Errorf("%s: estimate not populated: %+v", want.Benchmark, res.Sampling)
+		}
+	}
+}
+
+// TestSampledMetamorphicDegenerate: a sampled plan whose functional spans
+// are both zero runs 100% detailed and must be byte-identical to full
+// mode through the whole harness stack (VM, kernel, GC and all) — the
+// end-to-end version of the controller-level degenerate test.
+func TestSampledMetamorphicDegenerate(t *testing.T) {
+	b := mustBench(t, "compress")
+	full, err := Run(b, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.Plan = sampling.Plan{Mode: sampling.Sampled, WindowCycles: 5_000}
+	got, err := Run(b, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Counters != full.Counters {
+		t.Errorf("degenerate sampled counters diverged from full:\n got %+v\nwant %+v", got.Counters, full.Counters)
+	}
+	if got.Cycles != full.Cycles || got.GCCount != full.GCCount {
+		t.Errorf("degenerate sampled run: cycles %d/%d gc %d/%d",
+			got.Cycles, full.Cycles, got.GCCount, full.GCCount)
+	}
+	if got.Sampling == nil || got.Sampling.DetailPct != 100 {
+		t.Errorf("degenerate run estimate: %+v", got.Sampling)
+	}
+	if full.Sampling != nil {
+		t.Error("full run carries a sampling estimate")
+	}
+}
+
+// TestSampledPairing: the pairing protocol (solo reference runs included)
+// must work under a sampled plan and produce speedups in the physically
+// meaningful band; sampled solo times must come from sampled runs (cache
+// keyed by plan), never mix with full-mode solo times.
+func TestSampledPairing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	skipIfChecks(t)
+	opts := DefaultPairOptions()
+	opts.Runs = 2
+	opts.Plan = sampling.DefaultSampledPlan()
+	pr, err := RunPair(mustBench(t, "compress"), mustBench(t, "mpegaudio"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Sampling == nil {
+		t.Fatal("sampled pairing carries no estimate")
+	}
+	if cs := pr.CombinedSpeedup(); cs < 0.5 || cs > 2.5 {
+		t.Errorf("combined speedup %.3f outside the physical band", cs)
+	}
+	if err := pr.Counters.CheckConservation(); err != nil {
+		t.Errorf("pairing conservation: %v", err)
+	}
+}

@@ -170,6 +170,18 @@ func u64(v float64) uint64 { return math.Float64bits(v) }
 // producer index. Loads pick up an additional dependency on the most
 // recent store to the same address; stores record themselves.
 func (t *Thread) emit(buf []isa.Uop, n *int, u isa.Uop, prod uint64) uint64 {
+	buf[*n] = u
+	p := t.fixDeps(&buf[*n], prod)
+	*n++
+	return p
+}
+
+// fixDeps resolves the dependency bookkeeping for a µop already written
+// into the fill buffer, mutating only its DepDist. It is the per-µop tail
+// of emit, split out and given a pointer receiver argument so the
+// instruction dispatch loop pays one small inlinable call per µop instead
+// of copying the 32-byte Uop through two call frames.
+func (t *Thread) fixDeps(u *isa.Uop, prod uint64) uint64 {
 	t.uopIdx++
 	if u.Class == isa.Load {
 		slot := (u.Addr >> 3) & 15
@@ -187,8 +199,6 @@ func (t *Thread) emit(buf []isa.Uop, n *int, u isa.Uop, prod uint64) uint64 {
 		t.stTag[slot] = u.Addr
 		t.stProd[slot] = t.uopIdx
 	}
-	buf[*n] = u
-	*n++
 	return t.uopIdx
 }
 
@@ -201,10 +211,14 @@ func (t *Thread) step(buf []isa.Uop) int {
 	t.instrs++
 
 	n := 0
-	// put emits a µop at the instruction's next method-PC slot.
+	// put emits a µop at the instruction's next method-PC slot, writing
+	// it into buf in place (see fixDeps).
 	put := func(u isa.Uop, prod uint64) uint64 {
 		u.PC = pcBase + uint64(n)
-		return t.emit(buf, &n, u, prod)
+		buf[n] = u
+		p := t.fixDeps(&buf[n], prod)
+		n++
+		return p
 	}
 	// prev returns the producer index of the most recently emitted µop.
 	prev := func() uint64 { return t.uopIdx }

@@ -75,10 +75,34 @@ func cum(f *counters.File) CumCounters {
 	}
 }
 
+// SamplingInfo is the per-run sampled-simulation record: how much of the
+// run was measured in detail and how trustworthy the extrapolation is.
+// It mirrors the fields of sampling.Estimate that matter for reading a
+// series (obs sits below internal/sampling, so the struct is restated
+// here rather than imported). Absent (nil) on full-simulation runs.
+type SamplingInfo struct {
+	// Mode is the simulation mode ("sampled").
+	Mode string `json:"mode"`
+	// Windows is the number of detailed windows the run closed.
+	Windows int `json:"windows"`
+	// WindowIPC is the pooled IPC across those windows.
+	WindowIPC float64 `json:"window_ipc"`
+	// IPCRelErr is the relative standard error of the per-window IPCs.
+	IPCRelErr float64 `json:"ipc_rel_err"`
+	// DetailPct is the percentage of µops run through the detailed
+	// pipeline; MeasuredPct additionally counts the warmed functional
+	// tier, whose structure statistics are exact.
+	DetailPct   float64 `json:"detail_pct"`
+	MeasuredPct float64 `json:"measured_pct"`
+}
+
 // RunSeries is the recorded time-series of one simulation.
 type RunSeries struct {
 	Label   string   `json:"label"`
 	Samples []Sample `json:"samples"`
+	// Sampling records the sampled-simulation confidence data when the
+	// run used interval sampling; nil (omitted) for full simulation.
+	Sampling *SamplingInfo `json:"sampling,omitempty"`
 }
 
 // Final returns the last sample (the end-of-run state), or a zero sample
@@ -161,6 +185,15 @@ func (r *RunObs) ThreadSlice(ctx int, name string, start, end uint64) {
 		Ts: float64(start), Dur: float64(end - start),
 		Pid: r.pid, Tid: ctx,
 	})
+}
+
+// SetSampling attaches the sampled-simulation record to the run's
+// series. Nil-safe; a no-op when metrics are off.
+func (r *RunObs) SetSampling(info *SamplingInfo) {
+	if r == nil || r.series == nil {
+		return
+	}
+	r.series.Sampling = info
 }
 
 // Stride returns the sample interval the observer was built with.

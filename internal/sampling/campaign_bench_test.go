@@ -1,0 +1,83 @@
+package sampling
+
+import (
+	"testing"
+
+	"javasmt/internal/core"
+	"javasmt/internal/isa"
+)
+
+// BenchmarkSampledCampaign pins the acceptance speedup of interval
+// sampling: one campaign-scale SMT cell (two contexts × 4M synthetic
+// µops, the same stream shape as core's BenchmarkSimSpeed, so MB/s here
+// is directly comparable to the seed_BenchmarkSimSpeed entry in
+// BENCH_core.json) run end to end in full mode and under a fast-forward
+// sampled regime. scripts/bench_core.sh records both and derives the
+// full/sampled ratio; the acceptance bar is ≥10×.
+//
+// The sampled regime is the long-workload one documented in README
+// ("Fast campaigns"): -ff-interval 2000000 -warmup 100000 -window 5000.
+// It leans on the confidence-released ramp (controller.go): after eight
+// agreeing windows the fast-forward spans stretch to rampFactorMax
+// windows' worth of µops, which is what clears 10× — the conservative
+// default plan stays accuracy-first and much denser.
+// campaignUops matches the µop mix, dependency chains and 2MB data
+// footprint of core's benchUops — the shape that makes the MB/s figures
+// here line up with the seed entry, and a workload on which detailed
+// execution actually pays the per-cycle costs sampling is meant to skip —
+// but scatters the load addresses with a deterministic LCG instead of
+// benchUops's linear wrap. The linear stream's cache behavior is a pure
+// function of position modulo the wrap period, so a detailed window's
+// hit rate would depend on how the sampling intervals happen to align
+// with the wrap; the scattered stream makes every window statistically
+// interchangeable, which is the steady-phase property the confidence-
+// released ramp is designed to detect.
+func campaignUops(n int) []isa.Uop {
+	uops := make([]isa.Uop, n)
+	lcg := uint64(1)
+	for i := range uops {
+		c := isa.ALU
+		switch i % 5 {
+		case 1:
+			c = isa.Load
+		case 3:
+			c = isa.Branch
+		}
+		lcg = lcg*6364136223846793005 + 1442695040888963407
+		uops[i] = isa.Uop{PC: uint64(i % 3000), Class: c, Addr: 0x2000_0000 + (lcg%(1<<21))&^63, DepDist: uint8(i % 3), Taken: i%3 == 0, Target: 5}
+	}
+	return uops
+}
+
+func BenchmarkSampledCampaign(b *testing.B) {
+	uops := campaignUops(8_000_000)
+	for _, tc := range []struct {
+		name string
+		plan Plan
+	}{
+		{"full", FullPlan()},
+		{"sampled", Plan{Mode: Sampled, FFUops: 2_000_000, WarmupUops: 100_000, WindowCycles: 5_000}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				cpu := core.New(core.DefaultConfig(true))
+				cpu.AttachFeed(0, &synthFeed{src: &isa.SliceSource{Uops: uops}})
+				cpu.AttachFeed(1, &synthFeed{src: &isa.SliceSource{Uops: uops}})
+				ctrl := NewController(cpu, tc.plan)
+				for {
+					adv, err := ctrl.Run(0)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if adv == 0 {
+						break
+					}
+				}
+				ctrl.Finish()
+			}
+			b.SetBytes(16_000_000)
+		})
+	}
+}

@@ -1,0 +1,659 @@
+package sampling
+
+import (
+	"math"
+
+	"javasmt/internal/core"
+	"javasmt/internal/counters"
+)
+
+// phase indices of the repeating interval cycle. Every cell starts with a
+// detailed window: the machine is genuinely cold at cycle 0, so the first
+// window correctly measures the cold-start phase, every functional span
+// is clocked by a window that just closed (never by the default CPI), and
+// a cell shorter than one window degenerates to 100% detailed execution.
+// The warmup span sits immediately before the next window, so each
+// window after the first measures freshly warmed structures.
+const (
+	phWindow = iota // detailed pipeline window
+	phFF            // unwarmed fast-forward
+	phWarmup        // warmed functional execution
+)
+
+// rampFactor bounds extrapolation: no single functional span may exceed
+// this multiple of the µops the most recent detailed window retired. The
+// rule is self-regulating. In a fast stable phase a window covers more
+// µops than a whole plan interval, so the plan's span lengths govern; in
+// a slow or unstable regime — the cold-start ramp, a GC storm, jack's
+// phase churn — windows retire few µops, so the spans between them
+// shrink and sampling densifies exactly where the program is least
+// extrapolatable. Cells much shorter than one plan interval (which would
+// otherwise be one unrepresentative cold window extrapolated over
+// everything) never get the chance to extrapolate far.
+const rampFactor = 4
+
+// rampFactorMax and rampRelaxRelStdErr are the ramp's confidence-based
+// release, symmetric to the error clamp below: once the running relative
+// standard error of the window IPCs is this tight (with at least
+// errClampMinWindows samples behind it), consecutive windows are
+// provably interchangeable and the budget stretches to rampFactorMax —
+// this is what lets a steady workload reach the 10–50× regime. Any
+// later disagreement raises the error and the budget snaps back to
+// rampFactor.
+const (
+	rampFactorMax      = 512
+	rampRelaxRelStdErr = 0.02
+)
+
+// rateFeatures is the per-µop structure-event rate vector used to place
+// a functional span between its two bracketing windows: trace-cache
+// misses, L1D misses, branch mispredicts and L2 misses per kµop. The
+// warmed functional tier performs every structure access, so a span's
+// vector is measured exactly, not estimated.
+const rateFeatures = 4
+
+// winSettleCycles is how many detailed cycles run after a functional
+// span before the window's counter base is snapshotted. The functional
+// tiers hand over a drained pipeline, so the first few dozen cycles of
+// detailed execution retire almost nothing while the front end refills
+// the ROB and queues; measuring them would inflate every window's CPI by
+// roughly refill/window — a systematic overcharge that grows as windows
+// shrink. The settle cycles are real detailed execution and stay in the
+// exact totals; they are only excluded from the window's CPI sample.
+const winSettleCycles = 256
+
+// Span-scale bounds for the stability feedback (see closeWindow): when
+// consecutive windows disagree about CPI, the program is moving through
+// phases faster than the plan's interval can track, so the next spans
+// shrink multiplicatively; agreement grows them back toward the plan
+// lengths. Phase-churning workloads (jack's parse/GC alternation) thus
+// run near-detailed while stable ones keep the plan's full speedup.
+const (
+	spanScaleMin    = 1.0 / 8
+	unstableCPIFrac = 1.5 // windows differing by more than this ratio count as unstable
+)
+
+// errClampRelStdErr keeps the spans at spanScaleMin while the running
+// relative standard error of the window IPCs (the estimate the cell
+// ultimately reports as its confidence, excluding the known-cold first
+// window) is above this threshold: the controller spends detail exactly
+// where its own error estimate says the extrapolation is untrustworthy.
+// The clamp deliberately uses ALL-HISTORY moments — it is an accuracy
+// mechanism, and a cell that has ever shown real variability (jack's
+// phase churn) should stay conservative for its whole run.
+const errClampRelStdErr = 0.10
+
+// errClampMinWindows is how many windows the running error needs before
+// it is trusted to impose the clamp.
+const errClampMinWindows = 8
+
+// errWindows is how many recent windows the ramp RELEASE judges
+// confidence over. Unlike the clamp, the release uses a sliding ring:
+// it is a speed mechanism answering a local question — is the machine
+// steady right now? — and the 0.02 bar is so tight that the cold-start
+// windows would otherwise hold the all-history error above it for
+// essentially any run length, permanently starving the release.
+const errWindows = 8
+
+// Controller drives one CPU through the sampling phase cycle. It exposes
+// the same Run contract as core.CPU.Run, so the harness's run loops work
+// identically in either mode; in Full mode every call is forwarded to the
+// CPU untouched and the controller is a zero-cost shim.
+//
+// After the run loop finishes (and before reading the counter file), the
+// owner must call Finish exactly once: it closes any open window, folds
+// the functional tiers' estimated cycles into the counter file (keeping
+// every cross-counter conservation law exact), and returns the Estimate.
+type Controller struct {
+	cpu  *core.CPU
+	plan Plan
+
+	phase int
+	left  uint64 // µops (warmup/ff) or cycles (window) left in the phase
+
+	winOpen    bool
+	settleLeft uint64        // detailed cycles to run before the window sample starts
+	winBase    counters.File // counter snapshot at window open
+	winIPCs    []float64
+	winUops    uint64 // µops retired across closed windows
+	winCycles  uint64 // cycles spent across closed windows
+	warmUops   uint64
+	ffUops     uint64
+	funcCycles uint64 // non-halted clock advance of functional spans
+	funcHalt   uint64 // all-blocked cycles during functional spans
+
+	// winCPIs[i] is the CPI of closed window i and spans[i] the functional
+	// µops of the span that led into it (spans[0] is zero: every cell
+	// opens with a window). winRates[i] and spanRates[i] are the matching
+	// per-µop structure-event vectors, and prevClose the counter snapshot
+	// at the last window close (the base of the next span's vector).
+	// spannedUops is the spans' running sum. Charging happens at Finish
+	// time, when every span's two bracketing windows are known.
+	winCPIs     []float64
+	winRates    [][rateFeatures]float64
+	spans       []uint64
+	spanRates   [][rateFeatures]float64
+	prevClose   counters.File
+	spannedUops uint64
+	lastWinUops uint64  // µops retired by the most recent closed window
+	spanScale   float64 // stability feedback: fraction of the plan's span lengths to use
+
+	// Window-IPC statistics past the first (cold) window: all-history
+	// running moments for the error clamp, and a sliding ring of the
+	// most recent samples for the ramp release.
+	ipcN     int
+	ipcSum   float64
+	ipcSumSq float64
+	ipcRing  [errWindows]float64
+	ipcRingN int
+
+	done     bool // every feed completed
+	finished bool
+	est      Estimate
+}
+
+// NewController wraps cpu in the given sampling plan. The plan must have
+// passed Validate.
+func NewController(cpu *core.CPU, plan Plan) *Controller {
+	c := &Controller{cpu: cpu, plan: plan, phase: phWindow, spanScale: 1}
+	if plan.Sampled() {
+		c.left = plan.WindowCycles
+		c.settleLeft = winSettleCycles
+	}
+	return c
+}
+
+// Plan returns the controller's sampling plan.
+func (s *Controller) Plan() Plan { return s.plan }
+
+// CPU returns the wrapped machine.
+func (s *Controller) CPU() *core.CPU { return s.cpu }
+
+// advance moves to the next phase of the interval cycle, skipping phases
+// whose span is zero (a plan with FFUops == 0 and WarmupUops == 0 is
+// 100% detailed). The window phase is never skipped: Validate requires a
+// positive window, so the cycle always makes progress.
+func (s *Controller) advance() {
+	for {
+		s.phase = (s.phase + 1) % 3
+		switch s.phase {
+		case phWindow:
+			s.left = s.plan.WindowCycles
+			s.settleLeft = winSettleCycles
+			return
+		case phFF:
+			// The ramp budget goes to warmup first: its structure
+			// statistics are exact, fast-forward's are extrapolated.
+			s.left = min(s.scaled(s.plan.FFUops), s.rampBudget(s.warmupSpan()))
+		case phWarmup:
+			s.left = min(s.warmupSpan(), s.rampBudget(0))
+		}
+		if s.left > 0 {
+			return
+		}
+	}
+}
+
+// scaled applies the stability feedback to a plan span length.
+func (s *Controller) scaled(n uint64) uint64 {
+	return uint64(s.spanScale * float64(n))
+}
+
+// warmupSpan is the warmup length currently in force. In a plan without
+// fast-forward the warmup IS the skip span (exact structure statistics,
+// extrapolated cycles), so the stability feedback scales it to densify
+// sampling. With fast-forward present the warmup is instead the
+// rewarming preamble that makes the next window valid — shrinking it
+// under instability would produce half-warmed windows whose spurious
+// IPC swings feed back into more instability, so only the ff span
+// scales.
+func (s *Controller) warmupSpan() uint64 {
+	if s.plan.FFUops > 0 {
+		return s.plan.WarmupUops
+	}
+	return s.scaled(s.plan.WarmupUops)
+}
+
+// rampFactorNow returns the extrapolation bound currently in force:
+// rampFactor until the recent windows agree tightly, rampFactorMax while
+// they do. Any fresh disagreement raises the recent error and the budget
+// snaps back within a window.
+func (s *Controller) rampFactorNow() uint64 {
+	if e, ok := s.recentRelStdErr(); ok && e < rampRelaxRelStdErr {
+		return rampFactorMax
+	}
+	return rampFactor
+}
+
+// recentRelStdErr returns the relative standard error of the last
+// errWindows window IPCs, and whether the ring has filled enough to be
+// trusted.
+func (s *Controller) recentRelStdErr() (float64, bool) {
+	if s.ipcRingN < errWindows {
+		return 0, false
+	}
+	return relStdErr(s.ipcRing[:]), true
+}
+
+// runningRelStdErr computes stdev/(mean·√n) from running moments.
+func runningRelStdErr(n int, sum, sumSq float64) float64 {
+	if n < 2 || sum <= 0 {
+		return 0
+	}
+	mean := sum / float64(n)
+	varsum := sumSq - float64(n)*mean*mean
+	if varsum <= 0 {
+		return 0
+	}
+	sd := math.Sqrt(varsum / float64(n-1))
+	return sd / (mean * math.Sqrt(float64(n)))
+}
+
+// rampBudget returns how many functional µops the current span may run
+// under the rampFactor bound, keeping reserve µops of it for a later
+// phase of the same interval.
+func (s *Controller) rampBudget(reserve uint64) uint64 {
+	budget := s.rampFactorNow() * s.lastWinUops
+	if reserve >= budget {
+		return 0
+	}
+	return budget - reserve
+}
+
+func (s *Controller) openWindow() {
+	s.winBase = *s.cpu.Counters()
+	s.winOpen = true
+}
+
+// closeWindow banks the window's IPC sample, records the functional span
+// that led into it for Finish-time charging, and feeds the window's CPI
+// into the functional clock for the span that follows. The live clock
+// (SetFuncCPI) necessarily uses the latest closed window — the future one
+// isn't known while time must advance — so the counter reconstruction
+// charges spans separately, once both bracketing windows are known.
+func (s *Controller) closeWindow() {
+	if !s.winOpen {
+		return
+	}
+	s.winOpen = false
+	win := s.cpu.Counters().Sub(&s.winBase)
+	uops, cycles := win.Get(counters.Instructions), win.Get(counters.Cycles)
+	if uops == 0 || cycles == 0 {
+		return
+	}
+	s.winUops += uops
+	s.winCycles += cycles
+	cpi := float64(cycles) / float64(uops)
+	s.winIPCs = append(s.winIPCs, float64(uops)/float64(cycles))
+	span := s.warmUops + s.ffUops - s.spannedUops
+	spanDelta := s.winBase.Sub(&s.prevClose)
+	if n := len(s.winCPIs); n > 0 {
+		// Stability feedback: consecutive windows that disagree mean the
+		// interval is aliasing over phase changes — back off fast, and
+		// only re-grow the spans once windows agree again.
+		if prev := s.winCPIs[n-1]; cpi > unstableCPIFrac*prev || prev > unstableCPIFrac*cpi {
+			s.spanScale = max(s.spanScale/4, spanScaleMin)
+		} else {
+			s.spanScale = min(s.spanScale*2, 1)
+		}
+		ipc := float64(uops) / float64(cycles)
+		s.ipcN++
+		s.ipcSum += ipc
+		s.ipcSumSq += ipc * ipc
+		s.ipcRing[s.ipcRingN%errWindows] = ipc
+		s.ipcRingN++
+		if s.ipcN >= errClampMinWindows && runningRelStdErr(s.ipcN, s.ipcSum, s.ipcSumSq) > errClampRelStdErr {
+			s.spanScale = spanScaleMin
+		}
+	}
+	s.winCPIs = append(s.winCPIs, cpi)
+	s.winRates = append(s.winRates, rateVec(&win))
+	s.spans = append(s.spans, span)
+	s.spanRates = append(s.spanRates, rateVec(&spanDelta))
+	s.spannedUops += span
+	s.lastWinUops = uops
+	s.prevClose = *s.cpu.Counters()
+	s.cpu.SetFuncCPI(cpi)
+}
+
+// Run advances the machine by up to maxCycles cycles (0 = no limit) of
+// combined detailed and functional execution, returning the clock advance
+// like core.CPU.Run. A return of 0 with a nil error means every feed has
+// completed.
+func (s *Controller) Run(maxCycles uint64) (uint64, error) {
+	if !s.plan.Sampled() {
+		return s.cpu.Run(maxCycles)
+	}
+	if err := s.plan.Validate(); err != nil {
+		return 0, err
+	}
+	start := s.cpu.Now()
+	for !s.done {
+		if maxCycles > 0 && s.cpu.Now()-start >= maxCycles {
+			break
+		}
+		var remaining uint64 // 0 = unlimited
+		if maxCycles > 0 {
+			remaining = maxCycles - (s.cpu.Now() - start)
+		}
+		var err error
+		if s.phase == phWindow {
+			err = s.runWindow(remaining)
+		} else {
+			err = s.runFunctional(remaining)
+		}
+		if err != nil {
+			return s.cpu.Now() - start, err
+		}
+	}
+	return s.cpu.Now() - start, nil
+}
+
+// runWindow runs up to `remaining` cycles (0 = unlimited) of the current
+// detailed window, first letting the pipeline settle (see
+// winSettleCycles) before opening the counter sample.
+func (s *Controller) runWindow(remaining uint64) error {
+	if s.settleLeft > 0 {
+		span := s.settleLeft
+		if remaining > 0 && remaining < span {
+			span = remaining
+		}
+		n, err := s.cpu.Run(span)
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			// Drained while settling: nothing left to sample.
+			s.done = true
+			return nil
+		}
+		if n >= s.settleLeft {
+			s.settleLeft = 0
+			s.openWindow()
+		} else {
+			s.settleLeft -= n
+		}
+		return nil
+	}
+	span := s.left
+	if remaining > 0 && remaining < span {
+		span = remaining
+	}
+	n, err := s.cpu.Run(span)
+	if err != nil {
+		return err
+	}
+	if n == 0 {
+		// Drained: the machine has nothing left to do.
+		s.closeWindow()
+		s.done = true
+		return nil
+	}
+	if n >= s.left {
+		s.closeWindow()
+		s.advance()
+	} else {
+		s.left -= n
+	}
+	return nil
+}
+
+// runFunctional runs the current warmup or fast-forward span, bounded by
+// the caller's remaining cycle budget.
+func (s *Controller) runFunctional(remaining uint64) error {
+	warm := s.phase == phWarmup
+	want := s.left
+	if remaining > 0 {
+		// Convert the cycle budget to a µop bound via the current clock
+		// rate; generous rounding is fine, the outer loop re-checks.
+		if cap := remaining; cap < want {
+			want = cap
+		}
+	}
+	before := s.cpu.Now()
+	exec, halted, err := s.cpu.RunFunctional(want, warm)
+	adv := s.cpu.Now() - before
+	s.funcHalt += halted
+	s.funcCycles += adv - halted
+	if warm {
+		s.warmUops += exec
+	} else {
+		s.ffUops += exec
+	}
+	if err != nil {
+		return err
+	}
+	if exec >= s.left {
+		s.advance()
+	} else {
+		s.left -= exec
+		if exec < want {
+			// Fewer µops than asked with no error: every feed completed.
+			s.done = true
+		}
+	}
+	return nil
+}
+
+// Finish closes any open window, reconstructs the whole-run counter file
+// from the sampled tiers and returns the Estimate. It must be called
+// exactly once, after the run loop and before reading counters; calling
+// it on a Full-mode controller is a no-op returning nil.
+func (s *Controller) Finish() *Estimate {
+	if !s.plan.Sampled() {
+		return nil
+	}
+	if s.finished {
+		return &s.est
+	}
+	s.finished = true
+	s.closeWindow()
+
+	file := s.cpu.Counters()
+	e := &s.est
+	e.Mode = Sampled.String()
+	e.WarmUops, e.FFUops = s.warmUops, s.ffUops
+	e.DetailedCycles = file.Get(counters.Cycles)
+	e.DetailedUops = file.Get(counters.Instructions) - s.warmUops - s.ffUops
+	e.HaltCycles = s.funcHalt
+	e.Windows = len(s.winIPCs)
+	if s.winCycles > 0 {
+		e.WindowIPC = float64(s.winUops) / float64(s.winCycles)
+	}
+	e.IPCRelErr = relStdErr(s.winIPCs)
+	if tot := e.TotalUops(); tot > 0 {
+		e.DetailPct = 100 * float64(e.DetailedUops) / float64(tot)
+		e.MeasuredPct = 100 * float64(e.DetailedUops+e.WarmUops) / float64(tot)
+	}
+	s.reconstruct(file, e)
+	return e
+}
+
+// reconstruct folds the functional tiers into the counter file so that
+// whole-run derived metrics (IPC, MPKI, miss rates, mode percentages) are
+// estimates of what a full detailed run would report, while every
+// CheckConservation law stays exactly satisfied:
+//
+//   - The functional µops' cycle cost (clocked at the live window CPI) is
+//     added to Cycles and spread over the retirement histogram as two
+//     adjacent buckets whose cycle sum and µop-weighted sum are exact.
+//   - All-blocked functional cycles land in both Cycles and CyclesHalted,
+//     mirroring how the detailed engine bills halted cycles.
+//   - Cycle-denominated counters (OS/DT mode, stall cycles) are scaled
+//     from their measured per-cycle rates and clamped by their laws.
+//   - When an unwarmed fast-forward tier ran, structure counters are
+//     scaled from the measured (detailed + warmed) µops to the whole run
+//     bottom-up: L2 accesses are re-derived from the scaled L1D and TC
+//     misses, then DRAM traffic from the scaled L2 misses, so the exact
+//     hierarchy laws hold by construction.
+func (s *Controller) reconstruct(file *counters.File, e *Estimate) {
+	F := s.warmUops + s.ffUops
+	if F == 0 {
+		return
+	}
+	// Cycle cost of the functional tiers: every span charged at a mix of
+	// its two bracketing windows' CPIs, weighted by where the span's own
+	// measured structure-event rates fall between the two windows'
+	// vectors (rateMix) — a span straddling a phase boundary is charged
+	// by its actual phase mixture rather than an assumed 50/50, and a
+	// one-off transient caught inside a window (whose neighbors' rates
+	// look normal) is never extrapolated over the spans around it. The
+	// tail span after the last window is charged at that window's CPI
+	// (with no window at all — a cell that ended mid-span — the live
+	// clock's advance is the only estimate there is). The retire-width
+	// floor guards the histogram: RetireWidth 3 caps retirement at
+	// 3 µops/cycle, so F µops need at least ceil(F/3) cycles.
+	recon := 0.0
+	for i, span := range s.spans {
+		cpi := s.winCPIs[i]
+		if i > 0 {
+			if s.ffUops == 0 {
+				// The warmed tier measured this span's structure-event
+				// rates exactly; charge it on the CPI segment between its
+				// bracketing windows at the point matching those rates.
+				// (An unwarmed tier would leave holes in the rate vector.)
+				t := rateMix(s.spanRates[i], s.winRates[i-1], s.winRates[i])
+				cpi = (1-t)*s.winCPIs[i-1] + t*s.winCPIs[i]
+			} else {
+				// With fast-forward in play the span's rates are not
+				// comparable, so charge it at the window that follows it:
+				// that window measures the freshly warmed machine in the
+				// span's own neighborhood (the SMARTS convention), whereas
+				// the window before it may still be the cold-start sample.
+				cpi = s.winCPIs[i]
+			}
+		}
+		recon += float64(span) * cpi
+	}
+	if tail := F - s.spannedUops; tail > 0 {
+		if n := len(s.winCPIs); n > 0 {
+			recon += float64(tail) * s.winCPIs[n-1]
+		} else {
+			recon += float64(s.funcCycles)
+		}
+	}
+	C := uint64(recon + 0.5)
+	if minC := (F + 2) / 3; C < minC {
+		C = minC
+	}
+	e.FuncCycles = C
+
+	dCycles := file.Get(counters.Cycles)
+	dHalted := file.Get(counters.CyclesHalted)
+
+	// Retirement histogram: q µops on C-r cycles, q+1 µops on r cycles
+	// sums to C cycles and F µops exactly.
+	q, r := F/C, F%C
+	retire := [4]counters.Event{counters.Retire0, counters.Retire1, counters.Retire2, counters.Retire3}
+	file.Add(retire[q], C-r)
+	if r > 0 {
+		file.Add(retire[q+1], r)
+	}
+	file.Add(counters.Cycles, C+s.funcHalt)
+	file.Add(counters.CyclesHalted, s.funcHalt)
+
+	// Cycle-denominated counters: scale the measured per-cycle rate over
+	// the reconstructed non-halted cycles, clamped by the ≤ cycles laws.
+	if dNH := dCycles - dHalted; dNH > 0 {
+		tNH := dNH + C
+		total := file.Get(counters.Cycles)
+		for _, ev := range []counters.Event{
+			counters.CyclesDT, counters.CyclesOS,
+			counters.ROBStallCycles, counters.IQStallCycles,
+			counters.LSQStallCycles, counters.FetchStallCycles,
+		} {
+			v := scaleClamp(file.Get(ev), tNH, dNH, total)
+			file.Set(ev, v)
+		}
+	}
+
+	// Structure counters: exact unless an unwarmed tier ran.
+	if s.ffUops == 0 {
+		return
+	}
+	I := file.Get(counters.Instructions)
+	M := I - s.ffUops // µops whose structure accesses were performed
+	if M == 0 {
+		return
+	}
+	for _, ev := range []counters.Event{
+		counters.TCAccesses, counters.L1DAccesses,
+		counters.ITLBAccesses, counters.DTLBAccesses,
+		counters.Branches,
+	} {
+		file.Set(ev, scaleClamp(file.Get(ev), I, M, ^uint64(0)))
+	}
+	file.Set(counters.TCMisses, scaleClamp(file.Get(counters.TCMisses), I, M, file.Get(counters.TCAccesses)))
+	file.Set(counters.L1DMisses, scaleClamp(file.Get(counters.L1DMisses), I, M, file.Get(counters.L1DAccesses)))
+	file.Set(counters.ITLBMisses, scaleClamp(file.Get(counters.ITLBMisses), I, M, file.Get(counters.ITLBAccesses)))
+	file.Set(counters.DTLBMisses, scaleClamp(file.Get(counters.DTLBMisses), I, M, file.Get(counters.DTLBAccesses)))
+	file.Set(counters.BTBMisses, scaleClamp(file.Get(counters.BTBMisses), I, M, file.Get(counters.Branches)))
+	file.Set(counters.BranchMispredicts, scaleClamp(file.Get(counters.BranchMispredicts), I, M, file.Get(counters.Branches)))
+
+	// Hierarchy laws, bottom-up: L2 demand is the scaled upper-level miss
+	// streams; DRAM traffic is the scaled L2 miss stream.
+	l2aOld, l2mOld := file.Get(counters.L2Accesses), file.Get(counters.L2Misses)
+	l2a := file.Get(counters.L1DMisses) + file.Get(counters.TCMisses)
+	l2m := scaleClamp(l2mOld, l2a, max(l2aOld, 1), l2a)
+	file.Set(counters.L2Accesses, l2a)
+	file.Set(counters.L2Misses, l2m)
+	rdOld, wrOld := file.Get(counters.MemReads), file.Get(counters.MemWrites)
+	rd := l2m
+	if t := rdOld + wrOld; t > 0 {
+		rd = scaleClamp(rdOld, l2m, t, l2m)
+	}
+	file.Set(counters.MemReads, rd)
+	file.Set(counters.MemWrites, l2m-rd)
+}
+
+// rateVec extracts the per-kµop structure-event vector of a counter
+// delta.
+func rateVec(d *counters.File) [rateFeatures]float64 {
+	ku := float64(d.Get(counters.Instructions)) / 1000
+	if ku == 0 {
+		return [rateFeatures]float64{}
+	}
+	return [rateFeatures]float64{
+		float64(d.Get(counters.TCMisses)) / ku,
+		float64(d.Get(counters.L1DMisses)) / ku,
+		float64(d.Get(counters.BranchMispredicts)) / ku,
+		float64(d.Get(counters.L2Misses)) / ku,
+	}
+}
+
+// rateMix places a span between its two bracketing windows: it projects
+// the span's measured rate vector onto the segment from the left
+// window's vector to the right window's and returns the mixture fraction
+// t ∈ [0,1] (0 = entirely left-like, 1 = entirely right-like). Each
+// feature is normalized by its local magnitude so no single rate
+// dominates the distance. When the brackets are too similar to carry a
+// signal, it falls back to ½ — the plain bracket mean.
+func rateMix(span, l, r [rateFeatures]float64) float64 {
+	var num, den float64
+	for k := range span {
+		scale := l[k] + r[k]
+		if scale <= 0 {
+			continue
+		}
+		a := (span[k] - l[k]) / scale
+		b := (r[k] - l[k]) / scale
+		num += a * b
+		den += b * b
+	}
+	if den < 1e-4 {
+		return 0.5
+	}
+	return min(max(num/den, 0), 1)
+}
+
+// scaleClamp returns round(v · num/den) capped at limit.
+func scaleClamp(v, num, den, limit uint64) uint64 {
+	if den == 0 {
+		return 0
+	}
+	scaled := uint64(float64(v)*float64(num)/float64(den) + 0.5)
+	if scaled > limit {
+		return limit
+	}
+	return scaled
+}

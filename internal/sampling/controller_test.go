@@ -1,0 +1,242 @@
+package sampling
+
+import (
+	"testing"
+
+	"javasmt/internal/core"
+	"javasmt/internal/counters"
+	"javasmt/internal/isa"
+)
+
+// synthUops builds a uniform, phase-free µop stream: ALU chains, a load
+// every fifth µop walking a 32 KB region, a branch every fifth. Against
+// it, any sampled-vs-full divergence is mechanical estimator bias, not
+// program phase behavior.
+func synthUops(n int) []isa.Uop {
+	us := make([]isa.Uop, n)
+	for i := range us {
+		u := isa.Uop{PC: uint64(i % 3000), Class: isa.ALU}
+		switch i % 5 {
+		case 1:
+			u.Class = isa.Load
+			u.Addr = uint64(i%4096) * 8
+		case 3:
+			u.Class = isa.Branch
+			u.Taken = i%10 == 3
+			u.Target = uint64((i + 7) % 3000)
+		}
+		us[i] = u
+	}
+	return us
+}
+
+// synthFeed adapts an isa.SliceSource to the core.Feed contract.
+type synthFeed struct {
+	src  *isa.SliceSource
+	done bool
+}
+
+func (f *synthFeed) Fill(_ uint64, buf []isa.Uop) int {
+	if f.done {
+		return 0
+	}
+	n, done := f.src.Fill(buf)
+	if done {
+		f.done = true
+	}
+	return n
+}
+
+func (f *synthFeed) Runnable(uint64) bool { return !f.done }
+func (f *synthFeed) Done() bool           { return f.done }
+
+// runSynth drives n synthetic µops through a fresh machine under plan and
+// returns the final counter file and the reconstruction estimate.
+func runSynth(t *testing.T, n int, plan Plan) (*counters.File, *Estimate) {
+	t.Helper()
+	cpu := core.New(core.DefaultConfig(false))
+	cpu.AttachFeed(0, &synthFeed{src: &isa.SliceSource{Uops: synthUops(n)}})
+	ctrl := NewController(cpu, plan)
+	for {
+		adv, err := ctrl.Run(1_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if adv == 0 {
+			break
+		}
+	}
+	est := ctrl.Finish()
+	return cpu.Counters(), est
+}
+
+// TestFullModePassthrough: a Full-plan controller is a transparent shim —
+// identical counters to driving the CPU directly, and no estimate.
+func TestFullModePassthrough(t *testing.T) {
+	const n = 200_000
+	direct := core.New(core.DefaultConfig(false))
+	direct.AttachFeed(0, &synthFeed{src: &isa.SliceSource{Uops: synthUops(n)}})
+	if _, err := direct.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	got, est := runSynth(t, n, FullPlan())
+	if est != nil {
+		t.Errorf("full mode produced an estimate: %+v", est)
+	}
+	if *got != *direct.Counters() {
+		t.Errorf("full-mode controller diverged from a bare run:\n got %+v\nwant %+v", got, direct.Counters())
+	}
+}
+
+// TestDegenerateSampledIsDetailed: a sampled plan with no functional
+// spans runs every µop through the detailed pipeline and must reproduce
+// the full-mode counter file byte for byte — the metamorphic anchor that
+// the window bookkeeping itself (open/close/settle) perturbs nothing.
+func TestDegenerateSampledIsDetailed(t *testing.T) {
+	const n = 200_000
+	full, _ := runSynth(t, n, FullPlan())
+	got, est := runSynth(t, n, Plan{Mode: Sampled, WindowCycles: 5_000})
+	if *got != *full {
+		t.Errorf("degenerate sampled diverged from full:\n got %+v\nwant %+v", got, full)
+	}
+	if est == nil {
+		t.Fatal("sampled run produced no estimate")
+	}
+	if est.WarmUops != 0 || est.FFUops != 0 {
+		t.Errorf("degenerate plan ran functional µops: warm %d, ff %d", est.WarmUops, est.FFUops)
+	}
+	if est.DetailPct != 100 || est.MeasuredPct != 100 {
+		t.Errorf("degenerate plan detail%% = %v, measured%% = %v, want 100", est.DetailPct, est.MeasuredPct)
+	}
+	if est.Windows == 0 {
+		t.Error("no windows closed")
+	}
+}
+
+// TestSampledReconstruction: under the default (warmed, exact-structure)
+// regime the reconstruction must retire every µop, keep every structure
+// counter exactly equal to the full run's, keep all conservation laws,
+// and land the estimated IPC within the accuracy suite's 2% tolerance
+// even on this synthetic stream.
+func TestSampledReconstruction(t *testing.T) {
+	const n = 2_000_000
+	full, _ := runSynth(t, n, FullPlan())
+	got, est := runSynth(t, n, DefaultSampledPlan())
+	if est == nil {
+		t.Fatal("no estimate")
+	}
+	if err := got.CheckConservation(); err != nil {
+		t.Errorf("conservation after reconstruction: %v", err)
+	}
+	if gu, fu := got.Get(counters.Instructions), full.Get(counters.Instructions); gu != fu {
+		t.Errorf("retired µops %d != full %d", gu, fu)
+	}
+	if est.TotalUops() != full.Get(counters.Instructions) {
+		t.Errorf("tier split %d µops != full %d", est.TotalUops(), full.Get(counters.Instructions))
+	}
+	for _, c := range []counters.Event{
+		counters.TCMisses, counters.L1DMisses, counters.L2Misses,
+		counters.ITLBMisses, counters.DTLBMisses,
+		counters.Branches, counters.BranchMispredicts, counters.BTBMisses,
+	} {
+		if g, f := got.Get(c), full.Get(c); g != f {
+			t.Errorf("%v = %d, full %d; default plan promises exact structure counters", c, g, f)
+		}
+	}
+	gIPC, fIPC := got.IPC(), full.IPC()
+	if d := (gIPC - fIPC) / fIPC; d > 0.02 || d < -0.02 {
+		t.Errorf("sampled IPC %.4f vs full %.4f: %+.2f%% error, tolerance 2%%", gIPC, fIPC, 100*d)
+	}
+	if est.Windows < 2 {
+		t.Errorf("windows = %d; no spread information", est.Windows)
+	}
+	if est.IPCRelErr < 0 {
+		t.Errorf("negative error estimate %v", est.IPCRelErr)
+	}
+	if est.WarmUops == 0 {
+		t.Error("default plan ran no warmed functional µops; nothing was sampled")
+	}
+}
+
+// TestSampledFastForwardReconstruction: with an unwarmed fast-forward
+// tier in play, structure counters become whole-run estimates — they
+// must still satisfy every conservation law, and on a phase-free stream
+// the IPC estimate must stay within the declared 2% tolerance.
+func TestSampledFastForwardReconstruction(t *testing.T) {
+	const n = 2_000_000
+	full, _ := runSynth(t, n, FullPlan())
+	plan := Plan{Mode: Sampled, FFUops: 100_000, WarmupUops: 20_000, WindowCycles: 5_000}
+	got, est := runSynth(t, n, plan)
+	if est == nil {
+		t.Fatal("no estimate")
+	}
+	if est.FFUops == 0 {
+		t.Fatal("plan with FFUops ran no fast-forward µops")
+	}
+	if err := got.CheckConservation(); err != nil {
+		t.Errorf("conservation after ff reconstruction: %v", err)
+	}
+	if gu, fu := got.Get(counters.Instructions), full.Get(counters.Instructions); gu != fu {
+		t.Errorf("retired µops %d != full %d", gu, fu)
+	}
+	gIPC, fIPC := got.IPC(), full.IPC()
+	if d := (gIPC - fIPC) / fIPC; d > 0.02 || d < -0.02 {
+		t.Errorf("ff-sampled IPC %.4f vs full %.4f: %+.2f%% error, tolerance 2%%", gIPC, fIPC, 100*d)
+	}
+	if est.MeasuredPct >= 100 {
+		t.Errorf("measured%% = %v with a fast-forward tier", est.MeasuredPct)
+	}
+}
+
+// TestFinishIdempotent: the harness contract says Finish is called once,
+// but a second call must not re-fold the functional cycles into the
+// counter file (double counting) — it returns the same estimate.
+func TestFinishIdempotent(t *testing.T) {
+	cpu := core.New(core.DefaultConfig(false))
+	cpu.AttachFeed(0, &synthFeed{src: &isa.SliceSource{Uops: synthUops(500_000)}})
+	ctrl := NewController(cpu, DefaultSampledPlan())
+	for {
+		adv, err := ctrl.Run(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if adv == 0 {
+			break
+		}
+	}
+	first := ctrl.Finish()
+	cycles := cpu.Counters().Get(counters.Cycles)
+	second := ctrl.Finish()
+	if first != second {
+		t.Error("second Finish returned a different estimate")
+	}
+	if got := cpu.Counters().Get(counters.Cycles); got != cycles {
+		t.Errorf("second Finish moved the cycle counter %d → %d", cycles, got)
+	}
+}
+
+// TestControllerCycleBudget: Run's maxCycles contract must hold across
+// phase boundaries — the controller never overshoots the budget by more
+// than one functional span's rounding.
+func TestControllerCycleBudget(t *testing.T) {
+	cpu := core.New(core.DefaultConfig(false))
+	cpu.AttachFeed(0, &synthFeed{src: &isa.SliceSource{Uops: synthUops(2_000_000)}})
+	ctrl := NewController(cpu, DefaultSampledPlan())
+	for i := 0; i < 50; i++ {
+		before := cpu.Now()
+		adv, err := ctrl.Run(10_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if adv == 0 {
+			break
+		}
+		if got := cpu.Now() - before; got != adv {
+			t.Fatalf("reported advance %d != clock advance %d", adv, got)
+		}
+	}
+	ctrl.Finish()
+	if err := cpu.Counters().CheckConservation(); err != nil {
+		t.Errorf("conservation after budgeted stepping: %v", err)
+	}
+}

@@ -1,0 +1,184 @@
+// Package sampling is the interval-sampling layer over the cycle-accurate
+// engine (DESIGN.md §10): the Pac-Sim-style recipe of fast-forwarding
+// functionally, warming the stateful structures, taking short detailed
+// windows, and extrapolating whole-run counters from the windows with an
+// online error estimate.
+//
+// A cell runs as a repeating phase cycle
+//
+//	window (detailed) → fast-forward (unwarmed) → warmup (warmed functional)
+//
+// starting with a detailed window: the machine is genuinely cold at cycle
+// 0, so the first window measures the cold-start phase, and every
+// functional span is clocked by the CPI of the window that just closed.
+// Each later window follows its warmup span, so it measures freshly
+// warmed structures. Setting both the fast-forward and warmup spans to
+// zero degenerates to 100% detailed execution, which is byte-identical to
+// Full mode; Full mode itself bypasses the controller entirely and is the
+// default everywhere.
+package sampling
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Mode selects between the full cycle-accurate engine and interval
+// sampling.
+type Mode int
+
+const (
+	// Full runs every µop through the detailed pipeline model — today's
+	// behavior, bit-identical to a build without this package.
+	Full Mode = iota
+	// Sampled runs the warmup/window/fast-forward phase cycle and
+	// reconstructs whole-run counters from the detailed windows.
+	Sampled
+)
+
+// String returns the -sim-mode spelling of m.
+func (m Mode) String() string {
+	if m == Sampled {
+		return "sampled"
+	}
+	return "full"
+}
+
+// ParseMode maps a -sim-mode argument to a Mode.
+func ParseMode(s string) (Mode, error) {
+	switch strings.ToLower(s) {
+	case "", "full":
+		return Full, nil
+	case "sampled":
+		return Sampled, nil
+	}
+	return Full, fmt.Errorf("unknown sim mode %q (full|sampled)", s)
+}
+
+// Plan is one cell's sampling regime.
+type Plan struct {
+	// Mode selects full or sampled simulation; the zero value is Full,
+	// under which the remaining fields are ignored.
+	Mode Mode
+	// FFUops is the unwarmed fast-forward span per interval, in µops:
+	// purely architectural execution that touches no cache, TLB or
+	// predictor state. Zero keeps every functional µop warmed (slower
+	// fast-forward, exact structure statistics).
+	FFUops uint64
+	// WarmupUops is the warmed functional span per interval, in µops:
+	// caches, TLBs and predictors see every access so the following
+	// detailed window measures a warm machine.
+	WarmupUops uint64
+	// WindowCycles is the detailed-window length, in cycles of full
+	// pipeline simulation per interval.
+	WindowCycles uint64
+}
+
+// DefaultSampledPlan returns the default sampled regime: no unwarmed
+// fast-forward, 2000 warmed functional µops per interval, 1000-cycle
+// detailed windows. With FFUops zero every functional µop still performs
+// its cache, TLB and predictor accesses, so all structure counters stay
+// exact — only cycle counts are estimated — and the accuracy-regression
+// suite pins this exact regime to ≤2% IPC error on every golden
+// benchmark. It is deliberately conservative: sized for the tiny-scale
+// workloads the campaigns run at (roughly 1–15M µops), where a long
+// fast-forward interval would leave too few windows to bound the error.
+// Long, phase-stable workloads can raise -ff-interval (trading exact
+// structure counters for estimates) to reach the 10–50× regime that
+// BenchmarkSampledCampaign pins.
+func DefaultSampledPlan() Plan {
+	return Plan{Mode: Sampled, WarmupUops: 2_000, WindowCycles: 1_000}
+}
+
+// FullPlan returns the default full-simulation plan.
+func FullPlan() Plan { return Plan{Mode: Full} }
+
+// Sampled reports whether the plan uses interval sampling.
+func (p Plan) Sampled() bool { return p.Mode == Sampled }
+
+// Validate rejects nonsensical regimes.
+func (p Plan) Validate() error {
+	if p.Mode != Full && p.Mode != Sampled {
+		return fmt.Errorf("sampling: unknown mode %d", int(p.Mode))
+	}
+	if p.Mode == Full {
+		return nil
+	}
+	if p.WindowCycles == 0 {
+		return fmt.Errorf("sampling: sampled mode needs a detailed window (-window > 0)")
+	}
+	return nil
+}
+
+// Tag returns the journal-config descriptor of the plan: empty for Full
+// (so journals written before sampling existed, and journals of full-mode
+// campaigns, keep their exact config strings), and a canonical
+// "sim=sampled(...)" clause otherwise. Appending it to a tool's journal
+// config string is what makes -resume refuse to mix modes or regimes.
+func (p Plan) Tag() string {
+	if p.Mode != Sampled {
+		return ""
+	}
+	return fmt.Sprintf(" sim=sampled(ff=%d,warm=%d,win=%d)", p.FFUops, p.WarmupUops, p.WindowCycles)
+}
+
+// Estimate is the per-cell reconstruction record: how the run was split
+// across fidelity tiers and how trustworthy the extrapolation is. It is
+// attached to harness results, obs series and journal payloads.
+type Estimate struct {
+	// Mode is the plan's mode spelling ("sampled").
+	Mode string `json:"mode"`
+	// DetailedUops/DetailedCycles are the µops retired and cycles spent
+	// under the detailed pipeline model (windows plus pipeline drains).
+	DetailedUops   uint64 `json:"detailed_uops"`
+	DetailedCycles uint64 `json:"detailed_cycles"`
+	// WarmUops counts µops executed by the warmed functional tier,
+	// FFUops by the unwarmed fast-forward tier.
+	WarmUops uint64 `json:"warm_uops"`
+	FFUops   uint64 `json:"ff_uops"`
+	// FuncCycles is the estimated cycle cost of the functional µops
+	// (clocked at the live window CPI); HaltCycles the all-blocked cycles
+	// observed during functional execution.
+	FuncCycles uint64 `json:"func_cycles"`
+	HaltCycles uint64 `json:"halt_cycles"`
+	// Windows is how many detailed windows closed; WindowIPC the pooled
+	// IPC across them.
+	Windows   int     `json:"windows"`
+	WindowIPC float64 `json:"window_ipc"`
+	// IPCRelErr is the relative standard error of the per-window IPCs
+	// (stdev / (mean·√n)): the confidence measure the paper-style ≤2%
+	// tolerance is checked against.
+	IPCRelErr float64 `json:"ipc_rel_err"`
+	// DetailPct is the percentage of all µops retired in detailed mode;
+	// MeasuredPct additionally includes the warmed functional tier, whose
+	// structure statistics are exact.
+	DetailPct   float64 `json:"detail_pct"`
+	MeasuredPct float64 `json:"measured_pct"`
+}
+
+// TotalUops is the whole-run µop count across all tiers.
+func (e *Estimate) TotalUops() uint64 { return e.DetailedUops + e.WarmUops + e.FFUops }
+
+// relStdErr returns stdev/(mean·√n) of xs, or 0 with fewer than two
+// samples (a single window carries no spread information).
+func relStdErr(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	mean := 0.0
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	if mean == 0 {
+		return 0
+	}
+	varsum := 0.0
+	for _, x := range xs {
+		d := x - mean
+		varsum += d * d
+	}
+	sd := math.Sqrt(varsum / float64(len(xs)-1))
+	return sd / (mean * math.Sqrt(float64(len(xs))))
+}

@@ -1,0 +1,143 @@
+package sampling
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestParseMode(t *testing.T) {
+	for in, want := range map[string]Mode{
+		"": Full, "full": Full, "FULL": Full,
+		"sampled": Sampled, "Sampled": Sampled,
+	} {
+		got, err := ParseMode(in)
+		if err != nil || got != want {
+			t.Errorf("ParseMode(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseMode("turbo"); err == nil {
+		t.Error("ParseMode accepted an unknown mode")
+	}
+	if Full.String() != "full" || Sampled.String() != "sampled" {
+		t.Errorf("mode spellings: %q, %q", Full.String(), Sampled.String())
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	if err := FullPlan().Validate(); err != nil {
+		t.Errorf("full plan invalid: %v", err)
+	}
+	if err := DefaultSampledPlan().Validate(); err != nil {
+		t.Errorf("default sampled plan invalid: %v", err)
+	}
+	if err := (Plan{Mode: Sampled}).Validate(); err == nil {
+		t.Error("sampled plan with no window accepted")
+	}
+	if err := (Plan{Mode: Mode(7)}).Validate(); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}
+
+// TestDefaultSampledPlanIsExact pins the property the accuracy suite
+// relies on: the default regime has no unwarmed fast-forward, so every
+// structure counter of a default sampled run is exact, not scaled.
+func TestDefaultSampledPlanIsExact(t *testing.T) {
+	p := DefaultSampledPlan()
+	if !p.Sampled() {
+		t.Fatal("default sampled plan is not sampled")
+	}
+	if p.FFUops != 0 {
+		t.Errorf("default plan has FFUops = %d; structure counters would become estimates", p.FFUops)
+	}
+	if p.WarmupUops == 0 || p.WindowCycles == 0 {
+		t.Errorf("default plan degenerate: %+v", p)
+	}
+}
+
+// TestPlanTag pins the journal-config clause: empty for full mode (old
+// journals keep resuming), canonical and regime-unique for sampled mode.
+func TestPlanTag(t *testing.T) {
+	if got := FullPlan().Tag(); got != "" {
+		t.Errorf("full tag = %q, want empty", got)
+	}
+	a := Plan{Mode: Sampled, FFUops: 1, WarmupUops: 2, WindowCycles: 3}.Tag()
+	if !strings.Contains(a, "sim=sampled") {
+		t.Errorf("sampled tag = %q", a)
+	}
+	b := Plan{Mode: Sampled, FFUops: 1, WarmupUops: 2, WindowCycles: 4}.Tag()
+	if a == b {
+		t.Error("different regimes share a tag; -resume would silently mix them")
+	}
+}
+
+func TestRelStdErr(t *testing.T) {
+	if got := relStdErr(nil); got != 0 {
+		t.Errorf("relStdErr(nil) = %v", got)
+	}
+	if got := relStdErr([]float64{1.5}); got != 0 {
+		t.Errorf("one sample carries no spread; got %v", got)
+	}
+	if got := relStdErr([]float64{2, 2, 2, 2}); got != 0 {
+		t.Errorf("identical samples: got %v, want 0", got)
+	}
+	// Known case: {1, 3} has mean 2, sd √2, n 2 → rse = √2/(2·√2) = 0.5.
+	if got := relStdErr([]float64{1, 3}); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("relStdErr({1,3}) = %v, want 0.5", got)
+	}
+}
+
+// TestRunningRelStdErr: the incremental-moment form the clamp uses must
+// agree with the direct slice computation the release and report use.
+func TestRunningRelStdErr(t *testing.T) {
+	xs := []float64{1.1, 0.9, 1.4, 0.7, 1.05, 1.2}
+	sum, sumSq := 0.0, 0.0
+	for i, x := range xs {
+		sum += x
+		sumSq += x * x
+		got := runningRelStdErr(i+1, sum, sumSq)
+		want := relStdErr(xs[:i+1])
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("n=%d: running %v != direct %v", i+1, got, want)
+		}
+	}
+	if got := runningRelStdErr(1, 1.0, 1.0); got != 0 {
+		t.Errorf("n=1: got %v", got)
+	}
+	if got := runningRelStdErr(0, 0, 0); got != 0 {
+		t.Errorf("n=0: got %v", got)
+	}
+}
+
+// TestRateMix pins the span-charging projection: a span whose measured
+// structure-event rates match one bracketing window lands on that
+// window; degenerate geometry falls back to the midpoint; the result is
+// always a valid interpolation weight.
+func TestRateMix(t *testing.T) {
+	l := [rateFeatures]float64{1, 10, 5, 0.5}
+	r := [rateFeatures]float64{3, 30, 15, 1.5}
+	if got := rateMix(l, l, r); got != 0 {
+		t.Errorf("span at left window: t = %v, want 0", got)
+	}
+	if got := rateMix(r, l, r); got != 1 {
+		t.Errorf("span at right window: t = %v, want 1", got)
+	}
+	mid := [rateFeatures]float64{2, 20, 10, 1.0}
+	if got := rateMix(mid, l, r); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("span midway: t = %v, want 0.5", got)
+	}
+	// Rates beyond either window clamp to the nearer endpoint.
+	hot := [rateFeatures]float64{9, 90, 45, 4.5}
+	if got := rateMix(hot, l, r); got != 1 {
+		t.Errorf("span beyond right window: t = %v, want 1 (clamped)", got)
+	}
+	// Identical windows give no direction to project on: midpoint.
+	if got := rateMix(mid, l, l); got != 0.5 {
+		t.Errorf("degenerate bracket: t = %v, want 0.5", got)
+	}
+	// All-zero vectors (no structure events at all): midpoint.
+	var z [rateFeatures]float64
+	if got := rateMix(z, z, z); got != 0.5 {
+		t.Errorf("all-zero rates: t = %v, want 0.5", got)
+	}
+}

@@ -53,17 +53,23 @@ func (s Stats) TotalAccesses() uint64 { return s.Accesses[0] + s.Accesses[1] }
 // TotalMisses sums misses over both contexts.
 func (s Stats) TotalMisses() uint64 { return s.Misses[0] + s.Misses[1] }
 
+// entry is one translation, packed to 16 bytes so a 4-way set is one
+// host cache line (this is the second-hottest structure walk after the
+// caches). key holds vpn<<1|valid; invalidation clears only the valid
+// bit, so — as in the previous representation — the LRU stamp of a
+// dropped translation survives and continues to steer victim selection.
 type entry struct {
-	vpn   uint64
-	lru   uint64
-	valid bool
+	key uint64
+	lru uint64
 }
 
 // TLB is a set-associative translation buffer with optional static
 // partitioning between the two logical processors.
 type TLB struct {
 	cfg       Config
-	sets      [][]entry // [partition][...]; partition 0 used when unpartitioned or HT off
+	entries   []entry // flat [partition*sets*assoc + set*assoc + way]
+	assoc     int
+	nsets     int // sets per partition
 	pageBits  uint
 	tick      uint64
 	partitons int
@@ -104,11 +110,9 @@ func (t *TLB) rebuild(ht bool) {
 		panic("tlb: sets must be a positive power of two: " + t.cfg.Name)
 	}
 	t.partitons = parts
-	t.sets = make([][]entry, parts*sets)
-	backing := make([]entry, parts*sets*t.cfg.Assoc)
-	for i := range t.sets {
-		t.sets[i] = backing[i*t.cfg.Assoc : (i+1)*t.cfg.Assoc]
-	}
+	t.assoc = t.cfg.Assoc
+	t.nsets = sets
+	t.entries = make([]entry, parts*sets*t.cfg.Assoc)
 }
 
 // SetHT reconfigures the TLB for Hyper-Threading on/off. Contents are
@@ -132,10 +136,8 @@ func (t *TLB) ResetStats() {
 // zeroed outright (not just invalidated) because victim selection reads
 // the LRU stamps of slots it fills over; the entry arrays are reused.
 func (t *TLB) Reset() {
-	for _, set := range t.sets {
-		for i := range set {
-			set[i] = entry{}
-		}
+	for i := range t.entries {
+		t.entries[i] = entry{}
 	}
 	t.tick = 0
 	t.stats = Stats{}
@@ -148,13 +150,10 @@ func (t *TLB) Reset() {
 // shared). The observability layer samples it to show TLB reach
 // shrinking when HT halves each context's partition.
 func (t *TLB) Occupancy() (out [2]int) {
-	n := len(t.sets) / t.partitons
-	for si, set := range t.sets {
-		part := si / n
-		for i := range set {
-			if set[i].valid {
-				out[part&1]++
-			}
+	n := len(t.entries) / t.partitons
+	for i := range t.entries {
+		if t.entries[i].key&1 != 0 {
+			out[(i/n)&1]++
 		}
 	}
 	return out
@@ -162,10 +161,8 @@ func (t *TLB) Occupancy() (out [2]int) {
 
 // Flush drops every translation (address-space switch).
 func (t *TLB) Flush() {
-	for _, set := range t.sets {
-		for i := range set {
-			set[i].valid = false
-		}
+	for i := range t.entries {
+		t.entries[i].key &^= 1
 	}
 }
 
@@ -176,11 +173,9 @@ func (t *TLB) FlushContext(ctx int) {
 		t.Flush()
 		return
 	}
-	n := len(t.sets) / t.partitons
-	for _, set := range t.sets[ctx*n : (ctx+1)*n] {
-		for i := range set {
-			set[i].valid = false
-		}
+	n := len(t.entries) / t.partitons
+	for i := ctx * n; i < (ctx+1)*n; i++ {
+		t.entries[i].key &^= 1
 	}
 }
 
@@ -195,16 +190,17 @@ func (t *TLB) Access(addr uint64, ctx int) bool {
 	if t.partitons == 2 {
 		part = ctx & 1
 	}
-	n := len(t.sets) / t.partitons
 	if check.Enabled && check.On && t.cfg.Partitioned && t.partitons == 2 {
 		// Partition isolation: a context's lookups must stay inside its
 		// own half of a statically-partitioned structure.
 		check.Assert(part == ctx&1, t.cfg.Name,
 			"ctx %d routed to partition %d", ctx, part)
 	}
-	set := t.sets[part*n+int(vpn)&(n-1)]
+	base := (part*t.nsets + int(vpn)&(t.nsets-1)) * t.assoc
+	set := t.entries[base : base+t.assoc]
+	want := vpn<<1 | 1
 	for i := range set {
-		if set[i].valid && set[i].vpn == vpn {
+		if set[i].key == want {
 			set[i].lru = t.tick
 			if check.Enabled && check.On {
 				t.ckHits++
@@ -218,7 +214,7 @@ func (t *TLB) Access(addr uint64, ctx int) bool {
 	t.stats.Misses[ctx&1]++
 	victim := 0
 	for i := 1; i < len(set); i++ {
-		if !set[i].valid {
+		if set[i].key&1 == 0 {
 			victim = i
 			break
 		}
@@ -226,13 +222,13 @@ func (t *TLB) Access(addr uint64, ctx int) bool {
 			victim = i
 		}
 	}
-	set[victim] = entry{vpn: vpn, lru: t.tick, valid: true}
+	set[victim] = entry{key: want, lru: t.tick}
 	if check.Enabled && check.On {
 		// The translation just installed must be visible to an immediate
 		// replay of the same lookup.
 		found := false
 		for i := range set {
-			if set[i].valid && set[i].vpn == vpn {
+			if set[i].key == want {
 				found = true
 				break
 			}

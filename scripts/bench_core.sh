@@ -1,13 +1,19 @@
 #!/bin/sh
-# bench_core.sh — run the core cycle-loop and cache-lookup benchmarks
-# with -benchmem and write the results to BENCH_core.json at the repo
-# root. Pass a count as $1 to average over multiple runs (default 1).
+# bench_core.sh — run the core cycle-loop, cache-lookup, functional-mode
+# and sampled-campaign benchmarks with -benchmem and write the results to
+# BENCH_core.json at the repo root. Pass a count as $1 to average over
+# multiple runs (default 1).
+#
+# Every simulation benchmark reports MB/s at 1 byte per µop, so the MB/s
+# columns are directly comparable across entries and against the seed
+# baseline; the derived "speedups" object at the end of the JSON records
+# the ratios the sampling work is accountable to (DESIGN.md §10).
 set -eu
 cd "$(dirname "$0")/.."
 
 count="${1:-1}"
-raw="$(go test -run '^$' -bench 'BenchmarkSimSpeed|BenchmarkCacheAccess|BenchmarkHierarchyData' \
-	-benchmem -count="$count" ./internal/core/ ./internal/cache/)"
+raw="$(go test -run '^$' -bench 'BenchmarkSimSpeed|BenchmarkCacheAccess|BenchmarkHierarchyData|BenchmarkFunctionalSpeed|BenchmarkSampledCampaign' \
+	-benchmem -count="$count" ./internal/core/ ./internal/cache/ ./internal/sampling/)"
 echo "$raw"
 
 echo "$raw" | awk '
@@ -33,6 +39,21 @@ END {
 		printf "  \"%s\": {\"ns_per_op\": %.0f, \"bytes_per_op\": %.0f, \"allocs_per_op\": %.1f",
 			name, ns[name]/n[name], bop[name]/n[name], aop[name]/n[name]
 		if (mbs[name] > 0) printf ", \"mb_per_s\": %.2f", mbs[name]/n[name]
+		printf "}"
+	}
+	# Derived ratios: every MB/s figure is 1 byte/µop, so these are
+	# µop-rate speedups. seed_mb is the seed-commit detailed-mode rate.
+	seed_mb = 10.68
+	camp_full = mbs["BenchmarkSampledCampaign/full"] / n["BenchmarkSampledCampaign/full"]
+	camp_samp = mbs["BenchmarkSampledCampaign/sampled"] / n["BenchmarkSampledCampaign/sampled"]
+	func_warm = mbs["BenchmarkFunctionalSpeed/warm"] / n["BenchmarkFunctionalSpeed/warm"]
+	func_ff = mbs["BenchmarkFunctionalSpeed/ff"] / n["BenchmarkFunctionalSpeed/ff"]
+	if (camp_full > 0 && camp_samp > 0) {
+		printf ",\n  \"speedups\": {"
+		printf "\"sampled_vs_full\": %.2f", camp_samp / camp_full
+		printf ", \"sampled_vs_seed\": %.2f", camp_samp / seed_mb
+		if (func_warm > 0) printf ", \"functional_warm_vs_seed\": %.2f", func_warm / seed_mb
+		if (func_ff > 0) printf ", \"functional_ff_vs_seed\": %.2f", func_ff / seed_mb
 		printf "}"
 	}
 	print "\n}"

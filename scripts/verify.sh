@@ -24,6 +24,9 @@ go test ./...
 echo "== obs disabled path allocates nothing =="
 go test ./internal/core -run TestObsDisabledAllocFree -count=1
 
+echo "== sampled accuracy (goldens within declared tolerance) =="
+go test ./internal/harness ./internal/sampling -run Sampled -count=1
+
 echo "== race (harness + sched, short) =="
 go test -race -short ./internal/harness/... ./internal/sched/...
 
@@ -53,5 +56,31 @@ wait "$camp" 2>/dev/null || true
 "$tmp/pairings" -all -benches compress,mpegaudio,db -runs 2 -j 8 -q \
     -journal "$tmp/journal" -resume > "$tmp/got.txt"
 diff -u "$tmp/want.txt" "$tmp/got.txt"
+
+echo "== sampled journal smoke (resume works, cross-mode refused) =="
+"$tmp/pairings" -all -benches compress,mpegaudio -runs 2 -j 8 -q \
+    -sim-mode sampled > "$tmp/swant.txt"
+"$tmp/pairings" -all -benches compress,mpegaudio -runs 2 -j 8 -q \
+    -sim-mode sampled -journal "$tmp/sjournal" > /dev/null 2>&1 &
+camp=$!
+sleep 1
+kill -INT "$camp" 2>/dev/null || true
+wait "$camp" 2>/dev/null || true
+"$tmp/pairings" -all -benches compress,mpegaudio -runs 2 -j 8 -q \
+    -sim-mode sampled -journal "$tmp/sjournal" -resume > "$tmp/sgot.txt"
+diff -u "$tmp/swant.txt" "$tmp/sgot.txt"
+# A full-mode resume against the sampled journal, and a sampled resume
+# against the full-mode journal above, must both be refused: counters
+# from the two modes must never mix in one campaign.
+if "$tmp/pairings" -all -benches compress,mpegaudio -runs 2 -j 8 -q \
+    -journal "$tmp/sjournal" -resume > /dev/null 2>&1; then
+	echo "verify: full-mode resume of a sampled journal was not refused" >&2
+	exit 1
+fi
+if "$tmp/pairings" -all -benches compress,mpegaudio,db -runs 2 -j 8 -q \
+    -sim-mode sampled -journal "$tmp/journal" -resume > /dev/null 2>&1; then
+	echo "verify: sampled resume of a full-mode journal was not refused" >&2
+	exit 1
+fi
 
 echo "verify: OK"
