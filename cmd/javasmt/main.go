@@ -51,6 +51,7 @@ func main() {
 	}
 	opts := harness.Options{
 		HT:           *ht,
+		Geometry:     c.Geometry,
 		Threads:      *threads,
 		Scale:        c.Scale,
 		Verify:       !*noVerify,
@@ -91,8 +92,12 @@ func main() {
 	}
 
 	f := &res.Counters
-	fmt.Printf("benchmark    %s (threads=%d scale=%v ht=%v partition=%s)\n",
-		b.Name, *threads, c.Scale, *ht, *partition)
+	machine := fmt.Sprintf("ht=%v", *ht)
+	if (c.Geometry != core.Geometry{}) {
+		machine = fmt.Sprintf("geo=%v", c.Geometry)
+	}
+	fmt.Printf("benchmark    %s (threads=%d scale=%v %s partition=%s)\n",
+		b.Name, *threads, c.Scale, machine, *partition)
 	fmt.Printf("cycles       %d\n", res.Cycles)
 	fmt.Printf("uops         %d\n", f.Get(counters.Instructions))
 	fmt.Printf("IPC          %.3f   CPI %.3f\n", f.IPC(), f.CPI())

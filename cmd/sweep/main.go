@@ -4,12 +4,19 @@
 // fan out across -j worker threads (default: all CPUs); output order is
 // fixed regardless of -j.
 //
+// With -geos the sweep axis is the machine shape instead of the thread
+// count: every benchmark (single- and multithreaded) runs on each
+// CORESxCONTEXTS geometry — the paper's HT processor is 1x2, a wider
+// SMT core 1x4, a dual-core without SMT 2x1 — with multithreaded
+// programs seating one software thread per hardware context.
+//
 // The sweep runs under the campaign resilience block: cells bounded by
 // -deadline/-cycle-budget print as FAILED rows instead of aborting the
 // grid, and -journal/-resume checkpoint long sweeps.
 //
 //	sweep
 //	sweep -bench MolDyn -threads 1,2,4,8,16 -scale small -j 4
+//	sweep -geos 1x1,1x2,2x1,2x2,4x4
 //	sweep -trace t.json -metrics m.json
 //	sweep -journal /tmp/sweep -deadline 5m
 package main
@@ -30,10 +37,16 @@ func main() {
 	var (
 		name    = flag.String("bench", "", "single benchmark (default: all multithreaded)")
 		threads = flag.String("threads", "1,2,4,8,16", "comma-separated thread counts")
+		geoList = flag.String("geos", "", "comma-separated machine geometries (CORESxCONTEXTS, e.g. 1x2,2x2); replaces the thread axis")
 	)
 	cf := cli.Register("sweep", flag.CommandLine, cli.Options{Jobs: true})
 	flag.Parse()
 	c := cf.MustFinish()
+
+	if *geoList != "" {
+		geometrySweep(c, *name, *geoList)
+		return
+	}
 
 	var counts []int
 	for _, part := range strings.Split(*threads, ",") {
@@ -95,6 +108,69 @@ func main() {
 		f := &cell.Counters
 		fmt.Printf("%-12s %8d %8.3f %10.2f %9.1f%% %7.1f%%\n",
 			cell.Benchmark, cell.Threads, f.IPC(), f.PerKiloInstr(counters.L1DMisses),
+			f.OSCyclePercent(), f.DTModePercent())
+	}
+	c.ExitFailures(failed)
+}
+
+// geometrySweep runs the machine-shape axis: each target benchmark on
+// each -geos geometry.
+func geometrySweep(c *cli.Common, name, geoList string) {
+	geos, err := cli.ParseGeometries(geoList)
+	if err != nil {
+		c.Usagef("%v", err)
+	}
+	targets := bench.All()
+	if name != "" {
+		b, ok := bench.ByName(name)
+		if !ok {
+			c.Usagef("unknown benchmark %q", name)
+		}
+		targets = []*bench.Benchmark{b}
+	}
+	var names []string
+	for _, b := range targets {
+		names = append(names, b.Name)
+	}
+
+	j, err := c.OpenJournal(fmt.Sprintf("sweep scale=%v benches=%s geos=%s",
+		c.Scale, strings.Join(names, ","), geoList))
+	if err != nil {
+		c.Fatal(err)
+	}
+	cfg := harness.DefaultConfig()
+	cfg.Scale = c.Scale
+	cfg.Jobs = c.Jobs
+	cfg.Obs = c.Obs
+	cfg.Policy = c.Policy
+	cfg.Inject = c.Inject
+	cfg.Journal = j
+	cfg.Plan = c.Plan
+	cells, err := harness.RunGeometrySweep(cfg, targets, geos)
+	if err != nil {
+		c.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		c.Fatal(err)
+	}
+	if err := c.WriteObs(); err != nil {
+		c.Fatal(err)
+	}
+
+	var failed []harness.Failure
+	fmt.Printf("%-12s %8s %8s %8s %10s %10s %8s\n", "benchmark", "geo", "threads", "IPC", "L1D/1k", "OS %", "DT %")
+	for _, cell := range cells {
+		if cell.Failed != "" {
+			fmt.Printf("%-12s %8v FAILED(%s)\n", cell.Benchmark, cell.Geometry, cell.Failed)
+			failed = append(failed, harness.Failure{
+				Cell:   fmt.Sprintf("%s geo=%v", cell.Benchmark, cell.Geometry),
+				Reason: cell.Failed,
+			})
+			continue
+		}
+		f := &cell.Counters
+		fmt.Printf("%-12s %8v %8d %8.3f %10.2f %9.1f%% %7.1f%%\n",
+			cell.Benchmark, cell.Geometry, cell.Threads, f.IPC(), f.PerKiloInstr(counters.L1DMisses),
 			f.OSCyclePercent(), f.DTModePercent())
 	}
 	c.ExitFailures(failed)

@@ -71,20 +71,29 @@ type btbEntry struct {
 type Predictor struct {
 	cfg     Config
 	pht     []uint8 // 2-bit saturating counters, shared across contexts
-	history [2]uint64
+	history []uint64
 	btb     [][]btbEntry
 	setMask uint64
 	tick    uint64
 	stats   Stats
 }
 
-// New builds a predictor from cfg.
-func New(cfg Config) *Predictor {
+// New builds a predictor from cfg serving the paper machine's two
+// logical processors.
+func New(cfg Config) *Predictor { return NewFor(cfg, 2) }
+
+// NewFor builds a predictor from cfg serving nctx logical processors:
+// each context carries its own global history register and BTB thread
+// tag; the PHT and BTB capacity stay shared, exactly as on the P4.
+func NewFor(cfg Config, nctx int) *Predictor {
 	sets := cfg.BTBEntries / cfg.BTBAssoc
 	if sets <= 0 || sets&(sets-1) != 0 {
 		panic("branch: BTB sets must be a positive power of two")
 	}
-	p := &Predictor{cfg: cfg, setMask: uint64(sets - 1)}
+	if nctx < 1 {
+		nctx = 1
+	}
+	p := &Predictor{cfg: cfg, setMask: uint64(sets - 1), history: make([]uint64, nctx)}
 	p.pht = make([]uint8, 1<<cfg.HistoryBits)
 	for i := range p.pht {
 		p.pht[i] = 1 // weakly not-taken
@@ -119,7 +128,9 @@ func (p *Predictor) Reset() {
 			set[i] = btbEntry{}
 		}
 	}
-	p.history = [2]uint64{}
+	for i := range p.history {
+		p.history[i] = 0
+	}
 	p.tick = 0
 	p.stats = Stats{}
 }
@@ -129,18 +140,18 @@ func (p *Predictor) Reset() {
 func (p *Predictor) FlushThread(ctx int) {
 	for _, set := range p.btb {
 		for i := range set {
-			if set[i].valid && set[i].tid == int8(ctx&1) {
+			if set[i].valid && set[i].tid == int8(ctx) {
 				set[i].valid = false
 			}
 		}
 	}
-	p.history[ctx&1] = 0
+	p.history[ctx] = 0
 }
 
 // phtIndex folds the PC with the per-context global history. The PHT
 // itself is shared (no thread ID), so contexts alias each other there.
 func (p *Predictor) phtIndex(pc uint64, ctx int) uint64 {
-	return (pc ^ p.history[ctx&1]) & uint64(len(p.pht)-1)
+	return (pc ^ p.history[ctx]) & uint64(len(p.pht)-1)
 }
 
 // Predict runs one control transfer through the predictor and returns
@@ -151,6 +162,8 @@ func (p *Predictor) phtIndex(pc uint64, ctx int) uint64 {
 // reports target-varying transfers (interpreter dispatch), which miss
 // whenever the BTB target is stale even if found.
 func (p *Predictor) Predict(pc uint64, taken bool, target uint64, indirect bool, ctx int) (correct bool, penalty int) {
+	// Statistics fold contexts beyond the first two in by parity; the
+	// predictor state itself (history, BTB tags) is exact per context.
 	c := ctx & 1
 	p.tick++
 	p.stats.Branches[c]++
@@ -160,7 +173,7 @@ func (p *Predictor) Predict(pc uint64, taken bool, target uint64, indirect bool,
 	var hit *btbEntry
 	for i := range set {
 		e := &set[i]
-		if e.valid && e.tag == pc && e.tid == int8(c) {
+		if e.valid && e.tag == pc && e.tid == int8(ctx) {
 			hit = e
 			break
 		}
@@ -197,9 +210,9 @@ func (p *Predictor) Predict(pc uint64, taken bool, target uint64, indirect bool,
 		p.pht[idx]--
 	}
 	// Update history.
-	p.history[c] = (p.history[c] << 1) & ((1 << p.cfg.HistoryBits) - 1)
+	p.history[ctx] = (p.history[ctx] << 1) & ((1 << p.cfg.HistoryBits) - 1)
 	if taken {
-		p.history[c] |= 1
+		p.history[ctx] |= 1
 	}
 	// Install/update BTB on taken transfers.
 	if taken || indirect {
@@ -216,7 +229,7 @@ func (p *Predictor) Predict(pc uint64, taken bool, target uint64, indirect bool,
 					victim = i
 				}
 			}
-			set[victim] = btbEntry{tag: pc, target: target, lru: p.tick, tid: int8(c), valid: true}
+			set[victim] = btbEntry{tag: pc, target: target, lru: p.tick, tid: int8(ctx), valid: true}
 		}
 	}
 

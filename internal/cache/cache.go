@@ -63,12 +63,12 @@ func (s Stats) TotalMisses() uint64 { return s.Misses[0] + s.Misses[1] }
 // key packs the match state into one comparable word:
 //
 //	bit 0     valid
-//	bits 1-2  logical-processor tag + 1 for thread-tagged caches
-//	          (0 = untagged/shared line)
-//	bit 3     owner: last toucher, for cross-hit accounting
-//	bits 4+   line address
+//	bits 1-5  logical-processor tag + 1 for thread-tagged caches
+//	          (0 = untagged/shared line; up to 16 contexts per core)
+//	bits 6-9  owner: last toucher, for cross-hit accounting
+//	bits 10+  line address
 //
-// A lookup compares key with the owner bit masked off, so hit detection
+// A lookup compares key with the owner bits masked off, so hit detection
 // is a single AND+compare per way. Invalidation clears only the valid
 // bit: like the previous representation, the LRU stamp of an invalidated
 // line survives and continues to steer victim selection.
@@ -78,10 +78,12 @@ type line struct {
 }
 
 const (
-	keyValid     = 1
-	keyTidShift  = 1
-	keyOwnerBit  = 1 << 3
-	keyAddrShift = 4
+	keyValid      = 1
+	keyTidShift   = 1
+	keyTidMask    = 31 << keyTidShift
+	keyOwnerShift = 6
+	keyOwnerMask  = 15 << keyOwnerShift
+	keyAddrShift  = 10
 )
 
 // Cache is a set-associative cache with true-LRU replacement.
@@ -177,7 +179,7 @@ func (c *Cache) FlushThread(ctx int) {
 	tid := (uint64(ctx) + 1) << keyTidShift
 	for i := range c.lines {
 		l := &c.lines[i]
-		if l.key&keyValid != 0 && l.key&(3<<keyTidShift) == tid {
+		if l.key&keyValid != 0 && l.key&keyTidMask == tid {
 			l.key &^= keyValid
 		}
 	}
@@ -195,15 +197,15 @@ func (c *Cache) Access(addr uint64, ctx int) bool {
 	if c.tagged {
 		want |= (uint64(ctx) + 1) << keyTidShift
 	}
-	owner := uint64(ctx&1) << 3
+	owner := uint64(ctx&15) << keyOwnerShift
 	// Hit path.
 	for i := range set {
 		l := &set[i]
-		if l.key&^uint64(keyOwnerBit) == want {
+		if l.key&^uint64(keyOwnerMask) == want {
 			l.lru = c.tick
-			if l.key&keyOwnerBit != owner {
+			if l.key&keyOwnerMask != owner {
 				c.stats.CrossHits++
-				l.key = l.key&^uint64(keyOwnerBit) | owner
+				l.key = l.key&^uint64(keyOwnerMask) | owner
 			}
 			if check.Enabled && check.On {
 				c.ckHits++
@@ -244,11 +246,30 @@ func (c *Cache) Access(addr uint64, ctx int) bool {
 // logical processor — by line tag for thread-tagged caches, by last
 // toucher (owner) for shared ones. The observability layer samples it to
 // show how the two contexts split a structure's capacity over time, the
-// mechanism behind the paper's trace-cache degradation under HT.
+// mechanism behind the paper's trace-cache degradation under HT. Contexts
+// beyond the first two fold into the array by parity; wider machines use
+// OccupancyInto.
 func (c *Cache) Occupancy() (out [2]int) {
 	for i := range c.lines {
 		if k := c.lines[i].key; k&keyValid != 0 {
-			out[(k>>3)&1]++
+			out[(k>>keyOwnerShift)&1]++
+		}
+	}
+	return out
+}
+
+// OccupancyInto counts valid lines per owning context into out (indexed
+// by the context id used in Access) and returns it. Lines owned by a
+// context beyond len(out) are dropped.
+func (c *Cache) OccupancyInto(out []int) []int {
+	for i := range out {
+		out[i] = 0
+	}
+	for i := range c.lines {
+		if k := c.lines[i].key; k&keyValid != 0 {
+			if owner := int(k>>keyOwnerShift) & 15; owner < len(out) {
+				out[owner]++
+			}
 		}
 	}
 	return out
@@ -265,7 +286,7 @@ func (c *Cache) Probe(addr uint64, ctx int) bool {
 		want |= (uint64(ctx) + 1) << keyTidShift
 	}
 	for i := range set {
-		if set[i].key&^uint64(keyOwnerBit) == want {
+		if set[i].key&^uint64(keyOwnerMask) == want {
 			return true
 		}
 	}

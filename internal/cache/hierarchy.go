@@ -43,12 +43,21 @@ type Hierarchy struct {
 // NewHierarchy builds the hierarchy; mem may be nil, in which case a flat
 // 200-cycle DRAM is used.
 func NewHierarchy(cfg HierarchyConfig, mem Memory) *Hierarchy {
+	return NewHierarchyShared(cfg, New(cfg.L2), mem)
+}
+
+// NewHierarchyShared builds a hierarchy whose L1D is private but whose L2
+// is the supplied (possibly shared) cache. Multi-core machines give every
+// core its own Hierarchy over one chip-wide L2 and DRAM, matching the
+// CMP sharing discipline: level-1 state is per core, the outer levels are
+// contended chip resources.
+func NewHierarchyShared(cfg HierarchyConfig, l2 *Cache, mem Memory) *Hierarchy {
 	if mem == nil {
 		mem = flatMemory(200)
 	}
 	return &Hierarchy{
-		L1D: New(cfg.L1D), L2: New(cfg.L2), mem: mem,
-		l1Hit: cfg.L1D.HitLatency, l2Hit: cfg.L2.HitLatency,
+		L1D: New(cfg.L1D), L2: l2, mem: mem,
+		l1Hit: cfg.L1D.HitLatency, l2Hit: l2.cfg.HitLatency,
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 
 	"javasmt/internal/bench"
 	"javasmt/internal/check"
+	"javasmt/internal/core"
 	"javasmt/internal/faultinject"
 	"javasmt/internal/harness"
 	"javasmt/internal/obs"
@@ -23,6 +24,25 @@ import (
 	"javasmt/internal/sampling"
 	"javasmt/internal/sched"
 )
+
+// ParseGeometries maps a comma-separated list of MxN machine shapes
+// ("1x2,2x2,4x4") to geometries.
+func ParseGeometries(s string) ([]core.Geometry, error) {
+	var geos []core.Geometry
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		var g core.Geometry
+		if n, err := fmt.Sscanf(part, "%dx%d", &g.Cores, &g.ContextsPerCore); n != 2 || err != nil ||
+			fmt.Sprintf("%dx%d", g.Cores, g.ContextsPerCore) != part {
+			return nil, fmt.Errorf("bad geometry %q (want CORESxCONTEXTS, e.g. 2x2)", part)
+		}
+		if g.Cores < 1 || g.ContextsPerCore < 1 {
+			return nil, fmt.Errorf("bad geometry %q: counts must be positive", part)
+		}
+		geos = append(geos, g)
+	}
+	return geos, nil
+}
 
 // ParseScale maps a -scale argument to a bench.Scale.
 func ParseScale(s string) (bench.Scale, error) {
@@ -72,6 +92,9 @@ type Flags struct {
 	ffInterval *uint64
 	warmup     *uint64
 	window     *uint64
+
+	cores    *int
+	contexts *int
 }
 
 // Register installs the common flag block on fs (normally
@@ -96,6 +119,8 @@ func Register(tool string, fs *flag.FlagSet, opt Options) *Flags {
 	f.ffInterval = fs.Uint64("ff-interval", def.FFUops, "sampled mode: unwarmed fast-forward `uops` per interval")
 	f.warmup = fs.Uint64("warmup", def.WarmupUops, "sampled mode: warmed functional `uops` before each detailed window")
 	f.window = fs.Uint64("window", def.WindowCycles, "sampled mode: detailed-window length in `cycles`")
+	f.cores = fs.Int("cores", 0, "machine geometry: physical cores (with -contexts; 0 = the classic -ht machine)")
+	f.contexts = fs.Int("contexts", 0, "machine geometry: hardware contexts per core (with -cores)")
 	if opt.Jobs {
 		f.jobs = fs.Int("j", sched.DefaultWorkers(), "concurrent experiments (1 = serial)")
 	}
@@ -121,6 +146,10 @@ type Common struct {
 	// -window; the zero value (full detailed simulation) when -sim-mode
 	// is absent or "full".
 	Plan sampling.Plan
+	// Geometry is the machine shape from -cores/-contexts; the zero value
+	// (neither flag given) defers to each tool's HT flag, keeping legacy
+	// invocations byte-identical.
+	Geometry core.Geometry
 
 	tool        string
 	metricsPath string
@@ -184,6 +213,13 @@ func (f *Flags) Finish() (*Common, error) {
 	if err := plan.Validate(); err != nil {
 		return nil, err
 	}
+	geo := core.Geometry{Cores: *f.cores, ContextsPerCore: *f.contexts}
+	if (geo != core.Geometry{}) {
+		if geo.Cores <= 0 || geo.ContextsPerCore <= 0 {
+			return nil, fmt.Errorf("-cores and -contexts must be given together as positive counts (got %dx%d)",
+				geo.Cores, geo.ContextsPerCore)
+		}
+	}
 	scaleStr := *f.scale
 	if *f.small {
 		scaleSet := false
@@ -212,6 +248,7 @@ func (f *Flags) Finish() (*Common, error) {
 		},
 		Inject:      inject,
 		Plan:        plan,
+		Geometry:    geo,
 		tool:        f.tool,
 		metricsPath: *f.metrics,
 		tracePath:   *f.trace,
@@ -269,18 +306,30 @@ func (c *Common) WriteObs() error {
 	return nil
 }
 
+// GeometryTag is the journal-config descriptor of the machine shape:
+// empty with no -cores/-contexts (so journals written before geometry
+// existed keep their exact config strings) and a canonical " geo=MxN"
+// clause otherwise.
+func (c *Common) GeometryTag() string {
+	if (c.Geometry == core.Geometry{}) {
+		return ""
+	}
+	return fmt.Sprintf(" geo=%v", c.Geometry)
+}
+
 // OpenJournal opens the campaign journal selected by -journal/-resume,
 // or returns nil when no journal was requested. config is the tool's
-// campaign identity string; the sampling plan's Tag is appended to it
-// here, so resuming under a different configuration — including a
-// different simulation mode or sampling regime, whose cells would not
-// be comparable — is refused in one place for every tool. On resume it
-// reports how many completed cells will be skipped.
+// campaign identity string; the sampling plan's Tag and the geometry
+// tag are appended to it here, so resuming under a different
+// configuration — including a different simulation mode, sampling
+// regime or machine shape, whose cells would not be comparable — is
+// refused in one place for every tool. On resume it reports how many
+// completed cells will be skipped.
 func (c *Common) OpenJournal(config string) (*resilience.Journal, error) {
 	if c.journalDir == "" {
 		return nil, nil
 	}
-	config += c.Plan.Tag()
+	config += c.Plan.Tag() + c.GeometryTag()
 	j, err := resilience.Open(c.journalDir, resilience.Meta{Tool: c.tool, Config: config}, c.resume)
 	if err != nil {
 		return nil, err

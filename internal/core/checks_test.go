@@ -102,13 +102,13 @@ func TestCheckerDetectsCorruption(t *testing.T) {
 
 	t.Run("rob total drift", func(t *testing.T) {
 		cpu := build()
-		cpu.totRob++
+		cpu.cores[0].totRob++
 		wantCheckPanic(t, "incremental total", cpu.verifyRecount)
 	})
 	t.Run("load count drift", func(t *testing.T) {
 		cpu := build()
 		cpu.ctxs[0].loadsOut++
-		cpu.totLoads++
+		cpu.cores[0].totLoads++
 		wantCheckPanic(t, "incremental loadsOut", cpu.verifyRecount)
 	})
 	t.Run("partition cap violation", func(t *testing.T) {

@@ -82,9 +82,51 @@ type robEntry struct {
 
 const depMask = 255 // dependency history window per context (power of two - 1)
 
+// coreBlock is one physical core: the pipeline resources and private
+// level-1 structures its SMT contexts share. On a one-core machine it is
+// exactly the paper's P4; a multi-core machine replicates it per core
+// over one shared L2 and DRAM channel.
+type coreBlock struct {
+	id int // core index
+	lo int // global index of this core's first context
+	// ctxs are the core's contexts, in local order (global index lo+i).
+	ctxs []*context
+
+	cal  *calendar
+	tc   *cache.TraceCache
+	hier *cache.Hierarchy // private L1D over the shared L2
+	itlb *tlb.TLB
+	dtlb *tlb.TLB
+	pred *branch.Predictor
+
+	// decodeBusyUntil models the core's single shared x86 decode pipeline
+	// that rebuilds traces after a trace-cache miss: while it is busy, the
+	// core's *other* contexts cannot fetch either. Solo runs are
+	// unaffected (the missing context is already stalled longer), but two
+	// co-scheduled trace-thrashing programs serialize each other — the
+	// coupling behind the paper's bad-partner slowdowns.
+	decodeBusyUntil uint64
+
+	// Occupancy totals across the core's contexts, maintained
+	// incrementally at allocate/retire so dynamic partitioning needs no
+	// per-µop scan.
+	totRob, totLoads, totStores int
+}
+
 // context is the per-logical-processor state.
 type context struct {
 	feed Feed
+
+	// cb is the owning physical core; lid the context's local index on
+	// it. Structure lookups use lid (a core's private caches know nothing
+	// of other cores' contexts); the harness and OS use the global index
+	// cb.lo + lid.
+	cb  *coreBlock
+	lid int
+
+	// retired counts µops retired by this context (detailed retirement
+	// plus functional execution), for per-context attribution.
+	retired uint64
 
 	// Front-end buffer of fetched-but-not-allocated µops.
 	buf    []isa.Uop
@@ -128,12 +170,15 @@ func (x *context) robPush(e robEntry) {
 	x.robCount++
 }
 
-// CPU is the simulated SMT processor.
+// CPU is the simulated processor: Geometry.Cores coreBlocks over one
+// shared L2 and DRAM channel. The flat ctxs slice indexes every logical
+// processor machine-wide (core-major: core i owns contexts
+// [i*ContextsPerCore, (i+1)*ContextsPerCore)).
 type CPU struct {
-	cfg  Config
-	now  uint64
-	ctxs []*context
-	cal  *calendar
+	cfg   Config
+	now   uint64
+	ctxs  []*context
+	cores []*coreBlock
 
 	// Hot-path constants hoisted out of the per-µop allocate loop: the
 	// partition caps and trace-line geometry never change during a run.
@@ -141,17 +186,12 @@ type CPU struct {
 	dynPart                      bool
 	tcLineUops                   uint64
 
-	// Occupancy totals across contexts, maintained incrementally at
-	// allocate/retire so dynamic partitioning needs no per-µop scan.
-	totRob, totLoads, totStores int
-
-	// decodeBusyUntil models the single shared x86 decode pipeline that
-	// rebuilds traces after a trace-cache miss: while it is busy, the
-	// *other* logical processor cannot fetch either. Solo runs are
-	// unaffected (the missing context is already stalled longer), but
-	// two co-scheduled trace-thrashing programs serialize each other —
-	// the coupling behind the paper's bad-partner slowdowns.
-	decodeBusyUntil uint64
+	// Per-cycle scratch state, allocated once: per-context activity and
+	// per-core active-context counts (Step), per-core occupancy snapshot
+	// buffer (observe.go).
+	actBuf  []bool
+	nActBuf []int
+	occBuf  []int
 
 	// Pipeline-flow audit counters for the invariant layer (see
 	// invariants.go): µops delivered by feeds, allocated into the ROB,
@@ -163,11 +203,9 @@ type CPU struct {
 	// only detailed cycles advance.
 	ckFunc uint64
 
-	tc   *cache.TraceCache
-	hier *cache.Hierarchy
-	itlb *tlb.TLB
-	dtlb *tlb.TLB
-	pred *branch.Predictor
+	// l2 is the chip-wide unified L2 every core's hierarchy drains into;
+	// dram the memory channel behind it.
+	l2   *cache.Cache
 	dram *mem.DRAM
 
 	file counters.File
@@ -190,32 +228,49 @@ type CPU struct {
 	funcFrac uint64
 }
 
-// New builds a CPU from cfg. Structures are sized per the config and the
-// ITLB is immediately put into the requested HT mode.
+// New builds a CPU from cfg: Geometry.Cores identical cores — each with
+// its own calendar, trace cache, L1D, TLBs and predictor, reconfigured
+// for ContextsPerCore SMT contexts — over one shared L2 and DRAM.
 func New(cfg Config) *CPU {
+	geo := cfg.Geo()
 	dram := mem.New(cfg.Mem)
 	c := &CPU{
 		cfg:  cfg,
-		cal:  newCalendar(cfg.Params.IssueWidth),
-		tc:   cache.NewTraceCache(cfg.TC),
-		hier: cache.NewHierarchy(cfg.Hier, dram),
-		itlb: tlb.New(cfg.ITLB),
-		dtlb: tlb.New(cfg.DTLB),
-		pred: branch.New(cfg.Branch),
+		l2:   cache.New(cfg.Hier.L2),
 		dram: dram,
 
 		nextSample: noSample,
 		nextCancel: noSample,
 		funcCPQ:    funcCPQDefault,
 	}
-	c.itlb.SetHT(cfg.HT)
-	c.dtlb.SetHT(cfg.HT)
-	for i := 0; i < cfg.NumContexts(); i++ {
-		c.ctxs = append(c.ctxs, &context{
-			buf: make([]isa.Uop, cfg.Params.FillBatch),
-			rob: make([]robEntry, cfg.Params.ROBSize+1),
-		})
+	for coreID := 0; coreID < geo.Cores; coreID++ {
+		cb := &coreBlock{
+			id:   coreID,
+			lo:   coreID * geo.ContextsPerCore,
+			cal:  newCalendar(cfg.Params.IssueWidth),
+			tc:   cache.NewTraceCache(cfg.TC),
+			hier: cache.NewHierarchyShared(cfg.Hier, c.l2, dram),
+			itlb: tlb.New(cfg.ITLB),
+			dtlb: tlb.New(cfg.DTLB),
+			pred: branch.NewFor(cfg.Branch, geo.ContextsPerCore),
+		}
+		cb.itlb.SetContexts(geo.ContextsPerCore)
+		cb.dtlb.SetContexts(geo.ContextsPerCore)
+		for l := 0; l < geo.ContextsPerCore; l++ {
+			x := &context{
+				buf: make([]isa.Uop, cfg.Params.FillBatch),
+				rob: make([]robEntry, cfg.Params.ROBSize+1),
+				cb:  cb,
+				lid: l,
+			}
+			cb.ctxs = append(cb.ctxs, x)
+			c.ctxs = append(c.ctxs, x)
+		}
+		c.cores = append(c.cores, cb)
 	}
+	c.actBuf = make([]bool, len(c.ctxs))
+	c.nActBuf = make([]int, len(c.cores))
+	c.occBuf = make([]int, geo.ContextsPerCore)
 	c.robCapV = c.robCap()
 	c.loadCapV = c.loadCap()
 	c.storeCapV = c.storeCap()
@@ -233,7 +288,6 @@ func New(cfg Config) *CPU {
 // likewise detached; reattach with AttachObs.
 func (c *CPU) Reset() {
 	c.now = 0
-	c.decodeBusyUntil = 0
 	c.obs = nil
 	c.sampleStride = 0
 	c.nextSample = noSample
@@ -241,29 +295,32 @@ func (c *CPU) Reset() {
 	c.nextCancel = noSample
 	c.funcCPQ = funcCPQDefault
 	c.funcFrac = 0
-	c.totRob, c.totLoads, c.totStores = 0, 0, 0
 	c.ckFed, c.ckAlloc, c.ckRetired, c.ckFunc = 0, 0, 0, 0
-	for i := range c.cal.cycle {
-		c.cal.cycle[i] = 0
-		c.cal.count[i] = 0
+	for _, cb := range c.cores {
+		cb.decodeBusyUntil = 0
+		cb.totRob, cb.totLoads, cb.totStores = 0, 0, 0
+		for i := range cb.cal.cycle {
+			cb.cal.cycle[i] = 0
+			cb.cal.count[i] = 0
+		}
+		cb.tc.Reset()
+		cb.hier.Reset() // resets the private L1D and the shared L2 (idempotent)
+		cb.itlb.Reset()
+		cb.dtlb.Reset()
+		cb.pred.Reset()
 	}
 	for _, x := range c.ctxs {
-		buf, rob := x.buf, x.rob
-		*x = context{buf: buf, rob: rob}
+		buf, rob, cb, lid := x.buf, x.rob, x.cb, x.lid
+		*x = context{buf: buf, rob: rob, cb: cb, lid: lid}
 	}
-	c.tc.Reset()
-	c.hier.Reset()
-	c.itlb.Reset()
-	c.dtlb.Reset()
-	c.pred.Reset()
 	c.dram.Reset()
 	c.file.Reset()
 }
 
-// AttachFeed binds a µop feed to logical processor ctx.
+// AttachFeed binds a µop feed to logical processor ctx (global index).
 func (c *CPU) AttachFeed(ctx int, f Feed) {
 	if ctx < 0 || ctx >= len(c.ctxs) {
-		panic(fmt.Sprintf("core: context %d out of range (HT=%v)", ctx, c.cfg.HT))
+		panic(fmt.Sprintf("core: context %d out of range (geometry %v)", ctx, c.cfg.Geo()))
 	}
 	c.ctxs[ctx].feed = f
 }
@@ -275,24 +332,27 @@ func (c *CPU) Config() Config { return c.cfg }
 func (c *CPU) Now() uint64 { return c.now }
 
 // robCap returns the per-context ROB allocation limit under the active
-// partition policy, and similarly loadCap/storeCap below.
+// partition policy, and similarly loadCap/storeCap below. Static
+// partitioning divides each core's buffers evenly among its contexts
+// (the P4's halving is the two-context case); a single-context core, and
+// any core under dynamic partitioning, exposes the full structure.
 func (c *CPU) robCap() int {
-	if c.cfg.HT && c.cfg.Partition == StaticPartition {
-		return c.cfg.Params.ROBSize / 2
+	if cpc := c.cfg.Geo().ContextsPerCore; cpc > 1 && c.cfg.Partition == StaticPartition {
+		return c.cfg.Params.ROBSize / cpc
 	}
 	return c.cfg.Params.ROBSize
 }
 
 func (c *CPU) loadCap() int {
-	if c.cfg.HT && c.cfg.Partition == StaticPartition {
-		return c.cfg.Params.LoadBufs / 2
+	if cpc := c.cfg.Geo().ContextsPerCore; cpc > 1 && c.cfg.Partition == StaticPartition {
+		return c.cfg.Params.LoadBufs / cpc
 	}
 	return c.cfg.Params.LoadBufs
 }
 
 func (c *CPU) storeCap() int {
-	if c.cfg.HT && c.cfg.Partition == StaticPartition {
-		return c.cfg.Params.StoreBufs / 2
+	if cpc := c.cfg.Geo().ContextsPerCore; cpc > 1 && c.cfg.Partition == StaticPartition {
+		return c.cfg.Params.StoreBufs / cpc
 	}
 	return c.cfg.Params.StoreBufs
 }
@@ -321,18 +381,29 @@ func (c *CPU) Step() bool {
 	// One pass over the contexts computes done/active/kernel state; the
 	// activity flags are reused by the front end below so each feed's
 	// Runnable/Done is consulted at most once per cycle.
-	var act [2]bool
+	act := c.actBuf
+	nAct := c.nActBuf
+	for k := range nAct {
+		nAct[k] = 0
+	}
 	allDone := true
 	nActive := 0
 	osCycle := false
+	dualThread := false
 	for i := range c.ctxs {
+		act[i] = false
 		if !c.ctxDone(i) {
 			allDone = false
 		}
 		if c.active(i) {
 			act[i] = true
 			nActive++
-			if c.ctxs[i].inKernel {
+			x := c.ctxs[i]
+			nAct[x.cb.id]++
+			if nAct[x.cb.id] == 2 {
+				dualThread = true
+			}
+			if x.inKernel {
 				osCycle = true
 			}
 		}
@@ -353,14 +424,20 @@ func (c *CPU) Step() bool {
 		c.now++
 		return true
 	}
-	if c.cfg.HT && nActive == 2 {
+	if dualThread {
+		// Some core is genuinely multi-threaded this cycle (two or more
+		// of its contexts active) — the paper's "dual-thread mode".
 		c.file.Inc(counters.CyclesDT)
 	}
 	if osCycle {
 		c.file.Inc(counters.CyclesOS)
 	}
 
-	c.fetchAllocate(nActive, &act)
+	for _, cb := range c.cores {
+		if nAct[cb.id] > 0 {
+			c.fetchAllocate(cb, nAct[cb.id], act)
+		}
+	}
 	c.retire()
 
 	if c.now >= c.nextSample {
@@ -373,27 +450,35 @@ func (c *CPU) Step() bool {
 	return true
 }
 
-// fetchAllocate runs the merged front end for this cycle: pick the context
-// to serve (alternating under HT), pull µops from its feed and allocate
-// them into the back end, consulting the trace cache, ITLB, predictor and
-// data hierarchy along the way.
-func (c *CPU) fetchAllocate(nActive int, act *[2]bool) {
+// fetchAllocate runs one core's merged front end for this cycle: pick the
+// context to serve (round-robin over the core's contexts when several are
+// active — the P4's alternation generalized to N), pull µops from its
+// feed and allocate them into the back end, consulting the trace cache,
+// ITLB, predictor and data hierarchy along the way.
+func (c *CPU) fetchAllocate(cb *coreBlock, nActCore int, act []bool) {
+	n := len(cb.ctxs)
 	serve := -1
-	if c.cfg.HT && nActive == 2 {
-		// The P4 front end alternates between logical processors each
-		// cycle; if the preferred one is stalled the slot goes to the
-		// other — SMT's latency hiding in one line.
-		pref := int(c.now & 1)
-		if c.canFetch(pref, act) {
-			serve = pref
-		} else if c.canFetch(1-pref, act) {
-			serve = 1 - pref
-		} else {
+	if nActCore >= 2 {
+		// The front end serves one context per cycle, rotating; if the
+		// preferred one is stalled the slot goes to the next in rotation
+		// order — SMT's latency hiding in one line.
+		pref := int(c.now % uint64(n))
+		for k := 0; k < n; k++ {
+			i := pref + k
+			if i >= n {
+				i -= n
+			}
+			if c.canFetch(cb.ctxs[i], act[cb.lo+i]) {
+				serve = i
+				break
+			}
+		}
+		if serve < 0 {
 			serve = pref // blocked; still charge its stall accounting
 		}
 	} else {
-		for i := range c.ctxs {
-			if act[i] {
+		for i := range cb.ctxs {
+			if act[cb.lo+i] {
 				serve = i
 				break
 			}
@@ -402,27 +487,28 @@ func (c *CPU) fetchAllocate(nActive int, act *[2]bool) {
 	if serve < 0 {
 		return
 	}
-	if got := c.fetchInto(serve); got == 0 {
+	if got := c.fetchInto(cb.ctxs[serve]); got == 0 {
 		c.file.Inc(counters.FetchStallCycles)
 	}
 }
 
-// canFetch reports whether context i could deliver at least one µop this
+// canFetch reports whether context x could deliver at least one µop this
 // cycle (active, not front-end blocked, decoder free, with buffered or
 // producible work).
-func (c *CPU) canFetch(i int, act *[2]bool) bool {
-	x := c.ctxs[i]
-	if !act[i] || x.blockedUntil > c.now || x.drainFence || c.decodeBusyUntil > c.now {
+func (c *CPU) canFetch(x *context, active bool) bool {
+	if !active || x.blockedUntil > c.now || x.drainFence || x.cb.decodeBusyUntil > c.now {
 		return false
 	}
 	return true
 }
 
-// fetchInto delivers up to FetchUops µops from context i's feed into its
-// back end and returns how many were allocated.
-func (c *CPU) fetchInto(i int) int {
-	x := c.ctxs[i]
-	if x.blockedUntil > c.now || c.decodeBusyUntil > c.now {
+// fetchInto delivers up to FetchUops µops from context x's feed into its
+// back end and returns how many were allocated. Structure accesses use
+// the context's core-local index: each core's private caches, TLBs and
+// predictor see only that core's contexts.
+func (c *CPU) fetchInto(x *context) int {
+	cb := x.cb
+	if x.blockedUntil > c.now || cb.decodeBusyUntil > c.now {
 		return 0
 	}
 	if x.drainFence {
@@ -452,10 +538,10 @@ func (c *CPU) fetchInto(i int) int {
 		u := &x.buf[x.bufPos]
 
 		// Back-end space checks, against the incrementally-maintained
-		// totals under dynamic partitioning and the hoisted per-context
-		// caps under static.
+		// per-core totals under dynamic partitioning and the hoisted
+		// per-context caps under static.
 		if c.dynPart {
-			if c.totRob >= p.ROBSize {
+			if cb.totRob >= p.ROBSize {
 				c.file.Inc(counters.ROBStallCycles)
 				break
 			}
@@ -465,7 +551,7 @@ func (c *CPU) fetchInto(i int) int {
 		}
 		if u.Class == isa.Load {
 			if c.dynPart {
-				if c.totLoads >= p.LoadBufs {
+				if cb.totLoads >= p.LoadBufs {
 					c.file.Inc(counters.LSQStallCycles)
 					break
 				}
@@ -476,7 +562,7 @@ func (c *CPU) fetchInto(i int) int {
 		}
 		if u.Class == isa.Store {
 			if c.dynPart {
-				if c.totStores >= p.StoreBufs {
+				if cb.totStores >= p.StoreBufs {
 					c.file.Inc(counters.LSQStallCycles)
 					break
 				}
@@ -490,7 +576,7 @@ func (c *CPU) fetchInto(i int) int {
 		// the µop-index division except when fetch actually leaves the
 		// current line (backward jumps underflow and also trigger it).
 		if !x.haveLine || u.PC-x.lineBase >= c.tcLineUops {
-			hit, lat := c.tc.Lookup(u.PC, i)
+			hit, lat := cb.tc.Lookup(u.PC, x.lid)
 			x.lineBase, x.haveLine = u.PC-u.PC%c.tcLineUops, true
 			if !hit {
 				// Rebuild the trace from the unified L2 via the
@@ -498,16 +584,16 @@ func (c *CPU) fetchInto(i int) int {
 				// translating instruction addresses ... to access
 				// the L2 cache when the machine misses the trace
 				// cache."
-				if !c.itlb.Access(u.PC*4, i) {
+				if !cb.itlb.Access(u.PC*4, x.lid) {
 					lat += c.cfg.ITLB.MissPenalty
 				}
-				lat += c.hier.Fill(codeByteAddr(u.PC), i, c.now)
+				lat += cb.hier.Fill(codeByteAddr(u.PC), x.lid, c.now)
 				x.blockedUntil = c.now + uint64(lat)
-				// The decode/rebuild portion occupies the shared
-				// front end, stalling the other context too.
+				// The decode/rebuild portion occupies the core's shared
+				// front end, stalling its other contexts too.
 				busy := c.now + uint64(c.cfg.TC.MissPenalty)
-				if busy > c.decodeBusyUntil {
-					c.decodeBusyUntil = busy
+				if busy > cb.decodeBusyUntil {
+					cb.decodeBusyUntil = busy
 				}
 				break
 			}
@@ -539,16 +625,16 @@ func (c *CPU) fetchInto(i int) int {
 		case isa.FPDiv:
 			lat = p.FPDivLat
 		case isa.Load, isa.Store:
-			if !c.dtlb.Access(u.Addr, i) {
+			if !cb.dtlb.Access(u.Addr, x.lid) {
 				lat += c.cfg.DTLB.MissPenalty
 			}
-			lat += c.hier.Data(u.Addr, u.Class == isa.Store, i, c.now)
+			lat += cb.hier.Data(u.Addr, u.Class == isa.Store, x.lid, c.now)
 			if u.Class == isa.Load {
 				x.loadsOut++
-				c.totLoads++
+				cb.totLoads++
 			} else {
 				x.storesOut++
-				c.totStores++
+				cb.totStores++
 			}
 		case isa.Syscall:
 			lat = p.SyscallLatency
@@ -560,13 +646,13 @@ func (c *CPU) fetchInto(i int) int {
 			}
 		}
 
-		start = c.cal.schedule(start, c.now)
+		start = cb.cal.schedule(start, c.now)
 		done := start + uint64(lat)
 		if u.Class == isa.Fence || u.Class == isa.Syscall {
 			x.drainFence = true
 		}
 		x.robPush(robEntry{done: done, kernel: u.Kernel || kernelEntry, load: u.Class == isa.Load, store: u.Class == isa.Store})
-		c.totRob++
+		cb.totRob++
 		if check.Enabled && check.On {
 			c.ckAlloc++
 			check.Assert(done >= start && start > c.now, "core",
@@ -584,7 +670,7 @@ func (c *CPU) fetchInto(i int) int {
 		// pipeline refills.
 		if u.Class.IsCtl() {
 			taken := u.Taken || u.Class == isa.Call || u.Class == isa.Ret
-			correct, pen := c.pred.Predict(u.PC, taken, u.Target, u.Indirect, i)
+			correct, pen := cb.pred.Predict(u.PC, taken, u.Target, u.Indirect, x.lid)
 			if !correct {
 				x.blockedUntil = done + uint64(pen)
 				break
@@ -597,51 +683,20 @@ func (c *CPU) fetchInto(i int) int {
 	return allocated
 }
 
-// retire completes up to RetireWidth µops, in order within each context,
-// and records the Figure-2 retirement histogram. Like the P4, retirement
-// serves one logical processor per cycle, alternating, when both have
-// work in flight; an idle partner's slot passes to the other context.
+// retire completes up to RetireWidth µops per core, in order within each
+// context, and records the Figure-2 retirement histogram. Like the P4,
+// each core's retirement serves one logical processor per cycle, rotating,
+// when more than one has work in flight; idle contexts' slots pass to the
+// busy one. The histogram counts machine-wide retirement per cycle; on a
+// multi-core machine cycles retiring more than three µops clamp into the
+// Retire3 bucket (the weighted histogram law becomes a lower bound there;
+// it stays exact on one core).
 func (c *CPU) retire() {
-	budget := c.cfg.Params.RetireWidth
-	retired := 0
-	first := 0
-	serve := len(c.ctxs)
-	if len(c.ctxs) == 2 {
-		first = int(c.now & 1)
-		if c.ctxs[0].robCount > 0 && c.ctxs[1].robCount > 0 {
-			serve = 1
-		}
-	}
-	osRetired := 0
-	for k := 0; k < serve && budget > 0; k++ {
-		x := c.ctxs[(first+k)%len(c.ctxs)]
-		for budget > 0 && x.robCount > 0 && x.rob[x.robHead].done <= c.now {
-			e := &x.rob[x.robHead]
-			x.robHead++
-			if x.robHead == len(x.rob) {
-				x.robHead = 0
-			}
-			x.robCount--
-			if e.load {
-				x.loadsOut--
-				c.totLoads--
-			}
-			if e.store {
-				x.storesOut--
-				c.totStores--
-			}
-			if e.kernel {
-				osRetired++
-			}
-			budget--
-			retired++
-		}
-	}
-	c.totRob -= retired
-	if check.Enabled && check.On {
-		c.ckRetired += uint64(retired)
-		check.Assert(retired <= c.cfg.Params.RetireWidth, "core",
-			"retired %d µops in one cycle, width is %d", retired, c.cfg.Params.RetireWidth)
+	retired, osRetired := 0, 0
+	for _, cb := range c.cores {
+		r, os := c.retireCore(cb)
+		retired += r
+		osRetired += os
 	}
 	c.file.Add(counters.Instructions, uint64(retired))
 	c.file.Add(counters.InstructionsOS, uint64(osRetired))
@@ -655,6 +710,74 @@ func (c *CPU) retire() {
 	default:
 		c.file.Inc(counters.Retire3)
 	}
+}
+
+// retireCore retires up to RetireWidth µops from one core this cycle.
+func (c *CPU) retireCore(cb *coreBlock) (retired, osRetired int) {
+	budget := c.cfg.Params.RetireWidth
+	n := len(cb.ctxs)
+	first := 0
+	serve := n
+	if n > 1 {
+		first = int(c.now % uint64(n))
+		busy := 0
+		for _, x := range cb.ctxs {
+			if x.robCount > 0 {
+				busy++
+			}
+		}
+		if busy > 1 {
+			// Contention: one context per cycle, the first busy one in
+			// rotation order (an idle context's turn passes).
+			serve = 1
+			for k := 0; k < n; k++ {
+				i := first + k
+				if i >= n {
+					i -= n
+				}
+				if cb.ctxs[i].robCount > 0 {
+					first = i
+					break
+				}
+			}
+		}
+	}
+	for k := 0; k < serve && budget > 0; k++ {
+		i := first + k
+		if i >= n {
+			i -= n
+		}
+		x := cb.ctxs[i]
+		for budget > 0 && x.robCount > 0 && x.rob[x.robHead].done <= c.now {
+			e := &x.rob[x.robHead]
+			x.robHead++
+			if x.robHead == len(x.rob) {
+				x.robHead = 0
+			}
+			x.robCount--
+			if e.load {
+				x.loadsOut--
+				cb.totLoads--
+			}
+			if e.store {
+				x.storesOut--
+				cb.totStores--
+			}
+			if e.kernel {
+				osRetired++
+			}
+			x.retired++
+			budget--
+			retired++
+		}
+	}
+	cb.totRob -= retired
+	if check.Enabled && check.On {
+		c.ckRetired += uint64(retired)
+		check.Assert(retired <= c.cfg.Params.RetireWidth, "core",
+			"core %d retired %d µops in one cycle, width is %d", cb.id, retired, c.cfg.Params.RetireWidth)
+	}
+	return retired, osRetired
 }
 
 // codeByteAddr maps a µop-granular PC into the byte address space used by
@@ -696,29 +819,44 @@ func (c *CPU) Run(maxCycles uint64) (uint64, error) {
 }
 
 // Counters synchronizes the structure statistics (caches, TLBs, predictor,
-// DRAM) into the counter file and returns a pointer to it. The returned
-// file remains owned by the CPU; snapshot it (copy the value) to window
-// measurements.
+// DRAM) into the counter file and returns a pointer to it. Per-core
+// private structures are summed across cores; the shared L2 and DRAM are
+// read once. The returned file remains owned by the CPU; snapshot it
+// (copy the value) to window measurements.
 func (c *CPU) Counters() *counters.File {
-	tc := c.tc.Stats()
-	c.file.Set(counters.TCAccesses, tc.TotalAccesses())
-	c.file.Set(counters.TCMisses, tc.TotalMisses())
-	l1 := c.hier.L1D.Stats()
-	c.file.Set(counters.L1DAccesses, l1.TotalAccesses())
-	c.file.Set(counters.L1DMisses, l1.TotalMisses())
-	l2 := c.hier.L2.Stats()
+	var tcA, tcM, l1A, l1M, itA, itM, dtA, dtM, brB, brBM, brMP uint64
+	for _, cb := range c.cores {
+		tc := cb.tc.Stats()
+		tcA += tc.TotalAccesses()
+		tcM += tc.TotalMisses()
+		l1 := cb.hier.L1D.Stats()
+		l1A += l1.TotalAccesses()
+		l1M += l1.TotalMisses()
+		it := cb.itlb.Stats()
+		itA += it.TotalAccesses()
+		itM += it.TotalMisses()
+		dt := cb.dtlb.Stats()
+		dtA += dt.TotalAccesses()
+		dtM += dt.TotalMisses()
+		br := cb.pred.Stats()
+		brB += br.TotalBranches()
+		brBM += br.TotalBTBMisses()
+		brMP += br.TotalMispredicts()
+	}
+	c.file.Set(counters.TCAccesses, tcA)
+	c.file.Set(counters.TCMisses, tcM)
+	c.file.Set(counters.L1DAccesses, l1A)
+	c.file.Set(counters.L1DMisses, l1M)
+	l2 := c.l2.Stats()
 	c.file.Set(counters.L2Accesses, l2.TotalAccesses())
 	c.file.Set(counters.L2Misses, l2.TotalMisses())
-	it := c.itlb.Stats()
-	c.file.Set(counters.ITLBAccesses, it.TotalAccesses())
-	c.file.Set(counters.ITLBMisses, it.TotalMisses())
-	dt := c.dtlb.Stats()
-	c.file.Set(counters.DTLBAccesses, dt.TotalAccesses())
-	c.file.Set(counters.DTLBMisses, dt.TotalMisses())
-	br := c.pred.Stats()
-	c.file.Set(counters.Branches, br.TotalBranches())
-	c.file.Set(counters.BTBMisses, br.TotalBTBMisses())
-	c.file.Set(counters.BranchMispredicts, br.TotalMispredicts())
+	c.file.Set(counters.ITLBAccesses, itA)
+	c.file.Set(counters.ITLBMisses, itM)
+	c.file.Set(counters.DTLBAccesses, dtA)
+	c.file.Set(counters.DTLBMisses, dtM)
+	c.file.Set(counters.Branches, brB)
+	c.file.Set(counters.BTBMisses, brBM)
+	c.file.Set(counters.BranchMispredicts, brMP)
 	dr := c.dram.Stats()
 	c.file.Set(counters.MemReads, dr.Reads)
 	c.file.Set(counters.MemWrites, dr.Writes)
@@ -731,12 +869,28 @@ func (c *CPU) Counters() *counters.File {
 func (c *CPU) CountersFile() *counters.File { return &c.file }
 
 // FlushThreadState invalidates context i's thread-tagged front-end state
-// (trace lines, BTB entries, ITLB partition). The OS calls it when a
-// different process is switched onto the context; same-process thread
-// switches keep the state warm.
+// (trace lines, BTB entries, ITLB partition) on its owning core. The OS
+// calls it when a different process is switched onto the context;
+// same-process thread switches keep the state warm.
 func (c *CPU) FlushThreadState(i int) {
-	c.tc.FlushThread(i)
-	c.pred.FlushThread(i)
-	c.itlb.FlushContext(i)
-	c.ctxs[i].haveLine = false
+	x := c.ctxs[i]
+	x.cb.tc.FlushThread(x.lid)
+	x.cb.pred.FlushThread(x.lid)
+	x.cb.itlb.FlushContext(x.lid)
+	x.haveLine = false
+}
+
+// RetiredByLP writes each logical processor's cumulative retired-µop
+// count (detailed retirement plus functional execution) into out, growing
+// it as needed, and returns it. The sampling layer diffs successive
+// snapshots to attribute window IPC per context.
+func (c *CPU) RetiredByLP(out []uint64) []uint64 {
+	if cap(out) < len(c.ctxs) {
+		out = make([]uint64, len(c.ctxs))
+	}
+	out = out[:len(c.ctxs)]
+	for i, x := range c.ctxs {
+		out[i] = x.retired
+	}
+	return out
 }

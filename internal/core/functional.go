@@ -31,21 +31,23 @@ import (
 const (
 	funcCPQDefault = 1 << funcCPQShift
 	funcCPQShift   = 16
-	// funcCPIMin is the retire-width bound: the machine cannot sustain
-	// more than RetireWidth (3) µops per cycle, and the reconstruction's
-	// retirement histogram needs at least ceil(F/3) cycles for F µops.
-	funcCPIMin = 1.0 / 3.0
 	// funcCPIMax guards against a degenerate window estimate walking the
 	// clock far past anything the detailed model can produce.
 	funcCPIMax = 16.0
 )
 
+// funcCPIMin is the retire-bandwidth bound: the machine cannot sustain
+// more than MaxRetirePerCycle (RetireWidth per core, 3 on the paper
+// machine) µops per cycle, and the reconstruction's retirement histogram
+// needs at least ceil(F/MaxRetirePerCycle) cycles for F µops.
+func (c *CPU) funcCPIMin() float64 { return 1.0 / float64(c.cfg.MaxRetirePerCycle()) }
+
 // SetFuncCPI sets the functional-mode clock rate to cpi cycles per µop,
 // clamped to the machine's representable IPC band. The sampling driver
 // calls it after each detailed window with its pooled CPI estimate.
 func (c *CPU) SetFuncCPI(cpi float64) {
-	if cpi < funcCPIMin {
-		cpi = funcCPIMin
+	if min := c.funcCPIMin(); cpi < min {
+		cpi = min
 	}
 	if cpi > funcCPIMax {
 		cpi = funcCPIMax
@@ -173,26 +175,27 @@ func (c *CPU) RunFunctional(maxUops uint64, warm bool) (executed, halted uint64,
 // times) advances.
 func (c *CPU) funcExec(i, max int, warm bool) int {
 	x := c.ctxs[i]
+	cb := x.cb
 	n := 0
 	osUops := uint64(0)
 	for n < max && x.bufPos < x.bufLen {
 		u := &x.buf[x.bufPos]
 		if warm {
 			if !x.haveLine || u.PC-x.lineBase >= c.tcLineUops {
-				hit, _ := c.tc.Lookup(u.PC, i)
+				hit, _ := cb.tc.Lookup(u.PC, x.lid)
 				x.lineBase, x.haveLine = u.PC-u.PC%c.tcLineUops, true
 				if !hit {
-					c.itlb.Access(u.PC*4, i)
-					c.hier.Fill(codeByteAddr(u.PC), i, c.now)
+					cb.itlb.Access(u.PC*4, x.lid)
+					cb.hier.Fill(codeByteAddr(u.PC), x.lid, c.now)
 				}
 			}
 			switch {
 			case u.Class.IsMem():
-				c.dtlb.Access(u.Addr, i)
-				c.hier.Data(u.Addr, u.Class == isa.Store, i, c.now)
+				cb.dtlb.Access(u.Addr, x.lid)
+				cb.hier.Data(u.Addr, u.Class == isa.Store, x.lid, c.now)
 			case u.Class.IsCtl():
 				taken := u.Taken || u.Class == isa.Call || u.Class == isa.Ret
-				c.pred.Predict(u.PC, taken, u.Target, u.Indirect, i)
+				cb.pred.Predict(u.PC, taken, u.Target, u.Indirect, x.lid)
 			}
 		}
 		x.bufPos++
@@ -215,6 +218,7 @@ func (c *CPU) funcExec(i, max int, warm bool) int {
 		// up its line so behavior after the span is deterministic.
 		x.haveLine = false
 	}
+	x.retired += uint64(n)
 	c.file.Add(counters.Instructions, uint64(n))
 	c.file.Add(counters.InstructionsOS, osUops)
 	if check.Enabled && check.On {
@@ -225,11 +229,20 @@ func (c *CPU) funcExec(i, max int, warm bool) int {
 	return n
 }
 
+// inFlight returns the machine-wide ROB occupancy across all cores.
+func (c *CPU) inFlight() int {
+	n := 0
+	for _, cb := range c.cores {
+		n += cb.totRob
+	}
+	return n
+}
+
 // drainPipeline retires every in-flight µop left by a preceding detailed
 // phase, charging honest detailed cycles (retirement histogram included)
 // but fetching nothing new.
 func (c *CPU) drainPipeline() error {
-	for spent := 0; c.totRob > 0; spent++ {
+	for spent := 0; c.inFlight() > 0; spent++ {
 		if spent > drainCap {
 			return fmt.Errorf("core: pipeline failed to drain within %d cycles", drainCap)
 		}

@@ -50,12 +50,14 @@ func (c *CPU) verifyStep() {
 			"ctx %d occupancy went negative (rob %d, loads %d, stores %d)",
 			i, x.robCount, x.loadsOut, x.storesOut)
 	}
-	check.Assert(c.totRob <= p.ROBSize, "core",
-		"total ROB occupancy %d exceeds machine size %d", c.totRob, p.ROBSize)
-	check.Assert(c.totLoads <= p.LoadBufs, "core",
-		"total load-buffer occupancy %d exceeds machine size %d", c.totLoads, p.LoadBufs)
-	check.Assert(c.totStores <= p.StoreBufs, "core",
-		"total store-buffer occupancy %d exceeds machine size %d", c.totStores, p.StoreBufs)
+	for _, cb := range c.cores {
+		check.Assert(cb.totRob <= p.ROBSize, "core",
+			"core %d ROB occupancy %d exceeds core size %d", cb.id, cb.totRob, p.ROBSize)
+		check.Assert(cb.totLoads <= p.LoadBufs, "core",
+			"core %d load-buffer occupancy %d exceeds core size %d", cb.id, cb.totLoads, p.LoadBufs)
+		check.Assert(cb.totStores <= p.StoreBufs, "core",
+			"core %d store-buffer occupancy %d exceeds core size %d", cb.id, cb.totStores, p.StoreBufs)
+	}
 
 	if c.now&(recountPeriod-1) == 0 {
 		c.verifyRecount()
@@ -67,46 +69,49 @@ func (c *CPU) verifyStep() {
 // path maintains (the class of bug PR 1's stale-LRU incident came from:
 // state that is only ever updated incrementally and never re-checked).
 func (c *CPU) verifyRecount() {
-	totRob, totLoads, totStores := 0, 0, 0
-	for i, x := range c.ctxs {
-		rob, loads, stores := 0, 0, 0
-		idx := x.robHead
-		for k := 0; k < x.robCount; k++ {
-			e := &x.rob[idx]
-			rob++
-			if e.load {
-				loads++
+	for _, cb := range c.cores {
+		totRob, totLoads, totStores := 0, 0, 0
+		for l, x := range cb.ctxs {
+			i := cb.lo + l
+			rob, loads, stores := 0, 0, 0
+			idx := x.robHead
+			for k := 0; k < x.robCount; k++ {
+				e := &x.rob[idx]
+				rob++
+				if e.load {
+					loads++
+				}
+				if e.store {
+					stores++
+				}
+				idx++
+				if idx == len(x.rob) {
+					idx = 0
+				}
 			}
-			if e.store {
-				stores++
+			check.Assert(loads == x.loadsOut, "core",
+				"ctx %d load recount %d != incremental loadsOut %d", i, loads, x.loadsOut)
+			check.Assert(stores == x.storesOut, "core",
+				"ctx %d store recount %d != incremental storesOut %d", i, stores, x.storesOut)
+			// Ring-shape consistency: head/tail distance must agree with count.
+			span := x.robTail - x.robHead
+			if span < 0 {
+				span += len(x.rob)
 			}
-			idx++
-			if idx == len(x.rob) {
-				idx = 0
-			}
+			check.Assert(span == x.robCount%len(x.rob), "core",
+				"ctx %d ROB ring head %d / tail %d inconsistent with count %d",
+				i, x.robHead, x.robTail, x.robCount)
+			totRob += rob
+			totLoads += loads
+			totStores += stores
 		}
-		check.Assert(loads == x.loadsOut, "core",
-			"ctx %d load recount %d != incremental loadsOut %d", i, loads, x.loadsOut)
-		check.Assert(stores == x.storesOut, "core",
-			"ctx %d store recount %d != incremental storesOut %d", i, stores, x.storesOut)
-		// Ring-shape consistency: head/tail distance must agree with count.
-		span := x.robTail - x.robHead
-		if span < 0 {
-			span += len(x.rob)
-		}
-		check.Assert(span == x.robCount%len(x.rob), "core",
-			"ctx %d ROB ring head %d / tail %d inconsistent with count %d",
-			i, x.robHead, x.robTail, x.robCount)
-		totRob += rob
-		totLoads += loads
-		totStores += stores
+		check.Assert(totRob == cb.totRob, "core",
+			"core %d ROB recount %d != incremental total %d", cb.id, totRob, cb.totRob)
+		check.Assert(totLoads == cb.totLoads, "core",
+			"core %d load-buffer recount %d != incremental total %d", cb.id, totLoads, cb.totLoads)
+		check.Assert(totStores == cb.totStores, "core",
+			"core %d store-buffer recount %d != incremental total %d", cb.id, totStores, cb.totStores)
 	}
-	check.Assert(totRob == c.totRob, "core",
-		"ROB recount %d != incremental total %d", totRob, c.totRob)
-	check.Assert(totLoads == c.totLoads, "core",
-		"load-buffer recount %d != incremental total %d", totLoads, c.totLoads)
-	check.Assert(totStores == c.totStores, "core",
-		"store-buffer recount %d != incremental total %d", totStores, c.totStores)
 }
 
 // verifyDrained runs when every feed has completed and the pipelines have
@@ -120,9 +125,11 @@ func (c *CPU) verifyDrained() {
 		check.Assert(x.bufPos >= x.bufLen, "core",
 			"ctx %d drained with %d fetched µops never allocated", i, x.bufLen-x.bufPos)
 	}
-	check.Assert(c.totRob == 0 && c.totLoads == 0 && c.totStores == 0, "core",
-		"drained machine reports occupancy rob %d / loads %d / stores %d",
-		c.totRob, c.totLoads, c.totStores)
+	for _, cb := range c.cores {
+		check.Assert(cb.totRob == 0 && cb.totLoads == 0 && cb.totStores == 0, "core",
+			"drained core %d reports occupancy rob %d / loads %d / stores %d",
+			cb.id, cb.totRob, cb.totLoads, cb.totStores)
+	}
 	c.verifyRecount()
 
 	// Retired µops == program µops: everything the feeds produced was
@@ -137,8 +144,11 @@ func (c *CPU) verifyDrained() {
 	// executed by the functional path (functional.go) never enter the
 	// histogram — the flow audit scopes the law to detailed cycles by
 	// accounting for them explicitly, so the probe stays exact in sampled
-	// runs instead of being skipped.
-	if c.cfg.Params.RetireWidth == 3 {
+	// runs instead of being skipped. On multi-core machines cycles
+	// retiring more than three µops clamp into the Retire3 bucket, so the
+	// law is exact only at one core (it degrades to a lower bound
+	// otherwise, which CheckConservation still enforces).
+	if len(c.cores) == 1 && c.cfg.Params.RetireWidth == 3 {
 		hist := c.file.Get(counters.Retire1) + 2*c.file.Get(counters.Retire2) + 3*c.file.Get(counters.Retire3)
 		check.Assert(c.file.Get(counters.Instructions) == hist+c.ckFunc, "core",
 			"uops_retired %d != retirement histogram sum %d + functional µops %d",

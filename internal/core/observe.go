@@ -48,14 +48,23 @@ func (c *CPU) obsSample() {
 }
 
 // coreState snapshots the instantaneous per-context pipeline occupancy.
+// Each sample gets freshly allocated slices: the observer stores the
+// struct by value, so reusing a scratch CoreState would alias every
+// recorded sample to the last one. Sampling is infrequent (default
+// stride 100k cycles) so the allocation never shows on the hot path,
+// and the disabled path never reaches here at all.
 func (c *CPU) coreState() obs.CoreState {
-	var st obs.CoreState
+	st := obs.NewCoreState(len(c.ctxs))
 	for i, x := range c.ctxs {
 		st.ROB[i] = x.robCount
 		st.Loads[i] = x.loadsOut
 		st.Stores[i] = x.storesOut
 	}
-	st.TCLines = c.tc.Occupancy()
-	st.ITLBEntries = c.itlb.Occupancy()
+	for _, cb := range c.cores {
+		occ := cb.tc.OccupancyInto(c.occBuf)
+		copy(st.TCLines[cb.lo:cb.lo+len(cb.ctxs)], occ)
+		occ = cb.itlb.OccupancyInto(c.occBuf)
+		copy(st.ITLBEntries[cb.lo:cb.lo+len(cb.ctxs)], occ)
+	}
 	return st
 }

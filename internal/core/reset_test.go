@@ -111,8 +111,9 @@ func TestDynamicPartitionTotals(t *testing.T) {
 	if _, err := cpu.Run(0); err != nil {
 		t.Fatal(err)
 	}
-	if cpu.totRob != 0 || cpu.totLoads != 0 || cpu.totStores != 0 {
+	cb := cpu.cores[0]
+	if cb.totRob != 0 || cb.totLoads != 0 || cb.totStores != 0 {
 		t.Fatalf("occupancy totals nonzero after drain: rob=%d loads=%d stores=%d",
-			cpu.totRob, cpu.totLoads, cpu.totStores)
+			cb.totRob, cb.totLoads, cb.totStores)
 	}
 }

@@ -64,6 +64,31 @@ func BenchmarkFunctionalSpeed(b *testing.B) {
 	}
 }
 
+// BenchmarkGeometryScaling measures the cycle loop at the paper's HT
+// shape against a 16-context CMP, every context fed the same stream —
+// how much wall-clock one simulated machine-cycle costs as the geometry
+// widens. SetBytes scales with the seated contexts, so the MB/s column
+// stays 1 byte per µop and comparable across shapes.
+func BenchmarkGeometryScaling(b *testing.B) {
+	uops := benchUops()
+	for _, geo := range []Geometry{{Cores: 1, ContextsPerCore: 2}, {Cores: 4, ContextsPerCore: 4}} {
+		b.Run(geo.String(), func(b *testing.B) {
+			cfg := DefaultConfig(false)
+			cfg.Geometry = geo
+			b.ReportAllocs()
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				cpu := New(cfg)
+				for i := 0; i < geo.Total(); i++ {
+					cpu.AttachFeed(i, &feed{src: &isa.SliceSource{Uops: uops}})
+				}
+				cpu.Run(0)
+			}
+			b.SetBytes(int64(geo.Total()) * 1_000_000)
+		})
+	}
+}
+
 // BenchmarkSimSpeedReset measures the same workload on a pooled machine
 // reused via Reset — the shape of the parallel pairing engine's hot
 // path. The delta in allocs/op against BenchmarkSimSpeed is the setup

@@ -214,6 +214,8 @@ func counterFiles(v any) []*counters.File {
 		return []*counters.File{&t.Result.Counters}
 	case *SweepCell:
 		return []*counters.File{&t.Counters}
+	case *GeometryCell:
+		return []*counters.File{&t.Counters}
 	}
 	return nil
 }

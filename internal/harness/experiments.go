@@ -705,3 +705,73 @@ func RunSweep(cfg Config, targets []*bench.Benchmark, threadCounts []int) ([]Swe
 	}
 	return cells, nil
 }
+
+// GeometryCell is one cell of a machine-geometry sweep (cmd/sweep
+// -geos): a benchmark run on one Cores×ContextsPerCore machine shape
+// with its full counter file. Threads is how many software threads the
+// run seated (the machine's total context count for multithreaded
+// benchmarks, 1 for single-threaded ones). Failed carries the failure
+// reason when the campaign gave up on the cell.
+type GeometryCell struct {
+	Benchmark string
+	Geometry  core.Geometry
+	Threads   int
+	Counters  counters.File
+	Failed    string `json:",omitempty"`
+}
+
+// RunGeometrySweep runs each target benchmark on each machine geometry —
+// the headline comparison ISSUE 7 asks for: the paper's HT processor
+// ({1,2}) against wider SMT ({1,4}), CMP ({2,1}, {2,2}) and beyond —
+// under cfg's campaign policy. Multithreaded benchmarks get one software
+// thread per hardware context so every seat is filled; single-threaded
+// ones run solo on context 0, measuring the partitioning tax of each
+// shape.
+func RunGeometrySweep(cfg Config, targets []*bench.Benchmark, geos []core.Geometry) ([]GeometryCell, error) {
+	type point struct {
+		b   *bench.Benchmark
+		geo core.Geometry
+	}
+	var grid []point
+	for _, b := range targets {
+		for _, g := range geos {
+			grid = append(grid, point{b, g})
+		}
+	}
+	report := sched.Progress(cfg.Progress)
+	label := func(i int) string {
+		return fmt.Sprintf("%s geo=%v", grid[i].b.Name, grid[i].geo)
+	}
+	outs, err := sched.MapObserved(len(grid), cfg.Jobs, cfg.Obs, label, func(i int) (outcome[GeometryCell], error) {
+		pt := grid[i]
+		report(label(i))
+		return runCell(cfg, label(i), func(w *resilience.Watch) (GeometryCell, error) {
+			threads := 1
+			if pt.b.Multithreaded {
+				threads = pt.geo.Total()
+			}
+			opt := Options{Geometry: pt.geo, Threads: threads, Scale: cfg.Scale, Verify: true,
+				MaxCycles: cfg.Policy.CycleBudget, Cancel: w.Flag(), Plan: cfg.Plan}
+			if cfg.Obs.Enabled() {
+				opt.Obs, opt.ObsLabel = cfg.Obs, label(i)
+			}
+			res, err := Run(pt.b, opt)
+			if err != nil {
+				return GeometryCell{}, err
+			}
+			return GeometryCell{Benchmark: pt.b.Name, Geometry: pt.geo, Threads: threads, Counters: res.Counters}, nil
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	cells := make([]GeometryCell, len(outs))
+	for i, o := range outs {
+		if o.fail != nil {
+			cells[i] = GeometryCell{Benchmark: grid[i].b.Name, Geometry: grid[i].geo, Failed: o.fail.Reason()}
+			continue
+		}
+		cells[i] = o.v
+	}
+	return cells, nil
+}

@@ -1,0 +1,144 @@
+package harness
+
+import (
+	"encoding/json"
+	"testing"
+
+	"javasmt/internal/bench"
+	"javasmt/internal/core"
+	"javasmt/internal/sampling"
+)
+
+// Geometry-equivalence layer (ISSUE 7): the generalized M×N machine at
+// the paper's two shapes must be THE SAME MODEL as the legacy HT flag —
+// byte-identical counter files, not merely close ones — so every
+// existing golden, metamorphic and conservation result carries over to
+// the geometry-parameterized machine unmodified.
+
+// counterBytes marshals a run outcome to its canonical JSON bytes.
+func counterBytes(t *testing.T, r *Result) []byte {
+	t.Helper()
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestGeometryEquivalence runs every benchmark under the legacy HT flag
+// and under the equivalent explicit geometry — HT off ≡ {1,1}, HT on ≡
+// {1,2} — in both full and sampled modes, and requires the entire
+// result (cycles, full counter file, GC count, sampling estimate) to
+// marshal to identical bytes.
+func TestGeometryEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	modes := []struct {
+		name string
+		plan sampling.Plan
+	}{
+		{"full", sampling.FullPlan()},
+		{"sampled", sampling.DefaultSampledPlan()},
+	}
+	shapes := []struct {
+		name string
+		ht   bool
+		geo  core.Geometry
+	}{
+		{"htoff-1x1", false, core.Geometry{Cores: 1, ContextsPerCore: 1}},
+		{"hton-1x2", true, core.Geometry{Cores: 1, ContextsPerCore: 2}},
+	}
+	for _, mode := range modes {
+		for _, shape := range shapes {
+			t.Run(mode.name+"/"+shape.name, func(t *testing.T) {
+				for _, b := range bench.All() {
+					threads := 1
+					if b.Multithreaded && shape.ht {
+						threads = 2
+					}
+					legacy := Options{HT: shape.ht, Threads: threads, Scale: bench.Tiny,
+						Verify: true, Plan: mode.plan}
+					viaGeo := legacy
+					viaGeo.HT = false
+					viaGeo.Geometry = shape.geo
+					want, err := Run(b, legacy)
+					if err != nil {
+						t.Fatalf("%s legacy: %v", b.Name, err)
+					}
+					got, err := Run(b, viaGeo)
+					if err != nil {
+						t.Fatalf("%s geometry: %v", b.Name, err)
+					}
+					wb, gb := counterBytes(t, want), counterBytes(t, got)
+					if string(wb) != string(gb) {
+						t.Errorf("%s: geometry %v result diverged from ht=%v\n--- ht flag ---\n%s\n--- geometry ---\n%s",
+							b.Name, shape.geo, shape.ht, wb, gb)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestMetamorphicGeometryCMPMonotonicity: on a trace-cache-hostile pair
+// (the paper's jack+javac slowdown cluster), two private single-context
+// cores must out-throughput one shared two-context core — the pair
+// stops evicting each other's front-end state and each program gets a
+// whole unpartitioned ROB. The harness seats the same two programs on
+// both machines; combined speedup against the common {1,1} solo
+// baseline is the throughput measure.
+func TestMetamorphicGeometryCMPMonotonicity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	skipIfChecks(t)
+	opts := DefaultPairOptions()
+	opts.Runs = 2
+	pairs := [][2]string{
+		{"jack", "javac"}, // trace-cache-hostile (paper's slowdown cluster)
+		{"db", "jess"},    // memory-bound vs allocation-heavy
+	}
+	for _, p := range pairs {
+		a, b := mustBench(t, p[0]), mustBench(t, p[1])
+		smt, err := runPairOn(core.New(cpuConfig(Options{Geometry: core.Geometry{Cores: 1, ContextsPerCore: 2}})), a, b, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmp, err := runPairOn(core.New(cpuConfig(Options{Geometry: core.Geometry{Cores: 2, ContextsPerCore: 1}})), a, b, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cmp.CombinedSpeedup() < smt.CombinedSpeedup() {
+			t.Errorf("%s+%s: private-core CMP 2x1 combined speedup %.3f below shared-core SMT 1x2 %.3f",
+				p[0], p[1], cmp.CombinedSpeedup(), smt.CombinedSpeedup())
+		}
+		// A 2x1 machine is two of the paper's uniprocessors: each program
+		// should run at essentially its solo rate (only L2/DRAM are
+		// shared), so the pair must land near the perfect-SMP bound of 2.
+		if cmp.CombinedSpeedup() < 1.5 {
+			t.Errorf("%s+%s: CMP 2x1 combined speedup %.3f too far below the 2-way SMP bound",
+				p[0], p[1], cmp.CombinedSpeedup())
+		}
+	}
+}
+
+// TestGeometryWideMachineConservation is the acceptance probe for the
+// ≥4-context shapes: a multithreaded benchmark seated across a 2x2 and
+// a 1x4 machine must complete with every cross-counter conservation law
+// intact and all contexts actually retiring work.
+func TestGeometryWideMachineConservation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, geo := range []core.Geometry{{Cores: 1, ContextsPerCore: 4}, {Cores: 2, ContextsPerCore: 2}} {
+		b := mustBench(t, "MolDyn")
+		res, err := Run(b, Options{Geometry: geo, Threads: geo.Total(), Scale: bench.Tiny, Verify: true})
+		if err != nil {
+			t.Fatalf("geo %v: %v", geo, err)
+		}
+		if err := res.Counters.CheckConservation(); err != nil {
+			t.Errorf("geo %v: %v", geo, err)
+		}
+	}
+}

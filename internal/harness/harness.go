@@ -74,6 +74,13 @@ func (c Config) pairOptions() PairOptions {
 type Options struct {
 	// HT enables Hyper-Threading.
 	HT bool
+	// Geometry, when non-zero, selects an explicit machine shape
+	// (cores × contexts per core) instead of the HT flag: the paper's
+	// HT-off machine is {1,1} and its HT machine {1,2}, and those two
+	// geometries reproduce the HT flag's counters byte for byte
+	// (TestGeometryEquivalence). Larger shapes model wider SMT or CMP
+	// machines. When set, HT is ignored.
+	Geometry core.Geometry
 	// Partition selects the partition policy (ablation: dynamic).
 	Partition core.PartitionPolicy
 	// Threads for multithreaded benchmarks (1 = single-threaded use).
@@ -112,6 +119,9 @@ func DefaultOptions() Options {
 // cpuConfig builds the processor configuration for opts.
 func cpuConfig(opts Options) core.Config {
 	cfg := core.DefaultConfig(opts.HT)
+	if (opts.Geometry != core.Geometry{}) {
+		cfg.Geometry = opts.Geometry
+	}
 	cfg.Partition = opts.Partition
 	cfg.TC.SharedTags = opts.TCSharedTags
 	return cfg
@@ -173,7 +183,7 @@ func RunWithCPUConfig(b *bench.Benchmark, opts Options, cfg core.Config) (*Resul
 		if label == "" {
 			label = b.Name
 		}
-		ro = opts.Obs.Run(label)
+		ro = opts.Obs.RunFor(label, cfg.NumContexts())
 		cpu.AttachObs(ro, 0)
 	}
 	if opts.Cancel != nil {

@@ -1,21 +1,44 @@
 package obs
 
-import "javasmt/internal/counters"
+import (
+	"fmt"
+
+	"javasmt/internal/counters"
+)
 
 // CoreState is the instantaneous pipeline state the CPU reports with
 // each sample: per-logical-processor occupancy of the partitioned (or
-// dynamically shared) structures. Index 0/1 is the logical processor.
+// dynamically shared) structures, indexed by global logical-processor
+// number. Slices are sized max(2, total contexts) — never shorter than
+// two, so the serialized form of the paper's one- and two-context
+// machines is unchanged from when these were fixed pairs.
 type CoreState struct {
 	// ROB, Loads and Stores are in-flight µops per context.
-	ROB    [2]int `json:"rob"`
-	Loads  [2]int `json:"loads"`
-	Stores [2]int `json:"stores"`
+	ROB    []int `json:"rob"`
+	Loads  []int `json:"loads"`
+	Stores []int `json:"stores"`
 	// TCLines counts valid trace-cache lines held per context; under HT
 	// the split shows the capacity each thread actually claims.
-	TCLines [2]int `json:"tc_lines"`
+	TCLines []int `json:"tc_lines"`
 	// ITLBEntries counts valid ITLB translations per context partition
-	// (everything lands in index 0 when the structure is unpartitioned).
-	ITLBEntries [2]int `json:"itlb_entries"`
+	// (a core's worth lands in its first context's index when the
+	// structure is unpartitioned).
+	ITLBEntries []int `json:"itlb_entries"`
+}
+
+// NewCoreState allocates a CoreState for a machine with total logical
+// processors (minimum two, preserving the legacy two-lane shape).
+func NewCoreState(total int) CoreState {
+	if total < 2 {
+		total = 2
+	}
+	return CoreState{
+		ROB:         make([]int, total),
+		Loads:       make([]int, total),
+		Stores:      make([]int, total),
+		TCLines:     make([]int, total),
+		ITLBEntries: make([]int, total),
+	}
 }
 
 // Sample is one point of a run's time-series. Windowed metrics (IPC,
@@ -157,17 +180,20 @@ func (r *RunObs) Sample(cycle uint64, f *counters.File, st *CoreState) {
 	}
 	if r.trace {
 		ts := float64(cycle)
+		robArgs := make(map[string]any, len(st.ROB))
+		lsqArgs := make(map[string]any, 2*len(st.Loads))
+		for i := range st.ROB {
+			robArgs[fmt.Sprintf("lp%d", i)] = st.ROB[i]
+			lsqArgs[fmt.Sprintf("loads%d", i)] = st.Loads[i]
+			lsqArgs[fmt.Sprintf("stores%d", i)] = st.Stores[i]
+		}
 		r.sink.addEvents(
 			Event{Name: "IPC", Phase: "C", Ts: ts, Pid: r.pid,
 				Args: map[string]any{"ipc": s.IPC}},
 			Event{Name: "misses/1k", Phase: "C", Ts: ts, Pid: r.pid,
 				Args: map[string]any{"tc": s.TCPer1K, "l1d": s.L1DPer1K, "l2": s.L2Per1K}},
-			Event{Name: "ROB", Phase: "C", Ts: ts, Pid: r.pid,
-				Args: map[string]any{"lp0": st.ROB[0], "lp1": st.ROB[1]}},
-			Event{Name: "LSQ", Phase: "C", Ts: ts, Pid: r.pid,
-				Args: map[string]any{
-					"loads0": st.Loads[0], "loads1": st.Loads[1],
-					"stores0": st.Stores[0], "stores1": st.Stores[1]}},
+			Event{Name: "ROB", Phase: "C", Ts: ts, Pid: r.pid, Args: robArgs},
+			Event{Name: "LSQ", Phase: "C", Ts: ts, Pid: r.pid, Args: lsqArgs},
 		)
 	}
 }

@@ -116,10 +116,19 @@ func (s *Sink) Stride() uint64 {
 // observer. Labels should be unique within a sink (the metrics export
 // sorts by label so files are deterministic at any worker count).
 // Returns nil — a universal no-op observer — when the sink is nil or
-// fully disabled. Safe for concurrent use.
-func (s *Sink) Run(label string) *RunObs {
+// fully disabled. Safe for concurrent use. The trace gets the legacy two
+// logical-processor tracks; machines with more contexts use RunFor.
+func (s *Sink) Run(label string) *RunObs { return s.RunFor(label, 2) }
+
+// RunFor registers one simulation of a machine with lps logical
+// processors (minimum two, keeping the legacy track layout for the
+// paper's one- and two-context geometries).
+func (s *Sink) RunFor(label string, lps int) *RunObs {
 	if !s.Enabled() {
 		return nil
+	}
+	if lps < 2 {
+		lps = 2
 	}
 	r := &RunObs{sink: s, trace: s.cfg.Trace, stride: s.Stride()}
 	s.mu.Lock()
@@ -132,8 +141,9 @@ func (s *Sink) Run(label string) *RunObs {
 	s.mu.Unlock()
 	if s.cfg.Trace {
 		s.meta(r.pid, 0, "process_name", label)
-		s.meta(r.pid, 0, "thread_name", "LP0")
-		s.meta(r.pid, 1, "thread_name", "LP1")
+		for lp := 0; lp < lps; lp++ {
+			s.meta(r.pid, lp, "thread_name", fmt.Sprintf("LP%d", lp))
+		}
 	}
 	return r
 }

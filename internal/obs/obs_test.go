@@ -135,7 +135,7 @@ func TestSampleSameCycleDedupe(t *testing.T) {
 	f := fileAt(1000, 100, 0, 0, 0, 0)
 	r.Sample(1000, &f, &CoreState{})
 	f.Set(counters.Instructions, 150)
-	r.Sample(1000, &f, &CoreState{ROB: [2]int{7, 0}})
+	r.Sample(1000, &f, &CoreState{ROB: []int{7, 0}})
 
 	series := s.Series("run")
 	if len(series.Samples) != 1 {

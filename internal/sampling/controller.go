@@ -115,8 +115,11 @@ type Controller struct {
 	settleLeft uint64        // detailed cycles to run before the window sample starts
 	winBase    counters.File // counter snapshot at window open
 	winIPCs    []float64
-	winUops    uint64 // µops retired across closed windows
-	winCycles  uint64 // cycles spent across closed windows
+	winUops    uint64   // µops retired across closed windows
+	winCycles  uint64   // cycles spent across closed windows
+	lpBase     []uint64 // per-context retirement snapshot at window open
+	lpCur      []uint64 // scratch for the close-time snapshot
+	lpUops     []uint64 // per-context µops retired across closed windows
 	warmUops   uint64
 	ffUops     uint64
 	funcCycles uint64 // non-halted clock advance of functional spans
@@ -262,6 +265,7 @@ func (s *Controller) rampBudget(reserve uint64) uint64 {
 
 func (s *Controller) openWindow() {
 	s.winBase = *s.cpu.Counters()
+	s.lpBase = s.cpu.RetiredByLP(s.lpBase)
 	s.winOpen = true
 }
 
@@ -283,6 +287,13 @@ func (s *Controller) closeWindow() {
 	}
 	s.winUops += uops
 	s.winCycles += cycles
+	s.lpCur = s.cpu.RetiredByLP(s.lpCur)
+	if len(s.lpUops) < len(s.lpCur) {
+		s.lpUops = append(s.lpUops, make([]uint64, len(s.lpCur)-len(s.lpUops))...)
+	}
+	for i, cur := range s.lpCur {
+		s.lpUops[i] += cur - s.lpBase[i]
+	}
 	cpi := float64(cycles) / float64(uops)
 	s.winIPCs = append(s.winIPCs, float64(uops)/float64(cycles))
 	span := s.warmUops + s.ffUops - s.spannedUops
@@ -459,6 +470,10 @@ func (s *Controller) Finish() *Estimate {
 	e.Windows = len(s.winIPCs)
 	if s.winCycles > 0 {
 		e.WindowIPC = float64(s.winUops) / float64(s.winCycles)
+		e.ContextWindowIPC = make([]float64, len(s.lpUops))
+		for i, u := range s.lpUops {
+			e.ContextWindowIPC[i] = float64(u) / float64(s.winCycles)
+		}
 	}
 	e.IPCRelErr = relStdErr(s.winIPCs)
 	if tot := e.TotalUops(); tot > 0 {
@@ -500,9 +515,10 @@ func (s *Controller) reconstruct(file *counters.File, e *Estimate) {
 	// look normal) is never extrapolated over the spans around it. The
 	// tail span after the last window is charged at that window's CPI
 	// (with no window at all — a cell that ended mid-span — the live
-	// clock's advance is the only estimate there is). The retire-width
-	// floor guards the histogram: RetireWidth 3 caps retirement at
-	// 3 µops/cycle, so F µops need at least ceil(F/3) cycles.
+	// clock's advance is the only estimate there is). The retire-bandwidth
+	// floor guards the histogram: the machine retires at most
+	// MaxRetirePerCycle (RetireWidth per core) µops per cycle, so F µops
+	// need at least ceil(F/that) cycles.
 	recon := 0.0
 	for i, span := range s.spans {
 		cpi := s.winCPIs[i]
@@ -533,7 +549,8 @@ func (s *Controller) reconstruct(file *counters.File, e *Estimate) {
 		}
 	}
 	C := uint64(recon + 0.5)
-	if minC := (F + 2) / 3; C < minC {
+	w := uint64(s.cpu.Config().MaxRetirePerCycle())
+	if minC := (F + w - 1) / w; C < minC {
 		C = minC
 	}
 	e.FuncCycles = C
@@ -542,12 +559,15 @@ func (s *Controller) reconstruct(file *counters.File, e *Estimate) {
 	dHalted := file.Get(counters.CyclesHalted)
 
 	// Retirement histogram: q µops on C-r cycles, q+1 µops on r cycles
-	// sums to C cycles and F µops exactly.
+	// sums to C cycles and F µops exactly. On machines retiring more than
+	// three µops per cycle (several cores) the buckets clamp into Retire3,
+	// matching the detailed engine's machine-wide histogram, so the cycle
+	// law stays exact and the µop-weighted law its usual lower bound.
 	q, r := F/C, F%C
 	retire := [4]counters.Event{counters.Retire0, counters.Retire1, counters.Retire2, counters.Retire3}
-	file.Add(retire[q], C-r)
+	file.Add(retire[min(q, 3)], C-r)
 	if r > 0 {
-		file.Add(retire[q+1], r)
+		file.Add(retire[min(q+1, 3)], r)
 	}
 	file.Add(counters.Cycles, C+s.funcHalt)
 	file.Add(counters.CyclesHalted, s.funcHalt)

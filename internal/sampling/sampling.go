@@ -155,6 +155,11 @@ type Estimate struct {
 	// structure statistics are exact.
 	DetailPct   float64 `json:"detail_pct"`
 	MeasuredPct float64 `json:"measured_pct"`
+	// ContextWindowIPC is the pooled per-logical-processor IPC across the
+	// detailed windows, indexed by global context number — the sampled
+	// analogue of the per-thread breakdown a full run's per-context
+	// retirement gives. Omitted when no window closed.
+	ContextWindowIPC []float64 `json:"context_window_ipc,omitempty"`
 }
 
 // TotalUops is the whole-run µop count across all tiers.

@@ -90,20 +90,20 @@ func New(cfg Config) *TLB {
 	for cfg.PageSize>>t.pageBits > 1 {
 		t.pageBits++
 	}
-	t.rebuild(false)
+	t.rebuild(1)
 	return t
 }
 
-// rebuild lays out the entry array for the given HT mode. A partitioned
-// TLB under HT becomes two half-size structures; otherwise one full-size
-// structure serves all requests.
-func (t *TLB) rebuild(ht bool) {
-	t.ht = ht
+// rebuild lays out the entry array for the given number of contexts. A
+// partitioned TLB serving n > 1 contexts becomes n structures of 1/n the
+// entries each; otherwise one full-size structure serves all requests.
+func (t *TLB) rebuild(nctx int) {
+	t.ht = nctx > 1
 	parts := 1
 	entries := t.cfg.Entries
-	if t.cfg.Partitioned && ht {
-		parts = 2
-		entries /= 2
+	if t.cfg.Partitioned && nctx > 1 {
+		parts = nctx
+		entries /= nctx
 	}
 	sets := entries / t.cfg.Assoc
 	if sets <= 0 || sets&(sets-1) != 0 {
@@ -117,7 +117,19 @@ func (t *TLB) rebuild(ht bool) {
 
 // SetHT reconfigures the TLB for Hyper-Threading on/off. Contents are
 // discarded (the machine in the paper is rebooted between HT modes).
-func (t *TLB) SetHT(ht bool) { t.rebuild(ht) }
+func (t *TLB) SetHT(ht bool) {
+	if ht {
+		t.rebuild(2)
+	} else {
+		t.rebuild(1)
+	}
+}
+
+// SetContexts reconfigures the TLB for n logical processors: a
+// partitioned structure becomes n equal slices, a shared one is
+// unaffected beyond dropping its contents. SetContexts(2) is identical to
+// SetHT(true).
+func (t *TLB) SetContexts(n int) { t.rebuild(n) }
 
 // Config returns the TLB geometry.
 func (t *TLB) Config() Config { return t.cfg }
@@ -145,15 +157,33 @@ func (t *TLB) Reset() {
 }
 
 // Occupancy returns the number of valid translations visible to each
-// logical processor: per-partition counts when statically partitioned
-// under HT, otherwise every valid entry under index 0 (the structure is
-// shared). The observability layer samples it to show TLB reach
-// shrinking when HT halves each context's partition.
+// logical processor: per-partition counts when statically partitioned,
+// otherwise every valid entry under index 0 (the structure is shared).
+// The observability layer samples it to show TLB reach shrinking when HT
+// halves each context's partition. Partitions beyond the first two fold
+// in by parity; wider machines use OccupancyInto.
 func (t *TLB) Occupancy() (out [2]int) {
 	n := len(t.entries) / t.partitons
 	for i := range t.entries {
 		if t.entries[i].key&1 != 0 {
 			out[(i/n)&1]++
+		}
+	}
+	return out
+}
+
+// OccupancyInto counts valid translations per partition into out (all
+// under index 0 for a shared structure) and returns it.
+func (t *TLB) OccupancyInto(out []int) []int {
+	for i := range out {
+		out[i] = 0
+	}
+	n := len(t.entries) / t.partitons
+	for i := range t.entries {
+		if t.entries[i].key&1 != 0 {
+			if p := i / n; p < len(out) {
+				out[p]++
+			}
 		}
 	}
 	return out
@@ -167,14 +197,15 @@ func (t *TLB) Flush() {
 }
 
 // FlushContext drops translations visible to logical processor ctx: its
-// partition if partitioned under HT, everything otherwise.
+// partition if partitioned, everything otherwise.
 func (t *TLB) FlushContext(ctx int) {
 	if t.partitons == 1 {
 		t.Flush()
 		return
 	}
+	part := ctx % t.partitons
 	n := len(t.entries) / t.partitons
-	for i := ctx * n; i < (ctx+1)*n; i++ {
+	for i := part * n; i < (part+1)*n; i++ {
 		t.entries[i].key &^= 1
 	}
 }
@@ -187,13 +218,13 @@ func (t *TLB) Access(addr uint64, ctx int) bool {
 	t.stats.Accesses[ctx&1]++
 	vpn := addr >> t.pageBits
 	part := 0
-	if t.partitons == 2 {
-		part = ctx & 1
+	if t.partitons > 1 {
+		part = ctx % t.partitons
 	}
-	if check.Enabled && check.On && t.cfg.Partitioned && t.partitons == 2 {
+	if check.Enabled && check.On && t.cfg.Partitioned && t.partitons > 1 {
 		// Partition isolation: a context's lookups must stay inside its
-		// own half of a statically-partitioned structure.
-		check.Assert(part == ctx&1, t.cfg.Name,
+		// own slice of a statically-partitioned structure.
+		check.Assert(part == ctx%t.partitons, t.cfg.Name,
 			"ctx %d routed to partition %d", ctx, part)
 	}
 	base := (part*t.nsets + int(vpn)&(t.nsets-1)) * t.assoc

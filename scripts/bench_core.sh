@@ -12,7 +12,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 count="${1:-1}"
-raw="$(go test -run '^$' -bench 'BenchmarkSimSpeed|BenchmarkCacheAccess|BenchmarkHierarchyData|BenchmarkFunctionalSpeed|BenchmarkSampledCampaign' \
+raw="$(go test -run '^$' -bench 'BenchmarkSimSpeed|BenchmarkCacheAccess|BenchmarkHierarchyData|BenchmarkFunctionalSpeed|BenchmarkSampledCampaign|BenchmarkGeometryScaling' \
 	-benchmem -count="$count" ./internal/core/ ./internal/cache/ ./internal/sampling/)"
 echo "$raw"
 
@@ -54,6 +54,11 @@ END {
 		printf ", \"sampled_vs_seed\": %.2f", camp_samp / seed_mb
 		if (func_warm > 0) printf ", \"functional_warm_vs_seed\": %.2f", func_warm / seed_mb
 		if (func_ff > 0) printf ", \"functional_ff_vs_seed\": %.2f", func_ff / seed_mb
+		# Geometry cost ratio: µop-rate at the 16-context CMP relative to
+		# the paper HT shape (below 1.0 = per-µop slowdown from width).
+		geo_ht = mbs["BenchmarkGeometryScaling/1x2"] / n["BenchmarkGeometryScaling/1x2"]
+		geo_cmp = mbs["BenchmarkGeometryScaling/4x4"] / n["BenchmarkGeometryScaling/4x4"]
+		if (geo_ht > 0 && geo_cmp > 0) printf ", \"geometry_4x4_vs_1x2\": %.2f", geo_cmp / geo_ht
 		printf "}"
 	}
 	print "\n}"
