@@ -58,6 +58,8 @@ func main() {
 		TCSharedTags: *tcShared,
 		Obs:          c.Obs,
 		Plan:         c.Plan,
+		SchedPolicy:  c.SchedPolicy,
+		SchedParams:  c.SchedParams(),
 	}
 	if *partition == "dynamic" {
 		opts.Partition = core.DynamicPartition
@@ -77,6 +79,8 @@ func main() {
 	cfg.Inject = c.Inject
 	cfg.Journal = j
 	cfg.Plan = c.Plan
+	cfg.SchedPolicy = c.SchedPolicy
+	cfg.SchedParams = c.SchedParams()
 	res, fail, err := harness.RunResilient(b, opts, cfg)
 	if err != nil {
 		c.Fatal(err)

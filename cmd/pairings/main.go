@@ -48,6 +48,8 @@ func main() {
 	cfg.Policy = c.Policy
 	cfg.Inject = c.Inject
 	cfg.Plan = c.Plan
+	cfg.SchedPolicy = c.SchedPolicy
+	cfg.SchedParams = c.SchedParams()
 
 	if *all {
 		targets := bench.SingleThreaded()

@@ -66,6 +66,8 @@ func main() {
 	cfg.Inject = c.Inject
 	cfg.Journal = j
 	cfg.Plan = c.Plan
+	cfg.SchedPolicy = c.SchedPolicy
+	cfg.SchedParams = c.SchedParams()
 	var failed []harness.Failure
 
 	if want("table1") {

@@ -10,6 +10,11 @@
 // SMT core 1x4, a dual-core without SMT 2x1 — with multithreaded
 // programs seating one software thread per hardware context.
 //
+// With -policies the sweep compares seating policies: PseudoJBB-heavy
+// server mixes (-mixes, total software threads per mix) run under each
+// policy on each machine shape, reporting aggregate IPC per policy and
+// the best-vs-worst gap — the symbiotic-scheduling headline table.
+//
 // The sweep runs under the campaign resilience block: cells bounded by
 // -deadline/-cycle-budget print as FAILED rows instead of aborting the
 // grid, and -journal/-resume checkpoint long sweeps.
@@ -17,6 +22,7 @@
 //	sweep
 //	sweep -bench MolDyn -threads 1,2,4,8,16 -scale small -j 4
 //	sweep -geos 1x1,1x2,2x1,2x2,4x4
+//	sweep -policies all -mixes 32,128 -geos 1x2,2x2,4x4
 //	sweep -trace t.json -metrics m.json
 //	sweep -journal /tmp/sweep -deadline 5m
 package main
@@ -31,18 +37,25 @@ import (
 	"javasmt/internal/cli"
 	"javasmt/internal/counters"
 	"javasmt/internal/harness"
+	"javasmt/internal/simos"
 )
 
 func main() {
 	var (
-		name    = flag.String("bench", "", "single benchmark (default: all multithreaded)")
-		threads = flag.String("threads", "1,2,4,8,16", "comma-separated thread counts")
-		geoList = flag.String("geos", "", "comma-separated machine geometries (CORESxCONTEXTS, e.g. 1x2,2x2); replaces the thread axis")
+		name     = flag.String("bench", "", "single benchmark (default: all multithreaded)")
+		threads  = flag.String("threads", "1,2,4,8,16", "comma-separated thread counts")
+		geoList  = flag.String("geos", "", "comma-separated machine geometries (CORESxCONTEXTS, e.g. 1x2,2x2); replaces the thread axis")
+		policies = flag.String("policies", "", "comma-separated seating policies, or `all`; compares them on server mixes (-mixes) per geometry")
+		mixes    = flag.String("mixes", "32,64,128", "with -policies: comma-separated server-mix sizes in total software threads")
 	)
 	cf := cli.Register("sweep", flag.CommandLine, cli.Options{Jobs: true})
 	flag.Parse()
 	c := cf.MustFinish()
 
+	if *policies != "" {
+		policySweep(c, *policies, *mixes, *geoList)
+		return
+	}
 	if *geoList != "" {
 		geometrySweep(c, *name, *geoList)
 		return
@@ -83,6 +96,8 @@ func main() {
 	cfg.Inject = c.Inject
 	cfg.Journal = j
 	cfg.Plan = c.Plan
+	cfg.SchedPolicy = c.SchedPolicy
+	cfg.SchedParams = c.SchedParams()
 	cells, err := harness.RunSweep(cfg, targets, counts)
 	if err != nil {
 		c.Fatal(err)
@@ -109,6 +124,76 @@ func main() {
 		fmt.Printf("%-12s %8d %8.3f %10.2f %9.1f%% %7.1f%%\n",
 			cell.Benchmark, cell.Threads, f.IPC(), f.PerKiloInstr(counters.L1DMisses),
 			f.OSCyclePercent(), f.DTModePercent())
+	}
+	c.ExitFailures(failed)
+}
+
+// policySweep runs the seating-policy axis: each server mix under each
+// policy on each geometry, rendered as the policy comparison table.
+func policySweep(c *cli.Common, policyList, mixList, geoList string) {
+	var pols []string
+	if policyList == "all" {
+		pols = simos.PolicyNames()
+	} else {
+		for _, p := range strings.Split(policyList, ",") {
+			p = strings.TrimSpace(p)
+			if _, err := simos.NewPolicy(p); err != nil || p == "" {
+				c.Usagef("bad policy %q (want one of %s, or all)", p, strings.Join(simos.PolicyNames(), "|"))
+			}
+			pols = append(pols, p)
+		}
+	}
+	if geoList == "" {
+		geoList = "1x2,2x2,4x4"
+	}
+	geos, err := cli.ParseGeometries(geoList)
+	if err != nil {
+		c.Usagef("%v", err)
+	}
+	var ms []harness.Mix
+	for _, part := range strings.Split(mixList, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			c.Usagef("bad mix size %q", part)
+		}
+		ms = append(ms, harness.ServerMix(n))
+	}
+
+	j, err := c.OpenJournal(fmt.Sprintf("sweep scale=%v policies=%s mixes=%s geos=%s",
+		c.Scale, strings.Join(pols, ","), mixList, geoList))
+	if err != nil {
+		c.Fatal(err)
+	}
+	cfg := harness.DefaultConfig()
+	cfg.Scale = c.Scale
+	cfg.Jobs = c.Jobs
+	cfg.Progress = c.Progress()
+	cfg.Obs = c.Obs
+	cfg.Policy = c.Policy
+	cfg.Inject = c.Inject
+	cfg.Journal = j
+	cfg.Plan = c.Plan
+	cfg.SchedParams = c.SchedParams()
+	cells, err := harness.RunPolicySweep(cfg, pols, ms, geos)
+	if err != nil {
+		c.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		c.Fatal(err)
+	}
+	if err := c.WriteObs(); err != nil {
+		c.Fatal(err)
+	}
+
+	fmt.Print(harness.RenderPolicySweep(cells))
+	var failed []harness.Failure
+	for _, cell := range cells {
+		if cell.Failed != "" {
+			failed = append(failed, harness.Failure{
+				Cell:   fmt.Sprintf("%s policy=%s geo=%v", cell.Mix, cell.Policy, cell.Geometry),
+				Reason: cell.Failed,
+			})
+		}
 	}
 	c.ExitFailures(failed)
 }
@@ -146,6 +231,8 @@ func geometrySweep(c *cli.Common, name, geoList string) {
 	cfg.Inject = c.Inject
 	cfg.Journal = j
 	cfg.Plan = c.Plan
+	cfg.SchedPolicy = c.SchedPolicy
+	cfg.SchedParams = c.SchedParams()
 	cells, err := harness.RunGeometrySweep(cfg, targets, geos)
 	if err != nil {
 		c.Fatal(err)

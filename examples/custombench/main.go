@@ -101,7 +101,7 @@ func main() {
 	fmt.Printf("assembled %d methods, %d µops of code\n", len(prog.Methods), prog.CodeUops)
 
 	cpu := core.New(core.DefaultConfig(true))
-	kernel := simos.NewKernel(cpu, simos.DefaultParams())
+	kernel := simos.New(cpu, simos.Options{})
 	vm := jvm.New(prog, kernel, jvm.DefaultConfig())
 	vm.Start()
 	cycles, err := cpu.Run(0)

@@ -26,7 +26,7 @@ func run(heapBytes int, ht bool) (uint64, int, uint64) {
 	b, _ := bench.ByName("PseudoJBB")
 	prog := b.Build(1, bench.Small, 0)
 	cpu := core.New(core.DefaultConfig(ht))
-	k := simos.NewKernel(cpu, simos.DefaultParams())
+	k := simos.New(cpu, simos.Options{})
 	cfg := jvm.DefaultConfig()
 	cfg.HeapBytes = heapBytes
 	vm := jvm.New(prog, k, cfg)

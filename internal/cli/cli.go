@@ -23,6 +23,7 @@ import (
 	"javasmt/internal/resilience"
 	"javasmt/internal/sampling"
 	"javasmt/internal/sched"
+	"javasmt/internal/simos"
 )
 
 // ParseGeometries maps a comma-separated list of MxN machine shapes
@@ -95,6 +96,9 @@ type Flags struct {
 
 	cores    *int
 	contexts *int
+
+	policy    *string
+	timeslice *uint64
 }
 
 // Register installs the common flag block on fs (normally
@@ -121,6 +125,9 @@ func Register(tool string, fs *flag.FlagSet, opt Options) *Flags {
 	f.window = fs.Uint64("window", def.WindowCycles, "sampled mode: detailed-window length in `cycles`")
 	f.cores = fs.Int("cores", 0, "machine geometry: physical cores (with -contexts; 0 = the classic -ht machine)")
 	f.contexts = fs.Int("contexts", 0, "machine geometry: hardware contexts per core (with -cores)")
+	f.policy = fs.String("policy", "",
+		"seating `policy`: "+strings.Join(simos.PolicyNames(), "|")+" (default naive, the seed FIFO)")
+	f.timeslice = fs.Uint64("timeslice", 0, "scheduler timeslice in `cycles` (0 = built-in default)")
 	if opt.Jobs {
 		f.jobs = fs.Int("j", sched.DefaultWorkers(), "concurrent experiments (1 = serial)")
 	}
@@ -150,6 +157,11 @@ type Common struct {
 	// (neither flag given) defers to each tool's HT flag, keeping legacy
 	// invocations byte-identical.
 	Geometry core.Geometry
+	// SchedPolicy is the -policy seating policy name ("" = naive, the
+	// seed FIFO); Timeslice is the -timeslice override in cycles (0 =
+	// the scheduler's built-in default).
+	SchedPolicy string
+	Timeslice   uint64
 
 	tool        string
 	metricsPath string
@@ -213,6 +225,9 @@ func (f *Flags) Finish() (*Common, error) {
 	if err := plan.Validate(); err != nil {
 		return nil, err
 	}
+	if _, err := simos.NewPolicy(*f.policy); err != nil {
+		return nil, err
+	}
 	geo := core.Geometry{Cores: *f.cores, ContextsPerCore: *f.contexts}
 	if (geo != core.Geometry{}) {
 		if geo.Cores <= 0 || geo.ContextsPerCore <= 0 {
@@ -249,6 +264,8 @@ func (f *Flags) Finish() (*Common, error) {
 		Inject:      inject,
 		Plan:        plan,
 		Geometry:    geo,
+		SchedPolicy: *f.policy,
+		Timeslice:   *f.timeslice,
 		tool:        f.tool,
 		metricsPath: *f.metrics,
 		tracePath:   *f.trace,
@@ -317,6 +334,28 @@ func (c *Common) GeometryTag() string {
 	return fmt.Sprintf(" geo=%v", c.Geometry)
 }
 
+// PolicyTag is the journal-config descriptor of the scheduling
+// configuration: empty with no -policy/-timeslice (so journals written
+// before policies existed keep their exact config strings) and
+// canonical " policy=NAME"/" timeslice=N" clauses otherwise.
+func (c *Common) PolicyTag() string {
+	tag := ""
+	if c.SchedPolicy != "" {
+		tag += " policy=" + c.SchedPolicy
+	}
+	if c.Timeslice != 0 {
+		tag += fmt.Sprintf(" timeslice=%d", c.Timeslice)
+	}
+	return tag
+}
+
+// SchedParams returns the simos scheduler tuning from the flags: the
+// zero value unless -timeslice was given (simos.New fills unset fields
+// from DefaultParams).
+func (c *Common) SchedParams() simos.Params {
+	return simos.Params{Timeslice: c.Timeslice}
+}
+
 // OpenJournal opens the campaign journal selected by -journal/-resume,
 // or returns nil when no journal was requested. config is the tool's
 // campaign identity string; the sampling plan's Tag and the geometry
@@ -329,7 +368,7 @@ func (c *Common) OpenJournal(config string) (*resilience.Journal, error) {
 	if c.journalDir == "" {
 		return nil, nil
 	}
-	config += c.Plan.Tag() + c.GeometryTag()
+	config += c.Plan.Tag() + c.GeometryTag() + c.PolicyTag()
 	j, err := resilience.Open(c.journalDir, resilience.Meta{Tool: c.tool, Config: config}, c.resume)
 	if err != nil {
 		return nil, err

@@ -76,6 +76,10 @@ const (
 	FetchStallCycles
 	// ContextSwitches counts OS thread reschedules.
 	ContextSwitches
+	// ThreadMigrations counts dispatches of a thread onto a different
+	// hardware context than the one it last ran on (simos seating
+	// policies re-seat threads at quantum boundaries).
+	ThreadMigrations
 	// Syscalls counts kernel entries.
 	Syscalls
 	// GCCycles counts cycles retired by the JVM garbage-collector
@@ -124,6 +128,7 @@ var eventNames = [...]string{
 	LSQStallCycles:    "lsq_stall_cycles",
 	FetchStallCycles:  "fetch_stall_cycles",
 	ContextSwitches:   "context_switches",
+	ThreadMigrations:  "thread_migrations",
 	Syscalls:          "syscalls",
 	GCCycles:          "gc_cycles",
 	MonitorBlocks:     "monitor_blocks",

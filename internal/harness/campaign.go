@@ -216,6 +216,8 @@ func counterFiles(v any) []*counters.File {
 		return []*counters.File{&t.Counters}
 	case *GeometryCell:
 		return []*counters.File{&t.Counters}
+	case *PolicyCell:
+		return []*counters.File{&t.Counters}
 	}
 	return nil
 }

@@ -62,7 +62,8 @@ func RunCharacterization(cfg Config) (*Characterization, error) {
 		report(fmt.Sprintf("%s threads=%d ht=%v", cl.b.Name, cl.threads, cl.ht))
 		return runCell(cfg, label(i), func(w *resilience.Watch) (CharRun, error) {
 			opt := Options{HT: cl.ht, Threads: cl.threads, Scale: cfg.Scale, Verify: true,
-				MaxCycles: cfg.Policy.CycleBudget, Cancel: w.Flag(), Plan: cfg.Plan}
+				MaxCycles: cfg.Policy.CycleBudget, Cancel: w.Flag(), Plan: cfg.Plan,
+				SchedPolicy: cfg.SchedPolicy, SchedParams: cfg.SchedParams}
 			if cfg.Obs.Enabled() {
 				opt.Obs, opt.ObsLabel = cfg.Obs, label(i)
 			}
@@ -513,6 +514,8 @@ func RunFig10(cfg Config) ([]Fig10Row, error) {
 				opt.MaxCycles = cfg.Policy.CycleBudget
 				opt.Cancel = w.Flag()
 				opt.Plan = cfg.Plan
+				opt.SchedPolicy = cfg.SchedPolicy
+				opt.SchedParams = cfg.SchedParams
 				if cfg.Obs.Enabled() {
 					opt.Obs, opt.ObsLabel = cfg.Obs, fmt.Sprintf("fig10 %s %s", b.Name, mode)
 				}
@@ -601,7 +604,8 @@ func RunFig12(cfg Config, threadCounts []int) ([]Fig12Row, error) {
 		report(fmt.Sprintf("%s threads=%d", pt.b.Name, pt.threads))
 		return runCell(cfg, label(i), func(w *resilience.Watch) (Fig12Row, error) {
 			opt := Options{HT: true, Threads: pt.threads, Scale: cfg.Scale, Verify: true,
-				MaxCycles: cfg.Policy.CycleBudget, Cancel: w.Flag(), Plan: cfg.Plan}
+				MaxCycles: cfg.Policy.CycleBudget, Cancel: w.Flag(), Plan: cfg.Plan,
+				SchedPolicy: cfg.SchedPolicy, SchedParams: cfg.SchedParams}
 			if cfg.Obs.Enabled() {
 				opt.Obs, opt.ObsLabel = cfg.Obs, label(i)
 			}
@@ -681,7 +685,8 @@ func RunSweep(cfg Config, targets []*bench.Benchmark, threadCounts []int) ([]Swe
 		report(label(i))
 		return runCell(cfg, label(i), func(w *resilience.Watch) (SweepCell, error) {
 			opt := Options{HT: true, Threads: pt.threads, Scale: cfg.Scale, Verify: true,
-				MaxCycles: cfg.Policy.CycleBudget, Cancel: w.Flag(), Plan: cfg.Plan}
+				MaxCycles: cfg.Policy.CycleBudget, Cancel: w.Flag(), Plan: cfg.Plan,
+				SchedPolicy: cfg.SchedPolicy, SchedParams: cfg.SchedParams}
 			if cfg.Obs.Enabled() {
 				opt.Obs, opt.ObsLabel = cfg.Obs, label(i)
 			}
@@ -751,7 +756,8 @@ func RunGeometrySweep(cfg Config, targets []*bench.Benchmark, geos []core.Geomet
 				threads = pt.geo.Total()
 			}
 			opt := Options{Geometry: pt.geo, Threads: threads, Scale: cfg.Scale, Verify: true,
-				MaxCycles: cfg.Policy.CycleBudget, Cancel: w.Flag(), Plan: cfg.Plan}
+				MaxCycles: cfg.Policy.CycleBudget, Cancel: w.Flag(), Plan: cfg.Plan,
+				SchedPolicy: cfg.SchedPolicy, SchedParams: cfg.SchedParams}
 			if cfg.Obs.Enabled() {
 				opt.Obs, opt.ObsLabel = cfg.Obs, label(i)
 			}

@@ -57,6 +57,15 @@ type Config struct {
 	// (internal/sampling). The zero value is full detailed simulation,
 	// byte-identical to a configuration without the field.
 	Plan sampling.Plan
+	// SchedPolicy names the simos seating policy every cell's kernel
+	// runs under ("" or "naive" = the seed FIFO timeslicer,
+	// byte-identical to a configuration without the field). Solo
+	// reference runs stay policy-free: a lone thread's seating cannot
+	// matter, and the singleflight solo cache is keyed without it.
+	SchedPolicy string
+	// SchedParams overrides the scheduler tuning (zero fields take the
+	// simos defaults).
+	SchedParams simos.Params
 }
 
 // DefaultConfig returns the serial Tiny-scale configuration with the
@@ -67,7 +76,8 @@ func DefaultConfig() Config {
 
 // pairOptions derives the per-pairing protocol options from cfg.
 func (c Config) pairOptions() PairOptions {
-	return PairOptions{Scale: c.Scale, Runs: c.Runs, MaxCycles: c.cellMaxCycles(), Obs: c.Obs, Plan: c.Plan}
+	return PairOptions{Scale: c.Scale, Runs: c.Runs, MaxCycles: c.cellMaxCycles(), Obs: c.Obs, Plan: c.Plan,
+		SchedPolicy: c.SchedPolicy, SchedParams: c.SchedParams}
 }
 
 // Options configures a run.
@@ -108,6 +118,14 @@ type Options struct {
 	// Plan selects full or interval-sampled simulation (internal/
 	// sampling); the zero value is full detailed simulation.
 	Plan sampling.Plan
+	// SchedPolicy names the simos seating policy for the run's kernel.
+	// "" and "naive" select the seed FIFO timeslicer — byte-identical
+	// to a configuration without the field (TestPolicyNaiveEquivalence).
+	SchedPolicy string
+	// SchedParams overrides the scheduler tuning; zero fields take the
+	// simos defaults, so setting only Timeslice keeps the switch-cost
+	// model untouched.
+	SchedParams simos.Params
 }
 
 // DefaultOptions returns a single-threaded HT-off Tiny run with
@@ -125,6 +143,20 @@ func cpuConfig(opts Options) core.Config {
 	cfg.Partition = opts.Partition
 	cfg.TC.SharedTags = opts.TCSharedTags
 	return cfg
+}
+
+// newKernel builds the simulated OS for a run — the single place
+// scheduler tuning and the seating policy enter a simulation. Every
+// kernel the harness creates (characterization runs, solo reference
+// measurements, pairings, mixes) comes through here, so an Options
+// change reaches all of them; the old pattern of calling
+// simos.NewKernel(cpu, simos.DefaultParams()) at each call site is gone.
+func newKernel(cpu *core.CPU, opts Options) (*simos.Kernel, error) {
+	pol, err := simos.NewPolicy(opts.SchedPolicy)
+	if err != nil {
+		return nil, err
+	}
+	return simos.New(cpu, simos.Options{Params: opts.SchedParams, Policy: pol}), nil
 }
 
 // vmConfig scales the collected heap with the input size so GC activity
@@ -174,7 +206,10 @@ func RunWithCPUConfig(b *bench.Benchmark, opts Options, cfg core.Config) (*Resul
 	}
 	prog := b.Build(threads, opts.Scale, 0)
 	cpu := core.New(cfg)
-	k := simos.NewKernel(cpu, simos.DefaultParams())
+	k, err := newKernel(cpu, opts)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s: %w", b.Name, err)
+	}
 	vm := jvm.New(prog, k, vmConfig(opts.Scale, 0))
 	vm.Start()
 	var ro *obs.RunObs
@@ -357,6 +392,11 @@ type PairOptions struct {
 	// and its solo reference runs (internal/sampling); the zero value is
 	// full detailed simulation.
 	Plan sampling.Plan
+	// SchedPolicy and SchedParams select the seating policy and
+	// scheduler tuning of the co-scheduled interval (see
+	// Options.SchedPolicy). Solo reference runs stay policy-free.
+	SchedPolicy string
+	SchedParams simos.Params
 }
 
 // DefaultPairOptions returns the default pairing protocol settings.
@@ -417,7 +457,13 @@ func SoloTimePlan(b *bench.Benchmark, scale bench.Scale, runs int, plan sampling
 func measureSolo(b *bench.Benchmark, scale bench.Scale, runs int, plan sampling.Plan) (float64, error) {
 	soloSims.Add(1)
 	cpu := core.New(cpuConfig(Options{}))
-	k := simos.NewKernel(cpu, simos.DefaultParams())
+	// Solo reference runs are deliberately policy-free (default
+	// Options): a single thread's seating cannot matter, and the
+	// singleflight cache key above carries no policy component.
+	k, err := newKernel(cpu, Options{})
+	if err != nil {
+		return 0, err
+	}
 	rf := &repeatingFeeder{b: b, scale: scale, slot: 0, k: k, cpu: cpu, maxRuns: runs + 2}
 	rf.launch()
 	ctrl := sampling.NewController(cpu, plan)
@@ -476,7 +522,10 @@ func runPairOn(cpu *core.CPU, a, b *bench.Benchmark, opts PairOptions) (*PairRes
 		return nil, err
 	}
 
-	k := simos.NewKernel(cpu, simos.DefaultParams())
+	k, err := newKernel(cpu, Options{SchedPolicy: opts.SchedPolicy, SchedParams: opts.SchedParams})
+	if err != nil {
+		return nil, err
+	}
 	// +2: the first (cold) and last (possibly truncated) runs are
 	// dropped, as in the paper.
 	fa := &repeatingFeeder{b: a, scale: opts.Scale, slot: 0, k: k, cpu: cpu, maxRuns: opts.Runs + 2}

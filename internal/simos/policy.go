@@ -1,0 +1,280 @@
+package simos
+
+import (
+	"fmt"
+
+	"javasmt/internal/core"
+)
+
+// Policy decides which runnable thread a hardware context runs next —
+// the symbiotic-scheduling hook consulted at every dispatch boundary
+// (idle seat, quantum expiry, block, exit). Implementations must be
+// deterministic pure functions of the SchedView: the simulation replays
+// byte-identically at any worker count and across journal resume, and a
+// policy that consulted wall clocks or randomness would break that.
+//
+// A policy may return nil to leave the seat idle for this dispatch
+// round (used to spread threads across cores before sharing contexts);
+// it must then accept a thread on some other idle seat, or the machine
+// would spin. The returned thread must be on the run queue.
+type Policy interface {
+	// Name is the registry name, as spelled by cli -policy and recorded
+	// in campaign journal identities.
+	Name() string
+	// Pick selects the next thread for seat from v's run queue, or nil
+	// to park the seat this round.
+	Pick(v *SchedView, seat Seat) *Thread
+}
+
+// SchedView is the read-only machine view a Policy consults: run-queue
+// order, per-thread seated metrics (Thread.IPC, Thread.CacheHostility,
+// Thread.LastSeat) and live per-seat state sourced from the hardware
+// (core.SeatDyn: exact per-context retired µops and ROB occupancy,
+// core-level TC/L1D miss totals). Every accessor is a pure read —
+// consulting the view never perturbs simulation state — and every value
+// is derived from deterministic simulation state, so policy decisions
+// are identical in full and sampled mode for the same µop history.
+type SchedView struct {
+	k   *Kernel
+	now uint64
+}
+
+// Now returns the dispatch decision's cycle timestamp.
+func (v *SchedView) Now() uint64 { return v.now }
+
+// Geometry returns the machine shape being scheduled onto.
+func (v *SchedView) Geometry() core.Geometry { return v.k.geo }
+
+// QueueLen returns how many threads are waiting on the run queue.
+func (v *SchedView) QueueLen() int { return v.k.runqLen }
+
+// First returns the head of the run queue (the FIFO choice), or nil
+// when the queue is empty.
+func (v *SchedView) First() *Thread { return v.k.runqHead }
+
+// EachQueued calls fn for each queued thread in FIFO (arrival) order
+// until fn returns false. Policies use the stable order for
+// deterministic tie-breaking: scans that keep the first of equals pick
+// the longest-waiting thread.
+func (v *SchedView) EachQueued(fn func(*Thread) bool) {
+	for t := v.k.runqHead; t != nil; t = t.next {
+		if !fn(t) {
+			return
+		}
+	}
+}
+
+// SeatThread returns the thread currently running on seat, or nil when
+// the seat is idle.
+func (v *SchedView) SeatThread(s Seat) *Thread {
+	return v.k.cpus[v.k.geo.Index(s)].current
+}
+
+// SeatDyn returns the seat's live hardware metrics (per-context retired
+// µops and ROB occupancy, core-level cache-miss totals).
+func (v *SchedView) SeatDyn(s Seat) core.SeatDyn { return v.k.cpu.SeatDyn(s) }
+
+// SeatIPC returns the current occupant's retired-µops-per-cycle since
+// its dispatch on the seat (0 for an idle seat or a zero-cycle span).
+func (v *SchedView) SeatIPC(s Seat) float64 {
+	cs := v.k.cpus[v.k.geo.Index(s)]
+	if cs.current == nil || v.now <= cs.runStart {
+		return 0
+	}
+	d := v.k.cpu.SeatDyn(s)
+	return float64(d.Retired-cs.startRetired) / float64(v.now-cs.runStart)
+}
+
+// PolicyNames lists the registered seating policies in presentation
+// order: naive (the seed FIFO), roundrobin-core, symbiotic-ipc,
+// contention-aware.
+func PolicyNames() []string {
+	return []string{"naive", "roundrobin-core", "symbiotic-ipc", "contention-aware"}
+}
+
+// NewPolicy resolves a registry name to a Policy. The empty string and
+// "naive" resolve to nil: the kernel's built-in FIFO fast path is the
+// naive policy, and a nil policy keeps it byte-identical to the seed
+// timeslicer.
+func NewPolicy(name string) (Policy, error) {
+	switch name {
+	case "", "naive":
+		return nil, nil
+	case "roundrobin-core":
+		return roundRobinCore{}, nil
+	case "symbiotic-ipc":
+		return symbioticIPC{}, nil
+	case "contention-aware":
+		return contentionAware{}, nil
+	}
+	return nil, fmt.Errorf("simos: unknown scheduling policy %q (have %v)", name, PolicyNames())
+}
+
+// PolicyName returns the registry name of p, spelling the nil fast path
+// "naive".
+func PolicyName(p Policy) string {
+	if p == nil {
+		return "naive"
+	}
+	return p.Name()
+}
+
+// roundRobinCore spreads threads across cores before sharing SMT
+// contexts: while the machine is undersubscribed, only the least-loaded
+// cores accept new threads, so two threads land on two different cores
+// (each with a whole pipeline and private caches) instead of time-
+// sharing one core's contexts. Once the run queue is at least as long
+// as the idle-seat count, every seat takes work FIFO — oversubscribed,
+// it degenerates to the naive timeslicer.
+type roundRobinCore struct{}
+
+func (roundRobinCore) Name() string { return "roundrobin-core" }
+
+func (roundRobinCore) Pick(v *SchedView, seat Seat) *Thread {
+	g := v.Geometry()
+	idle := 0
+	myOcc := 0
+	leastOcc := g.ContextsPerCore + 1
+	for lp := 0; lp < g.Total(); lp++ {
+		s := g.SeatOf(lp)
+		if v.SeatThread(s) != nil {
+			if s.Core == seat.Core {
+				myOcc++
+			}
+			continue
+		}
+		idle++
+		// Track the lightest load among cores that still have an idle
+		// seat (only such a core can absorb a parked thread).
+		occ := 0
+		for c := 0; c < g.ContextsPerCore; c++ {
+			if v.SeatThread(Seat{Core: s.Core, Ctx: c}) != nil {
+				occ++
+			}
+		}
+		if occ < leastOcc {
+			leastOcc = occ
+		}
+	}
+	if v.QueueLen() >= idle {
+		return v.First() // oversubscribed: plain FIFO
+	}
+	if myOcc > leastOcc {
+		// A lighter core with an idle seat exists; park this seat and
+		// let that core take the thread.
+		return nil
+	}
+	return v.First()
+}
+
+// symbioticIPC pairs high-IPC threads with low-IPC threads on each core
+// — the symbiosis heuristic of the SMT-scheduling literature: a thread
+// that retires fast saturates issue bandwidth, so its best co-runner is
+// one that waits on memory (and vice versa), while two fast threads
+// convoy on the pipeline and two slow ones waste it.
+type symbioticIPC struct{}
+
+func (symbioticIPC) Name() string { return "symbiotic-ipc" }
+
+func (symbioticIPC) Pick(v *SchedView, seat Seat) *Thread {
+	if t := firstNovice(v); t != nil {
+		return t // learning phase: seat unknown threads FIFO
+	}
+	co, known := coRunnerMean(v, seat, (*Thread).IPC)
+	if !known {
+		return v.First() // no co-runner history: FIFO
+	}
+	mean := queueMean(v, (*Thread).IPC)
+	// A fast core wants a slow partner and a slow core a fast one.
+	return extremeQueued(v, (*Thread).IPC, co >= mean)
+}
+
+// contentionAware separates cache-hostile threads onto different cores:
+// a core whose current occupants are missing heavily in the trace cache
+// and L1D gets a cache-friendly thread next (so the hostile working set
+// keeps its private caches), while a quiet core absorbs the next
+// hostile thread.
+type contentionAware struct{}
+
+func (contentionAware) Name() string { return "contention-aware" }
+
+func (contentionAware) Pick(v *SchedView, seat Seat) *Thread {
+	if t := firstNovice(v); t != nil {
+		return t
+	}
+	co, known := coRunnerMean(v, seat, (*Thread).CacheHostility)
+	if !known {
+		return v.First()
+	}
+	mean := queueMean(v, (*Thread).CacheHostility)
+	// A hostile core wants the friendliest queued thread; a quiet core
+	// takes the most hostile one off the queue.
+	return extremeQueued(v, (*Thread).CacheHostility, co >= mean)
+}
+
+// firstNovice returns the first queued thread with no seated history
+// (nil if all have history): metric policies seat unknowns FIFO first
+// so every thread earns a measurement before being steered.
+func firstNovice(v *SchedView) *Thread {
+	var novice *Thread
+	v.EachQueued(func(t *Thread) bool {
+		if !t.HasHistory() {
+			novice = t
+			return false
+		}
+		return true
+	})
+	return novice
+}
+
+// coRunnerMean returns the mean of metric over the threads currently
+// running on seat's sibling contexts (same core), and whether any
+// co-runner with history exists.
+func coRunnerMean(v *SchedView, seat Seat, metric func(*Thread) float64) (float64, bool) {
+	g := v.Geometry()
+	sum, n := 0.0, 0
+	for ctx := 0; ctx < g.ContextsPerCore; ctx++ {
+		if ctx == seat.Ctx {
+			continue
+		}
+		if t := v.SeatThread(Seat{Core: seat.Core, Ctx: ctx}); t != nil && t.HasHistory() {
+			sum += metric(t)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, false
+	}
+	return sum / float64(n), true
+}
+
+// queueMean returns the mean of metric over every queued thread.
+func queueMean(v *SchedView, metric func(*Thread) float64) float64 {
+	sum, n := 0.0, 0
+	v.EachQueued(func(t *Thread) bool {
+		sum += metric(t)
+		n++
+		return true
+	})
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// extremeQueued returns the queued thread minimizing (wantLow) or
+// maximizing metric; strict comparison keeps the earliest of equals, so
+// ties break toward the longest-waiting thread (deterministic and
+// starvation-resistant).
+func extremeQueued(v *SchedView, metric func(*Thread) float64, wantLow bool) *Thread {
+	var best *Thread
+	var bestVal float64
+	v.EachQueued(func(t *Thread) bool {
+		m := metric(t)
+		if best == nil || (wantLow && m < bestVal) || (!wantLow && m > bestVal) {
+			best, bestVal = t, m
+		}
+		return true
+	})
+	return best
+}

@@ -1,0 +1,250 @@
+package simos
+
+import (
+	"testing"
+
+	"javasmt/internal/core"
+	"javasmt/internal/counters"
+)
+
+func TestPolicyRegistry(t *testing.T) {
+	for _, name := range PolicyNames() {
+		p, err := NewPolicy(name)
+		if err != nil {
+			t.Fatalf("NewPolicy(%q): %v", name, err)
+		}
+		if got := PolicyName(p); got != name {
+			t.Fatalf("PolicyName(NewPolicy(%q)) = %q", name, got)
+		}
+	}
+	if p, err := NewPolicy(""); err != nil || p != nil {
+		t.Fatalf("NewPolicy(\"\") = %v, %v; want the nil seed FIFO", p, err)
+	}
+	if p, err := NewPolicy("naive"); err != nil || p != nil {
+		t.Fatalf("NewPolicy(naive) = %v, %v; want the nil seed FIFO", p, err)
+	}
+	if _, err := NewPolicy("bogus"); err == nil {
+		t.Fatal("NewPolicy(bogus) succeeded, want an error naming the registry")
+	}
+}
+
+// TestRunqMatchesReferenceModel drives the intrusive run queue through
+// pushes, head pops and arbitrary removals mirrored against a plain
+// slice, checking order after every operation.
+func TestRunqMatchesReferenceModel(t *testing.T) {
+	cpu := core.New(core.DefaultConfig(false))
+	k := New(cpu, Options{})
+	p := k.NewProcess("app")
+
+	var model []*Thread
+	checkOrder := func(step string) {
+		t.Helper()
+		if k.runqLen != len(model) {
+			t.Fatalf("%s: runqLen = %d, model %d", step, k.runqLen, len(model))
+		}
+		i := 0
+		v := &SchedView{k: k}
+		v.EachQueued(func(th *Thread) bool {
+			if i >= len(model) || model[i] != th {
+				t.Fatalf("%s: queue order diverges from model at %d", step, i)
+			}
+			i++
+			return true
+		})
+		if i != len(model) {
+			t.Fatalf("%s: queue has %d entries, model %d", step, i, len(model))
+		}
+	}
+
+	var ts []*Thread
+	for i := 0; i < 8; i++ {
+		th := p.Spawn("t", aluSource(10))
+		ts = append(ts, th)
+		model = append(model, th)
+		checkOrder("spawn")
+	}
+	// Remove from the middle, the head and the tail.
+	for _, idx := range []int{3, 0, 5} {
+		victim := model[idx]
+		k.runqRemove(victim)
+		model = append(model[:idx], model[idx+1:]...)
+		checkOrder("remove")
+	}
+	// Re-queue the removed threads; FIFO appends at the tail.
+	for _, th := range []*Thread{ts[3], ts[0], ts[7]} {
+		k.runqPush(th)
+		model = append(model, th)
+		checkOrder("repush")
+	}
+	// Pop every head.
+	for len(model) > 0 {
+		head := k.runqHead
+		if head != model[0] {
+			t.Fatalf("head = %v, model %v", head.ID, model[0].ID)
+		}
+		k.runqRemove(head)
+		model = model[1:]
+		checkOrder("pop")
+	}
+	if k.runqHead != nil || k.runqTail != nil {
+		t.Fatal("emptied queue still has head/tail links")
+	}
+}
+
+func TestDoneCountsBlockedThreads(t *testing.T) {
+	cpu := core.New(core.DefaultConfig(false))
+	k := New(cpu, Options{})
+	p := k.NewProcess("app")
+	th := p.Spawn("t", aluSource(10))
+	if k.cpus[0].Done() {
+		t.Fatal("Done with a runnable thread")
+	}
+	k.Block(th)
+	if k.cpus[0].Done() {
+		t.Fatal("Done with a blocked thread (it may be unblocked later)")
+	}
+	// Seed semantics: re-blocking is idempotent on state, so the blocked
+	// count must not double-count.
+	k.Block(th)
+	k.Unblock(th)
+	if k.blockedCount != 0 {
+		t.Fatalf("blockedCount = %d after unblock, want 0", k.blockedCount)
+	}
+}
+
+// TestThreadMigrationsCounted oversubscribes a two-context machine so
+// preempted threads re-dispatch on the sibling context; the migration
+// counter must record those moves even under the seed FIFO (where the
+// count is observation-only and the µop stream stays byte-identical).
+func TestThreadMigrationsCounted(t *testing.T) {
+	cpu := core.New(core.DefaultConfig(true))
+	k := New(cpu, Options{Params: Params{Timeslice: 2_000}})
+	p := k.NewProcess("app")
+	for i := 0; i < 3; i++ {
+		p.Spawn("t", aluSource(60_000))
+	}
+	if _, err := cpu.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := cpu.Counters().Get(counters.ThreadMigrations); got == 0 {
+		t.Fatal("no thread migrations counted on an oversubscribed 2-context machine")
+	}
+}
+
+// fifoPolicy is the seed FIFO spelled as an explicit Policy: the same
+// decisions as the nil fast path, but through the policy code path with
+// its migration cost model and per-thread metric attribution.
+type fifoPolicy struct{}
+
+func (fifoPolicy) Name() string                      { return "fifo-test" }
+func (fifoPolicy) Pick(v *SchedView, _ Seat) *Thread { return v.First() }
+
+// TestPolicyPathAttributesThreadMetrics checks that running under a
+// non-nil policy populates the per-thread scheduling history that the
+// metric-driven policies consult.
+func TestPolicyPathAttributesThreadMetrics(t *testing.T) {
+	cpu := core.New(core.DefaultConfig(true))
+	k := New(cpu, Options{Params: Params{Timeslice: 2_000}, Policy: fifoPolicy{}})
+	p := k.NewProcess("app")
+	var ts []*Thread
+	for i := 0; i < 3; i++ {
+		ts = append(ts, p.Spawn("t", aluSource(60_000)))
+	}
+	if _, err := cpu.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	for _, th := range ts {
+		if !th.HasHistory() {
+			t.Fatalf("thread %d has no seated history after running to completion", th.ID)
+		}
+		if th.IPC() <= 0 {
+			t.Fatalf("thread %d IPC = %v, want > 0", th.ID, th.IPC())
+		}
+	}
+}
+
+// seatThread fakes a running occupant for policy unit tests.
+func seatThread(k *Kernel, s Seat, th *Thread) {
+	cs := k.cpus[k.geo.Index(s)]
+	cs.current = th
+	th.state = Running
+	th.everRan = true
+	th.lastSeat = s
+}
+
+// queuedWithHistory spawns a thread and stamps a synthetic scheduling
+// history so metric policies treat it as known.
+func queuedWithHistory(p *Process, cycles, retired, misses uint64) *Thread {
+	th := p.Spawn("t", aluSource(10))
+	th.everRan = true
+	th.ranCycles = cycles
+	th.ranRetired = retired
+	th.ranMisses = misses
+	return th
+}
+
+// geomKernel builds a machine of the given shape under pol.
+func geomKernel(g core.Geometry, pol Policy) *Kernel {
+	cfg := core.DefaultConfig(false)
+	cfg.Geometry = g
+	return New(core.New(cfg), Options{Policy: pol})
+}
+
+func TestSymbioticIPCPairsFastWithSlow(t *testing.T) {
+	k := geomKernel(core.Geometry{Cores: 2, ContextsPerCore: 2}, symbioticIPC{})
+	p := k.NewProcess("app")
+
+	fast := queuedWithHistory(p, 1000, 2000, 0) // IPC 2.0
+	k.runqRemove(fast)
+	seatThread(k, Seat{Core: 0, Ctx: 0}, fast)
+
+	slow := queuedWithHistory(p, 1000, 200, 0) // IPC 0.2
+	mid := queuedWithHistory(p, 1000, 1000, 0) // IPC 1.0
+	fast2 := queuedWithHistory(p, 1000, 1900, 0)
+
+	v := &SchedView{k: k, now: 1}
+	// Seat next to the fast thread: wants the slowest queued thread.
+	if got := (symbioticIPC{}).Pick(v, Seat{Core: 0, Ctx: 1}); got != slow {
+		t.Fatalf("co-runner of fast thread = %v, want the slowest (IPC %v)", got.IPC(), slow.IPC())
+	}
+	// Now seat the slow thread alone on core 1 and ask for its partner:
+	// wants the fastest queued thread.
+	k.runqRemove(slow)
+	seatThread(k, Seat{Core: 1, Ctx: 0}, slow)
+	if got := (symbioticIPC{}).Pick(v, Seat{Core: 1, Ctx: 1}); got != fast2 {
+		t.Fatalf("co-runner of slow thread has IPC %v, want the fastest", got.IPC())
+	}
+	_ = mid
+}
+
+func TestMetricPoliciesSeatNovicesFirst(t *testing.T) {
+	k := geomKernel(core.Geometry{Cores: 1, ContextsPerCore: 2}, symbioticIPC{})
+	p := k.NewProcess("app")
+	veteran := queuedWithHistory(p, 1000, 1000, 0)
+	novice := p.Spawn("novice", aluSource(10))
+	v := &SchedView{k: k, now: 1}
+	if got := (symbioticIPC{}).Pick(v, Seat{Core: 0, Ctx: 0}); got != novice {
+		t.Fatalf("picked a veteran over a measurement-less novice")
+	}
+	_ = veteran
+}
+
+func TestRoundRobinCoreSpreadsBeforeSharing(t *testing.T) {
+	k := geomKernel(core.Geometry{Cores: 2, ContextsPerCore: 2}, roundRobinCore{})
+	p := k.NewProcess("app")
+
+	occupant := p.Spawn("t0", aluSource(10))
+	k.runqRemove(occupant)
+	seatThread(k, Seat{Core: 0, Ctx: 0}, occupant)
+	waiting := p.Spawn("t1", aluSource(10))
+
+	v := &SchedView{k: k, now: 1}
+	// Core 0 already has an occupant and core 1 is empty: its second
+	// context must park so core 1 takes the thread.
+	if got := (roundRobinCore{}).Pick(v, Seat{Core: 0, Ctx: 1}); got != nil {
+		t.Fatalf("loaded core accepted %v, want parked seat", got.ID)
+	}
+	if got := (roundRobinCore{}).Pick(v, Seat{Core: 1, Ctx: 0}); got != waiting {
+		t.Fatal("idle core refused the waiting thread")
+	}
+}

@@ -12,8 +12,8 @@ set -eu
 cd "$(dirname "$0")/.."
 
 count="${1:-1}"
-raw="$(go test -run '^$' -bench 'BenchmarkSimSpeed|BenchmarkCacheAccess|BenchmarkHierarchyData|BenchmarkFunctionalSpeed|BenchmarkSampledCampaign|BenchmarkGeometryScaling' \
-	-benchmem -count="$count" ./internal/core/ ./internal/cache/ ./internal/sampling/)"
+raw="$(go test -run '^$' -bench 'BenchmarkSimSpeed|BenchmarkCacheAccess|BenchmarkHierarchyData|BenchmarkFunctionalSpeed|BenchmarkSampledCampaign|BenchmarkGeometryScaling|BenchmarkPolicySweep' \
+	-benchmem -count="$count" ./internal/core/ ./internal/cache/ ./internal/sampling/ ./internal/harness/)"
 echo "$raw"
 
 echo "$raw" | awk '
@@ -59,6 +59,11 @@ END {
 		geo_ht = mbs["BenchmarkGeometryScaling/1x2"] / n["BenchmarkGeometryScaling/1x2"]
 		geo_cmp = mbs["BenchmarkGeometryScaling/4x4"] / n["BenchmarkGeometryScaling/4x4"]
 		if (geo_ht > 0 && geo_cmp > 0) printf ", \"geometry_4x4_vs_1x2\": %.2f", geo_cmp / geo_ht
+		# Policy-path tax: metric-driven seating relative to the naive
+		# fast path on the same mix (below 1.0 = SchedView scan cost).
+		pol_naive = mbs["BenchmarkPolicySweep/naive"] / n["BenchmarkPolicySweep/naive"]
+		pol_symb = mbs["BenchmarkPolicySweep/symbiotic-ipc"] / n["BenchmarkPolicySweep/symbiotic-ipc"]
+		if (pol_naive > 0 && pol_symb > 0) printf ", \"policy_symbiotic_vs_naive\": %.2f", pol_symb / pol_naive
 		printf "}"
 	}
 	print "\n}"

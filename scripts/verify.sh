@@ -7,8 +7,10 @@
 # the scheduler — must pass under the race detector at short scale,
 # the instrumented build (-tags checks, DESIGN.md §6) must pass its
 # probe suite with every invariant armed, the fault-injection build
-# (-tags faults, DESIGN.md §8) must pass its recovery suite, and an
-# interrupted journaled campaign must resume byte-identically.
+# (-tags faults, DESIGN.md §8) must pass its recovery suite, an
+# interrupted journaled campaign must resume byte-identically, and the
+# seating-policy subsystem (DESIGN.md §12) must be deterministic with
+# -policy naive byte-identical to the seed scheduler.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -56,6 +58,13 @@ wait "$camp" 2>/dev/null || true
 "$tmp/pairings" -all -benches compress,mpegaudio,db -runs 2 -j 8 -q \
     -journal "$tmp/journal" -resume > "$tmp/got.txt"
 diff -u "$tmp/want.txt" "$tmp/got.txt"
+
+echo "== scheduling (policy determinism + naive equivalence, -tags checks) =="
+go test -tags checks ./internal/simos -run 'Policy|Runq|Migrations|Symbiotic|RoundRobin|Novices|Done' -count=1
+go test -tags checks ./internal/harness -run 'TestPolicyNaiveEquivalence|TestPolicySweepDeterminism|TestPolicySweepJournalResume|TestServerMixShape|TestRunMix' -count=1
+
+echo "== policy sweep smoke (2x2 server mix, all policies) =="
+go run ./cmd/sweep -policies all -mixes 8 -geos 2x2
 
 echo "== sampled journal smoke (resume works, cross-mode refused) =="
 "$tmp/pairings" -all -benches compress,mpegaudio -runs 2 -j 8 -q \
