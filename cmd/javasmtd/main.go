@@ -1,0 +1,102 @@
+// Command javasmtd is the campaign server: a long-running daemon that
+// accepts experiment-campaign specs over HTTP/JSON, fans their cells
+// across a bounded worker pool, journals every outcome to a per-job
+// ledger, and streams results as they complete. Kill it — SIGTERM,
+// SIGKILL, power loss with -journal-sync — and the next start resumes
+// every unfinished job from its ledger, re-simulating only cells that
+// never committed.
+//
+// Usage:
+//
+//	javasmtd -data DIR [-addr :8347] [-workers N] [-max-queue N]
+//	         [-max-jobs N] [-journal-sync] [-q]
+//
+// The bound address is written to DIR/addr once listening (so scripts
+// can use -addr :0 and discover the port), and removed on clean exit.
+// See DESIGN.md §13 and the README's "Serving campaigns" walkthrough.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"javasmt/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8347", "listen address (use :0 for an ephemeral port)")
+	data := flag.String("data", "", "state directory: job specs, ledgers, terminal markers (required)")
+	workers := flag.Int("workers", 0, "concurrent cell simulations (0 = one per CPU)")
+	maxQueue := flag.Int("max-queue", 4096, "max queued cells across all jobs before submissions get 429 (0 = unbounded)")
+	maxJobs := flag.Int("max-jobs", 64, "max active jobs before submissions get 429 (0 = unbounded)")
+	journalSync := flag.Bool("journal-sync", false, "fsync job ledgers after every cell (survives power loss, not just crashes)")
+	quiet := flag.Bool("q", false, "suppress lifecycle logging")
+	flag.Parse()
+	if *data == "" {
+		fmt.Fprintln(os.Stderr, "javasmtd: -data is required")
+		os.Exit(2)
+	}
+
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "javasmtd: "+format+"\n", args...)
+	}
+	if *quiet {
+		logf = nil
+	}
+	srv, err := service.New(service.Config{
+		DataDir:        *data,
+		Workers:        *workers,
+		MaxQueuedCells: *maxQueue,
+		MaxJobs:        *maxJobs,
+		JournalSync:    *journalSync,
+		Logf:           logf,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "javasmtd: %v\n", err)
+		os.Exit(1)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "javasmtd: %v\n", err)
+		os.Exit(1)
+	}
+	addrFile := filepath.Join(*data, "addr")
+	if err := os.WriteFile(addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "javasmtd: %v\n", err)
+		os.Exit(1)
+	}
+	if logf != nil {
+		logf("listening on %s (data %s)", ln.Addr(), *data)
+	}
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		if logf != nil {
+			logf("%v: draining (in-flight cells commit; queued cells resume next start)", sig)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		httpSrv.Shutdown(ctx)
+		cancel()
+		srv.Drain()
+		os.Remove(addrFile)
+	case err := <-done:
+		fmt.Fprintf(os.Stderr, "javasmtd: %v\n", err)
+		os.Remove(addrFile)
+		os.Exit(1)
+	}
+}

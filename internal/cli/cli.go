@@ -2,7 +2,8 @@
 // scale selection, engine parallelism, quiet mode, invariant checks,
 // the observability outputs (-metrics, -trace, -sample), and the
 // campaign resilience block (-deadline, -cycle-budget, -retries,
-// -inject, -journal, -resume). Each tool registers the block once,
+// -inject, -journal, -resume, -journal-sync). Each tool registers the
+// block once,
 // parses, and resolves it into a Common that carries the scale, job
 // count, resilience policy and (possibly nil) obs.Sink.
 package cli
@@ -82,12 +83,13 @@ type Flags struct {
 	trace   *string
 	sample  *uint64
 
-	deadline *time.Duration
-	budget   *uint64
-	retries  *int
-	inject   *string
-	journal  *string
-	resume   *bool
+	deadline    *time.Duration
+	budget      *uint64
+	retries     *int
+	inject      *string
+	journal     *string
+	resume      *bool
+	journalSync *bool
 
 	simMode    *string
 	ffInterval *uint64
@@ -118,6 +120,7 @@ func Register(tool string, fs *flag.FlagSet, opt Options) *Flags {
 	f.inject = fs.String("inject", "", "fault-injection `spec`, e.g. seed=42,panic=0.1 (needs a -tags faults build)")
 	f.journal = fs.String("journal", "", "campaign journal `dir` for checkpoint/resume")
 	f.resume = fs.Bool("resume", false, "resume the campaign recorded in -journal, skipping finished cells")
+	f.journalSync = fs.Bool("journal-sync", false, "fsync the -journal after every cell (survives power loss, not just crashes)")
 	def := sampling.DefaultSampledPlan()
 	f.simMode = fs.String("sim-mode", "full", "simulation mode: full|sampled (interval sampling, DESIGN.md §10)")
 	f.ffInterval = fs.Uint64("ff-interval", def.FFUops, "sampled mode: unwarmed fast-forward `uops` per interval")
@@ -168,6 +171,7 @@ type Common struct {
 	tracePath   string
 	journalDir  string
 	resume      bool
+	journalSync bool
 }
 
 // Finish validates the parsed flags and builds the Common. It must be
@@ -191,6 +195,9 @@ func (f *Flags) Finish() (*Common, error) {
 	}
 	if *f.resume && *f.journal == "" {
 		return nil, fmt.Errorf("-resume needs -journal to say which campaign to resume")
+	}
+	if *f.journalSync && *f.journal == "" {
+		return nil, fmt.Errorf("-journal-sync needs -journal to say which journal to sync")
 	}
 	inject, err := faultinject.Parse(*f.inject)
 	if err != nil {
@@ -271,6 +278,7 @@ func (f *Flags) Finish() (*Common, error) {
 		tracePath:   *f.trace,
 		journalDir:  *f.journal,
 		resume:      *f.resume,
+		journalSync: *f.journalSync,
 	}
 	if f.jobs != nil {
 		c.Jobs = *f.jobs
@@ -369,7 +377,11 @@ func (c *Common) OpenJournal(config string) (*resilience.Journal, error) {
 		return nil, nil
 	}
 	config += c.Plan.Tag() + c.GeometryTag() + c.PolicyTag()
-	j, err := resilience.Open(c.journalDir, resilience.Meta{Tool: c.tool, Config: config}, c.resume)
+	var opts []resilience.Option
+	if c.journalSync {
+		opts = append(opts, resilience.WithSync())
+	}
+	j, err := resilience.Open(c.journalDir, resilience.Meta{Tool: c.tool, Config: config}, c.resume, opts...)
 	if err != nil {
 		return nil, err
 	}

@@ -237,6 +237,40 @@ func TestCampaignFlags(t *testing.T) {
 	}
 }
 
+// TestJournalSyncFlag pins the -journal-sync wiring: it needs -journal,
+// and a synced journal stays resumable by an unsynced run (durability
+// is not campaign identity).
+func TestJournalSyncFlag(t *testing.T) {
+	if _, err := parse(t, Options{}, "-journal-sync"); err == nil {
+		t.Fatal("-journal-sync without -journal was accepted")
+	}
+	dir := t.TempDir()
+	c, err := parse(t, Options{}, "-journal", dir, "-journal-sync")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := c.OpenJournal("cfg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record("cell", resilience.StatusOK, "", []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	c, err = parse(t, Options{}, "-journal", dir, "-resume")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err = c.OpenJournal("cfg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Resumed() != 1 {
+		t.Fatalf("resumed = %d, want 1", j.Resumed())
+	}
+	j.Close()
+}
+
 // TestSmallWarningText pins the deprecation warning wording (and that it
 // goes to the flag set's output, where tests and wrappers can see it).
 func TestSmallWarningText(t *testing.T) {

@@ -60,10 +60,14 @@ func renderFailures(fails []Failure) string {
 }
 
 // outcome is one cell's result: exactly one of v (completed) or fail is
-// meaningful.
+// meaningful. payload carries the completed cell's journal-payload
+// bytes (the cellRecord JSON), so the service layer can ledger, cache
+// and stream results without re-marshaling — and therefore without any
+// chance of drifting from what a single-process campaign journals.
 type outcome[T any] struct {
-	v    T
-	fail *resilience.CellError
+	v       T
+	payload json.RawMessage
+	fail    *resilience.CellError
 }
 
 // cellRecord is the journal payload of a completed cell: its typed
@@ -109,6 +113,7 @@ func runCell[T any](cfg Config, cell string, fn func(w *resilience.Watch) (T, er
 		}
 		cfg.Obs.AddSeries(rec.Series...)
 		out.v = rec.V
+		out.payload = e.Payload
 		return out, nil
 	}
 
@@ -130,20 +135,19 @@ func runCell[T any](cfg Config, cell string, fn func(w *resilience.Watch) (T, er
 		return out, nil
 	}
 
-	if cfg.Journal != nil {
-		rec := cellRecord[T]{V: val}
-		if cfg.Obs.MetricsEnabled() {
-			rec.Series = cfg.Obs.SeriesByPrefix(cell)
-		}
-		payload, err := json.Marshal(rec)
-		if err != nil {
-			return out, fmt.Errorf("harness: journal payload for cell %q: %w", cell, err)
-		}
-		if err := cfg.Journal.Record(cell, resilience.StatusOK, "", payload); err != nil {
-			return out, err
-		}
+	rec := cellRecord[T]{V: val}
+	if cfg.Obs.MetricsEnabled() {
+		rec.Series = cfg.Obs.SeriesByPrefix(cell)
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return out, fmt.Errorf("harness: journal payload for cell %q: %w", cell, err)
+	}
+	if err := cfg.Journal.Record(cell, resilience.StatusOK, "", payload); err != nil {
+		return out, err
 	}
 	out.v = val
+	out.payload = payload
 	return out, nil
 }
 

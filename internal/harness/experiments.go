@@ -7,12 +7,10 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"sync"
 
 	"javasmt/internal/bench"
 	"javasmt/internal/core"
 	"javasmt/internal/counters"
-	"javasmt/internal/resilience"
 	"javasmt/internal/sched"
 	"javasmt/internal/stats"
 )
@@ -39,41 +37,7 @@ type Characterization struct {
 // independent cells across up to cfg.Jobs workers. Cell order in the
 // result is fixed regardless of parallelism.
 func RunCharacterization(cfg Config) (*Characterization, error) {
-	type cell struct {
-		b       *bench.Benchmark
-		threads int
-		ht      bool
-	}
-	var cells []cell
-	for _, b := range bench.Multithreaded() {
-		for _, threads := range []int{2, 8} {
-			for _, ht := range []bool{false, true} {
-				cells = append(cells, cell{b, threads, ht})
-			}
-		}
-	}
-	report := sched.Progress(cfg.Progress)
-	label := func(i int) string {
-		cl := cells[i]
-		return fmt.Sprintf("%s t=%d ht=%v", cl.b.Name, cl.threads, cl.ht)
-	}
-	outs, err := sched.MapObserved(len(cells), cfg.Jobs, cfg.Obs, label, func(i int) (outcome[CharRun], error) {
-		cl := cells[i]
-		report(fmt.Sprintf("%s threads=%d ht=%v", cl.b.Name, cl.threads, cl.ht))
-		return runCell(cfg, label(i), func(w *resilience.Watch) (CharRun, error) {
-			opt := Options{HT: cl.ht, Threads: cl.threads, Scale: cfg.Scale, Verify: true,
-				MaxCycles: cfg.Policy.CycleBudget, Cancel: w.Flag(), Plan: cfg.Plan,
-				SchedPolicy: cfg.SchedPolicy, SchedParams: cfg.SchedParams}
-			if cfg.Obs.Enabled() {
-				opt.Obs, opt.ObsLabel = cfg.Obs, label(i)
-			}
-			res, err := Run(cl.b, opt)
-			if err != nil {
-				return CharRun{}, err
-			}
-			return CharRun{Benchmark: cl.b.Name, Threads: cl.threads, HT: cl.ht, Result: res}, nil
-		})
-	})
+	outs, err := mapCells(cfg, characterizationCells())
 	if err != nil {
 		return nil, err
 	}
@@ -290,37 +254,17 @@ func RunPairingsOf(progs []*bench.Benchmark, cfg Config) (*Pairings, error) {
 		p.Combined[i] = make([]float64, n)
 		p.Results[i] = make([]*PairResult, n)
 	}
-	type pairJob struct{ i, j int }
-	var jobs []pairJob
-	for i := 0; i < n; i++ {
-		for j := i; j < n; j++ {
-			jobs = append(jobs, pairJob{i, j})
-		}
+	grid := pairGrid(progs)
+	cells := make([]typedCell[*PairResult], len(grid))
+	for idx, ij := range grid {
+		cells[idx] = pairCell(progs[ij[0]], progs[ij[1]])
 	}
-	opts := cfg.pairOptions()
 	report := sched.Progress(cfg.Progress)
-	label := func(idx int) string {
-		return fmt.Sprintf("pair %s+%s", progs[jobs[idx].i].Name, progs[jobs[idx].j].Name)
-	}
-	// Workers draw reusable machines from a pool: a Reset CPU behaves
-	// bit-identically to a fresh one (asserted by the determinism test)
-	// but keeps its calendar rings, ROB rings and cache arrays.
-	pool := sync.Pool{New: func() any { return core.New(pairCPUConfig()) }}
-	results, err := sched.MapObserved(len(jobs), cfg.Jobs, cfg.Obs, label, func(idx int) (outcome[*PairResult], error) {
-		a, b := progs[jobs[idx].i], progs[jobs[idx].j]
+	label := func(idx int) string { return cells[idx].label }
+	results, err := sched.MapObserved(len(grid), cfg.Jobs, cfg.Obs, label, func(idx int) (outcome[*PairResult], error) {
+		a, b := progs[grid[idx][0]], progs[grid[idx][1]]
 		report(fmt.Sprintf("pair %s + %s: start", a.Name, b.Name))
-		out, err := runCell(cfg, label(idx), func(w *resilience.Watch) (*PairResult, error) {
-			// A panicking cell unwinds past the Put, so its machine —
-			// possibly mid-corruption — is never pooled; canceled or
-			// over-budget machines are safe to reuse after Reset.
-			cpu := pool.Get().(*core.CPU)
-			cpu.Reset()
-			o := opts
-			o.Cancel = w.Flag()
-			res, rerr := runPairOn(cpu, a, b, o)
-			pool.Put(cpu)
-			return res, rerr
-		})
+		out, err := runTyped(cfg, cells[idx])
 		if err != nil {
 			return out, err
 		}
@@ -335,7 +279,7 @@ func RunPairingsOf(progs []*bench.Benchmark, cfg Config) (*Pairings, error) {
 		return nil, err
 	}
 	for idx, o := range results {
-		i, j := jobs[idx].i, jobs[idx].j
+		i, j := grid[idx][0], grid[idx][1]
 		if o.fail != nil {
 			p.Failed = append(p.Failed, failureOf(o.fail))
 			continue
@@ -503,46 +447,15 @@ func (r Fig10Row) DynSlowdownPct() float64 {
 // program (paper §4.3), plus the dynamic-partition ablation, fanning
 // the per-benchmark measurements across up to cfg.Jobs workers.
 func RunFig10(cfg Config) ([]Fig10Row, error) {
-	progs := bench.SingleThreaded()
-	report := sched.Progress(cfg.Progress)
-	label := func(i int) string { return "fig10 " + progs[i].Name }
-	outs, err := sched.MapObserved(len(progs), cfg.Jobs, cfg.Obs, label, func(i int) (outcome[Fig10Row], error) {
-		b := progs[i]
-		report(b.Name)
-		return runCell(cfg, label(i), func(w *resilience.Watch) (Fig10Row, error) {
-			run := func(mode string, opt Options) (*Result, error) {
-				opt.MaxCycles = cfg.Policy.CycleBudget
-				opt.Cancel = w.Flag()
-				opt.Plan = cfg.Plan
-				opt.SchedPolicy = cfg.SchedPolicy
-				opt.SchedParams = cfg.SchedParams
-				if cfg.Obs.Enabled() {
-					opt.Obs, opt.ObsLabel = cfg.Obs, fmt.Sprintf("fig10 %s %s", b.Name, mode)
-				}
-				return Run(b, opt)
-			}
-			off, err := run("ht=off", Options{Threads: 1, Scale: cfg.Scale, Verify: true})
-			if err != nil {
-				return Fig10Row{}, err
-			}
-			on, err := run("ht=on", Options{HT: true, Threads: 1, Scale: cfg.Scale})
-			if err != nil {
-				return Fig10Row{}, err
-			}
-			dyn, err := run("ht=on dyn", Options{HT: true, Threads: 1, Scale: cfg.Scale, Partition: core.DynamicPartition})
-			if err != nil {
-				return Fig10Row{}, err
-			}
-			return Fig10Row{Benchmark: b.Name, CyclesOff: off.Cycles, CyclesOn: on.Cycles, CyclesDyn: dyn.Cycles}, nil
-		})
-	})
+	cells := fig10Cells()
+	outs, err := mapCells(cfg, cells)
 	if err != nil {
 		return nil, err
 	}
 	rows := make([]Fig10Row, len(outs))
 	for i, o := range outs {
 		if o.fail != nil {
-			rows[i] = Fig10Row{Benchmark: progs[i].Name, Failed: o.fail.Reason()}
+			rows[i] = cells[i].failed(o.fail.Reason())
 			continue
 		}
 		rows[i] = o.v
@@ -585,48 +498,15 @@ type Fig12Row struct {
 // RunFig12 sweeps thread counts on the HT processor (paper §4.4),
 // fanning the sweep grid across up to cfg.Jobs workers.
 func RunFig12(cfg Config, threadCounts []int) ([]Fig12Row, error) {
-	type point struct {
-		b       *bench.Benchmark
-		threads int
-	}
-	var grid []point
-	for _, b := range bench.Multithreaded() {
-		for _, t := range threadCounts {
-			grid = append(grid, point{b, t})
-		}
-	}
-	report := sched.Progress(cfg.Progress)
-	label := func(i int) string {
-		return fmt.Sprintf("fig12 %s t=%d", grid[i].b.Name, grid[i].threads)
-	}
-	outs, err := sched.MapObserved(len(grid), cfg.Jobs, cfg.Obs, label, func(i int) (outcome[Fig12Row], error) {
-		pt := grid[i]
-		report(fmt.Sprintf("%s threads=%d", pt.b.Name, pt.threads))
-		return runCell(cfg, label(i), func(w *resilience.Watch) (Fig12Row, error) {
-			opt := Options{HT: true, Threads: pt.threads, Scale: cfg.Scale, Verify: true,
-				MaxCycles: cfg.Policy.CycleBudget, Cancel: w.Flag(), Plan: cfg.Plan,
-				SchedPolicy: cfg.SchedPolicy, SchedParams: cfg.SchedParams}
-			if cfg.Obs.Enabled() {
-				opt.Obs, opt.ObsLabel = cfg.Obs, label(i)
-			}
-			res, err := Run(pt.b, opt)
-			if err != nil {
-				return Fig12Row{}, err
-			}
-			return Fig12Row{
-				Benchmark: pt.b.Name, Threads: pt.threads,
-				IPC:     res.Counters.IPC(),
-				L1DPerK: res.Counters.PerKiloInstr(counters.L1DMisses),
-			}, nil
-		})
-	})
+	cells := fig12Cells(threadCounts)
+	outs, err := mapCells(cfg, cells)
 	if err != nil {
 		return nil, err
 	}
 	rows := make([]Fig12Row, len(outs))
 	for i, o := range outs {
 		if o.fail != nil {
-			rows[i] = Fig12Row{Benchmark: grid[i].b.Name, Threads: grid[i].threads, Failed: o.fail.Reason()}
+			rows[i] = cells[i].failed(o.fail.Reason())
 			continue
 		}
 		rows[i] = o.v
@@ -663,47 +543,15 @@ type SweepCell struct {
 // processor and collects full counter files, under cfg's campaign
 // policy (deadline, budget, retries, journal, fault injection).
 func RunSweep(cfg Config, targets []*bench.Benchmark, threadCounts []int) ([]SweepCell, error) {
-	type point struct {
-		b       *bench.Benchmark
-		threads int
-	}
-	var grid []point
-	for _, b := range targets {
-		for _, t := range threadCounts {
-			if t > 1 && !b.Multithreaded {
-				continue
-			}
-			grid = append(grid, point{b, t})
-		}
-	}
-	report := sched.Progress(cfg.Progress)
-	label := func(i int) string {
-		return fmt.Sprintf("%s t=%d", grid[i].b.Name, grid[i].threads)
-	}
-	outs, err := sched.MapObserved(len(grid), cfg.Jobs, cfg.Obs, label, func(i int) (outcome[SweepCell], error) {
-		pt := grid[i]
-		report(label(i))
-		return runCell(cfg, label(i), func(w *resilience.Watch) (SweepCell, error) {
-			opt := Options{HT: true, Threads: pt.threads, Scale: cfg.Scale, Verify: true,
-				MaxCycles: cfg.Policy.CycleBudget, Cancel: w.Flag(), Plan: cfg.Plan,
-				SchedPolicy: cfg.SchedPolicy, SchedParams: cfg.SchedParams}
-			if cfg.Obs.Enabled() {
-				opt.Obs, opt.ObsLabel = cfg.Obs, label(i)
-			}
-			res, err := Run(pt.b, opt)
-			if err != nil {
-				return SweepCell{}, err
-			}
-			return SweepCell{Benchmark: pt.b.Name, Threads: pt.threads, Counters: res.Counters}, nil
-		})
-	})
+	grid := sweepCells(targets, threadCounts)
+	outs, err := mapCells(cfg, grid)
 	if err != nil {
 		return nil, err
 	}
 	cells := make([]SweepCell, len(outs))
 	for i, o := range outs {
 		if o.fail != nil {
-			cells[i] = SweepCell{Benchmark: grid[i].b.Name, Threads: grid[i].threads, Failed: o.fail.Reason()}
+			cells[i] = grid[i].failed(o.fail.Reason())
 			continue
 		}
 		cells[i] = o.v
@@ -733,48 +581,15 @@ type GeometryCell struct {
 // ones run solo on context 0, measuring the partitioning tax of each
 // shape.
 func RunGeometrySweep(cfg Config, targets []*bench.Benchmark, geos []core.Geometry) ([]GeometryCell, error) {
-	type point struct {
-		b   *bench.Benchmark
-		geo core.Geometry
-	}
-	var grid []point
-	for _, b := range targets {
-		for _, g := range geos {
-			grid = append(grid, point{b, g})
-		}
-	}
-	report := sched.Progress(cfg.Progress)
-	label := func(i int) string {
-		return fmt.Sprintf("%s geo=%v", grid[i].b.Name, grid[i].geo)
-	}
-	outs, err := sched.MapObserved(len(grid), cfg.Jobs, cfg.Obs, label, func(i int) (outcome[GeometryCell], error) {
-		pt := grid[i]
-		report(label(i))
-		return runCell(cfg, label(i), func(w *resilience.Watch) (GeometryCell, error) {
-			threads := 1
-			if pt.b.Multithreaded {
-				threads = pt.geo.Total()
-			}
-			opt := Options{Geometry: pt.geo, Threads: threads, Scale: cfg.Scale, Verify: true,
-				MaxCycles: cfg.Policy.CycleBudget, Cancel: w.Flag(), Plan: cfg.Plan,
-				SchedPolicy: cfg.SchedPolicy, SchedParams: cfg.SchedParams}
-			if cfg.Obs.Enabled() {
-				opt.Obs, opt.ObsLabel = cfg.Obs, label(i)
-			}
-			res, err := Run(pt.b, opt)
-			if err != nil {
-				return GeometryCell{}, err
-			}
-			return GeometryCell{Benchmark: pt.b.Name, Geometry: pt.geo, Threads: threads, Counters: res.Counters}, nil
-		})
-	})
+	grid := geometryCells(targets, geos)
+	outs, err := mapCells(cfg, grid)
 	if err != nil {
 		return nil, err
 	}
 	cells := make([]GeometryCell, len(outs))
 	for i, o := range outs {
 		if o.fail != nil {
-			cells[i] = GeometryCell{Benchmark: grid[i].b.Name, Geometry: grid[i].geo, Failed: o.fail.Reason()}
+			cells[i] = grid[i].failed(o.fail.Reason())
 			continue
 		}
 		cells[i] = o.v

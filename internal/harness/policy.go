@@ -16,7 +16,6 @@ import (
 	"javasmt/internal/obs"
 	"javasmt/internal/resilience"
 	"javasmt/internal/sampling"
-	"javasmt/internal/sched"
 )
 
 // MixPart is one VM of a workload mix: a benchmark instance with its
@@ -215,51 +214,15 @@ func (c *PolicyCell) IPC() float64 { return c.Counters.IPC() }
 // injection). Cell order is policy-major within mix×geometry so the
 // rendered table's rows group naturally.
 func RunPolicySweep(cfg Config, policies []string, mixes []Mix, geos []core.Geometry) ([]PolicyCell, error) {
-	type point struct {
-		mix Mix
-		geo core.Geometry
-		pol string
-	}
-	var grid []point
-	for _, m := range mixes {
-		for _, g := range geos {
-			for _, pol := range policies {
-				grid = append(grid, point{m, g, pol})
-			}
-		}
-	}
-	report := sched.Progress(cfg.Progress)
-	label := func(i int) string {
-		return fmt.Sprintf("%s policy=%s geo=%v", grid[i].mix.Name, grid[i].pol, grid[i].geo)
-	}
-	outs, err := sched.MapObserved(len(grid), cfg.Jobs, cfg.Obs, label, func(i int) (outcome[PolicyCell], error) {
-		pt := grid[i]
-		report(label(i))
-		return runCell(cfg, label(i), func(w *resilience.Watch) (PolicyCell, error) {
-			opt := Options{Geometry: pt.geo, Scale: cfg.Scale, Verify: true,
-				MaxCycles: cfg.Policy.CycleBudget, Cancel: w.Flag(), Plan: cfg.Plan,
-				SchedPolicy: pt.pol, SchedParams: cfg.SchedParams}
-			if cfg.Obs.Enabled() {
-				opt.Obs, opt.ObsLabel = cfg.Obs, label(i)
-			}
-			res, err := RunMix(pt.mix, opt)
-			if err != nil {
-				return PolicyCell{}, err
-			}
-			return PolicyCell{
-				Mix: pt.mix.Name, Threads: res.Threads, Policy: pt.pol, Geometry: pt.geo,
-				Cycles: res.Cycles, Migrations: res.Migrations, Counters: res.Counters,
-			}, nil
-		})
-	})
+	grid := policyCells(policies, mixes, geos)
+	outs, err := mapCells(cfg, grid)
 	if err != nil {
 		return nil, err
 	}
 	cells := make([]PolicyCell, len(outs))
 	for i, o := range outs {
 		if o.fail != nil {
-			cells[i] = PolicyCell{Mix: grid[i].mix.Name, Threads: grid[i].mix.Threads(),
-				Policy: grid[i].pol, Geometry: grid[i].geo, Failed: o.fail.Reason()}
+			cells[i] = grid[i].failed(o.fail.Reason())
 			continue
 		}
 		cells[i] = o.v

@@ -3,6 +3,7 @@ package resilience
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"testing"
 )
 
@@ -34,6 +35,35 @@ func FuzzJournal(f *testing.F) {
 	f.Add([]byte("{\"cell\":\"x\",\"status\":\"ok\",\"digest\":\"0000000000000000\"}\n"))
 	f.Add([]byte("not json at all\n\x00\x01\x02"))
 	f.Add([]byte(""))
+
+	// Interleaved-writer artifacts: the completion order a concurrent
+	// dispatcher produces — entries from different workers striped
+	// through the file rather than grouped, with retries superseding
+	// failures across the stripes, and a crash-torn final line from yet
+	// another writer.
+	var interleaved bytes.Buffer
+	for i := 0; i < 4; i++ {
+		for w := 0; w < 3; w++ {
+			e := Entry{
+				Cell:    fmt.Sprintf("cell-%02d-%02d", w, i),
+				Status:  StatusOK,
+				Payload: json.RawMessage(fmt.Sprintf(`{"v":{"worker":%d,"i":%d}}`, w, i)),
+			}
+			if (w+i)%5 == 2 {
+				e.Status, e.Reason, e.Payload = StatusFailed, "timeout: wall deadline 1s exceeded", nil
+			}
+			e.Digest = e.digest()
+			line, _ := json.Marshal(e)
+			interleaved.Write(line)
+			interleaved.WriteByte('\n')
+		}
+	}
+	f.Add(interleaved.Bytes())
+	retry := Entry{Cell: "cell-01-01", Status: StatusOK, Payload: json.RawMessage(`{"v":{"retried":true}}`)}
+	retry.Digest = retry.digest()
+	retryLine, _ := json.Marshal(retry)
+	f.Add(append(append([]byte{}, interleaved.Bytes()...), append(retryLine, '\n')...))
+	f.Add(append(append([]byte{}, interleaved.Bytes()...), okLine[:len(okLine)/2]...)) // torn mid-append
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		entries, valid, err := Parse(data)

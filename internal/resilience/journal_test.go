@@ -2,9 +2,11 @@ package resilience
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -182,12 +184,129 @@ func TestJournalFailedCellSuperseded(t *testing.T) {
 	}
 }
 
+func TestJournalSyncDurable(t *testing.T) {
+	// WithSync changes durability, not format: a synced journal must be
+	// byte-compatible with an unsynced one and resume identically.
+	dir := t.TempDir()
+	j, err := Open(dir, testMeta, false, WithSync())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record("cell-1", StatusOK, "", json.RawMessage(`{"v":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record("cell-2", StatusFailed, "panic: boom", nil); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	r, err := Open(dir, testMeta, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Resumed() != 2 {
+		t.Fatalf("resumed %d cells, want 2", r.Resumed())
+	}
+	data, _ := os.ReadFile(filepath.Join(dir, journalFile))
+	if _, valid, err := Parse(data); err != nil || valid != len(data) {
+		t.Fatalf("synced journal unclean: valid=%d/%d err=%v", valid, len(data), err)
+	}
+}
+
+func TestJournalConcurrentWriters(t *testing.T) {
+	// The dispatcher's shape: many workers complete cells and Record
+	// them on one shared ledger at once. The file must parse with zero
+	// torn or interleaved lines and the exact entry count.
+	const writers, perWriter = 16, 64
+	dir := t.TempDir()
+	j, err := Open(dir, testMeta, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				cell := fmt.Sprintf("cell-%02d-%02d", w, i)
+				payload := json.RawMessage(fmt.Sprintf(`{"v":{"worker":%d,"i":%d}}`, w, i))
+				status, reason := StatusOK, ""
+				if i%7 == 3 {
+					status, reason, payload = StatusFailed, "timeout: injected", nil
+				}
+				if err := j.Record(cell, status, reason, payload); err != nil {
+					errs <- err
+					return
+				}
+				// Interleave reads with writes: Lookup must be safe too.
+				if _, ok := j.Lookup(cell); !ok {
+					errs <- fmt.Errorf("cell %s not visible after Record", cell)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, journalFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, valid, err := Parse(data)
+	if err != nil {
+		t.Fatalf("concurrently written journal corrupt: %v", err)
+	}
+	if valid != len(data) {
+		t.Fatalf("torn bytes: valid=%d of %d", valid, len(data))
+	}
+	if len(entries) != writers*perWriter {
+		t.Fatalf("entries = %d, want %d", len(entries), writers*perWriter)
+	}
+	r, err := Open(dir, testMeta, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Resumed() != writers*perWriter {
+		t.Fatalf("resumed %d, want %d", r.Resumed(), writers*perWriter)
+	}
+}
+
 func TestParseEmpty(t *testing.T) {
 	entries, valid, err := Parse(nil)
 	if err != nil || valid != 0 || len(entries) != 0 {
 		t.Fatalf("Parse(nil) = %v %d %v", entries, valid, err)
 	}
 }
+
+// benchRecord measures the per-cell ledger append cost, the price a
+// daemon pays on every completed cell. Run with -bench JournalRecord
+// to see the fsync overhead WithSync adds.
+func benchRecord(b *testing.B, opts ...Option) {
+	j, err := Open(b.TempDir(), testMeta, false, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer j.Close()
+	payload := json.RawMessage(`{"v":{"Benchmark":"compress","Threads":2,"Cycles":123456789}}`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := j.Record(fmt.Sprintf("cell-%d", i), StatusOK, "", payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkJournalRecord(b *testing.B)     { benchRecord(b) }
+func BenchmarkJournalRecordSync(b *testing.B) { benchRecord(b, WithSync()) }
 
 func TestNilJournalIsNoOp(t *testing.T) {
 	var j *Journal

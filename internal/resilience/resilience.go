@@ -203,28 +203,84 @@ type CellPolicy struct {
 	// Backoff is the base retry delay (0 = DefaultBackoff; negative =
 	// no delay, for tests).
 	Backoff time.Duration
+	// Stop, when non-nil, is an external cancellation signal (a canceled
+	// campaign, a draining daemon): when it closes, the running attempt's
+	// Watch is canceled — aborting the simulation from inside its cycle
+	// loop — and any retry backoff wait returns immediately instead of
+	// sleeping out its full delay. The interrupted attempt's failure is
+	// returned as-is; no further attempts start.
+	Stop <-chan struct{}
+}
+
+// Stopped reports whether the policy's external Stop signal has fired.
+func (p CellPolicy) Stopped() bool {
+	if p.Stop == nil {
+		return false
+	}
+	select {
+	case <-p.Stop:
+		return true
+	default:
+		return false
+	}
 }
 
 // Run executes one cell under the policy: fn runs under panic recovery
 // with a fresh armed Watch per attempt; transient failures are retried
 // up to p.Retries times with deterministic exponential backoff; any
 // final failure comes back as a structured *CellError (nil on success).
+// A closed Stop channel cancels the running attempt and cuts every
+// backoff wait short.
 func (p CellPolicy) Run(cell, config string, fn func(w *Watch) error) *CellError {
 	for attempt := 1; ; attempt++ {
 		w := newWatch(p.WallDeadline)
+		var stopDone chan struct{}
+		if p.Stop != nil {
+			stopDone = make(chan struct{})
+			go func() {
+				select {
+				case <-p.Stop:
+					w.Cancel()
+				case <-stopDone:
+				}
+			}()
+		}
 		err := guard(fn, w)
 		w.stop()
+		if stopDone != nil {
+			close(stopDone)
+		}
 		if err == nil {
 			return nil
 		}
 		ce := p.classify(cell, config, attempt, err, w)
 		if ce.Kind == KindTransient && attempt <= p.Retries {
-			if d := p.backoff(attempt); d > 0 {
-				time.Sleep(d)
+			if d := p.backoff(attempt); d > 0 && !p.wait(d) {
+				return ce
+			}
+			if p.Stopped() {
+				return ce
 			}
 			continue
 		}
 		return ce
+	}
+}
+
+// wait sleeps the backoff delay, returning early (false) when the
+// policy's Stop signal fires mid-wait.
+func (p CellPolicy) wait(d time.Duration) bool {
+	if p.Stop == nil {
+		time.Sleep(d)
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-p.Stop:
+		return false
 	}
 }
 

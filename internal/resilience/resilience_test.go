@@ -164,6 +164,69 @@ func TestCellErrorReasonFirstLineOnly(t *testing.T) {
 	}
 }
 
+func TestBackoffStopCutsWaitShort(t *testing.T) {
+	// Regression: a canceled campaign (or a draining daemon) must not
+	// hang out the full backoff delay between retry attempts. With a
+	// 30-second base backoff and the Stop signal firing after the first
+	// attempt, Run must return almost immediately with that attempt's
+	// transient failure instead of sleeping toward attempt two.
+	stop := make(chan struct{})
+	p := CellPolicy{Retries: 5, Backoff: 30 * time.Second, Stop: stop}
+	calls := 0
+	start := time.Now()
+	ce := p.Run("flaky", "", func(*Watch) error {
+		calls++
+		close(stop)
+		return MarkTransient(errors.New("transient fault"))
+	})
+	if ce == nil || ce.Kind != KindTransient {
+		t.Fatalf("ce = %+v, want the interrupted transient failure", ce)
+	}
+	if calls != 1 || ce.Attempts != 1 {
+		t.Fatalf("calls=%d attempts=%d, want 1/1 (no attempt after Stop)", calls, ce.Attempts)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Run took %v; Stop must cut the 30s backoff short", elapsed)
+	}
+}
+
+func TestStopCancelsRunningAttempt(t *testing.T) {
+	// The Stop signal must reach into a running attempt through its
+	// Watch, the same flag the simulator's cycle loop polls.
+	stop := make(chan struct{})
+	p := CellPolicy{Stop: stop}
+	start := time.Now()
+	ce := p.Run("stall", "", func(w *Watch) error {
+		close(stop)
+		for !w.Canceled() {
+			time.Sleep(time.Millisecond)
+		}
+		return errors.New("canceled mid-simulation")
+	})
+	if ce == nil || ce.Kind != KindError {
+		t.Fatalf("ce = %+v, want the cell's own error", ce)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("attempt ran %v after Stop", elapsed)
+	}
+}
+
+func TestStopBeforeRetrySkipsAttempt(t *testing.T) {
+	// Stop firing between attempts (here: during a zero-delay backoff)
+	// must prevent the next attempt from starting.
+	stop := make(chan struct{})
+	close(stop)
+	p := CellPolicy{Retries: 5, Backoff: -1, Stop: stop}
+	calls := 0
+	ce := p.Run("flaky", "", func(*Watch) error {
+		calls++
+		return MarkTransient(errors.New("transient fault"))
+	})
+	if ce == nil || calls != 1 {
+		t.Fatalf("ce=%v calls=%d; a stopped policy must not retry", ce, calls)
+	}
+}
+
 func TestBackoffDeterministic(t *testing.T) {
 	p := CellPolicy{Backoff: 3 * time.Millisecond}
 	for i, want := range []time.Duration{3, 6, 12, 24} {

@@ -1,0 +1,170 @@
+package service
+
+import "sync"
+
+// cellRunner executes one cell by index. *Job implements it; tests
+// substitute stubs to exercise the dispatcher alone.
+type cellRunner interface {
+	runOne(cell int)
+}
+
+// dispatcher fans campaign cells across a bounded worker pool. Each
+// active job is one shard holding its pending cell indexes; every
+// worker has a home shard (worker index modulo live shards) it drains
+// front-to-back, and steals from the back of a far-fuller shard to
+// even the finish line. Home-shard affinity keeps one job's cells
+// flowing roughly in submission order; stealing keeps all workers busy
+// when jobs have uneven cell counts.
+type dispatcher struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	shards []*shard
+	queued int
+	// maxQueued bounds the total pending cells across jobs; submissions
+	// beyond it are refused (admission control). 0 means unbounded.
+	maxQueued int
+	draining  bool
+	wg        sync.WaitGroup
+}
+
+// shard is one job's pending work: cell indexes not yet handed to a
+// worker. Cells the job's ledger already holds are still enqueued —
+// running them is a journal lookup, effectively free — so restart
+// recovery needs no special dispatch path.
+type shard struct {
+	job   cellRunner
+	cells []int
+}
+
+type task struct {
+	job  cellRunner
+	cell int
+}
+
+// newDispatcher starts `workers` workers (minimum 1).
+func newDispatcher(workers, maxQueued int) *dispatcher {
+	if workers < 1 {
+		workers = 1
+	}
+	d := &dispatcher{maxQueued: maxQueued}
+	d.cond = sync.NewCond(&d.mu)
+	d.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go d.worker(i)
+	}
+	return d
+}
+
+// submit enqueues a job's n cells as one shard. It refuses (false)
+// when the queue bound would be exceeded or the dispatcher is draining
+// — the caller turns that into an explicit 429-style rejection,
+// keeping the daemon responsive for the jobs already admitted.
+func (d *dispatcher) submit(jb cellRunner, n int) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.draining || (d.maxQueued > 0 && d.queued+n > d.maxQueued) {
+		return false
+	}
+	cells := make([]int, n)
+	for i := range cells {
+		cells[i] = i
+	}
+	d.shards = append(d.shards, &shard{job: jb, cells: cells})
+	d.queued += n
+	d.cond.Broadcast()
+	return true
+}
+
+// drop removes a job's pending cells (cancellation). In-flight cells
+// are not waited for here; the job's Stop channel aborts them from
+// inside their cycle loops.
+func (d *dispatcher) drop(jb cellRunner) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i, s := range d.shards {
+		if s.job == jb {
+			d.queued -= len(s.cells)
+			d.shards = append(d.shards[:i], d.shards[i+1:]...)
+			break
+		}
+	}
+}
+
+// drain stops handing out new cells and waits for in-flight ones to
+// finish. Pending cells stay pending: their jobs remain non-terminal
+// on disk and the next daemon run resumes them from their ledgers.
+func (d *dispatcher) drain() {
+	d.mu.Lock()
+	d.draining = true
+	d.cond.Broadcast()
+	d.mu.Unlock()
+	d.wg.Wait()
+}
+
+// pending returns the queued cell count (for /healthz and tests).
+func (d *dispatcher) pending() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.queued
+}
+
+// worker pulls cells until drain.
+func (d *dispatcher) worker(i int) {
+	defer d.wg.Done()
+	for {
+		t, ok := d.next(i)
+		if !ok {
+			return
+		}
+		t.job.runOne(t.cell)
+	}
+}
+
+// next blocks until a cell is available (returning it) or the
+// dispatcher drains (returning false). The drain check comes first:
+// once draining, queued cells are deliberately left unrun.
+func (d *dispatcher) next(worker int) (task, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for {
+		if d.draining {
+			return task{}, false
+		}
+		if t, ok := d.takeLocked(worker); ok {
+			d.queued--
+			return t, true
+		}
+		d.cond.Wait()
+	}
+}
+
+// takeLocked picks the worker's next cell: front of its home shard,
+// or a steal from the back of a far-fuller shard (more than twice the
+// home's backlog). Empty shards are retired as a side effect.
+func (d *dispatcher) takeLocked(worker int) (task, bool) {
+	live := d.shards[:0]
+	for _, s := range d.shards {
+		if len(s.cells) > 0 {
+			live = append(live, s)
+		}
+	}
+	d.shards = live
+	if len(d.shards) == 0 {
+		return task{}, false
+	}
+	home := d.shards[worker%len(d.shards)]
+	var victim *shard
+	for _, s := range d.shards {
+		if s != home && len(s.cells) > 2*len(home.cells) && (victim == nil || len(s.cells) > len(victim.cells)) {
+			victim = s
+		}
+	}
+	if victim != nil {
+		t := task{job: victim.job, cell: victim.cells[len(victim.cells)-1]}
+		victim.cells = victim.cells[:len(victim.cells)-1]
+		return t, true
+	}
+	t := task{job: home.job, cell: home.cells[0]}
+	home.cells = home.cells[1:]
+	return t, true
+}

@@ -1,0 +1,207 @@
+package service
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// stubRunner implements cellRunner for dispatcher tests: it records
+// which cells ran, optionally blocking each run until release is
+// closed, and signals each start on started.
+type stubRunner struct {
+	mu      sync.Mutex
+	ran     []int
+	release chan struct{} // if non-nil, runOne blocks until closed
+	started chan struct{} // if non-nil, receives one send per runOne entry
+	wg      sync.WaitGroup
+}
+
+func newStubRunner(n int, blocking bool) *stubRunner {
+	r := &stubRunner{started: make(chan struct{}, n)}
+	if blocking {
+		r.release = make(chan struct{})
+	}
+	r.wg.Add(n)
+	return r
+}
+
+func (r *stubRunner) runOne(cell int) {
+	r.started <- struct{}{}
+	if r.release != nil {
+		<-r.release
+	}
+	r.mu.Lock()
+	r.ran = append(r.ran, cell)
+	r.mu.Unlock()
+	r.wg.Done()
+}
+
+func (r *stubRunner) cells() []int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]int(nil), r.ran...)
+}
+
+// waitDone fails the test if the runner's cells don't all complete.
+func (r *stubRunner) waitDone(t *testing.T) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() { r.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("timed out waiting for runner cells")
+	}
+}
+
+// TestDispatcherRunsEveryCellOnce fans three jobs of uneven sizes over
+// several workers and checks each cell ran exactly once.
+func TestDispatcherRunsEveryCellOnce(t *testing.T) {
+	d := newDispatcher(4, 0)
+	sizes := []int{5, 1, 9}
+	runners := make([]*stubRunner, len(sizes))
+	for i, n := range sizes {
+		runners[i] = newStubRunner(n, false)
+		if !d.submit(runners[i], n) {
+			t.Fatalf("submit %d refused", i)
+		}
+	}
+	for i, r := range runners {
+		r.waitDone(t)
+		got := r.cells()
+		if len(got) != sizes[i] {
+			t.Fatalf("runner %d: ran %d cells, want %d", i, len(got), sizes[i])
+		}
+		seen := map[int]bool{}
+		for _, c := range got {
+			if seen[c] {
+				t.Fatalf("runner %d: cell %d ran twice", i, c)
+			}
+			seen[c] = true
+			if c < 0 || c >= sizes[i] {
+				t.Fatalf("runner %d: cell %d out of range", i, c)
+			}
+		}
+	}
+	d.drain()
+	if d.pending() != 0 {
+		t.Fatalf("pending = %d after everything ran", d.pending())
+	}
+}
+
+// TestDispatcherAdmission checks the queued-cell bound: submissions
+// that would exceed it are refused while smaller ones are admitted.
+func TestDispatcherAdmission(t *testing.T) {
+	d := newDispatcher(1, 5)
+	r1 := newStubRunner(3, true)
+	if !d.submit(r1, 3) {
+		t.Fatal("first submit refused with empty queue")
+	}
+	<-r1.started // worker took one cell; two remain queued
+	r2 := newStubRunner(4, false)
+	if d.submit(r2, 4) {
+		t.Fatal("submit admitted past the queue bound (2+4 > 5)")
+	}
+	r3 := newStubRunner(3, false)
+	if !d.submit(r3, 3) {
+		t.Fatal("submit refused within the queue bound (2+3 <= 5)")
+	}
+	close(r1.release)
+	r1.waitDone(t)
+	r3.waitDone(t)
+	d.drain()
+	if got := len(r2.cells()); got != 0 {
+		t.Fatalf("refused runner ran %d cells", got)
+	}
+}
+
+// TestDispatcherDropCancelsPending checks drop removes a job's queued
+// cells without touching other jobs.
+func TestDispatcherDropCancelsPending(t *testing.T) {
+	d := newDispatcher(1, 0)
+	r1 := newStubRunner(2, true)
+	if !d.submit(r1, 2) {
+		t.Fatal("submit refused")
+	}
+	<-r1.started // worker blocked inside r1 cell 0
+	r2 := newStubRunner(3, false)
+	if !d.submit(r2, 3) {
+		t.Fatal("submit refused")
+	}
+	d.drop(r2)
+	close(r1.release)
+	r1.waitDone(t)
+	d.drain()
+	if got := len(r2.cells()); got != 0 {
+		t.Fatalf("dropped runner ran %d cells", got)
+	}
+	if got := r1.cells(); len(got) != 2 {
+		t.Fatalf("surviving runner ran %d cells, want 2", len(got))
+	}
+}
+
+// TestDispatcherDrainLeavesQueuedCells checks drain finishes the
+// in-flight cell but hands out nothing more — queued cells stay
+// pending for the next daemon to resume.
+func TestDispatcherDrainLeavesQueuedCells(t *testing.T) {
+	d := newDispatcher(1, 0)
+	r := newStubRunner(3, true)
+	r.wg.Add(-2) // only the in-flight cell will complete
+	if !d.submit(r, 3) {
+		t.Fatal("submit refused")
+	}
+	<-r.started // worker blocked inside cell 0
+	drained := make(chan struct{})
+	go func() { d.drain(); close(drained) }()
+	// Wait for drain to flip the flag, then release the in-flight cell.
+	for {
+		d.mu.Lock()
+		draining := d.draining
+		d.mu.Unlock()
+		if draining {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(r.release)
+	select {
+	case <-drained:
+	case <-time.After(10 * time.Second):
+		t.Fatal("drain did not return")
+	}
+	if got := len(r.cells()); got != 1 {
+		t.Fatalf("ran %d cells across drain, want exactly the in-flight one", got)
+	}
+	if d.pending() != 2 {
+		t.Fatalf("pending = %d after drain, want 2", d.pending())
+	}
+	if d.submit(newStubRunner(1, false), 1) {
+		t.Fatal("submit admitted while draining")
+	}
+}
+
+// TestDispatcherSteals exercises takeLocked directly: a worker whose
+// home shard is near-empty steals from the back of a far-fuller shard.
+func TestDispatcherSteals(t *testing.T) {
+	d := &dispatcher{}
+	d.cond = sync.NewCond(&d.mu)
+	small := &stubRunner{}
+	big := &stubRunner{}
+	d.shards = []*shard{
+		{job: small, cells: []int{0}},
+		{job: big, cells: []int{0, 1, 2, 3, 4, 5, 6, 7}},
+	}
+	d.mu.Lock()
+	tk, ok := d.takeLocked(0) // home = shard 0 (1 cell); shard 1 has 8 > 2
+	d.mu.Unlock()
+	if !ok || tk.job != cellRunner(big) || tk.cell != 7 {
+		t.Fatalf("takeLocked = job=%v cell=%d ok=%v, want steal of big's back cell 7", tk.job == cellRunner(big), tk.cell, ok)
+	}
+	d.mu.Lock()
+	tk, ok = d.takeLocked(1) // home = shard 1; no shard is >2x fuller
+	d.mu.Unlock()
+	if !ok || tk.job != cellRunner(big) || tk.cell != 0 {
+		t.Fatalf("takeLocked = cell=%d ok=%v, want big's front cell 0", tk.cell, ok)
+	}
+}

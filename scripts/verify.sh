@@ -8,9 +8,12 @@
 # the instrumented build (-tags checks, DESIGN.md §6) must pass its
 # probe suite with every invariant armed, the fault-injection build
 # (-tags faults, DESIGN.md §8) must pass its recovery suite, an
-# interrupted journaled campaign must resume byte-identically, and the
+# interrupted journaled campaign must resume byte-identically, the
 # seating-policy subsystem (DESIGN.md §12) must be deterministic with
-# -policy naive byte-identical to the seed scheduler.
+# -policy naive byte-identical to the seed scheduler, and the campaign
+# daemon (DESIGN.md §13) must survive kill -9 with a byte-identical
+# resume, serve identical resubmissions from its cache, and reject
+# overload with 429 (scripts/service_smoke.sh).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -91,5 +94,8 @@ if "$tmp/pairings" -all -benches compress,mpegaudio,db -runs 2 -j 8 -q \
 	echo "verify: sampled resume of a full-mode journal was not refused" >&2
 	exit 1
 fi
+
+echo "== campaign service smoke (kill -9 resume, cache, backpressure) =="
+sh scripts/service_smoke.sh
 
 echo "verify: OK"
