@@ -21,6 +21,8 @@
 //
 //	sweep
 //	sweep -bench MolDyn -threads 1,2,4,8,16 -scale small -j 4
+//	sweep -benches SyncLock,SyncCAS,MolDyn -threads 2,4
+//	sweep -benches SyncQueue -geos 1x2,2x2
 //	sweep -geos 1x1,1x2,2x1,2x2,4x4
 //	sweep -policies all -mixes 32,128 -geos 1x2,2x2,4x4
 //	sweep -trace t.json -metrics m.json
@@ -43,6 +45,7 @@ import (
 func main() {
 	var (
 		name     = flag.String("bench", "", "single benchmark (default: all multithreaded)")
+		benches  = flag.String("benches", "", "comma-separated benchmark list (Table 1 and sync-stress names); overrides -bench")
 		threads  = flag.String("threads", "1,2,4,8,16", "comma-separated thread counts")
 		geoList  = flag.String("geos", "", "comma-separated machine geometries (CORESxCONTEXTS, e.g. 1x2,2x2); replaces the thread axis")
 		policies = flag.String("policies", "", "comma-separated seating policies, or `all`; compares them on server mixes (-mixes) per geometry")
@@ -57,7 +60,7 @@ func main() {
 		return
 	}
 	if *geoList != "" {
-		geometrySweep(c, *name, *geoList)
+		geometrySweep(c, *name, *benches, *geoList)
 		return
 	}
 
@@ -71,7 +74,9 @@ func main() {
 	}
 
 	targets := bench.Multithreaded()
-	if *name != "" {
+	if *benches != "" {
+		targets = resolveBenches(c, *benches)
+	} else if *name != "" {
 		b, ok := bench.ByName(*name)
 		if !ok || !b.Multithreaded {
 			c.Usagef("%q is not a multithreaded benchmark", *name)
@@ -110,7 +115,8 @@ func main() {
 	}
 
 	var failed []harness.Failure
-	fmt.Printf("%-12s %8s %8s %10s %10s %8s\n", "benchmark", "threads", "IPC", "L1D/1k", "OS %", "DT %")
+	fmt.Printf("%-12s %8s %8s %10s %10s %8s %10s %12s\n",
+		"benchmark", "threads", "IPC", "L1D/1k", "OS %", "DT %", "lockCont", "fenceStall")
 	for _, cell := range cells {
 		if cell.Failed != "" {
 			fmt.Printf("%-12s %8d FAILED(%s)\n", cell.Benchmark, cell.Threads, cell.Failed)
@@ -121,11 +127,30 @@ func main() {
 			continue
 		}
 		f := &cell.Counters
-		fmt.Printf("%-12s %8d %8.3f %10.2f %9.1f%% %7.1f%%\n",
+		fmt.Printf("%-12s %8d %8.3f %10.2f %9.1f%% %7.1f%% %10d %12d\n",
 			cell.Benchmark, cell.Threads, f.IPC(), f.PerKiloInstr(counters.L1DMisses),
-			f.OSCyclePercent(), f.DTModePercent())
+			f.OSCyclePercent(), f.DTModePercent(),
+			f.Get(counters.LockContended), f.Get(counters.FenceStallCycles))
 	}
 	c.ExitFailures(failed)
+}
+
+// resolveBenches parses a comma-separated benchmark list, reaching both
+// the Table 1 suite and the synchronization-stress family.
+func resolveBenches(c *cli.Common, list string) []*bench.Benchmark {
+	var out []*bench.Benchmark
+	for _, part := range strings.Split(list, ",") {
+		part = strings.TrimSpace(part)
+		b, ok := bench.ByName(part)
+		if !ok {
+			c.Usagef("unknown benchmark %q", part)
+		}
+		out = append(out, b)
+	}
+	if len(out) == 0 {
+		c.Usagef("-benches is empty")
+	}
+	return out
 }
 
 // policySweep runs the seating-policy axis: each server mix under each
@@ -200,13 +225,15 @@ func policySweep(c *cli.Common, policyList, mixList, geoList string) {
 
 // geometrySweep runs the machine-shape axis: each target benchmark on
 // each -geos geometry.
-func geometrySweep(c *cli.Common, name, geoList string) {
+func geometrySweep(c *cli.Common, name, benches, geoList string) {
 	geos, err := cli.ParseGeometries(geoList)
 	if err != nil {
 		c.Usagef("%v", err)
 	}
 	targets := bench.All()
-	if name != "" {
+	if benches != "" {
+		targets = resolveBenches(c, benches)
+	} else if name != "" {
 		b, ok := bench.ByName(name)
 		if !ok {
 			c.Usagef("unknown benchmark %q", name)

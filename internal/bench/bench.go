@@ -112,9 +112,10 @@ func Multithreaded() []*Benchmark {
 	return out
 }
 
-// ByName resolves a benchmark by its Table 1 name.
+// ByName resolves a benchmark by name, searching the Table 1 suite and
+// then the synchronization-stress family (Sync).
 func ByName(name string) (*Benchmark, bool) {
-	for _, b := range All() {
+	for _, b := range append(All(), Sync()...) {
 		if b.Name == name {
 			return b, true
 		}

@@ -1,0 +1,364 @@
+package bench
+
+import (
+	"fmt"
+
+	"javasmt/internal/bytecode"
+	"javasmt/internal/jvm"
+)
+
+// This file is the synchronization-stress suite (DESIGN.md §14): four
+// kernels whose performance is dominated by the JMM primitives rather
+// than by computation. They are deliberately small programs with heavy
+// monitor, volatile and CAS traffic, built to light up the new
+// lock_acquires / lock_contended / fence_* / cas_* counters and to give
+// the SMT seating policies lock-convoy behavior to react to. They live
+// in their own Sync() family — the paper's Table 1 population in All()
+// is unchanged — and are addressable through ByName like any other
+// benchmark.
+
+// Sync returns the synchronization-stress workloads.
+func Sync() []*Benchmark {
+	return []*Benchmark{SyncLock(), SyncQueue(), SyncCAS(), SyncFalse()}
+}
+
+// --- SyncLock: lock convoy on a single shared counter ---
+
+func syncLockParams(s Scale) int32 { return s.pick(150, 600, 2400) }
+
+// SyncLock returns the lock-convoy benchmark: every thread increments
+// one monitor-guarded counter, so the lock is the whole workload.
+func SyncLock() *Benchmark {
+	return &Benchmark{
+		Name:          "SyncLock",
+		Description:   "Lock convoy: all threads increment one monitor-guarded counter",
+		Input:         "150 increments/thread (scaled)",
+		Multithreaded: true,
+		Build:         buildSyncLock,
+		Verify:        verifySyncLock,
+	}
+}
+
+func buildSyncLock(threads int, scale Scale, base uint64) *bytecode.Program {
+	iters := syncLockParams(scale)
+	nt := int32(threads)
+	pb := bytecode.NewProgram("SyncLock")
+	pb.Globals(1, 0) // 0 = final counter value
+	cls := pb.Class("Counter", 1, 0)
+
+	w := bytecode.NewMethod("lockWorker", 2, scratchLocals).ArgRefs(0b01)
+	const lObj, lIters, lJ = 0, 1, 2
+	forVar(w, lJ, lIters, func() {
+		w.Load(lObj).Op(bytecode.MonEnter)
+		w.Load(lObj)
+		w.Load(lObj).Op(bytecode.GetField, 0)
+		w.Const(1).Op(bytecode.Iadd)
+		w.Op(bytecode.PutField, 0)
+		w.Load(lObj).Op(bytecode.MonExit)
+	})
+	w.Op(bytecode.Ret)
+	wi := pb.Add(w.Finish())
+
+	b := bytecode.NewMethod("main", 0, scratchLocals)
+	const lShared, lTids, lW = 0, 1, 2
+	b.Op(bytecode.New, cls).Store(lShared)
+	b.Const(nt).Op(bytecode.NewArray, bytecode.KindInt).Store(lTids)
+	forConst(b, lW, nt, func() {
+		b.Load(lTids).Load(lW)
+		b.Load(lShared).Const(iters)
+		b.Op(bytecode.ThreadStart, wi)
+		b.Op(bytecode.AStore)
+	})
+	forConst(b, lW, nt, func() {
+		b.Load(lTids).Load(lW).Op(bytecode.ALoad).Op(bytecode.ThreadJoin)
+	})
+	b.Load(lShared).Op(bytecode.GetField, 0).Op(bytecode.PutStatic, 0)
+	b.Op(bytecode.Ret)
+	pb.Entry(pb.Add(b.Finish()))
+	return pb.MustLink(base)
+}
+
+func verifySyncLock(vm *jvm.VM, threads int, scale Scale) error {
+	want := int64(threads) * int64(syncLockParams(scale))
+	if got := int64(vm.Global(0)); got != want {
+		return fmt.Errorf("counter = %d, want %d (lost updates => broken monitors)", got, want)
+	}
+	return nil
+}
+
+// --- SyncQueue: monitor-guarded bounded producer/consumer ring ---
+
+func syncQueueParams(s Scale) (items, cap int32) { return s.pick(60, 240, 960), 8 }
+
+// Q field layout.
+const (
+	qfHead = 0
+	qfTail = 1
+	qfBuf  = 2 // ref
+	qfSum  = 3
+	qfCnt  = 4
+)
+
+// SyncQueue returns the producer/consumer benchmark: N producers and N
+// consumers hand integers through an 8-slot monitor-guarded ring.
+func SyncQueue() *Benchmark {
+	return &Benchmark{
+		Name:          "SyncQueue",
+		Description:   "Producer/consumer pairs around a bounded monitor-guarded ring buffer",
+		Input:         "60 items/producer, 8-slot ring (scaled)",
+		Multithreaded: true,
+		Build:         buildSyncQueue,
+		Verify:        verifySyncQueue,
+	}
+}
+
+func buildSyncQueue(threads int, scale Scale, base uint64) *bytecode.Program {
+	items, qcap := syncQueueParams(scale)
+	nt := int32(threads)
+	pb := bytecode.NewProgram("SyncQueue")
+	pb.Globals(2, 0) // 0 = consumed sum, 1 = consumed count
+	cls := pb.Class("Q", 5, 1<<qfBuf)
+
+	// producer(q, id, items): enqueue id*items+j for j in [0,items).
+	p := bytecode.NewMethod("producer", 3, scratchLocals).ArgRefs(0b001)
+	{
+		const lQ, lID, lItems, lJ, lV = 0, 1, 2, 3, 4
+		forVar(p, lJ, lItems, func() {
+			p.Load(lID).Load(lItems).Op(bytecode.Imul)
+			p.Load(lJ).Op(bytecode.Iadd).Store(lV)
+			retry, enq := p.NewLabel(), p.NewLabel()
+			p.Bind(retry)
+			p.Load(lQ).Op(bytecode.MonEnter)
+			// full when tail-head == cap (indices are monotonic)
+			p.Load(lQ).Op(bytecode.GetField, qfTail)
+			p.Load(lQ).Op(bytecode.GetField, qfHead)
+			p.Op(bytecode.Isub).Const(qcap)
+			p.Br(bytecode.IfLt, enq)
+			p.Load(lQ).Op(bytecode.MonExit)
+			p.Br(bytecode.Goto, retry)
+			p.Bind(enq)
+			// buf[tail % cap] = v; tail++
+			p.Load(lQ).Op(bytecode.GetField, qfBuf)
+			p.Load(lQ).Op(bytecode.GetField, qfTail).Const(qcap).Op(bytecode.Irem)
+			p.Load(lV)
+			p.Op(bytecode.AStore)
+			p.Load(lQ)
+			p.Load(lQ).Op(bytecode.GetField, qfTail).Const(1).Op(bytecode.Iadd)
+			p.Op(bytecode.PutField, qfTail)
+			p.Load(lQ).Op(bytecode.MonExit)
+		})
+		p.Op(bytecode.Ret)
+	}
+	pi := pb.Add(p.Finish())
+
+	// consumer(q, items): dequeue exactly items values, then publish the
+	// local sum into the queue's result fields under the same lock.
+	c := bytecode.NewMethod("consumer", 2, scratchLocals).ArgRefs(0b01)
+	{
+		const lQ, lItems, lJ, lSum, lV = 0, 1, 2, 3, 4
+		c.Const(0).Store(lSum)
+		forVar(c, lJ, lItems, func() {
+			retry, deq := c.NewLabel(), c.NewLabel()
+			c.Bind(retry)
+			c.Load(lQ).Op(bytecode.MonEnter)
+			c.Load(lQ).Op(bytecode.GetField, qfTail)
+			c.Load(lQ).Op(bytecode.GetField, qfHead)
+			c.Br(bytecode.IfNe, deq)
+			c.Load(lQ).Op(bytecode.MonExit)
+			c.Br(bytecode.Goto, retry)
+			c.Bind(deq)
+			c.Load(lQ).Op(bytecode.GetField, qfBuf)
+			c.Load(lQ).Op(bytecode.GetField, qfHead).Const(qcap).Op(bytecode.Irem)
+			c.Op(bytecode.ALoad).Store(lV)
+			c.Load(lQ)
+			c.Load(lQ).Op(bytecode.GetField, qfHead).Const(1).Op(bytecode.Iadd)
+			c.Op(bytecode.PutField, qfHead)
+			c.Load(lQ).Op(bytecode.MonExit)
+			c.Load(lSum).Load(lV).Op(bytecode.Iadd).Store(lSum)
+		})
+		c.Load(lQ).Op(bytecode.MonEnter)
+		c.Load(lQ)
+		c.Load(lQ).Op(bytecode.GetField, qfSum).Load(lSum).Op(bytecode.Iadd)
+		c.Op(bytecode.PutField, qfSum)
+		c.Load(lQ)
+		c.Load(lQ).Op(bytecode.GetField, qfCnt).Load(lItems).Op(bytecode.Iadd)
+		c.Op(bytecode.PutField, qfCnt)
+		c.Load(lQ).Op(bytecode.MonExit)
+		c.Op(bytecode.Ret)
+	}
+	ci := pb.Add(c.Finish())
+
+	b := bytecode.NewMethod("main", 0, scratchLocals)
+	const lQ, lTids, lW = 0, 1, 2
+	b.Op(bytecode.New, cls).Store(lQ)
+	b.Load(lQ).Const(qcap).Op(bytecode.NewArray, bytecode.KindInt).Op(bytecode.PutField, qfBuf)
+	b.Const(2*nt).Op(bytecode.NewArray, bytecode.KindInt).Store(lTids)
+	forConst(b, lW, nt, func() {
+		b.Load(lTids).Load(lW)
+		b.Load(lQ).Load(lW).Const(items)
+		b.Op(bytecode.ThreadStart, pi)
+		b.Op(bytecode.AStore)
+		b.Load(lTids).Const(nt).Load(lW).Op(bytecode.Iadd)
+		b.Load(lQ).Const(items)
+		b.Op(bytecode.ThreadStart, ci)
+		b.Op(bytecode.AStore)
+	})
+	forConst(b, lW, 2*nt, func() {
+		b.Load(lTids).Load(lW).Op(bytecode.ALoad).Op(bytecode.ThreadJoin)
+	})
+	b.Load(lQ).Op(bytecode.GetField, qfSum).Op(bytecode.PutStatic, 0)
+	b.Load(lQ).Op(bytecode.GetField, qfCnt).Op(bytecode.PutStatic, 1)
+	b.Op(bytecode.Ret)
+	pb.Entry(pb.Add(b.Finish()))
+	return pb.MustLink(base)
+}
+
+func verifySyncQueue(vm *jvm.VM, threads int, scale Scale) error {
+	items, _ := syncQueueParams(scale)
+	var sum, cnt int64
+	for p := int64(0); p < int64(threads); p++ {
+		for j := int64(0); j < int64(items); j++ {
+			sum += p*int64(items) + j
+			cnt++
+		}
+	}
+	if got := int64(vm.Global(1)); got != cnt {
+		return fmt.Errorf("consumed %d items, want %d", got, cnt)
+	}
+	if got := int64(vm.Global(0)); got != sum {
+		return fmt.Errorf("consumed sum = %d, want %d (corrupted handoff)", got, sum)
+	}
+	return nil
+}
+
+// --- SyncCAS: lock-free counter via compare-and-swap retry loops ---
+
+func syncCASParams(s Scale) int32 { return s.pick(200, 800, 3200) }
+
+// SyncCAS returns the CAS-counter benchmark: every thread bumps one
+// volatile global with a classic load/CAS retry loop.
+func SyncCAS() *Benchmark {
+	return &Benchmark{
+		Name:          "SyncCAS",
+		Description:   "Lock-free shared counter: volatile read + CAS retry loop per increment",
+		Input:         "200 increments/thread (scaled)",
+		Multithreaded: true,
+		Build:         buildSyncCAS,
+		Verify:        verifySyncCAS,
+	}
+}
+
+func buildSyncCAS(threads int, scale Scale, base uint64) *bytecode.Program {
+	iters := syncCASParams(scale)
+	nt := int32(threads)
+	pb := bytecode.NewProgram("SyncCAS")
+	pb.Globals(1, 0) // 0 = shared counter (volatile/CAS)
+
+	w := bytecode.NewMethod("casWorker", 1, scratchLocals)
+	const lIters, lJ, lOld = 0, 1, 2
+	forVar(w, lJ, lIters, func() {
+		retry := w.NewLabel()
+		w.Bind(retry)
+		w.Op(bytecode.GetVolatile, 0).Store(lOld)
+		w.Load(lOld)
+		w.Load(lOld).Const(1).Op(bytecode.Iadd)
+		w.Op(bytecode.Cas, 0)
+		w.Const(0)
+		w.Br(bytecode.IfEq, retry) // CAS returned 0: lost the race, retry
+	})
+	w.Op(bytecode.Ret)
+	wi := pb.Add(w.Finish())
+
+	b := bytecode.NewMethod("main", 0, scratchLocals)
+	const lTids, lW = 0, 1
+	b.Const(nt).Op(bytecode.NewArray, bytecode.KindInt).Store(lTids)
+	forConst(b, lW, nt, func() {
+		b.Load(lTids).Load(lW)
+		b.Const(iters)
+		b.Op(bytecode.ThreadStart, wi)
+		b.Op(bytecode.AStore)
+	})
+	forConst(b, lW, nt, func() {
+		b.Load(lTids).Load(lW).Op(bytecode.ALoad).Op(bytecode.ThreadJoin)
+	})
+	b.Op(bytecode.Ret)
+	pb.Entry(pb.Add(b.Finish()))
+	return pb.MustLink(base)
+}
+
+func verifySyncCAS(vm *jvm.VM, threads int, scale Scale) error {
+	want := int64(threads) * int64(syncCASParams(scale))
+	if got := int64(vm.Global(0)); got != want {
+		return fmt.Errorf("counter = %d, want %d (lost CAS update)", got, want)
+	}
+	return nil
+}
+
+// --- SyncFalse: false sharing on adjacent array slots ---
+
+func syncFalseParams(s Scale) int32 { return s.pick(400, 1600, 6400) }
+
+// SyncFalse returns the false-sharing kernel: each thread privately
+// increments its own element of one shared int array, so every slot is
+// thread-local data but neighbors share a 64-byte line — all the
+// coherence traffic with none of the communication.
+func SyncFalse() *Benchmark {
+	return &Benchmark{
+		Name:          "SyncFalse",
+		Description:   "False sharing: per-thread counters packed into adjacent slots of one cache line",
+		Input:         "400 increments/thread, stride-1 slots (scaled)",
+		Multithreaded: true,
+		Build:         buildSyncFalse,
+		Verify:        verifySyncFalse,
+	}
+}
+
+func buildSyncFalse(threads int, scale Scale, base uint64) *bytecode.Program {
+	iters := syncFalseParams(scale)
+	nt := int32(threads)
+	pb := bytecode.NewProgram("SyncFalse")
+	pb.Globals(1, 0) // 0 = sum of all slots
+
+	w := bytecode.NewMethod("fsWorker", 3, scratchLocals).ArgRefs(0b001)
+	const lArr, lIdx, lIters, lJ = 0, 1, 2, 3
+	forVar(w, lJ, lIters, func() {
+		w.Load(lArr).Load(lIdx)
+		w.Load(lArr).Load(lIdx).Op(bytecode.ALoad)
+		w.Const(1).Op(bytecode.Iadd)
+		w.Op(bytecode.AStore)
+	})
+	w.Op(bytecode.Ret)
+	wi := pb.Add(w.Finish())
+
+	b := bytecode.NewMethod("main", 0, scratchLocals)
+	const lArr2, lTids, lW, lSum = 0, 1, 2, 3
+	b.Const(nt).Op(bytecode.NewArray, bytecode.KindInt).Store(lArr2)
+	b.Const(nt).Op(bytecode.NewArray, bytecode.KindInt).Store(lTids)
+	forConst(b, lW, nt, func() {
+		b.Load(lTids).Load(lW)
+		b.Load(lArr2).Load(lW).Const(iters)
+		b.Op(bytecode.ThreadStart, wi)
+		b.Op(bytecode.AStore)
+	})
+	forConst(b, lW, nt, func() {
+		b.Load(lTids).Load(lW).Op(bytecode.ALoad).Op(bytecode.ThreadJoin)
+	})
+	b.Const(0).Store(lSum)
+	forConst(b, lW, nt, func() {
+		b.Load(lSum)
+		b.Load(lArr2).Load(lW).Op(bytecode.ALoad)
+		b.Op(bytecode.Iadd).Store(lSum)
+	})
+	b.Load(lSum).Op(bytecode.PutStatic, 0)
+	b.Op(bytecode.Ret)
+	pb.Entry(pb.Add(b.Finish()))
+	return pb.MustLink(base)
+}
+
+func verifySyncFalse(vm *jvm.VM, threads int, scale Scale) error {
+	want := int64(threads) * int64(syncFalseParams(scale))
+	if got := int64(vm.Global(0)); got != want {
+		return fmt.Errorf("slot sum = %d, want %d", got, want)
+	}
+	return nil
+}

@@ -179,6 +179,83 @@ func TestVerifyRejections(t *testing.T) {
 		b.Const(4).Op(NewArray, 9).Op(Pop).Op(Ret)
 		pb.Entry(pb.Add(b.Finish()))
 	})
+	mustFail(t, "bad-volatile-slot", func(pb *ProgramBuilder) {
+		pb.Globals(2, 0)
+		b := NewMethod("main", 0, 0)
+		b.Op(GetVolatile, 4).Op(Pop).Op(Ret)
+		pb.Entry(pb.Add(b.Finish()))
+	})
+	mustFail(t, "bad-cas-slot", func(pb *ProgramBuilder) {
+		pb.Globals(1, 0)
+		b := NewMethod("main", 0, 0)
+		b.Const(0).Const(1).Op(Cas, 3).Op(Pop).Op(Ret)
+		pb.Entry(pb.Add(b.Finish()))
+	})
+	mustFail(t, "monexit-without-enter", func(pb *ProgramBuilder) {
+		cls := pb.Class("O", 1, 0)
+		b := NewMethod("main", 0, 1)
+		b.Op(New, cls).Store(0)
+		b.Load(0).Op(MonExit)
+		b.Op(Ret)
+		pb.Entry(pb.Add(b.Finish()))
+	})
+	mustFail(t, "ret-holding-monitor", func(pb *ProgramBuilder) {
+		cls := pb.Class("O", 1, 0)
+		b := NewMethod("main", 0, 1)
+		b.Op(New, cls).Store(0)
+		b.Load(0).Op(MonEnter)
+		b.Op(Ret)
+		pb.Entry(pb.Add(b.Finish()))
+	})
+	mustFail(t, "retval-holding-monitor", func(pb *ProgramBuilder) {
+		cls := pb.Class("O", 1, 0)
+		b := NewMethod("m", 0, 1)
+		b.Op(New, cls).Store(0)
+		b.Load(0).Op(MonEnter)
+		b.Const(1).Op(RetVal)
+		pb.Add(b.Finish())
+		m := NewMethod("main", 0, 0)
+		m.Op(Call, 0).Op(Pop).Op(Ret)
+		pb.Entry(pb.Add(m.Finish()))
+	})
+	mustFail(t, "inconsistent-monitor-depth", func(pb *ProgramBuilder) {
+		cls := pb.Class("O", 1, 0)
+		b := NewMethod("main", 1, 2)
+		merge := b.NewLabel()
+		b.Op(New, cls).Store(1)
+		b.Load(0).Const(0)
+		b.Br(IfEq, merge) // path A reaches merge with no monitor held
+		b.Load(1).Op(MonEnter)
+		b.Bind(merge) // path B arrives holding one
+		b.Load(1).Op(MonExit)
+		b.Op(Ret)
+		pb.Add(b.Finish())
+		m := NewMethod("main2", 0, 0)
+		m.Const(0).Op(Call, 0).Op(Ret)
+		pb.Entry(pb.Add(m.Finish()))
+	})
+}
+
+func TestVerifyAcceptsBalancedMonitors(t *testing.T) {
+	pb := NewProgram("balanced")
+	cls := pb.Class("O", 1, 0)
+	pb.Globals(1, 0)
+	b := NewMethod("main", 0, 1)
+	loop, done := b.NewLabel(), b.NewLabel()
+	b.Op(New, cls).Store(0)
+	b.Bind(loop)
+	b.Op(GetStatic, 0).Const(3)
+	b.Br(IfGe, done)
+	b.Load(0).Op(MonEnter)
+	b.Op(GetStatic, 0).Const(1).Op(Iadd).Op(PutStatic, 0)
+	b.Load(0).Op(MonExit)
+	b.Br(Goto, loop)
+	b.Bind(done)
+	b.Op(Ret)
+	pb.Entry(pb.Add(b.Finish()))
+	if _, err := pb.Link(0); err != nil {
+		t.Fatalf("balanced monitor loop should verify: %v", err)
+	}
 }
 
 func TestBuilderPanics(t *testing.T) {

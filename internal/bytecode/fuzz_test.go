@@ -28,6 +28,28 @@ func FuzzVerify(f *testing.F) {
 		{Op: bytecode.Iadd},
 		{Op: bytecode.RetVal},
 	}))
+	f.Add(fuzzcodec.Encode([]bytecode.Instr{ // balanced monitor pair: must verify
+		{Op: bytecode.New, A: 0},
+		{Op: bytecode.Istore, A: 0},
+		{Op: bytecode.Iload, A: 0},
+		{Op: bytecode.MonEnter},
+		{Op: bytecode.Iload, A: 0},
+		{Op: bytecode.MonExit},
+		{Op: bytecode.Ret},
+	}))
+	f.Add(fuzzcodec.Encode([]bytecode.Instr{ // unbalanced monitor: must be rejected
+		{Op: bytecode.New, A: 0},
+		{Op: bytecode.MonEnter},
+		{Op: bytecode.Ret},
+	}))
+	f.Add(fuzzcodec.Encode([]bytecode.Instr{ // volatile round trip + CAS
+		{Op: bytecode.Iconst, A: 7},
+		{Op: bytecode.PutVolatile, A: 2},
+		{Op: bytecode.GetVolatile, A: 2},
+		{Op: bytecode.Iconst, A: 9},
+		{Op: bytecode.Cas, A: 2},
+		{Op: bytecode.RetVal},
+	}))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		code := fuzzcodec.Decode(data, 4096)
 		prog := fuzzcodec.HarnessProgram(code)
@@ -67,7 +89,7 @@ func FuzzVerify(f *testing.F) {
 // TestDecodeEncodeRoundTrip: corpus seeds built from real programs must
 // decode back to the exact instruction sequence they encode.
 func TestDecodeEncodeRoundTrip(t *testing.T) {
-	for _, b := range bench.All() {
+	for _, b := range append(bench.All(), bench.Sync()...) {
 		prog := b.Build(1, bench.Tiny, 0)
 		for _, m := range prog.Methods {
 			got := fuzzcodec.Decode(fuzzcodec.Encode(m.Code), 0)
@@ -107,7 +129,7 @@ func writeSeedCorpus(t *testing.T, dir string) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		t.Fatal(err)
 	}
-	for _, b := range bench.All() {
+	for _, b := range append(bench.All(), bench.Sync()...) {
 		prog := b.Build(1, bench.Tiny, 0)
 		for _, m := range seedMethods(prog) {
 			name := fmt.Sprintf("seed-%s-%s", b.Name, m.Name)

@@ -111,6 +111,16 @@ const (
 	// monitor; contended acquisition blocks the thread in the OS.
 	MonEnter
 	MonExit
+	// GetVolatile / PutVolatile access global slot A with Java
+	// volatile semantics: the store drains the thread's store buffer
+	// (release), and both lower with a trailing Fence µop so the JMM
+	// ordering has a pipeline cost.
+	GetVolatile
+	PutVolatile
+	// Cas pops a new value then an expected value and atomically
+	// compare-and-swaps global slot A, pushing 1 on success and 0 on
+	// failure. It is a full fence (x86 lock cmpxchg).
+	Cas
 	// ThreadStart pops the declared arguments of method A and spawns a
 	// new Java thread executing it, pushing the thread's id as an int.
 	ThreadStart
@@ -153,6 +163,7 @@ var opNames = [...]string{
 	NewArray: "newarray", ALoad: "aload", AStore: "astore", ArrayLen: "arraylen",
 	Call: "call", CallVirt: "callvirt", Ret: "ret", RetVal: "retval",
 	MonEnter: "monenter", MonExit: "monexit",
+	GetVolatile: "getvolatile", PutVolatile: "putvolatile", Cas: "cas",
 	ThreadStart: "threadstart", ThreadJoin: "threadjoin",
 	Halt: "halt",
 }
@@ -194,10 +205,12 @@ func stackEffect(op Op) (pops, pushes int) {
 	switch op {
 	case Nop, Goto, Halt, Ret:
 		return 0, 0
-	case Iconst, Fconst, Iload, GetStatic:
+	case Iconst, Fconst, Iload, GetStatic, GetVolatile:
 		return 0, 1
-	case Istore, Pop, PutStatic, MonEnter, MonExit, ThreadJoin, RetVal:
+	case Istore, Pop, PutStatic, PutVolatile, MonEnter, MonExit, ThreadJoin, RetVal:
 		return 1, 0
+	case Cas:
+		return 2, 1
 	case Iadd, Isub, Imul, Idiv, Irem, Iand, Ior, Ixor, Ishl, Ishr,
 		Fadd, Fsub, Fmul, Fdiv:
 		return 2, 1
@@ -269,6 +282,12 @@ func UopCost(op Op) int {
 		return 2 // reload + return
 	case MonEnter, MonExit:
 		return 3 // lock word load + fenced update
+	case GetVolatile:
+		return 3 // address generation + load + acquire fence
+	case PutVolatile:
+		return 3 // address generation + store + release fence
+	case Cas:
+		return 4 // address generation + load + fence + locked store
 	case ThreadStart, ThreadJoin:
 		return 2 // runtime call stub (plus kernel µops at run time)
 	case Halt:

@@ -41,7 +41,7 @@ func (p *Program) verifyMethod(m *Method) error {
 			if a < 0 {
 				return fmt.Errorf("instr %d: negative field slot", i)
 			}
-		case GetStatic, PutStatic:
+		case GetStatic, PutStatic, GetVolatile, PutVolatile, Cas:
 			if a < 0 || int(a) >= p.NumGlobals {
 				return fmt.Errorf("instr %d: global %d out of range [0,%d)", i, a, p.NumGlobals)
 			}
@@ -80,19 +80,24 @@ func (p *Program) verifyMethod(m *Method) error {
 		return fmt.Errorf("mixes ret and retval")
 	}
 
-	// Stack-depth dataflow: every path must agree on the depth at each
-	// instruction, never go negative, and terminate via Ret/RetVal/Halt.
+	// Stack-depth and monitor-depth dataflow: every path must agree on
+	// both depths at each instruction, neither may go negative, and the
+	// method must terminate via Ret/RetVal/Halt with every MonEnter
+	// matched by a MonExit. The monitor dataflow is what turns an
+	// unbalanced MonEnter/MonExit pair into a structured link-time error
+	// instead of a runtime deadlock-by-cycle-budget.
 	depth := make([]int, n)
+	mons := make([]int, n)
 	for i := range depth {
 		depth[i] = -1 // unvisited
 	}
-	type item struct{ pc, d int }
-	work := []item{{0, 0}}
+	type item struct{ pc, d, md int }
+	work := []item{{0, 0, 0}}
 	maxStack := 0
 	for len(work) > 0 {
 		it := work[len(work)-1]
 		work = work[:len(work)-1]
-		pc, d := it.pc, it.d
+		pc, d, md := it.pc, it.d, it.md
 		for {
 			if pc >= n {
 				return fmt.Errorf("fall-through past end of code (depth %d)", d)
@@ -101,10 +106,24 @@ func (p *Program) verifyMethod(m *Method) error {
 				if depth[pc] != d {
 					return fmt.Errorf("instr %d: inconsistent stack depth (%d vs %d)", pc, depth[pc], d)
 				}
+				if mons[pc] != md {
+					return fmt.Errorf("instr %d: inconsistent monitor depth (%d vs %d)", pc, mons[pc], md)
+				}
 				break
 			}
 			depth[pc] = d
+			mons[pc] = md
 			ins := m.Code[pc]
+
+			switch ins.Op {
+			case MonEnter:
+				md++
+			case MonExit:
+				if md == 0 {
+					return fmt.Errorf("instr %d: monexit without a matching monenter", pc)
+				}
+				md--
+			}
 
 			pops, pushes := stackEffect(ins.Op)
 			switch ins.Op {
@@ -133,17 +152,23 @@ func (p *Program) verifyMethod(m *Method) error {
 				if ins.Op == Ret && d != 0 {
 					return fmt.Errorf("instr %d: ret with non-empty stack (depth %d)", pc, d)
 				}
+				if md != 0 {
+					return fmt.Errorf("instr %d: %v with %d unreleased monitors", pc, ins.Op, md)
+				}
 			case RetVal:
 				// The return value was popped by the stack effect
 				// above; nothing else may remain.
 				if d != 0 {
 					return fmt.Errorf("instr %d: retval with extra values on the stack (depth %d)", pc, d)
 				}
+				if md != 0 {
+					return fmt.Errorf("instr %d: retval with %d unreleased monitors", pc, md)
+				}
 			case Goto:
-				work = append(work, item{int(ins.A), d})
+				work = append(work, item{int(ins.A), d, md})
 			default:
 				if isBranch(ins.Op) {
-					work = append(work, item{int(ins.A), d})
+					work = append(work, item{int(ins.A), d, md})
 				}
 				pc++
 				continue

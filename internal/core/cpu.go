@@ -513,6 +513,10 @@ func (c *CPU) fetchInto(x *context) int {
 	}
 	if x.drainFence {
 		if !x.robEmpty() {
+			// One flavor of fetch stall: the caller charges
+			// FetchStallCycles for the same zero-µop cycle, so
+			// fence_stall_cycles <= fetch_stall_cycles stays exact.
+			c.file.Inc(counters.FenceStallCycles)
 			return 0
 		}
 		x.drainFence = false
@@ -644,6 +648,7 @@ func (c *CPU) fetchInto(x *context) int {
 			if x.maxDone > start {
 				start = x.maxDone
 			}
+			c.file.Inc(counters.FenceUops)
 		}
 
 		start = cb.cal.schedule(start, c.now)

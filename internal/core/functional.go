@@ -205,6 +205,12 @@ func (c *CPU) funcExec(i, max int, warm bool) int {
 		if u.Kernel || u.Class == isa.Syscall {
 			osUops++
 		}
+		// Fence µops are counted per µop entering the machine, exactly
+		// as the detailed engine counts them at allocation, so
+		// fence_uops stays bit-identical across simulation modes.
+		if u.Class == isa.Fence {
+			c.file.Inc(counters.FenceUops)
+		}
 		// Completion times for the dependency window: a functionally
 		// executed producer is already done, so a consumer allocated in a
 		// later detailed window sees no stall from it.

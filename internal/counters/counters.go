@@ -87,6 +87,22 @@ const (
 	GCCycles
 	// MonitorBlocks counts times a thread blocked on a Java monitor.
 	MonitorBlocks
+	// LockAcquires counts successful Java monitor acquisitions
+	// (including reentrant ones); LockContended counts acquisitions that
+	// had to block first. Both come from the JVM's monitor table, so
+	// they are µop-stream facts, exact in full and sampled modes alike.
+	LockAcquires
+	LockContended
+	// FenceUops counts memory-fence µops entering the machine;
+	// FenceStallCycles counts front-end cycles lost to a serializing
+	// fence or syscall draining the ROB before younger µops may
+	// allocate.
+	FenceUops
+	FenceStallCycles
+	// CASOps counts executed compare-and-swap bytecodes; CASFailures
+	// counts the ones that lost the race and returned 0.
+	CASOps
+	CASFailures
 	numEvents
 )
 
@@ -132,6 +148,12 @@ var eventNames = [...]string{
 	Syscalls:          "syscalls",
 	GCCycles:          "gc_cycles",
 	MonitorBlocks:     "monitor_blocks",
+	LockAcquires:      "lock_acquires",
+	LockContended:     "lock_contended",
+	FenceUops:         "fence_uops",
+	FenceStallCycles:  "fence_stall_cycles",
+	CASOps:            "cas_ops",
+	CASFailures:       "cas_failures",
 }
 
 // String returns the event's report name.
@@ -303,6 +325,15 @@ func (f *File) CheckConservation() error {
 		{"branch_mispredicts <= branches", f.Get(BranchMispredicts), f.Get(Branches), false},
 		{"l2_accesses == l1d_misses + tc_misses", f.Get(L2Accesses), f.Get(L1DMisses) + f.Get(TCMisses), true},
 		{"mem traffic == l2_misses", f.Get(MemReads) + f.Get(MemWrites), f.Get(L2Misses), true},
+		// Synchronization laws. Each pair is incremented at the same
+		// instant (a failed CAS bumps cas_ops in the same interpreter
+		// step; a fence stall is one flavor of fetch stall, counted in
+		// the same front-end cycle; a contended acquisition blocks the
+		// thread, which is what monitor_blocks counts), so the laws
+		// hold for windowed files too.
+		{"cas_failures <= cas_ops", f.Get(CASFailures), f.Get(CASOps), false},
+		{"fence_stall_cycles <= fetch_stall_cycles", f.Get(FenceStallCycles), f.Get(FetchStallCycles), false},
+		{"lock_contended <= monitor_blocks", f.Get(LockContended), f.Get(MonitorBlocks), false},
 	}
 	for _, l := range laws {
 		if l.exact && l.lhs != l.rhs {

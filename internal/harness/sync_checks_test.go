@@ -1,0 +1,54 @@
+//go:build checks
+
+package harness
+
+import (
+	"testing"
+
+	"javasmt/internal/bench"
+	"javasmt/internal/check"
+	"javasmt/internal/sampling"
+)
+
+// TestSyncStressConservationChecks is the sync-stress half of the
+// -tags checks metamorphic tier (ISSUE 10): the four synchronization
+// benchmarks — monitor blocking, store-buffer drains, fence µops and
+// spin-then-block CAS all active — must hold every armed invariant
+// probe and the counter conservation laws, in full and sampled modes.
+// The compute benchmarks never blocked mid-store-buffer or charged a
+// fence stall, so this is the first time the probes see those paths.
+func TestSyncStressConservationChecks(t *testing.T) {
+	if !check.On {
+		if err := check.SetOn(true); err != nil {
+			t.Fatal(err)
+		}
+		defer check.SetOn(false)
+	}
+	for _, sampled := range []bool{false, true} {
+		name := "full"
+		if sampled {
+			name = "sampled"
+		}
+		t.Run(name, func(t *testing.T) {
+			for _, b := range bench.Sync() {
+				check.ResetProbes()
+				opts := DefaultOptions()
+				opts.HT = true
+				opts.Threads = 4
+				if sampled {
+					opts.Plan = sampling.DefaultSampledPlan()
+				}
+				res, err := Run(b, opts)
+				if err != nil {
+					t.Fatalf("%s: %v", b.Name, err)
+				}
+				if got := check.Probes(); got == 0 {
+					t.Fatalf("%s: no probe evaluations; probes are not firing", b.Name)
+				}
+				if err := res.Counters.CheckConservation(); err != nil {
+					t.Errorf("%s: conservation: %v", b.Name, err)
+				}
+			}
+		})
+	}
+}

@@ -46,6 +46,29 @@ func FuzzInterp(f *testing.F) {
 		{Op: bytecode.ArrayLen},
 		{Op: bytecode.RetVal},
 	}))
+	f.Add(fuzzcodec.Encode([]bytecode.Instr{ // recursive monitor + volatile publish
+		{Op: bytecode.New, A: 0},
+		{Op: bytecode.Istore, A: 0},
+		{Op: bytecode.Iload, A: 0},
+		{Op: bytecode.MonEnter},
+		{Op: bytecode.Iload, A: 0},
+		{Op: bytecode.MonEnter},
+		{Op: bytecode.Iconst, A: 5},
+		{Op: bytecode.PutVolatile, A: 3},
+		{Op: bytecode.Iload, A: 0},
+		{Op: bytecode.MonExit},
+		{Op: bytecode.Iload, A: 0},
+		{Op: bytecode.MonExit},
+		{Op: bytecode.Ret},
+	}))
+	f.Add(fuzzcodec.Encode([]bytecode.Instr{ // CAS spin loop: exercises spin-then-block
+		{Op: bytecode.GetVolatile, A: 2},
+		{Op: bytecode.Iconst, A: 1},
+		{Op: bytecode.Cas, A: 2},
+		{Op: bytecode.Pop},
+		{Op: bytecode.GetVolatile, A: 2},
+		{Op: bytecode.RetVal},
+	}))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		code := fuzzcodec.Decode(data, 2048)
 		prog := fuzzcodec.HarnessProgram(code)
@@ -86,7 +109,7 @@ func TestUpdateFuzzCorpus(t *testing.T) {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			t.Fatal(err)
 		}
-		for _, b := range bench.All() {
+		for _, b := range append(bench.All(), bench.Sync()...) {
 			prog := b.Build(1, bench.Tiny, 0)
 			entry := prog.Methods[prog.Entry]
 			largest := entry

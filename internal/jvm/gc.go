@@ -88,6 +88,12 @@ func (g *gcState) fill(buf []isa.Uop) (int, bool) {
 			g.sweepPos = 0
 			g.freedWords = 0
 			g.phase = gcSweep
+			if n == 0 {
+				// A collection with an empty root set reaches here without
+				// marking anything; a fill must never return zero µops for
+				// a runnable thread, so emit the transition bookkeeping.
+				g.emit(buf, &n, isa.Uop{PC: gcCodeBase + 255, Class: isa.ALU})
+			}
 		}
 
 	case gcSweep:

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"javasmt/internal/bytecode"
+	"javasmt/internal/counters"
 	"javasmt/internal/isa"
 	"javasmt/internal/simos"
 )
@@ -71,6 +72,28 @@ type Thread struct {
 	// thread itself requested (forces the allocation through).
 	gcRetried bool
 
+	// Store buffer (x86-TSO, DESIGN.md §14): plain PutStatic stores
+	// queue here and become globally visible only when the buffer
+	// drains — on a fence (volatile store, CAS, monitor operation,
+	// thread lifecycle, blocking), on capacity overflow, or by aging.
+	// Same-thread GetStatic forwards the newest buffered value, so
+	// single-threaded semantics are unchanged; other threads read the
+	// stale vm.globals until the drain, which is exactly the store-
+	// buffering relaxation the litmus harness probes for.
+	sbSlot  [sbCap]int32
+	sbVal   [sbCap]uint64
+	sbLen   int
+	sbStamp uint64 // t.instrs when the buffer last became non-empty
+
+	// waitMon / waitJoin record what a blocked thread is waiting for;
+	// together they form the waits-for graph deadlock detection walks.
+	waitMon  *monitor
+	waitJoin *Thread
+
+	// casFailStreak counts consecutive failed Cas executions for the
+	// spin-then-block policy.
+	casFailStreak int
+
 	joinWaiters []*Thread
 	onExit      []func()
 
@@ -80,6 +103,54 @@ type Thread struct {
 
 	// instrs counts executed bytecode instructions.
 	instrs uint64
+}
+
+// Store-buffer geometry: sbCap matches a P4-class write-combining/store
+// queue depth; sbAgeInstrs bounds how long a store can stay privately
+// buffered (in executed bytecodes) so visibility is merely delayed,
+// never withheld.
+const (
+	sbCap       = 8
+	sbAgeInstrs = 256
+)
+
+// casSpinLimit is how many consecutive Cas failures a thread tolerates
+// before the runtime charges a yield into the kernel (spin-then-block).
+const casSpinLimit = 8
+
+// sbDrain publishes every buffered store to vm.globals, oldest first,
+// and empties the buffer. Draining whole buffers at once means other
+// threads never observe a partial FIFO, which keeps the model's
+// visible behavior within x86-TSO.
+func (t *Thread) sbDrain() {
+	for i := 0; i < t.sbLen; i++ {
+		t.vm.globals[t.sbSlot[i]] = t.sbVal[i]
+	}
+	t.sbLen = 0
+}
+
+// sbPut appends a plain store to the buffer, draining first on
+// capacity overflow.
+func (t *Thread) sbPut(slot int32, v uint64) {
+	if t.sbLen == sbCap {
+		t.sbDrain()
+	}
+	if t.sbLen == 0 {
+		t.sbStamp = t.instrs
+	}
+	t.sbSlot[t.sbLen] = slot
+	t.sbVal[t.sbLen] = v
+	t.sbLen++
+}
+
+// sbLoad forwards the thread's newest buffered store to slot, if any.
+func (t *Thread) sbLoad(slot int32) (uint64, bool) {
+	for i := t.sbLen - 1; i >= 0; i-- {
+		if t.sbSlot[i] == slot {
+			return t.sbVal[i], true
+		}
+	}
+	return 0, false
 }
 
 // ID returns the Java thread id.
@@ -209,6 +280,9 @@ func (t *Thread) step(buf []isa.Uop) int {
 	ins := f.m.Code[f.pc]
 	pcBase := f.m.CodeBase + uint64(f.m.UopOff[f.pc])
 	t.instrs++
+	if t.sbLen > 0 && t.instrs-t.sbStamp >= sbAgeInstrs {
+		t.sbDrain()
+	}
 
 	n := 0
 	// put emits a µop at the instruction's next method-PC slot, writing
@@ -443,7 +517,10 @@ func (t *Thread) step(buf []isa.Uop) int {
 			Addr: r + uint64(headerWords+int(ins.A))*8}, maxProd(prev(), pv))
 
 	case bytecode.GetStatic:
-		v := t.vm.globals[ins.A]
+		v, fwd := t.sbLoad(ins.A)
+		if !fwd {
+			v = t.vm.globals[ins.A]
+		}
 		isRef := t.vm.prog.GlobalRefMask&(1<<uint(ins.A)) != 0
 		put(isa.Uop{Class: isa.ALU}, 0)
 		p := put(isa.Uop{Class: isa.Load,
@@ -452,10 +529,63 @@ func (t *Thread) step(buf []isa.Uop) int {
 
 	case bytecode.PutStatic:
 		v, _, pv := f.pop()
-		t.vm.globals[ins.A] = v
+		t.sbPut(ins.A, v)
 		put(isa.Uop{Class: isa.ALU}, pv)
 		put(isa.Uop{Class: isa.Store,
 			Addr: t.vm.globalsBase + uint64(ins.A)*8}, prev())
+
+	case bytecode.GetVolatile:
+		// A volatile load on TSO is an ordinary load — the trailing
+		// Fence is the acquire-ordering cost (JSR-133 cookbook), not a
+		// buffer drain.
+		v, fwd := t.sbLoad(ins.A)
+		if !fwd {
+			v = t.vm.globals[ins.A]
+		}
+		isRef := t.vm.prog.GlobalRefMask&(1<<uint(ins.A)) != 0
+		put(isa.Uop{Class: isa.ALU}, 0)
+		p := put(isa.Uop{Class: isa.Load,
+			Addr: t.vm.globalsBase + uint64(ins.A)*8}, prev())
+		put(isa.Uop{Class: isa.Fence}, prev())
+		f.push(v, isRef, p)
+
+	case bytecode.PutVolatile:
+		v, _, pv := f.pop()
+		t.vm.putVolatile(t, ins.A, v)
+		put(isa.Uop{Class: isa.ALU}, pv)
+		put(isa.Uop{Class: isa.Store,
+			Addr: t.vm.globalsBase + uint64(ins.A)*8}, prev())
+		put(isa.Uop{Class: isa.Fence}, prev())
+
+	case bytecode.Cas:
+		nv, _, pn := f.pop()
+		exp, _, pe := f.pop()
+		ok := t.vm.cas(t, ins.A, exp, nv)
+		addr := t.vm.globalsBase + uint64(ins.A)*8
+		put(isa.Uop{Class: isa.ALU}, maxProd(pe, pn))
+		put(isa.Uop{Class: isa.Load, Addr: addr}, prev())
+		put(isa.Uop{Class: isa.Fence}, prev())
+		// The store µop is emitted on failure too (lock cmpxchg writes
+		// the old value back), keeping the µop layout uniform.
+		p := put(isa.Uop{Class: isa.Store, Addr: addr}, prev())
+		var r uint64
+		if ok {
+			r = 1
+			t.casFailStreak = 0
+		} else if t.casFailStreak++; t.casFailStreak >= casSpinLimit {
+			// Spin-then-block: after casSpinLimit consecutive failures
+			// the runtime yields into the kernel before the retry loop
+			// continues, so a starved CAS loop costs syscalls rather
+			// than monopolizing its context.
+			t.casFailStreak = 0
+			t.vm.file.Inc(counters.Syscalls)
+			f.push(r, false, p)
+			f.pc = next
+			t.emit(buf, &n, isa.Uop{PC: runtimeCodeBase + 4, Class: isa.ALU}, p)
+			t.emit(buf, &n, isa.Uop{PC: runtimeCodeBase + 5, Class: isa.Syscall}, 0)
+			return n + t.emitKernelPath(buf[n:], 8)
+		}
+		f.push(r, false, p)
 
 	case bytecode.New:
 		cls := t.vm.prog.Classes[ins.A]
@@ -585,7 +715,7 @@ func (t *Thread) step(buf []isa.Uop) int {
 	case bytecode.ThreadStart:
 		callee := t.vm.prog.Methods[ins.A]
 		args, _, pmax := t.popArgs(f, callee.NArgs)
-		id := t.vm.threadStart(callee, args)
+		id := t.vm.threadStart(t, callee, args)
 		put(isa.Uop{Class: isa.ALU}, pmax)
 		put(isa.Uop{Class: isa.Syscall}, 0)
 		k := t.emitKernelPath(buf[n:], 20)

@@ -396,11 +396,16 @@ func TestOutOfMemoryPanics(t *testing.T) {
 }
 
 func TestMonExitNotOwnerPanics(t *testing.T) {
+	// Statically balanced (one enter, one exit) so the verifier accepts
+	// it, but the exit releases a different object's monitor: the
+	// runtime still owns the "does not own" check.
 	pb := bytecode.NewProgram("badmon")
 	cls := pb.Class("O", 1, 0)
-	b := bytecode.NewMethod("main", 0, 1)
+	b := bytecode.NewMethod("main", 0, 2)
 	b.Op(bytecode.New, cls).Store(0)
-	b.Load(0).Op(bytecode.MonExit)
+	b.Op(bytecode.New, cls).Store(1)
+	b.Load(0).Op(bytecode.MonEnter)
+	b.Load(1).Op(bytecode.MonExit)
 	b.Op(bytecode.Ret)
 	pb.Entry(pb.Add(b.Finish()))
 	expectVMError(t, pb.MustLink(0), "does not own")

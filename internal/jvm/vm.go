@@ -187,8 +187,13 @@ func argRefs(m *bytecode.Method, args []uint64) []bool {
 	return refs
 }
 
-// blockThread parks t in the OS with the given reason.
+// blockThread parks t in the OS with the given reason. Blocking is a
+// full memory barrier: the thread's store buffer drains first, so a
+// stopped-world collector (and every other thread) sees all of its
+// global stores — buffered reference stores must be visible roots
+// before a mark phase can run.
 func (vm *VM) blockThread(t *Thread, why blockReason) {
+	t.sbDrain()
 	t.blocked = why
 	vm.kernel.Block(t.osThread)
 }
@@ -196,6 +201,8 @@ func (vm *VM) blockThread(t *Thread, why blockReason) {
 // unblockThread resumes t.
 func (vm *VM) unblockThread(t *Thread) {
 	t.blocked = notBlocked
+	t.waitMon = nil
+	t.waitJoin = nil
 	vm.kernel.Unblock(t.osThread)
 }
 
@@ -212,18 +219,75 @@ func (vm *VM) monEnter(t *Thread, addr uint64) bool {
 	}
 	switch m.owner {
 	case nil:
+		// Lock acquisition is an atomic RMW (x86 lock cmpxchg): a full
+		// fence that drains the acquirer's store buffer.
+		t.sbDrain()
 		m.owner = t
 		m.depth = 1
+		vm.file.Inc(counters.LockAcquires)
 		return true
 	case t:
 		m.depth++
+		vm.file.Inc(counters.LockAcquires)
 		return true
 	default:
+		vm.checkDeadlock(t, m)
+		t.waitMon = m
 		m.waiters = append(m.waiters, t)
+		vm.file.Inc(counters.LockContended)
 		vm.file.Inc(counters.Syscalls)
 		vm.blockThread(t, blockMonitor)
 		vm.maybeStartGC()
 		return false
+	}
+}
+
+// checkDeadlock walks the waits-for graph (thread → monitor owner or
+// join target) from the monitor t is about to block on. If the walk
+// returns to t, blocking would close a cycle no future wakeup can
+// break, so it panics with a structured "jvm: " error — the resilience
+// layer turns it into a CellError instead of a cell hung until its
+// cycle budget expires.
+func (vm *VM) checkDeadlock(t *Thread, m *monitor) {
+	cur := m.owner
+	for steps := 0; cur != nil && steps <= maxThreadCount; steps++ {
+		if cur == t {
+			panic(fmt.Sprintf("jvm: deadlock: thread %q blocking on monitor held across a waits-for cycle", t.name))
+		}
+		switch cur.blocked {
+		case blockMonitor:
+			if cur.waitMon == nil {
+				return
+			}
+			cur = cur.waitMon.owner
+		case blockJoin:
+			cur = cur.waitJoin
+		default:
+			return // running or unblockable-for-other-reasons: no cycle
+		}
+	}
+}
+
+// checkJoinDeadlock is the join-edge analogue of checkDeadlock: t is
+// about to wait for target to exit, so a waits-for path from target
+// back to t can never make progress.
+func (vm *VM) checkJoinDeadlock(t, target *Thread) {
+	cur := target
+	for steps := 0; cur != nil && steps <= maxThreadCount; steps++ {
+		if cur == t {
+			panic(fmt.Sprintf("jvm: deadlock: thread %q joining thread %q across a waits-for cycle", t.name, target.name))
+		}
+		switch cur.blocked {
+		case blockMonitor:
+			if cur.waitMon == nil {
+				return
+			}
+			cur = cur.waitMon.owner
+		case blockJoin:
+			cur = cur.waitJoin
+		default:
+			return
+		}
 	}
 }
 
@@ -233,6 +297,9 @@ func (vm *VM) monExit(t *Thread, addr uint64) {
 	if m == nil || m.owner != t {
 		panic(fmt.Sprintf("jvm: thread %q releasing monitor %#x it does not own", t.name, addr))
 	}
+	// Release: everything stored inside the critical section must be
+	// visible before the next owner can observe the lock as free.
+	t.sbDrain()
 	m.depth--
 	if m.depth > 0 {
 		return
@@ -251,14 +318,42 @@ func (vm *VM) monExit(t *Thread, addr uint64) {
 	vm.unblockThread(next)
 }
 
+// --- Volatile globals and compare-and-swap ---
+
+// putVolatile performs a volatile store to global slot: a release
+// operation that drains the thread's store buffer (older plain stores
+// become visible first, preserving TSO store order) and then publishes
+// the value itself.
+func (vm *VM) putVolatile(t *Thread, slot int32, v uint64) {
+	t.sbDrain()
+	vm.globals[slot] = v
+}
+
+// cas atomically compare-and-swaps global slot from expected to nv,
+// reporting success. It is a full fence: the buffer drains first, and
+// the read-modify-write hits the globally visible array directly.
+func (vm *VM) cas(t *Thread, slot int32, expected, nv uint64) bool {
+	t.sbDrain()
+	vm.file.Inc(counters.CASOps)
+	if vm.globals[slot] != expected {
+		vm.file.Inc(counters.CASFailures)
+		return false
+	}
+	vm.globals[slot] = nv
+	return true
+}
+
 // --- Thread intrinsics ---
 
 // threadStart spawns a Java thread running method m with args and returns
 // its id.
-func (vm *VM) threadStart(m *bytecode.Method, args []uint64) int {
-	t := vm.newThread(m.Name, m, args)
+func (vm *VM) threadStart(t *Thread, m *bytecode.Method, args []uint64) int {
+	// Spawning is a release: the child must see every global store the
+	// parent made before the start.
+	t.sbDrain()
+	nt := vm.newThread(m.Name, m, args)
 	vm.file.Inc(counters.Syscalls)
-	return t.id
+	return nt.id
 }
 
 // threadJoin makes t wait for target to exit; returns true if it already
@@ -271,6 +366,8 @@ func (vm *VM) threadJoin(t *Thread, targetID int) bool {
 	if target.exited {
 		return true
 	}
+	vm.checkJoinDeadlock(t, target)
+	t.waitJoin = target
 	target.joinWaiters = append(target.joinWaiters, t)
 	vm.file.Inc(counters.Syscalls)
 	vm.blockThread(t, blockJoin)
@@ -286,6 +383,9 @@ func OnExit(t *Thread, fn func()) { t.onExit = append(t.onExit, fn) }
 // threadExited finalizes t: wakes joiners and, when the last mutator is
 // gone, tells the collector to shut down so the process can terminate.
 func (vm *VM) threadExited(t *Thread) {
+	// Thread exit is a release: the exiting thread's plain global stores
+	// become visible before any joiner resumes.
+	t.sbDrain()
 	t.exited = true
 	t.blocked = blockFinished
 	for _, w := range t.joinWaiters {

@@ -1,0 +1,480 @@
+// Package litmus is a Java-memory-model litmus-test harness for the
+// simulated machine (DESIGN.md §14). Each test is a tiny multithreaded
+// bytecode program — the classical store-buffering, message-passing,
+// load-buffering, IRIW, coherence and Dekker shapes — built in two
+// variants: *fenced*, using volatile accesses that lower to buffer
+// drains plus Fence µops, and *unfenced*, using plain statics that ride
+// the per-thread TSO store buffer. The harness runs each shape across
+// seeds × machine geometries × seating policies × simulation modes and
+// asserts two things:
+//
+//   - outcomes the JMM forbids for the fenced variant never appear, and
+//     outcomes x86-TSO forbids (MP, LB, IRIW, CoRR relaxations) never
+//     appear even unfenced — the machine's memory model is TSO, not
+//     something weaker;
+//   - the unfenced store-buffering shapes (SB, DekkerLock) DO exhibit
+//     their relaxed outcomes, proving the harness has teeth: the fences
+//     are load-bearing, not decorative.
+//
+// Seeds vary spin-delay lengths placed between the interesting accesses
+// so thread bodies genuinely interleave across Fill-chunk boundaries in
+// both detailed and functional execution; delays stay under the store
+// buffer's aging threshold so buffered stores survive them.
+package litmus
+
+import (
+	"fmt"
+
+	"javasmt/internal/bytecode"
+	"javasmt/internal/jvm"
+)
+
+// Outcome is the tuple of result globals a litmus program publishes.
+type Outcome []int64
+
+// Key renders the outcome as a stable map key like "1,0".
+func (o Outcome) Key() string {
+	s := ""
+	for i, v := range o {
+		if i > 0 {
+			s += ","
+		}
+		s += fmt.Sprintf("%d", v)
+	}
+	return s
+}
+
+// Test is one litmus shape.
+type Test struct {
+	// Name is the classical shape name (SB, MP, ...).
+	Name string
+	// Threads is how many worker threads the shape spawns.
+	Threads int
+	// Results is how many result globals the program publishes.
+	Results int
+	// Build constructs the program. fenced selects volatile accesses for
+	// the shape's critical stores/loads; seed varies the interleaving
+	// delays; base is the link base.
+	Build func(fenced bool, seed int64, base uint64) *bytecode.Program
+	// Forbidden reports whether outcome o must never be observed when
+	// the variant's fences are in place — and, for the non-store-
+	// buffering shapes, even when they are not (TSO forbids them).
+	Forbidden func(fenced bool, o Outcome) bool
+	// Relaxed reports whether o is the shape's relaxation signature.
+	Relaxed func(o Outcome) bool
+	// TeethExpected marks shapes whose relaxation is reachable on a TSO
+	// machine with the fences removed (SB and DekkerLock); the harness
+	// demands the unfenced sweep observes it.
+	TeethExpected bool
+}
+
+// All returns the litmus suite.
+func All() []*Test {
+	return []*Test{SB(), MP(), LB(), IRIW(), CoRR(), DekkerLock()}
+}
+
+// ByName resolves a litmus test.
+func ByName(name string) (*Test, bool) {
+	for _, t := range All() {
+		if t.Name == name {
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+// --- program-construction helpers ---
+
+type mb = bytecode.MethodBuilder
+
+// Delay calibration. One emitDelay iteration is 8 bytecodes / 9 µops.
+// The interpreter executes a whole Fill batch (~88 µops) of bytecodes
+// semantically at once, so a delay placed between a store and a load
+// only lets another thread's accesses interleave if it spans a batch
+// boundary: mid-delays run 11-15 iterations (99-135 µops — always past
+// one boundary) while staying well under the store buffer's aging
+// threshold (88-120 instructions < 256, so the buffered store survives
+// the delay plus the start skew between threads). Pre-delays of 0-6
+// iterations vary that skew so different seeds probe different
+// alignments. Shapes whose relaxation needs a store to stay buffered
+// *past* the thread's last load also place a post-delay between the
+// load and Ret — otherwise load, result store and exit-drain share one
+// batch and execute atomically.
+const (
+	minMidIters = 11
+	maxMidIters = 15
+	maxPreIters = 6
+)
+
+// splitmix steps a 64-bit mix; the litmus driver derives per-thread
+// delays from the seed with it.
+func splitmix(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// delayPlan derives n pre-delay and n mid-delay iteration counts from
+// seed.
+func delayPlan(seed int64, n int) (pre, mid []int32) {
+	pre = make([]int32, n)
+	mid = make([]int32, n)
+	x := uint64(seed)*0x9E3779B97F4A7C15 + 0xD1B54A32D192ED03
+	for i := range pre {
+		x = splitmix(x)
+		pre[i] = int32(x % (maxPreIters + 1))
+		x = splitmix(x)
+		mid[i] = minMidIters + int32(x%(maxMidIters-minMidIters+1))
+	}
+	return pre, mid
+}
+
+// emitDelay spins a counted empty loop using the given local.
+func emitDelay(b *mb, local, iters int32) {
+	if iters <= 0 {
+		return
+	}
+	loop, done := b.NewLabel(), b.NewLabel()
+	b.Const(0).Store(local)
+	b.Bind(loop)
+	b.Load(local).Const(iters)
+	b.Br(bytecode.IfGe, done)
+	b.Load(local).Const(1).Op(bytecode.Iadd).Store(local)
+	b.Br(bytecode.Goto, loop)
+	b.Bind(done)
+}
+
+// emitGet / emitPut emit a global access with or without volatile
+// semantics.
+func emitGet(b *mb, fenced bool, slot int32) {
+	if fenced {
+		b.Op(bytecode.GetVolatile, slot)
+	} else {
+		b.Op(bytecode.GetStatic, slot)
+	}
+}
+
+func emitPut(b *mb, fenced bool, slot int32) {
+	if fenced {
+		b.Op(bytecode.PutVolatile, slot)
+	} else {
+		b.Op(bytecode.PutStatic, slot)
+	}
+}
+
+// spawnJoin emits main's fan-out/fan-in over argless worker methods.
+func spawnJoin(b *mb, workers []int32) {
+	const lTids = 0
+	b.Const(int32(len(workers))).Op(bytecode.NewArray, bytecode.KindInt).Store(lTids)
+	for i, wi := range workers {
+		b.Load(lTids).Const(int32(i)).Op(bytecode.ThreadStart, wi).Op(bytecode.AStore)
+	}
+	for i := range workers {
+		b.Load(lTids).Const(int32(i)).Op(bytecode.ALoad).Op(bytecode.ThreadJoin)
+	}
+	b.Op(bytecode.Ret)
+}
+
+// Extract reads the test's published outcome from the finished VM. All
+// worker threads have exited by then, so every plain result store has
+// drained.
+func (t *Test) Extract(vm *jvm.VM, firstResultSlot int) Outcome {
+	out := make(Outcome, t.Results)
+	for i := range out {
+		out[i] = int64(vm.Global(firstResultSlot + i))
+	}
+	return out
+}
+
+// --- the shapes ---
+
+// Shared-variable and result-slot layout shared by the two-variable
+// shapes: globals 0,1 are X,Y and results start at slot 2.
+const resultBase = 2
+
+// SB — store buffering, the paper's Dekker core:
+//
+//	T1: X=1; r1=Y        T2: Y=1; r2=X
+//
+// SC forbids r1==0 && r2==0; a store buffer exhibits it.
+func SB() *Test {
+	return &Test{
+		Name: "SB", Threads: 2, Results: 2, TeethExpected: true,
+		Build: func(fenced bool, seed int64, base uint64) *bytecode.Program {
+			pre, mid := delayPlan(seed, 2)
+			pb := bytecode.NewProgram("litmus-SB")
+			pb.Globals(4, 0) // X, Y, r1, r2
+			var ws []int32
+			for i := 0; i < 2; i++ {
+				w := bytecode.NewMethod(fmt.Sprintf("t%d", i+1), 0, 1)
+				mine, other := int32(i), int32(1-i)
+				b := w
+				emitDelay(b, 0, pre[i])
+				b.Const(1)
+				emitPut(b, fenced, mine)
+				emitDelay(b, 0, mid[i])
+				emitGet(b, fenced, other)
+				b.Op(bytecode.PutStatic, resultBase+int32(i))
+				// Post-delay: keep X buffered past the load so the peer's
+				// load can still miss it (the SB relaxation needs both).
+				emitDelay(b, 0, mid[1-i])
+				b.Op(bytecode.Ret)
+				ws = append(ws, pb.Add(w.Finish()))
+			}
+			m := bytecode.NewMethod("main", 0, 1)
+			spawnJoin(m, ws)
+			pb.Entry(pb.Add(m.Finish()))
+			return pb.MustLink(base)
+		},
+		Forbidden: func(fenced bool, o Outcome) bool {
+			// Unfenced, r1==r2==0 is exactly the allowed relaxation.
+			return fenced && o[0] == 0 && o[1] == 0
+		},
+		Relaxed: func(o Outcome) bool { return o[0] == 0 && o[1] == 0 },
+	}
+}
+
+// MP — message passing:
+//
+//	T1: X=42; Y=1        T2: r1=Y; r2=X
+//
+// Forbidden: r1==1 && r2!=42 (saw the flag but not the payload). TSO
+// preserves store order, so this is forbidden even unfenced.
+func MP() *Test {
+	return &Test{
+		Name: "MP", Threads: 2, Results: 2,
+		Build: func(fenced bool, seed int64, base uint64) *bytecode.Program {
+			pre, mid := delayPlan(seed, 2)
+			pb := bytecode.NewProgram("litmus-MP")
+			pb.Globals(4, 0)
+			w1 := bytecode.NewMethod("t1", 0, 1)
+			emitDelay(w1, 0, pre[0])
+			w1.Const(42).Op(bytecode.PutStatic, 0) // payload: always plain
+			emitDelay(w1, 0, mid[0])
+			w1.Const(1)
+			emitPut(w1, fenced, 1) // flag
+			w1.Op(bytecode.Ret)
+			w2 := bytecode.NewMethod("t2", 0, 1)
+			emitDelay(w2, 0, pre[1])
+			emitGet(w2, fenced, 1)
+			w2.Op(bytecode.PutStatic, resultBase)
+			emitDelay(w2, 0, mid[1])
+			w2.Op(bytecode.GetStatic, 0)
+			w2.Op(bytecode.PutStatic, resultBase+1)
+			w2.Op(bytecode.Ret)
+			ws := []int32{pb.Add(w1.Finish()), pb.Add(w2.Finish())}
+			m := bytecode.NewMethod("main", 0, 1)
+			spawnJoin(m, ws)
+			pb.Entry(pb.Add(m.Finish()))
+			return pb.MustLink(base)
+		},
+		Forbidden: func(fenced bool, o Outcome) bool {
+			return o[0] == 1 && o[1] != 42
+		},
+		Relaxed: func(o Outcome) bool { return o[0] == 1 && o[1] != 42 },
+	}
+}
+
+// LB — load buffering:
+//
+//	T1: r1=Y; X=1        T2: r2=X; Y=1
+//
+// Forbidden: r1==1 && r2==1 (loads seeing stores that program order
+// places after them). The interpreter executes in order, so this is
+// unreachable in either variant.
+func LB() *Test {
+	return &Test{
+		Name: "LB", Threads: 2, Results: 2,
+		Build: func(fenced bool, seed int64, base uint64) *bytecode.Program {
+			pre, mid := delayPlan(seed, 2)
+			pb := bytecode.NewProgram("litmus-LB")
+			pb.Globals(4, 0)
+			var ws []int32
+			for i := 0; i < 2; i++ {
+				mine, other := int32(i), int32(1-i)
+				b := bytecode.NewMethod(fmt.Sprintf("t%d", i+1), 0, 1)
+				emitDelay(b, 0, pre[i])
+				emitGet(b, fenced, other)
+				b.Op(bytecode.PutStatic, resultBase+int32(i))
+				emitDelay(b, 0, mid[i])
+				b.Const(1)
+				emitPut(b, fenced, mine)
+				b.Op(bytecode.Ret)
+				ws = append(ws, pb.Add(b.Finish()))
+			}
+			m := bytecode.NewMethod("main", 0, 1)
+			spawnJoin(m, ws)
+			pb.Entry(pb.Add(m.Finish()))
+			return pb.MustLink(base)
+		},
+		Forbidden: func(fenced bool, o Outcome) bool {
+			return o[0] == 1 && o[1] == 1
+		},
+		Relaxed: func(o Outcome) bool { return o[0] == 1 && o[1] == 1 },
+	}
+}
+
+// IRIW — independent reads of independent writes:
+//
+//	T1: X=1   T2: Y=1   T3: r1=X; r2=Y   T4: r3=Y; r4=X
+//
+// Forbidden: the readers disagree about the store order (r1==1,r2==0
+// and r3==1,r4==0). TSO's total store order forbids it even unfenced.
+func IRIW() *Test {
+	return &Test{
+		Name: "IRIW", Threads: 4, Results: 4,
+		Build: func(fenced bool, seed int64, base uint64) *bytecode.Program {
+			pre, mid := delayPlan(seed, 4)
+			pb := bytecode.NewProgram("litmus-IRIW")
+			pb.Globals(6, 0) // X, Y, r1..r4
+			var ws []int32
+			for i := 0; i < 2; i++ { // writers
+				b := bytecode.NewMethod(fmt.Sprintf("w%d", i+1), 0, 1)
+				emitDelay(b, 0, pre[i])
+				emitDelay(b, 0, mid[i])
+				b.Const(1)
+				emitPut(b, fenced, int32(i))
+				b.Op(bytecode.Ret)
+				ws = append(ws, pb.Add(b.Finish()))
+			}
+			for i := 0; i < 2; i++ { // readers
+				first, second := int32(i), int32(1-i)
+				b := bytecode.NewMethod(fmt.Sprintf("r%d", i+1), 0, 1)
+				emitDelay(b, 0, pre[2+i])
+				emitGet(b, fenced, first)
+				b.Op(bytecode.PutStatic, resultBase+int32(2*i))
+				emitDelay(b, 0, mid[2+i])
+				emitGet(b, fenced, second)
+				b.Op(bytecode.PutStatic, resultBase+int32(2*i+1))
+				b.Op(bytecode.Ret)
+				ws = append(ws, pb.Add(b.Finish()))
+			}
+			m := bytecode.NewMethod("main", 0, 1)
+			spawnJoin(m, ws)
+			pb.Entry(pb.Add(m.Finish()))
+			return pb.MustLink(base)
+		},
+		Forbidden: func(fenced bool, o Outcome) bool {
+			return o[0] == 1 && o[1] == 0 && o[2] == 1 && o[3] == 0
+		},
+		Relaxed: func(o Outcome) bool {
+			return o[0] == 1 && o[1] == 0 && o[2] == 1 && o[3] == 0
+		},
+	}
+}
+
+// CoRR — coherence of read-read:
+//
+//	T1: X=1; X=2         T2: r1=X; r2=X
+//
+// Forbidden: r1==2 && r2==1 (the second read travels backwards). Writes
+// to one location stay ordered on any coherent machine.
+func CoRR() *Test {
+	return &Test{
+		Name: "CoRR", Threads: 2, Results: 2,
+		Build: func(fenced bool, seed int64, base uint64) *bytecode.Program {
+			pre, mid := delayPlan(seed, 2)
+			pb := bytecode.NewProgram("litmus-CoRR")
+			pb.Globals(4, 0)
+			w1 := bytecode.NewMethod("t1", 0, 1)
+			emitDelay(w1, 0, pre[0])
+			w1.Const(1)
+			emitPut(w1, fenced, 0)
+			emitDelay(w1, 0, mid[0])
+			w1.Const(2)
+			emitPut(w1, fenced, 0)
+			w1.Op(bytecode.Ret)
+			w2 := bytecode.NewMethod("t2", 0, 1)
+			emitDelay(w2, 0, pre[1])
+			emitGet(w2, fenced, 0)
+			w2.Op(bytecode.PutStatic, resultBase)
+			emitDelay(w2, 0, mid[1])
+			emitGet(w2, fenced, 0)
+			w2.Op(bytecode.PutStatic, resultBase+1)
+			w2.Op(bytecode.Ret)
+			ws := []int32{pb.Add(w1.Finish()), pb.Add(w2.Finish())}
+			m := bytecode.NewMethod("main", 0, 1)
+			spawnJoin(m, ws)
+			pb.Entry(pb.Add(m.Finish()))
+			return pb.MustLink(base)
+		},
+		Forbidden: func(fenced bool, o Outcome) bool {
+			return o[0] == 2 && o[1] == 1
+		},
+		Relaxed: func(o Outcome) bool { return o[0] == 2 && o[1] == 1 },
+	}
+}
+
+// dekkerRounds is how many critical-section attempts each DekkerLock
+// thread makes.
+const dekkerRounds = 6
+
+// DekkerLock — flags-only mutual exclusion guarding a plain counter:
+//
+//	each thread, per round: flag_me=1; if flag_other==0 { C=C+1 (with a
+//	delay between read and write); r_me++ }; flag_me=0
+//
+// With volatile flags the store buffer drains at every flag write, the
+// critical section is exclusive and C == r1+r2 always. With plain
+// flags both threads can pass the guard simultaneously (the SB
+// relaxation), and the delayed read-modify-write loses updates:
+// C < r1+r2. Results: r1, r2, C.
+func DekkerLock() *Test {
+	return &Test{
+		Name: "DekkerLock", Threads: 2, Results: 3, TeethExpected: true,
+		Build: func(fenced bool, seed int64, base uint64) *bytecode.Program {
+			pre, mid := delayPlan(seed, 4)
+			pb := bytecode.NewProgram("litmus-DekkerLock")
+			// 0,1 = flags; 2..4 = r1, r2, C published copy
+			pb.Globals(5, 0)
+			const slotC = 4
+			var ws []int32
+			for i := 0; i < 2; i++ {
+				mine, other := int32(i), int32(1-i)
+				b := bytecode.NewMethod(fmt.Sprintf("t%d", i+1), 0, 4)
+				const lRound, lEntries, lTmp, lSpin = 0, 1, 2, 3
+				b.Const(0).Store(lEntries)
+				loop, done, skip := b.NewLabel(), b.NewLabel(), b.NewLabel()
+				b.Const(0).Store(lRound)
+				b.Bind(loop)
+				b.Load(lRound).Const(dekkerRounds)
+				b.Br(bytecode.IfGe, done)
+				b.Const(1)
+				emitPut(b, fenced, mine) // flag_me = 1
+				emitGet(b, fenced, other)
+				b.Const(0)
+				b.Br(bytecode.IfNe, skip) // other flag up: stand down
+				// Critical section: C = C + 1 with a racy window.
+				b.Op(bytecode.GetStatic, slotC).Store(lTmp)
+				emitDelay(b, lSpin, mid[2+i])
+				b.Load(lTmp).Const(1).Op(bytecode.Iadd)
+				b.Op(bytecode.PutStatic, slotC)
+				b.Load(lEntries).Const(1).Op(bytecode.Iadd).Store(lEntries)
+				b.Bind(skip)
+				b.Const(0)
+				emitPut(b, fenced, mine) // flag_me = 0
+				emitDelay(b, lSpin, pre[i])
+				b.Load(lRound).Const(1).Op(bytecode.Iadd).Store(lRound)
+				b.Br(bytecode.Goto, loop)
+				b.Bind(done)
+				b.Load(lEntries).Op(bytecode.PutStatic, resultBase+int32(i))
+				b.Op(bytecode.Ret)
+				ws = append(ws, pb.Add(b.Finish()))
+			}
+			m := bytecode.NewMethod("main", 0, 1)
+			spawnJoin(m, ws)
+			pb.Entry(pb.Add(m.Finish()))
+			return pb.MustLink(base)
+		},
+		Forbidden: func(fenced bool, o Outcome) bool {
+			// Fenced, the guarded counter must equal the entry total; a
+			// counter above the entry total is impossible either way.
+			if o[2] > o[0]+o[1] {
+				return true
+			}
+			return fenced && o[2] != o[0]+o[1]
+		},
+		Relaxed: func(o Outcome) bool { return o[2] < o[0]+o[1] },
+	}
+}

@@ -1,0 +1,184 @@
+package litmus
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"javasmt/internal/core"
+)
+
+// The litmus acceptance grid (ISSUE 10): every shape must run across
+// ≥2 geometries × ≥4 seating policies × full and sampled modes with
+// forbidden outcomes never observed, and the fence-free control
+// variants of the store-buffering shapes must exhibit their relaxed
+// outcomes — in every simulation mode, under every seating, on every
+// geometry. The metamorphic reading: exact outcome tuples are timing-
+// dependent and may differ across modes and seatings, but the JMM
+// admissibility classification of the observed outcome set (no
+// forbidden outcome; relaxation reachable where TSO allows it) is
+// invariant under the sim-mode transformation and under context
+// permutation (the seating policies place the same threads on
+// different contexts).
+
+// testMatrix is the sweep grid; -short trims seeds.
+func testMatrix(t *testing.T) Matrix {
+	t.Helper()
+	seeds := 6
+	if testing.Short() {
+		seeds = 2
+	}
+	m := DefaultMatrix(seeds)
+	m.Jobs = 8
+	return m
+}
+
+// axisCounts groups relaxed-outcome counts by one key component.
+func axisCounts(tst *Test, res *Result, part int) map[string]int {
+	out := map[string]int{}
+	for k, o := range res.Outcomes {
+		parts := strings.Split(k, "/")
+		out[parts[part]] += 0
+		if tst.Relaxed(o) {
+			out[parts[part]]++
+		}
+	}
+	return out
+}
+
+// Key components: name/fenced=?/seed=?/geometry/policy/mode.
+const (
+	keyGeometry = 3
+	keyPolicy   = 4
+	keyMode     = 5
+)
+
+// TestLitmusMatrix sweeps every shape in both variants across the full
+// grid: forbidden outcomes must never appear, fenced variants must
+// never relax, and the teeth shapes (SB, DekkerLock) must relax
+// unfenced — per mode, per policy, and per geometry.
+func TestLitmusMatrix(t *testing.T) {
+	m := testMatrix(t)
+	wantCells := m.Seeds * len(m.Geometries) * len(m.Policies) * len(m.Modes)
+	for _, tst := range All() {
+		tst := tst
+		for _, fenced := range []bool{true, false} {
+			fenced := fenced
+			name := tst.Name + "/fenced"
+			if !fenced {
+				name = tst.Name + "/unfenced"
+			}
+			t.Run(name, func(t *testing.T) {
+				t.Parallel()
+				res, err := Sweep(tst, fenced, m)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(res.Outcomes) != wantCells {
+					t.Fatalf("swept %d cells, want %d", len(res.Outcomes), wantCells)
+				}
+				if len(res.Forbidden) > 0 {
+					t.Fatalf("forbidden outcomes observed:\n%s", strings.Join(res.Forbidden, "\n"))
+				}
+				if fenced && res.RelaxedSeen > 0 {
+					t.Fatalf("fenced variant relaxed %d times; the fences are not load-bearing", res.RelaxedSeen)
+				}
+				if !fenced && tst.TeethExpected {
+					if res.RelaxedSeen == 0 {
+						t.Fatalf("unfenced %s never exhibited its relaxation (outcome set %v) — the harness has no teeth",
+							tst.Name, res.OutcomeSet())
+					}
+					for _, axis := range []int{keyMode, keyPolicy, keyGeometry} {
+						for val, n := range axisCounts(tst, res, axis) {
+							if n == 0 {
+								t.Errorf("unfenced %s never relaxed under %s", tst.Name, val)
+							}
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestLitmusJobsInvariant: farming cells over 8 workers must produce
+// the byte-identical outcome map a serial sweep produces — each cell
+// simulates an isolated machine, so -j only changes wall clock.
+func TestLitmusJobsInvariant(t *testing.T) {
+	m := DefaultMatrix(2)
+	for _, tst := range []string{"SB", "DekkerLock"} {
+		tst := tst
+		t.Run(tst, func(t *testing.T) {
+			t.Parallel()
+			shape, ok := ByName(tst)
+			if !ok {
+				t.Fatalf("ByName(%q) failed", tst)
+			}
+			serial, par := m, m
+			serial.Jobs = 1
+			par.Jobs = 8
+			r1, err := Sweep(shape, false, serial)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r8, err := Sweep(shape, false, par)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(r1.Outcomes, r8.Outcomes) {
+				t.Fatalf("-j 1 and -j 8 sweeps disagree:\nj1: %v\nj8: %v", r1.Outcomes, r8.Outcomes)
+			}
+		})
+	}
+}
+
+// TestLitmusDeterminism: the same cell run twice is the same
+// experiment — the whole stack (jvm, kernel, machine, sampling) is
+// deterministic.
+func TestLitmusDeterminism(t *testing.T) {
+	shape, _ := ByName("SB")
+	for _, sampled := range []bool{false, true} {
+		c := Cell{
+			Test: "SB", Fenced: false, Seed: 3,
+			Geometry: core.Geometry{Cores: 1, ContextsPerCore: 2},
+			Policy:   "naive", Sampled: sampled,
+		}
+		a, err := RunCell(shape, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := RunCell(shape, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Key() != b.Key() {
+			t.Fatalf("cell %s not deterministic: %s vs %s", c.Key(), a.Key(), b.Key())
+		}
+	}
+}
+
+// TestLitmusRegistry pins the suite shape.
+func TestLitmusRegistry(t *testing.T) {
+	suite := All()
+	if len(suite) != 6 {
+		t.Fatalf("suite has %d shapes, want 6", len(suite))
+	}
+	teeth := 0
+	for _, tst := range suite {
+		if tst.Threads < 2 || tst.Results < 2 {
+			t.Fatalf("%s: degenerate shape (%d threads, %d results)", tst.Name, tst.Threads, tst.Results)
+		}
+		if _, ok := ByName(tst.Name); !ok {
+			t.Fatalf("ByName(%q) failed", tst.Name)
+		}
+		if tst.TeethExpected {
+			teeth++
+		}
+	}
+	if teeth != 2 {
+		t.Fatalf("%d teeth shapes, want 2 (SB, DekkerLock)", teeth)
+	}
+	if _, ok := ByName("no-such-shape"); ok {
+		t.Fatal("ByName invented a shape")
+	}
+}

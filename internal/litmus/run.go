@@ -1,0 +1,180 @@
+package litmus
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"javasmt/internal/bench"
+	"javasmt/internal/bytecode"
+	"javasmt/internal/core"
+	"javasmt/internal/harness"
+	"javasmt/internal/jvm"
+	"javasmt/internal/sampling"
+)
+
+// Cell is one point of the litmus matrix.
+type Cell struct {
+	Test     string
+	Fenced   bool
+	Seed     int64
+	Geometry core.Geometry
+	Policy   string
+	Sampled  bool
+}
+
+// Key renders the cell as a stable identifier.
+func (c Cell) Key() string {
+	mode := "full"
+	if c.Sampled {
+		mode = "sampled"
+	}
+	return fmt.Sprintf("%s/fenced=%v/seed=%d/%dx%d/%s/%s",
+		c.Test, c.Fenced, c.Seed, c.Geometry.Cores, c.Geometry.ContextsPerCore, c.Policy, mode)
+}
+
+// RunCell executes one litmus cell through the full harness stack and
+// returns the observed outcome.
+func RunCell(tst *Test, c Cell) (Outcome, error) {
+	var out Outcome
+	bb := &bench.Benchmark{
+		Name:          "litmus-" + tst.Name,
+		Description:   "JMM litmus shape " + tst.Name,
+		Multithreaded: true,
+		Build: func(threads int, scale bench.Scale, base uint64) *bytecode.Program {
+			return tst.Build(c.Fenced, c.Seed, base)
+		},
+		Verify: func(vm *jvm.VM, threads int, scale bench.Scale) error {
+			out = tst.Extract(vm, resultBase)
+			return nil
+		},
+	}
+	opts := harness.Options{
+		Threads:     1,
+		Scale:       bench.Tiny,
+		Verify:      true, // routes the outcome extraction
+		Geometry:    c.Geometry,
+		SchedPolicy: c.Policy,
+		MaxCycles:   50_000_000,
+	}
+	if c.Sampled {
+		opts.Plan = sampling.DefaultSampledPlan()
+	}
+	if _, err := harness.Run(bb, opts); err != nil {
+		return nil, fmt.Errorf("litmus %s: %w", c.Key(), err)
+	}
+	if out == nil {
+		return nil, fmt.Errorf("litmus %s: no outcome extracted", c.Key())
+	}
+	return out, nil
+}
+
+// Matrix describes a litmus sweep.
+type Matrix struct {
+	Seeds      int
+	Geometries []core.Geometry
+	Policies   []string
+	Modes      []bool // Sampled values to cover (false = full)
+	Jobs       int    // parallel workers; <=1 is serial
+}
+
+// DefaultMatrix covers the acceptance grid: both paper-and-beyond
+// geometries, all four seating policies, full and sampled simulation.
+func DefaultMatrix(seeds int) Matrix {
+	return Matrix{
+		Seeds: seeds,
+		Geometries: []core.Geometry{
+			{Cores: 1, ContextsPerCore: 2},
+			{Cores: 2, ContextsPerCore: 2},
+		},
+		Policies: []string{"naive", "roundrobin-core", "symbiotic-ipc", "contention-aware"},
+		Modes:    []bool{false, true},
+		Jobs:     1,
+	}
+}
+
+// Cells expands the matrix for one test variant.
+func (m Matrix) Cells(test string, fenced bool) []Cell {
+	var cells []Cell
+	for seed := 0; seed < m.Seeds; seed++ {
+		for _, g := range m.Geometries {
+			for _, pol := range m.Policies {
+				for _, sampled := range m.Modes {
+					cells = append(cells, Cell{
+						Test: test, Fenced: fenced, Seed: int64(seed + 1),
+						Geometry: g, Policy: pol, Sampled: sampled,
+					})
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// Result is the aggregate of a variant sweep.
+type Result struct {
+	// Outcomes maps cell key -> observed outcome.
+	Outcomes map[string]Outcome
+	// Forbidden lists cells whose outcome the model forbids.
+	Forbidden []string
+	// RelaxedSeen counts cells exhibiting the shape's relaxation.
+	RelaxedSeen int
+}
+
+// OutcomeSet returns the distinct outcome keys, sorted.
+func (r *Result) OutcomeSet() []string {
+	seen := map[string]bool{}
+	for _, o := range r.Outcomes {
+		seen[o.Key()] = true
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Sweep runs the matrix for one test variant, farming cells across
+// m.Jobs goroutines (each cell simulates a whole machine, so cells are
+// perfectly isolated).
+func Sweep(tst *Test, fenced bool, m Matrix) (*Result, error) {
+	cells := m.Cells(tst.Name, fenced)
+	outs := make([]Outcome, len(cells))
+	errs := make([]error, len(cells))
+	jobs := m.Jobs
+	if jobs < 1 {
+		jobs = 1
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				outs[i], errs[i] = RunCell(tst, cells[i])
+			}
+		}()
+	}
+	for i := range cells {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+
+	res := &Result{Outcomes: make(map[string]Outcome, len(cells))}
+	for i, c := range cells {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		res.Outcomes[c.Key()] = outs[i]
+		if tst.Forbidden(fenced, outs[i]) {
+			res.Forbidden = append(res.Forbidden, c.Key()+" => "+outs[i].Key())
+		}
+		if tst.Relaxed(outs[i]) {
+			res.RelaxedSeen++
+		}
+	}
+	return res, nil
+}

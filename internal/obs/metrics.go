@@ -78,6 +78,16 @@ type CumCounters struct {
 	Mispredicts uint64 `json:"mispredicts"`
 	MemReads    uint64 `json:"mem_reads"`
 	MemWrites   uint64 `json:"mem_writes"`
+
+	// Synchronization events (ISSUE 10): monitor, fence and CAS
+	// activity, so sync-bound runs expose their blocking profile in the
+	// same series as their cache profile.
+	LockAcquires     uint64 `json:"lock_acquires"`
+	LockContended    uint64 `json:"lock_contended"`
+	FenceUops        uint64 `json:"fence_uops"`
+	FenceStallCycles uint64 `json:"fence_stall_cycles"`
+	CASOps           uint64 `json:"cas_ops"`
+	CASFailures      uint64 `json:"cas_failures"`
 }
 
 // cum extracts the cumulative block from a counter file.
@@ -95,6 +105,13 @@ func cum(f *counters.File) CumCounters {
 		Mispredicts: f.Get(counters.BranchMispredicts),
 		MemReads:    f.Get(counters.MemReads),
 		MemWrites:   f.Get(counters.MemWrites),
+
+		LockAcquires:     f.Get(counters.LockAcquires),
+		LockContended:    f.Get(counters.LockContended),
+		FenceUops:        f.Get(counters.FenceUops),
+		FenceStallCycles: f.Get(counters.FenceStallCycles),
+		CASOps:           f.Get(counters.CASOps),
+		CASFailures:      f.Get(counters.CASFailures),
 	}
 }
 

@@ -581,6 +581,7 @@ func (s *Controller) reconstruct(file *counters.File, e *Estimate) {
 			counters.CyclesDT, counters.CyclesOS,
 			counters.ROBStallCycles, counters.IQStallCycles,
 			counters.LSQStallCycles, counters.FetchStallCycles,
+			counters.FenceStallCycles,
 		} {
 			v := scaleClamp(file.Get(ev), tNH, dNH, total)
 			file.Set(ev, v)

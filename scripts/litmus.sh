@@ -1,0 +1,27 @@
+#!/bin/sh
+# litmus.sh — the memory-model gate (DESIGN.md §14).
+#
+# Runs the JMM litmus matrix under the race detector — the forbidden
+# outcomes must never appear on any seed/geometry/policy/mode cell, and
+# the fence-free control variants must still exhibit their TSO
+# relaxations — then smoke-runs the synchronization-stress benchmarks
+# through the sweep front end, requiring live lock-contention and
+# fence-stall counters in the table it prints.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== litmus matrix (race) =="
+go test -race ./internal/litmus -count=1
+
+echo "== sync-stress smoke (sweep front end) =="
+out=$(go run ./cmd/sweep -benches SyncLock,SyncCAS -threads 4)
+echo "$out"
+echo "$out" | awk '
+$1 == "SyncLock" { lock = $7 }
+$1 == "SyncCAS"  { fence = $8 }
+END {
+	if (lock + 0 <= 0)  { print "litmus.sh: SyncLock lockCont is zero" | "cat >&2"; exit 1 }
+	if (fence + 0 <= 0) { print "litmus.sh: SyncCAS fenceStall is zero" | "cat >&2"; exit 1 }
+}'
+
+echo "litmus: OK"

@@ -13,7 +13,10 @@
 # -policy naive byte-identical to the seed scheduler, and the campaign
 # daemon (DESIGN.md §13) must survive kill -9 with a byte-identical
 # resume, serve identical resubmissions from its cache, and reject
-# overload with 429 (scripts/service_smoke.sh).
+# overload with 429 (scripts/service_smoke.sh), and the JVM memory
+# model (DESIGN.md §14) must hold its litmus matrix — forbidden
+# outcomes never, TSO relaxations in the fence-free controls — under
+# the race detector (scripts/litmus.sh).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -97,5 +100,8 @@ fi
 
 echo "== campaign service smoke (kill -9 resume, cache, backpressure) =="
 sh scripts/service_smoke.sh
+
+echo "== memory model (litmus matrix + sync-stress smoke) =="
+sh scripts/litmus.sh
 
 echo "verify: OK"
